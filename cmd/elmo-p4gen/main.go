@@ -1,0 +1,72 @@
+// Command elmo-p4gen emits the P4_16 switch programs (and the
+// hypervisor flow template) for a concrete fabric, the boot-time
+// configuration step of §2. The output mirrors the structure of the
+// authors' published p4-programs repository, specialized to the
+// fabric's bitmap widths and rule budgets.
+//
+//	elmo-p4gen -tier leaf -pods 12 -spines 4 -leaves 48 -hosts 48 -cores 4
+//	elmo-p4gen -tier hypervisor
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"elmo/internal/header"
+	"elmo/internal/p4gen"
+	"elmo/internal/topology"
+)
+
+func main() {
+	var (
+		tier       = flag.String("tier", "leaf", "leaf, spine, core, or hypervisor")
+		pods       = flag.Int("pods", 12, "pods")
+		spines     = flag.Int("spines", 4, "spines per pod")
+		leaves     = flag.Int("leaves", 48, "leaves per pod")
+		hosts      = flag.Int("hosts", 48, "hosts per leaf")
+		cores      = flag.Int("cores", 4, "cores per plane")
+		leafRules  = flag.Int("leaf-rules", 30, "unrolled d-leaf p-rule states")
+		spineRules = flag.Int("spine-rules", 2, "unrolled d-spine p-rule states")
+		kmax       = flag.Int("kmax", 2, "switch identifiers per p-rule")
+		withINT    = flag.Bool("int", false, "include in-band telemetry support")
+	)
+	flag.Parse()
+
+	topo, err := topology.New(topology.Config{
+		Pods: *pods, SpinesPerPod: *spines, LeavesPerPod: *leaves,
+		HostsPerLeaf: *hosts, CoresPerPlane: *cores,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	l := header.LayoutFor(topo)
+
+	if *tier == "hypervisor" {
+		fmt.Print(p4gen.HypervisorPipeline(l))
+		return
+	}
+	var t p4gen.Tier
+	switch *tier {
+	case "leaf":
+		t = p4gen.TierLeaf
+	case "spine":
+		t = p4gen.TierSpine
+	case "core":
+		t = p4gen.TierCore
+	default:
+		fmt.Fprintf(os.Stderr, "unknown tier %q\n", *tier)
+		os.Exit(2)
+	}
+	prog, err := p4gen.NetworkSwitchProgram(l, t, p4gen.Options{
+		MaxSpineRules:      *spineRules,
+		MaxLeafRules:       *leafRules,
+		MaxSwitchesPerRule: *kmax,
+		EnableINT:          *withINT,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(prog)
+}

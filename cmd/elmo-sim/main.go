@@ -1,0 +1,327 @@
+// Command elmo-sim runs the paper's §5.1 scalability experiments:
+//
+//	Figure 4   — P=12 clustered placement: groups covered by p-rules,
+//	             s-rules per switch, traffic overhead, for R ∈ {0,6,12}
+//	Figure 5   — P=1 dispersed placement: same panels
+//	Sensitivity — Uniform group sizes, reduced s-rule capacity and
+//	             reduced header budgets (§5.1.2 text)
+//	Table 2    — churn update load (with -churn)
+//	Failures   — spine/core failure impact (with -failures)
+//
+// The default scale is laptop-sized; pass -pods 12 -leaves 48 -hosts 48
+// -spines 4 -cores 4 -tenants 3000 -groups 1000000 to reproduce the
+// full 27,648-host / 1M-group configuration (takes a while).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"elmo/internal/churn"
+	"elmo/internal/controller"
+	"elmo/internal/groupgen"
+	"elmo/internal/metrics"
+	"elmo/internal/placement"
+	"elmo/internal/sim"
+	"elmo/internal/topology"
+)
+
+func main() {
+	var (
+		pods    = flag.Int("pods", 4, "pods")
+		spines  = flag.Int("spines", 2, "spines per pod")
+		leaves  = flag.Int("leaves", 8, "leaves per pod")
+		hosts   = flag.Int("hosts", 8, "hosts per leaf")
+		cores   = flag.Int("cores", 2, "cores per plane")
+		tenants = flag.Int("tenants", 80, "tenants")
+		groups  = flag.Int("groups", 2000, "total multicast groups")
+		srules  = flag.Int("srules", 10000, "s-rule capacity per switch (Fmax)")
+		dist    = flag.String("dist", "wve", "group-size distribution: wve or uniform")
+		rList   = flag.String("r", "0,6,12", "comma-separated redundancy limits")
+		doChurn = flag.Bool("churn", false, "run the Table 2 churn experiment")
+		events  = flag.Int("events", 20000, "churn events (with -churn)")
+		doFail  = flag.Bool("failures", false, "run the failure-impact experiment")
+		csvDir  = flag.String("csv", "", "directory to write figure CSV series into (empty = none)")
+		meanVMs = flag.Float64("meanvms", 0, "mean tenant VMs (0 = auto: paper's 178.77 capped by fabric capacity)")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	topoCfg := topology.Config{
+		Pods: *pods, SpinesPerPod: *spines, LeavesPerPod: *leaves,
+		HostsPerLeaf: *hosts, CoresPerPlane: *cores,
+	}
+	distribution := groupgen.WVE
+	if *dist == "uniform" {
+		distribution = groupgen.Uniform
+	}
+	rs := parseInts(*rList)
+
+	for _, scenario := range []struct {
+		name string
+		file string
+		p    int
+	}{
+		{"Figure 4 (clustered placement, P=12)", "figure4.csv", 12},
+		{"Figure 5 (dispersed placement, P=1)", "figure5.csv", 1},
+	} {
+		var csv *csvWriter
+		if *csvDir != "" {
+			var err error
+			csv, err = newCSVWriter(*csvDir, scenario.file,
+				"r", "groups", "p_rules_only", "leaf_p_rules_only", "with_s_rules", "default",
+				"leaf_srules_mean", "leaf_srules_max", "spine_srules_mean", "spine_srules_max",
+				"li_leaf_mean", "hdr_mean_bytes", "hdr_max_bytes",
+				"traffic_ovh_64", "traffic_ovh_1500", "unicast_ovh_64", "unicast_ovh_1500",
+				"overlay_ovh_64", "overlay_ovh_1500")
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("=== %s, %s group sizes ===\n", scenario.name, distribution)
+		t := metrics.NewTable("",
+			"R", "p-rules only", "leaf p-only", "with s-rules", "default", "leaf sr mean",
+			"leaf sr max", "spine sr mean", "spine sr max", "Li leaf mean",
+			"hdr mean B", "hdr max B", "ovh 64B", "ovh 1500B")
+		for _, r := range rs {
+			cfg := sim.ScalabilityConfig{
+				Topology: topoCfg,
+				Placement: placement.Config{
+					Tenants: *tenants, VMsPerHost: 20, MinVMs: 5,
+					MaxVMs:  maxVMsFor(topoCfg, scenario.p),
+					MeanVMs: effectiveMeanVMs(*meanVMs, topoCfg, *tenants),
+					P:       scenario.p, Seed: *seed,
+				},
+				Groups:              groupgen.Config{TotalGroups: *groups, MinSize: 5, Dist: distribution, Seed: *seed + 1},
+				Controller:          paperController(r, *srules),
+				PacketSizes:         []int{64, 1500},
+				BaselineSampleEvery: 101,
+				Seed:                *seed + 2,
+			}
+			start := time.Now()
+			res, err := sim.RunScalability(cfg)
+			if err != nil {
+				log.Fatalf("%s R=%d: %v", scenario.name, r, err)
+			}
+			if res.DeliveryFailures > 0 {
+				log.Fatalf("%s R=%d: %d delivery failures", scenario.name, r, res.DeliveryFailures)
+			}
+			t.AddRow(r, res.GroupsPRulesOnly, res.LeafPRulesOnly, res.GroupsWithSRules, res.GroupsWithDefault,
+				res.LeafSRules.Mean(), res.LeafSRules.Max(),
+				res.SpineSRules.Mean(), res.SpineSRules.Max(), res.LiLeafEntries.Mean(),
+				res.HeaderBytes.Mean(), res.HeaderBytes.Max(),
+				res.TrafficOverhead[64], res.TrafficOverhead[1500])
+			fmt.Printf("  R=%d done in %v (unicast ovh %.2f @64B %.2f @1500B; overlay ovh %.2f @64B %.2f @1500B)\n",
+				r, time.Since(start).Round(time.Millisecond),
+				res.UnicastOverhead[64], res.UnicastOverhead[1500],
+				res.OverlayOverhead[64], res.OverlayOverhead[1500])
+			if csv != nil {
+				csv.row(r, res.TotalGroups, res.GroupsPRulesOnly, res.LeafPRulesOnly,
+					res.GroupsWithSRules, res.GroupsWithDefault,
+					res.LeafSRules.Mean(), res.LeafSRules.Max(),
+					res.SpineSRules.Mean(), res.SpineSRules.Max(),
+					res.LiLeafEntries.Mean(), res.HeaderBytes.Mean(), res.HeaderBytes.Max(),
+					res.TrafficOverhead[64], res.TrafficOverhead[1500],
+					res.UnicastOverhead[64], res.UnicastOverhead[1500],
+					res.OverlayOverhead[64], res.OverlayOverhead[1500])
+			}
+		}
+		if csv != nil {
+			if err := csv.close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Print(t)
+		fmt.Println()
+	}
+
+	if *csvDir != "" {
+		if err := writeManifest(*csvDir, topoCfg, *tenants, *groups, *srules, *dist, rs, *meanVMs, *seed); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *doChurn || *doFail {
+		runControlPlane(topoCfg, *tenants, *groups, *srules, distribution, *events, *meanVMs, *seed, *doChurn, *doFail)
+	}
+}
+
+// writeManifest records the exact run parameters next to the CSV
+// series so figures are reproducible.
+func writeManifest(dir string, topoCfg topology.Config, tenants, groups, srules int, dist string, rs []int, meanVMs float64, seed int64) error {
+	f, err := os.Create(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	return enc.Encode(map[string]interface{}{
+		"topology":       topoCfg,
+		"tenants":        tenants,
+		"groups":         groups,
+		"srule_capacity": srules,
+		"distribution":   dist,
+		"r_values":       rs,
+		"mean_vms_flag":  meanVMs,
+		"mean_vms_used":  effectiveMeanVMs(meanVMs, topoCfg, tenants),
+		"seed":           seed,
+	})
+}
+
+func paperController(r, srules int) controller.Config {
+	cfg := controller.PaperConfig(r)
+	cfg.SRuleCapacity = srules
+	return cfg
+}
+
+// maxVMsFor keeps tenants placeable: a tenant can hold at most
+// min(P, hosts-per-leaf) VMs per rack (one VM per host), so its size
+// must fit within 3/4 of the fabric's per-tenant capacity.
+func maxVMsFor(t topology.Config, p int) int {
+	perRack := t.HostsPerLeaf
+	if p > 0 && p < perRack {
+		perRack = p
+	}
+	max := 5000
+	if cap := t.Pods * t.LeavesPerPod * perRack * 3 / 4; cap < max {
+		max = cap
+	}
+	if max < 5 {
+		max = 5
+	}
+	return max
+}
+
+// effectiveMeanVMs picks the paper's tenant-size mean (178.77) unless
+// the fabric is too small to hold it; explicit -meanvms overrides.
+func effectiveMeanVMs(flagVal float64, t topology.Config, tenants int) float64 {
+	if flagVal > 0 {
+		return flagVal
+	}
+	slots := float64(t.Pods*t.LeavesPerPod*t.HostsPerLeaf) * 20
+	cap := 0.7 * slots / float64(tenants)
+	if cap > 178.77 {
+		return 178.77
+	}
+	if cap < 5 {
+		return 5
+	}
+	return cap
+}
+
+func runControlPlane(topoCfg topology.Config, tenants, groups, srules int, dist groupgen.Distribution, events int, meanVMs float64, seed int64, doChurn, doFail bool) {
+	topo := topology.MustNew(topoCfg)
+	dep, err := placement.Place(topo, placement.Config{
+		Tenants: tenants, VMsPerHost: 20, MinVMs: 5,
+		MaxVMs:  maxVMsFor(topoCfg, 1),
+		MeanVMs: effectiveMeanVMs(meanVMs, topoCfg, tenants),
+		P:       1, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gs, err := groupgen.Generate(dep, groupgen.Config{TotalGroups: groups, MinSize: 5, Dist: dist, Seed: seed + 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl, err := controller.New(topo, paperController(0, srules))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== control plane: creating %d groups ===\n", len(gs))
+	if err := churn.Setup(ctrl, dep, gs, rand.New(rand.NewSource(seed+2))); err != nil {
+		log.Fatal(err)
+	}
+	if doChurn {
+		res, err := churn.Run(ctrl, dep, gs, churn.Config{
+			Events: events, EventsPerSecond: 1000, Seed: seed + 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res.Table2())
+		fmt.Printf("(%d events applied, %d skipped, simulated %.0fs)\n\n",
+			res.EventsApplied, res.EventsSkipped, res.Duration)
+	}
+	if doFail {
+		res := churn.RunFailures(ctrl, seed+4)
+		t := metrics.NewTable("Failure impact (§5.1.3b)",
+			"failure", "groups impacted %", "hypervisor updates")
+		t.AddRow("one spine", 100*res.SpineImpactedFrac, res.SpineHypervisorUpdates)
+		t.AddRow("one core", 100*res.CoreImpactedFrac, res.CoreHypervisorUpdates)
+		fmt.Print(t)
+	}
+}
+
+// csvWriter emits one figure's data series.
+type csvWriter struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+func newCSVWriter(dir, name string, columns ...string) (*csvWriter, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriter(f)
+	for i, c := range columns {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(c)
+	}
+	w.WriteByte('\n')
+	return &csvWriter{f: f, w: w}, nil
+}
+
+func (c *csvWriter) row(vals ...interface{}) {
+	for i, v := range vals {
+		if i > 0 {
+			c.w.WriteByte(',')
+		}
+		switch x := v.(type) {
+		case float64:
+			fmt.Fprintf(c.w, "%.6g", x)
+		default:
+			fmt.Fprintf(c.w, "%v", x)
+		}
+	}
+	c.w.WriteByte('\n')
+}
+
+func (c *csvWriter) close() error {
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	return c.f.Close()
+}
+
+func parseInts(s string) []int {
+	var out []int
+	cur, has := 0, false
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if has {
+				out = append(out, cur)
+			}
+			cur, has = 0, false
+			continue
+		}
+		if s[i] >= '0' && s[i] <= '9' {
+			cur = cur*10 + int(s[i]-'0')
+			has = true
+		}
+	}
+	return out
+}

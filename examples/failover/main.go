@@ -1,0 +1,72 @@
+// Command failover demonstrates Elmo's §3.3 failure handling: a
+// cross-pod multicast group keeps delivering while spines and cores
+// fail, because the controller disables multipathing for affected
+// groups and pins explicit upstream ports chosen by greedy set cover —
+// updating only sender hypervisors, never network switches.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"elmo"
+)
+
+func main() {
+	cl, err := elmo.NewCluster(elmo.PaperExampleTopology(), elmo.DefaultConfig(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A group spanning three pods.
+	key := elmo.GroupKey{Tenant: 3, Group: 5}
+	members := map[elmo.HostID]elmo.Role{
+		0: elmo.RoleBoth, 17: elmo.RoleReceiver, 40: elmo.RoleReceiver, 56: elmo.RoleReceiver,
+	}
+	if err := cl.CreateGroup(key, members); err != nil {
+		log.Fatal(err)
+	}
+	check := func(stage string) {
+		d, err := cl.Send(0, key, []byte("heartbeat"))
+		if err != nil {
+			log.Fatalf("%s: %v", stage, err)
+		}
+		before := cl.Ctrl.Stats().Core
+		fmt.Printf("%-34s delivered=%d lost=%d dup=%d core-switch updates so far=%d\n",
+			stage, len(d.Received), d.Lost, d.Duplicates, before)
+		if len(d.Received) != 3 || d.Lost != 0 {
+			log.Fatalf("%s: delivery degraded: %s", stage, d)
+		}
+	}
+
+	check("healthy fabric:")
+
+	// Fail one spine in the sender's pod.
+	if _, err := cl.FailSpine(0); err != nil {
+		log.Fatal(err)
+	}
+	check("spine 0 (pod 0, plane 0) failed:")
+
+	// Additionally fail a core in the surviving plane's sibling.
+	if _, err := cl.FailCore(2); err != nil {
+		log.Fatal(err)
+	}
+	check("core 2 (plane 1) also failed:")
+
+	// Repair everything; multipath resumes.
+	if _, err := cl.RepairSpine(0); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cl.RepairCore(2); err != nil {
+		log.Fatal(err)
+	}
+	check("fabric repaired:")
+
+	hdr, err := cl.Ctrl.HeaderFor(key, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sender 0 header after repair: multipath=%v (upstream rules ride the ECMP fabric again)\n",
+		hdr.ULeaf.Multipath)
+	fmt.Println("note: core-switch update count stayed 0 throughout — Elmo never programs cores.")
+}

@@ -1,0 +1,57 @@
+// Command telemetry runs the paper's §5.2.2 experiment: an sFlow-style
+// agent exports host metrics to a growing set of collectors, comparing
+// the agent host's egress bandwidth under unicast vs Elmo.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"elmo/internal/apps"
+	"elmo/internal/controller"
+	"elmo/internal/fabric"
+	"elmo/internal/metrics"
+	"elmo/internal/topology"
+)
+
+func main() {
+	rate := flag.Float64("reports-per-sec", 8, "telemetry reports per second")
+	maxCollectors := flag.Int("max-collectors", 64, "largest collector count")
+	flag.Parse()
+
+	topo := topology.MustNew(topology.Config{
+		Pods: 4, SpinesPerPod: 2, LeavesPerPod: 8, HostsPerLeaf: 12, CoresPerPlane: 2,
+	})
+	cfg := controller.PaperConfig(6)
+	ctrl, err := controller.New(topo, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fab := fabric.New(topo, cfg.SRuleCapacity)
+	fab.SetFailures(ctrl.Failures())
+
+	var counts []int
+	for n := 1; n <= *maxCollectors; n *= 2 {
+		counts = append(counts, n)
+	}
+	collectors := make([]topology.HostID, counts[len(counts)-1])
+	for i := range collectors {
+		collectors[i] = topology.HostID(i + 1)
+	}
+	points, err := apps.MeasureTelemetry(ctrl, fab, 0, collectors, counts, *rate)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := metrics.NewTable(
+		fmt.Sprintf("sFlow-style host telemetry at %.0f reports/s: agent egress bandwidth", *rate),
+		"collectors", "transport", "egress Kbps")
+	for _, p := range points {
+		t.AddRow(p.Collectors, p.Transport.String(), p.EgressKbps)
+	}
+	fmt.Print(t)
+	fmt.Println("\nShape check (paper): unicast egress grows linearly with collectors")
+	fmt.Println("(370.4 Kbps at 64 in the paper's testbed); Elmo stays constant at one")
+	fmt.Println("copy's worth (5.8 Kbps there).")
+}

@@ -1,0 +1,3 @@
+module elmo
+
+go 1.22

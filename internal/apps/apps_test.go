@@ -1,0 +1,179 @@
+package apps
+
+import (
+	"testing"
+	"time"
+
+	"elmo/internal/controller"
+	"elmo/internal/fabric"
+	"elmo/internal/topology"
+)
+
+func appFixture(t testing.TB) (*controller.Controller, *fabric.Fabric, *topology.Topology) {
+	topo := topology.MustNew(topology.Config{Pods: 4, SpinesPerPod: 2, LeavesPerPod: 6, HostsPerLeaf: 12, CoresPerPlane: 2})
+	ctrl, err := controller.New(topo, controller.Config{
+		MaxHeaderBytes: 325, SpineRuleLimit: 2, LeafRuleLimit: 30,
+		KMaxSpine: 2, KMaxLeaf: 2, R: 6, SRuleCapacity: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := fabric.New(topo, 64)
+	fab.SetFailures(ctrl.Failures())
+	return ctrl, fab, topo
+}
+
+func subsFrom(topo *topology.Topology, n int) []topology.HostID {
+	subs := make([]topology.HostID, n)
+	for i := range subs {
+		subs[i] = topology.HostID(i + 1)
+	}
+	return subs
+}
+
+func TestPubSubDelivery(t *testing.T) {
+	ctrl, fab, topo := appFixture(t)
+	subs := subsFrom(topo, 16)
+	ps, err := NewPubSub(ctrl, fab, controller.GroupKey{Tenant: 1, Group: 1}, 0, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range []Transport{TransportElmo, TransportUnicast} {
+		got, err := ps.Publish(tr, []byte("tick"))
+		if err != nil {
+			t.Fatalf("%s: %v", tr, err)
+		}
+		if got != len(subs) {
+			t.Fatalf("%s delivered %d of %d", tr, got, len(subs))
+		}
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.NumGroups() != 0 {
+		t.Fatal("group not removed")
+	}
+}
+
+func TestPubSubRejectsSelfSubscription(t *testing.T) {
+	ctrl, fab, _ := appFixture(t)
+	if _, err := NewPubSub(ctrl, fab, controller.GroupKey{Tenant: 1, Group: 2}, 3, []topology.HostID{3}); err == nil {
+		t.Fatal("self-subscription accepted")
+	}
+}
+
+func TestMeasurePubSubShape(t *testing.T) {
+	ctrl, fab, topo := appFixture(t)
+	counts := []int{1, 8, 32}
+	points, err := MeasurePubSub(ctrl, fab, 0, subsFrom(topo, 32), counts, 100, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2*len(counts) {
+		t.Fatalf("points = %d", len(points))
+	}
+	byKey := make(map[string]PubSubPoint)
+	for _, p := range points {
+		byKey[p.Transport.String()+string(rune(p.Subscribers))] = p
+		if p.Throughput <= 0 || p.CPUPercent <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+	// Figure 6 shape: unicast cost grows with subscribers, Elmo stays
+	// roughly flat; at the largest count unicast must be clearly worse.
+	e1 := byKey["elmo"+string(rune(1))]
+	e32 := byKey["elmo"+string(rune(32))]
+	u1 := byKey["unicast"+string(rune(1))]
+	u32 := byKey["unicast"+string(rune(32))]
+	if u32.PerMessage <= u1.PerMessage {
+		t.Fatalf("unicast per-message did not grow: %v -> %v", u1.PerMessage, u32.PerMessage)
+	}
+	if u32.PerMessage < 2*e32.PerMessage {
+		t.Fatalf("unicast@32 %v should dwarf elmo@32 %v", u32.PerMessage, e32.PerMessage)
+	}
+	if e32.PerMessage > 8*e1.PerMessage {
+		t.Fatalf("elmo per-message grew too much: %v -> %v", e1.PerMessage, e32.PerMessage)
+	}
+	if u32.CPUPercent <= e32.CPUPercent {
+		t.Fatalf("unicast CPU %.1f%% should exceed elmo %.1f%%", u32.CPUPercent, e32.CPUPercent)
+	}
+}
+
+func TestTelemetryMarshalRoundTrip(t *testing.T) {
+	s := TelemetrySample{Agent: 9, Sequence: 3, CPUMilli: 750, MemBytes: 1 << 33, RxBytes: 17, TxBytes: 23}
+	got, err := UnmarshalTelemetry(s.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("roundtrip: %+v != %+v", got, s)
+	}
+	if _, err := UnmarshalTelemetry([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short datagram accepted")
+	}
+	bad := s.Marshal()
+	bad[3] = 9 // version
+	if _, err := UnmarshalTelemetry(bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestMeasureTelemetryShape(t *testing.T) {
+	ctrl, fab, topo := appFixture(t)
+	counts := []int{1, 4, 16, 64}
+	points, err := MeasureTelemetry(ctrl, fab, 0, subsFrom(topo, 64), counts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var elmo, uni []TelemetryPoint
+	for _, p := range points {
+		if p.Transport == TransportElmo {
+			elmo = append(elmo, p)
+		} else {
+			uni = append(uni, p)
+		}
+	}
+	// §5.2.2: unicast egress grows linearly; Elmo stays constant
+	// (modulo a few header bytes).
+	if uni[3].EgressKbps < 30*uni[0].EgressKbps {
+		t.Fatalf("unicast egress not linear: %v", uni)
+	}
+	if elmo[3].EgressKbps > 1.5*elmo[0].EgressKbps {
+		t.Fatalf("elmo egress not flat: %v", elmo)
+	}
+	if uni[3].EgressKbps < 10*elmo[3].EgressKbps {
+		t.Fatalf("unicast@64 %.1f should dwarf elmo %.1f", uni[3].EgressKbps, elmo[3].EgressKbps)
+	}
+}
+
+func TestMeasureEncapShape(t *testing.T) {
+	topo := topology.MustNew(topology.FacebookFabric())
+	points, err := MeasureEncap(topo, []int{0, 10, 30}, 1000, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := func(n int, m EncapMode) EncapPoint {
+		for _, p := range points {
+			if p.PRules == n && p.Mode == m {
+				return p
+			}
+		}
+		t.Fatalf("missing point %d/%v", n, m)
+		return EncapPoint{}
+	}
+	s0 := byKey(0, SingleWrite)
+	s30 := byKey(30, SingleWrite)
+	p30 := byKey(30, PerRuleWrite)
+	if s0.Mpps <= 0 || s30.Mpps <= 0 {
+		t.Fatal("throughput not measured")
+	}
+	// Figure 7: pps decreases as p-rules grow (bigger packets)...
+	if s30.Bytes <= s0.Bytes {
+		t.Fatal("packet size did not grow with rules")
+	}
+	// ...and §4.2: per-rule writes are substantially slower than the
+	// single-write design at 30 rules.
+	if p30.Mpps >= s30.Mpps {
+		t.Fatalf("per-rule %.2f Mpps should be below single-write %.2f Mpps", p30.Mpps, s30.Mpps)
+	}
+}

@@ -1,0 +1,153 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"elmo/internal/bitmap"
+	"elmo/internal/header"
+	"elmo/internal/topology"
+)
+
+// This file reproduces Figure 7 and the §4.2 design point: a hypervisor
+// switch must treat the whole p-rule list as ONE header written with a
+// single call — emitting each p-rule as a separate header (as hardware
+// parsers require) costs a write per rule in software and collapses
+// packet rate as rules grow.
+
+// EncapMode selects the §4.2 strategy under test.
+type EncapMode int
+
+const (
+	// SingleWrite serializes the precomputed section stream with one
+	// copy (PISCES with the Elmo extension — the paper's design).
+	SingleWrite EncapMode = iota
+	// PerRuleWrite emits every p-rule with a separate write call (the
+	// naive port of the hardware representation; the ablation).
+	PerRuleWrite
+)
+
+func (m EncapMode) String() string {
+	if m == SingleWrite {
+		return "single-write"
+	}
+	return "per-rule-write"
+}
+
+// EncapPoint is one Figure 7 measurement.
+type EncapPoint struct {
+	PRules int
+	Mode   EncapMode
+	// Mpps is millions of packets encapsulated per second.
+	Mpps float64
+	// Gbps is the corresponding line rate for the given frame size.
+	Gbps float64
+	// Bytes is the resulting on-wire packet size.
+	Bytes int
+}
+
+// buildLeafRules makes n leaf p-rules with distinct switch IDs.
+func buildLeafRules(l header.Layout, n int) []header.PRule {
+	rules := make([]header.PRule, n)
+	for i := range rules {
+		rules[i] = header.PRule{
+			Switches: []uint16{uint16(i)},
+			Bitmap:   bitmap.FromPorts(l.LeafDown, i%l.LeafDown),
+		}
+	}
+	return rules
+}
+
+// MeasureEncap measures hypervisor encapsulation throughput for each
+// p-rule count, under both write strategies, with the given inner
+// frame size and measurement duration per point.
+func MeasureEncap(topo *topology.Topology, prCounts []int, innerSize int, perPoint time.Duration) ([]EncapPoint, error) {
+	l := header.LayoutFor(topo)
+	inner := make([]byte, innerSize)
+	outer := header.OuterFields{
+		SrcIP: [4]byte{10, 0, 0, 1}, DstIP: header.GroupIP(1),
+		VNI: 1, ElmoVersion: header.Version, TTL: 64,
+	}
+	var points []EncapPoint
+	for _, n := range prCounts {
+		h := &header.Header{DLeaf: buildLeafRules(l, n)}
+		stream, err := header.Encode(l, h)
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range []EncapMode{SingleWrite, PerRuleWrite} {
+			pps, size, err := measureMode(l, mode, h, stream, outer, inner, perPoint)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, EncapPoint{
+				PRules: n,
+				Mode:   mode,
+				Mpps:   pps / 1e6,
+				Gbps:   pps * float64(size) * 8 / 1e9,
+				Bytes:  size,
+			})
+		}
+	}
+	return points, nil
+}
+
+func measureMode(l header.Layout, mode EncapMode, h *header.Header, stream []byte, outer header.OuterFields, inner []byte, d time.Duration) (pps float64, size int, err error) {
+	buf := make([]byte, 0, header.OuterSize+len(stream)+len(inner))
+	encapOnce := func() error {
+		var e error
+		buf, e = header.AppendOuter(buf[:0], outer, len(stream)+len(inner))
+		if e != nil {
+			return e
+		}
+		switch mode {
+		case SingleWrite:
+			// One contiguous write of the precomputed stream.
+			buf = append(buf, stream...)
+		case PerRuleWrite:
+			// One write call per p-rule header: each rule is
+			// re-serialized and appended independently, modeling the
+			// per-header DMA writes of the naive implementation.
+			for i := range h.DLeaf {
+				one := header.Header{DLeaf: h.DLeaf[i : i+1]}
+				frag, e := header.Encode(l, &one)
+				if e != nil {
+					return e
+				}
+				// Strip the TagEnd of all but the last fragment and
+				// the section framing duplication cost is the point:
+				// each write re-frames its rule.
+				if i < len(h.DLeaf)-1 {
+					frag = frag[:len(frag)-1]
+				}
+				buf = append(buf, frag...)
+			}
+			if len(h.DLeaf) == 0 {
+				buf = append(buf, header.TagEnd)
+			}
+		}
+		buf = append(buf, inner...)
+		return nil
+	}
+	if err := encapOnce(); err != nil {
+		return 0, 0, err
+	}
+	size = len(buf)
+	// Timed loop with a minimum iteration count for stable clocks.
+	const batch = 2048
+	var total int
+	start := time.Now()
+	for time.Since(start) < d {
+		for i := 0; i < batch; i++ {
+			if err := encapOnce(); err != nil {
+				return 0, 0, err
+			}
+		}
+		total += batch
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return 0, 0, fmt.Errorf("apps: zero elapsed time")
+	}
+	return float64(total) / elapsed, size, nil
+}

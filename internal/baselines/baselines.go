@@ -1,0 +1,266 @@
+// Package baselines models the multicast schemes Elmo is evaluated
+// against (paper §5, §6, Table 3):
+//
+//   - Li et al. [83], the SDN-based scalable IP multicast scheme whose
+//     per-switch group-table usage and churn update load form the
+//     dashed comparison lines in Figures 4/5 and the right column of
+//     Table 2. Their scheme installs aggregated multicast entries in
+//     every switch on a group's tree, plus O(#groups) unicast
+//     flow-table entries for address aggregation.
+//   - BIER [117], which encodes receivers as a bitstring over all
+//     hosts — limiting network size for a fixed header budget.
+//   - SGM [31], which lists receiver IP addresses in the packet —
+//     limiting group size.
+//   - Classic IP multicast, limited by switch group-table capacity.
+//
+// The Li et al. model is structural, not a reimplementation of their
+// optimizer: each group consumes one group-table entry at every leaf
+// with receivers, at one spine per receiver pod (their trees do not
+// multipath), and at one core when the group spans pods. Churn updates
+// touch every on-tree switch whose entry changes; because aggregation
+// shares entries across groups, a membership event forces the
+// aggregated entries along the whole tree to be revalidated, which is
+// what drives their high core-switch update rates.
+package baselines
+
+import (
+	"elmo/internal/topology"
+)
+
+// LiState tracks per-switch group-table entries under the Li et al.
+// scheme.
+type LiState struct {
+	topo *topology.Topology
+	// Entries per physical switch.
+	LeafEntries  []int
+	SpineEntries []int
+	CoreEntries  []int
+	// FlowEntries counts the O(#groups) unicast flow-table entries
+	// their aggregation layer needs.
+	FlowEntries int
+	// Updates per switch, accumulated by ApplyChurnEvent.
+	LeafUpdates  []int
+	SpineUpdates []int
+	CoreUpdates  []int
+}
+
+// NewLiState creates an empty state for the topology.
+func NewLiState(topo *topology.Topology) *LiState {
+	return &LiState{
+		topo:         topo,
+		LeafEntries:  make([]int, topo.NumLeaves()),
+		SpineEntries: make([]int, topo.NumSpines()),
+		CoreEntries:  make([]int, topo.NumCores()),
+		LeafUpdates:  make([]int, topo.NumLeaves()),
+		SpineUpdates: make([]int, topo.NumSpines()),
+		CoreUpdates:  make([]int, topo.NumCores()),
+	}
+}
+
+// tree computes the deterministic Li et al. tree for a receiver set:
+// receiver leaves, one spine per receiver pod (plane chosen by group
+// hash — their trees are single-path), and one core for cross-pod
+// groups.
+func (s *LiState) tree(group uint32, receivers []topology.HostID) (leaves []topology.LeafID, spines []topology.SpineID, cores []topology.CoreID) {
+	cfg := s.topo.Config()
+	leafSet := make(map[topology.LeafID]bool)
+	podSet := make(map[topology.PodID]bool)
+	for _, h := range receivers {
+		l := s.topo.HostLeaf(h)
+		if !leafSet[l] {
+			leafSet[l] = true
+			leaves = append(leaves, l)
+		}
+		podSet[s.topo.LeafPod(l)] = true
+	}
+	plane := int(group) % cfg.SpinesPerPod
+	for p := range podSet {
+		spines = append(spines, s.topo.SpineAt(p, plane))
+	}
+	if len(podSet) > 1 {
+		coreIdx := plane*cfg.CoresPerPlane + int(group)%cfg.CoresPerPlane
+		cores = append(cores, topology.CoreID(coreIdx))
+	}
+	return leaves, spines, cores
+}
+
+// InstallGroup charges the group's tree entries.
+func (s *LiState) InstallGroup(group uint32, receivers []topology.HostID) {
+	leaves, spines, cores := s.tree(group, receivers)
+	for _, l := range leaves {
+		s.LeafEntries[l]++
+	}
+	for _, sp := range spines {
+		s.SpineEntries[sp]++
+	}
+	for _, c := range cores {
+		s.CoreEntries[c]++
+	}
+	s.FlowEntries++ // one aggregation flow entry per group
+}
+
+// ApplyChurnEvent charges the updates a single membership change
+// causes: every switch on the (new) tree revalidates its aggregated
+// entry.
+func (s *LiState) ApplyChurnEvent(group uint32, receivers []topology.HostID) {
+	leaves, spines, cores := s.tree(group, receivers)
+	for _, l := range leaves {
+		s.LeafUpdates[l]++
+	}
+	for _, sp := range spines {
+		s.SpineUpdates[sp]++
+	}
+	for _, c := range cores {
+		s.CoreUpdates[c]++
+	}
+}
+
+// AnalyticLimits are the scheme limits Table 3 reports, computed for a
+// concrete header budget and group-table size.
+type AnalyticLimits struct {
+	Scheme string
+	// MaxGroups is the number of groups supportable (0 = unlimited /
+	// not the binding constraint).
+	MaxGroups int
+	// MaxGroupSize is the largest encodable group (0 = unlimited).
+	MaxGroupSize int
+	// MaxHosts is the largest network (0 = unlimited).
+	MaxHosts int
+	// GroupTableUsage / FlowTableUsage / ControlOverhead /
+	// TrafficOverhead are qualitative ratings matching Table 3.
+	GroupTableUsage  string
+	FlowTableUsage   string
+	ControlOverhead  string
+	TrafficOverhead  string
+	LineRate         bool
+	AddressIsolation bool
+	Multipath        string
+	EndHostRepl      bool
+	Unorthodox       bool
+}
+
+// IPMulticastLimits: bounded by the group table of the most loaded
+// switch.
+func IPMulticastLimits(groupTableCapacity int) AnalyticLimits {
+	return AnalyticLimits{
+		Scheme:          "IP Multicast",
+		MaxGroups:       groupTableCapacity,
+		GroupTableUsage: "high",
+		FlowTableUsage:  "none",
+		ControlOverhead: "high",
+		TrafficOverhead: "none",
+		LineRate:        true,
+		Multipath:       "no",
+	}
+}
+
+// LiLimits: ~150K groups at a 5K group table per the paper's Table 3
+// (aggregation stretches the table by roughly the average tree reuse).
+func LiLimits(groupTableCapacity int) AnalyticLimits {
+	return AnalyticLimits{
+		Scheme:          "Li et al.",
+		MaxGroups:       groupTableCapacity * 30,
+		GroupTableUsage: "high",
+		FlowTableUsage:  "mod",
+		ControlOverhead: "low",
+		TrafficOverhead: "none",
+		LineRate:        true,
+		Multipath:       "lim",
+	}
+}
+
+// BIERLimits: the bitstring must cover every host, so the header
+// budget caps the network size (325 B ≈ 2.6K hosts — Table 3).
+func BIERLimits(headerBudgetBytes int) AnalyticLimits {
+	return AnalyticLimits{
+		Scheme:           "BIER",
+		MaxHosts:         headerBudgetBytes * 8,
+		MaxGroupSize:     headerBudgetBytes * 8,
+		GroupTableUsage:  "low",
+		FlowTableUsage:   "none",
+		ControlOverhead:  "low",
+		TrafficOverhead:  "low",
+		LineRate:         true,
+		AddressIsolation: true,
+		Multipath:        "yes",
+		Unorthodox:       true,
+	}
+}
+
+// SGMLimits: the header lists IPv4 addresses, so the budget caps the
+// group size (325 B / 4 ≈ 81 < 100 — Table 3).
+func SGMLimits(headerBudgetBytes int) AnalyticLimits {
+	return AnalyticLimits{
+		Scheme:           "SGM",
+		MaxGroupSize:     headerBudgetBytes / 4,
+		GroupTableUsage:  "none",
+		FlowTableUsage:   "none",
+		ControlOverhead:  "low",
+		TrafficOverhead:  "none",
+		LineRate:         false,
+		AddressIsolation: true,
+		Multipath:        "yes",
+		Unorthodox:       true,
+	}
+}
+
+// AppLayerLimits: application/overlay multicast.
+func AppLayerLimits() AnalyticLimits {
+	return AnalyticLimits{
+		Scheme:           "App-layer",
+		GroupTableUsage:  "none",
+		FlowTableUsage:   "none",
+		ControlOverhead:  "none",
+		TrafficOverhead:  "high",
+		LineRate:         false,
+		AddressIsolation: true,
+		Multipath:        "yes",
+		EndHostRepl:      true,
+	}
+}
+
+// ElmoLimits: groups are bounded only by the 24-bit address space per
+// tenant; group size and network size are unbounded because oversized
+// trees degrade to s-rules/defaults rather than failing.
+func ElmoLimits() AnalyticLimits {
+	return AnalyticLimits{
+		Scheme:           "Elmo",
+		GroupTableUsage:  "low",
+		FlowTableUsage:   "none",
+		ControlOverhead:  "low",
+		TrafficOverhead:  "low",
+		LineRate:         true,
+		AddressIsolation: true,
+		Multipath:        "yes",
+	}
+}
+
+// AllLimits returns the Table 3 rows for the given budgets, in the
+// paper's column order.
+func AllLimits(headerBudgetBytes, groupTableCapacity int) []AnalyticLimits {
+	return []AnalyticLimits{
+		IPMulticastLimits(groupTableCapacity),
+		LiLimits(groupTableCapacity),
+		AppLayerLimits(),
+		BIERLimits(headerBudgetBytes),
+		SGMLimits(headerBudgetBytes),
+		ElmoLimits(),
+	}
+}
+
+// XpanderFeasibility evaluates the §5.1.2 remark that Elmo still
+// supports a million groups on a symmetric expander topology (Xpander,
+// 48-port switches, degree d=24) within the 325-byte header budget.
+// Expanders have no logical-topology collapse (D2 does not apply), so
+// every on-tree switch needs its own p-rule: identifier plus a
+// port bitmap. The function returns how many tree switches fit the
+// budget and whether a workload's typical tree (treeSwitches) fits.
+func XpanderFeasibility(switchPorts, numSwitches, headerBudgetBytes, treeSwitches int) (maxSwitches int, fits bool) {
+	idBits := 1
+	for 1<<idBits < numSwitches {
+		idBits++
+	}
+	ruleBits := idBits + switchPorts
+	maxSwitches = headerBudgetBytes * 8 / ruleBits
+	return maxSwitches, treeSwitches <= maxSwitches
+}

@@ -1,0 +1,120 @@
+package baselines
+
+import (
+	"testing"
+
+	"elmo/internal/topology"
+)
+
+func TestLiTreeStructure(t *testing.T) {
+	topo := topology.MustNew(topology.PaperExample())
+	s := NewLiState(topo)
+	// Fig. 3 group: receivers on L0 (pod 0), L5 (pod 2), L6/L7 (pod 3).
+	receivers := []topology.HostID{0, 1, 40, 48, 49, 63}
+	leaves, spines, cores := s.tree(4, receivers)
+	if len(leaves) != 4 {
+		t.Fatalf("leaves = %v", leaves)
+	}
+	if len(spines) != 3 {
+		t.Fatalf("spines = %v (one per receiver pod)", spines)
+	}
+	if len(cores) != 1 {
+		t.Fatalf("cores = %v (cross-pod group uses one core)", cores)
+	}
+	// Single-pod group needs no core.
+	_, _, cores = s.tree(4, []topology.HostID{0, 9})
+	if len(cores) != 0 {
+		t.Fatalf("single-pod cores = %v", cores)
+	}
+}
+
+func TestLiInstallAndChurn(t *testing.T) {
+	topo := topology.MustNew(topology.PaperExample())
+	s := NewLiState(topo)
+	receivers := []topology.HostID{0, 40}
+	s.InstallGroup(1, receivers)
+	if s.FlowEntries != 1 {
+		t.Fatalf("flow entries = %d", s.FlowEntries)
+	}
+	totalLeaf := 0
+	for _, n := range s.LeafEntries {
+		totalLeaf += n
+	}
+	if totalLeaf != 2 {
+		t.Fatalf("leaf entries = %d", totalLeaf)
+	}
+	s.ApplyChurnEvent(1, receivers)
+	totalCoreU := 0
+	for _, n := range s.CoreUpdates {
+		totalCoreU += n
+	}
+	if totalCoreU != 1 {
+		t.Fatalf("core updates = %d — Li et al. must touch cores on churn", totalCoreU)
+	}
+}
+
+func TestLiDeterministicTree(t *testing.T) {
+	topo := topology.MustNew(topology.PaperExample())
+	s := NewLiState(topo)
+	r := []topology.HostID{0, 40, 63}
+	l1, s1, c1 := s.tree(9, r)
+	l2, s2, c2 := s.tree(9, r)
+	if len(l1) != len(l2) || len(s1) != len(s2) || len(c1) != len(c2) {
+		t.Fatal("tree not deterministic")
+	}
+	// A different group hash may pick a different plane.
+	_, sp1, _ := s.tree(0, r)
+	_, sp2, _ := s.tree(1, r)
+	if topo.SpinePlane(sp1[0]) == topo.SpinePlane(sp2[0]) {
+		t.Fatal("plane selection ignores group hash")
+	}
+}
+
+func TestAnalyticLimitsMatchTable3(t *testing.T) {
+	// Paper Table 3: budgets are a 5,000-entry group table and a
+	// 325-byte header.
+	rows := AllLimits(325, 5000)
+	byName := make(map[string]AnalyticLimits)
+	for _, r := range rows {
+		byName[r.Scheme] = r
+	}
+	if got := byName["IP Multicast"].MaxGroups; got != 5000 {
+		t.Errorf("IP multicast groups = %d, paper says 5K", got)
+	}
+	if got := byName["BIER"].MaxHosts; got != 2600 {
+		t.Errorf("BIER hosts = %d, paper says 2.6K", got)
+	}
+	if got := byName["SGM"].MaxGroupSize; got != 81 {
+		t.Errorf("SGM group size = %d, paper says <100", got)
+	}
+	if byName["Elmo"].MaxGroups != 0 || byName["Elmo"].MaxGroupSize != 0 || byName["Elmo"].MaxHosts != 0 {
+		t.Error("Elmo should report no hard limits")
+	}
+	if !byName["Elmo"].LineRate || byName["SGM"].LineRate || byName["App-layer"].LineRate {
+		t.Error("line-rate flags wrong")
+	}
+	if !byName["App-layer"].EndHostRepl || byName["Elmo"].EndHostRepl {
+		t.Error("end-host replication flags wrong")
+	}
+	if byName["BIER"].Unorthodox != true || byName["Elmo"].Unorthodox != false {
+		t.Error("unorthodox-capability flags wrong")
+	}
+}
+
+func TestXpanderFeasibility(t *testing.T) {
+	// Paper §5.1.2: Xpander with 48-port switches, degree 24, a
+	// 27,000-host network (~1,000 switches), 325-byte budget. A
+	// WVE-typical tree (a few tens of switches: short expander paths
+	// reach ~60 members through ~40 switches) must fit.
+	max, fits := XpanderFeasibility(48, 1150, 325, 40)
+	if !fits {
+		t.Fatalf("typical tree does not fit (max %d)", max)
+	}
+	if max < 40 || max > 60 {
+		t.Fatalf("max switches = %d, expected ~44 (325*8 / (11+48))", max)
+	}
+	// A giant tree exceeds the budget and would need s-rules/defaults.
+	if _, fits := XpanderFeasibility(48, 1150, 325, 200); fits {
+		t.Fatal("200-switch tree should not fit the header")
+	}
+}

@@ -1,0 +1,288 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	for _, w := range []int{0, 1, 7, 8, 63, 64, 65, 576} {
+		b := New(w)
+		if b.Width() != w {
+			t.Errorf("width %d: got %d", w, b.Width())
+		}
+		if !b.IsEmpty() {
+			t.Errorf("width %d: new bitmap not empty", w)
+		}
+		if b.PopCount() != 0 {
+			t.Errorf("width %d: popcount %d", w, b.PopCount())
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative width")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetTestClear(t *testing.T) {
+	b := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Test(i) {
+			t.Fatalf("bit %d set before Set", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.PopCount(); got != 8 {
+		t.Fatalf("popcount = %d, want 8", got)
+	}
+	b.Clear(64)
+	if b.Test(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if got := b.PopCount(); got != 7 {
+		t.Fatalf("popcount = %d, want 7", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	b := New(8)
+	for name, fn := range map[string]func(){
+		"Set":   func() { b.Set(8) },
+		"Test":  func() { b.Test(-1) },
+		"Clear": func() { b.Clear(100) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFromPorts(t *testing.T) {
+	b := FromPorts(48, 0, 5, 47)
+	if b.PopCount() != 3 || !b.Test(0) || !b.Test(5) || !b.Test(47) {
+		t.Fatalf("FromPorts wrong contents: %s", b)
+	}
+}
+
+func TestOrAndNot(t *testing.T) {
+	a := FromPorts(10, 1, 3, 5)
+	b := FromPorts(10, 3, 4)
+	or := a.Or(b)
+	want := FromPorts(10, 1, 3, 4, 5)
+	if !or.Equal(want) {
+		t.Fatalf("Or = %s, want %s", or, want)
+	}
+	// Or must not mutate operands.
+	if a.PopCount() != 3 || b.PopCount() != 2 {
+		t.Fatal("Or mutated an operand")
+	}
+	an := a.AndNot(b)
+	if !an.Equal(FromPorts(10, 1, 5)) {
+		t.Fatalf("AndNot = %s", an)
+	}
+	and := a.And(b)
+	if !and.Equal(FromPorts(10, 3)) {
+		t.Fatalf("And = %s", and)
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for width mismatch")
+		}
+	}()
+	New(8).Or(New(9))
+}
+
+func TestHammingDistance(t *testing.T) {
+	a := FromPorts(70, 0, 1, 69)
+	b := FromPorts(70, 1, 2)
+	if d := a.HammingDistance(b); d != 3 {
+		t.Fatalf("distance = %d, want 3", d)
+	}
+	if d := a.HammingDistance(a); d != 0 {
+		t.Fatalf("self distance = %d, want 0", d)
+	}
+}
+
+func TestContains(t *testing.T) {
+	a := FromPorts(10, 1, 3, 5)
+	if !a.Contains(FromPorts(10, 1, 5)) {
+		t.Fatal("Contains subset = false")
+	}
+	if a.Contains(FromPorts(10, 1, 2)) {
+		t.Fatal("Contains non-subset = true")
+	}
+	if !a.Contains(New(10)) {
+		t.Fatal("Contains empty = false")
+	}
+}
+
+func TestPortsAndForEach(t *testing.T) {
+	want := []int{0, 7, 8, 63, 64, 100}
+	b := FromPorts(128, want...)
+	got := b.Ports()
+	if len(got) != len(want) {
+		t.Fatalf("Ports = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ports = %v, want %v", got, want)
+		}
+	}
+	var fe []int
+	b.ForEach(func(p int) { fe = append(fe, p) })
+	for i := range want {
+		if fe[i] != want[i] {
+			t.Fatalf("ForEach = %v, want %v", fe, want)
+		}
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	for _, w := range []int{1, 7, 8, 9, 48, 63, 64, 65, 576} {
+		b := New(w)
+		rng := rand.New(rand.NewSource(int64(w)))
+		for i := 0; i < w; i++ {
+			if rng.Intn(2) == 1 {
+				b.Set(i)
+			}
+		}
+		wire := b.AppendWire(nil)
+		if len(wire) != ByteLen(w) {
+			t.Fatalf("width %d: wire len %d, want %d", w, len(wire), ByteLen(w))
+		}
+		dec, n, err := FromWire(w, wire)
+		if err != nil {
+			t.Fatalf("width %d: decode: %v", w, err)
+		}
+		if n != len(wire) {
+			t.Fatalf("width %d: consumed %d, want %d", w, n, len(wire))
+		}
+		if !dec.Equal(b) {
+			t.Fatalf("width %d: roundtrip %s != %s", w, dec, b)
+		}
+	}
+}
+
+func TestFromWireErrors(t *testing.T) {
+	if _, _, err := FromWire(16, []byte{0xff}); err == nil {
+		t.Fatal("expected short-buffer error")
+	}
+	// Width 4 occupies one byte; upper nibble is padding and must be 0.
+	if _, _, err := FromWire(4, []byte{0xf0}); err == nil {
+		t.Fatal("expected padding-bit error")
+	}
+	if _, _, err := FromWire(4, []byte{0x0f}); err != nil {
+		t.Fatalf("valid encoding rejected: %v", err)
+	}
+}
+
+func TestString(t *testing.T) {
+	b := FromPorts(4, 1, 3)
+	if s := b.String(); s != "0101" {
+		t.Fatalf("String = %q, want 0101", s)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	u := Union(FromPorts(6, 0), FromPorts(6, 2), FromPorts(6, 2, 4))
+	if !u.Equal(FromPorts(6, 0, 2, 4)) {
+		t.Fatalf("Union = %s", u)
+	}
+}
+
+func TestUnionEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Union()
+}
+
+// randomBitmap builds a width-w bitmap from a quick-generated seed.
+func randomBitmap(w int, seed int64) Bitmap {
+	rng := rand.New(rand.NewSource(seed))
+	b := New(w)
+	for i := 0; i < w; i++ {
+		if rng.Intn(2) == 1 {
+			b.Set(i)
+		}
+	}
+	return b
+}
+
+func TestQuickWireRoundTrip(t *testing.T) {
+	f := func(seed int64, wRaw uint8) bool {
+		w := int(wRaw)%200 + 1
+		b := randomBitmap(w, seed)
+		dec, _, err := FromWire(w, b.AppendWire(nil))
+		return err == nil && dec.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickOrIsUpperBound(t *testing.T) {
+	// a|b contains both a and b; Hamming distance from a to a|b equals
+	// popcount(b &^ a) — the property Algorithm 1's R-bound relies on.
+	f := func(s1, s2 int64, wRaw uint8) bool {
+		w := int(wRaw)%100 + 1
+		a, b := randomBitmap(w, s1), randomBitmap(w, s2)
+		or := a.Or(b)
+		if !or.Contains(a) || !or.Contains(b) {
+			return false
+		}
+		return a.HammingDistance(or) == b.AndNot(a).PopCount()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPopCountAfterOr(t *testing.T) {
+	// |a ∪ b| = |a| + |b| - |a ∩ b|
+	f := func(s1, s2 int64, wRaw uint8) bool {
+		w := int(wRaw)%100 + 1
+		a, b := randomBitmap(w, s1), randomBitmap(w, s2)
+		return a.Or(b).PopCount() == a.PopCount()+b.PopCount()-a.And(b).PopCount()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOrInPlace576(b *testing.B) {
+	x := randomBitmap(576, 1)
+	y := randomBitmap(576, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.OrInPlace(y)
+	}
+}
+
+func BenchmarkAppendWire48(b *testing.B) {
+	x := randomBitmap(48, 3)
+	buf := make([]byte, 0, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = x.AppendWire(buf[:0])
+	}
+}

@@ -1,0 +1,145 @@
+package churn
+
+import (
+	"math/rand"
+	"testing"
+
+	"elmo/internal/controller"
+	"elmo/internal/groupgen"
+	"elmo/internal/placement"
+	"elmo/internal/topology"
+)
+
+// churnFixture builds a controller with placed tenants and groups.
+func churnFixture(t *testing.T, nGroups int) (*controller.Controller, *placement.Deployment, []groupgen.Group) {
+	t.Helper()
+	topo := topology.MustNew(topology.Config{Pods: 4, SpinesPerPod: 2, LeavesPerPod: 8, HostsPerLeaf: 8, CoresPerPlane: 2})
+	dep, err := placement.Place(topo, placement.Config{
+		Tenants: 40, VMsPerHost: 20, MinVMs: 6, MaxVMs: 28, MeanVMs: 14, P: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := groupgen.Generate(dep, groupgen.Config{TotalGroups: nGroups, MinSize: 5, Dist: groupgen.WVE, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := controller.New(topo, controller.Config{
+		MaxHeaderBytes: 325, SpineRuleLimit: 2, LeafRuleLimit: 30,
+		KMaxSpine: 2, KMaxLeaf: 2, R: 0, SRuleCapacity: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Setup(ctrl, dep, groups, rand.New(rand.NewSource(7))); err != nil {
+		t.Fatal(err)
+	}
+	return ctrl, dep, groups
+}
+
+func TestChurnRun(t *testing.T) {
+	ctrl, dep, groups := churnFixture(t, 150)
+	res, err := Run(ctrl, dep, groups, Config{Events: 600, EventsPerSecond: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EventsApplied+res.EventsSkipped != 600 {
+		t.Fatalf("events: applied %d skipped %d", res.EventsApplied, res.EventsSkipped)
+	}
+	if res.EventsApplied == 0 {
+		t.Fatal("no events applied")
+	}
+	// Table 2 structure: hypervisors take the most updates; the core
+	// takes none under Elmo but plenty under Li et al.
+	if res.CoreRate != 0 {
+		t.Fatalf("Elmo core rate = %f, must be 0", res.CoreRate)
+	}
+	if res.Hypervisor.Mean() <= res.Leaf.Mean() {
+		t.Fatalf("hypervisor rate %.3f should exceed leaf rate %.3f",
+			res.Hypervisor.Mean(), res.Leaf.Mean())
+	}
+	if res.LiCore.Mean() <= 0 {
+		t.Fatal("Li et al. core updates missing")
+	}
+	// Elmo's network-switch update load is below Li et al.'s.
+	if res.Leaf.Mean() >= res.LiLeaf.Mean() {
+		t.Fatalf("Elmo leaf %.3f should be below Li %.3f", res.Leaf.Mean(), res.LiLeaf.Mean())
+	}
+	if res.Spine.Mean() >= res.LiSpine.Mean() {
+		t.Fatalf("Elmo spine %.3f should be below Li %.3f", res.Spine.Mean(), res.LiSpine.Mean())
+	}
+	out := res.Table2().String()
+	if len(out) == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestChurnRejectsBadConfig(t *testing.T) {
+	ctrl, dep, groups := churnFixture(t, 20)
+	if _, err := Run(ctrl, dep, groups, Config{Events: 0, EventsPerSecond: 1}); err == nil {
+		t.Fatal("zero events accepted")
+	}
+	if _, err := Run(ctrl, dep, groups, Config{Events: 1, EventsPerSecond: 0}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}
+
+func TestChurnMembershipStaysConsistent(t *testing.T) {
+	ctrl, dep, groups := churnFixture(t, 80)
+	if _, err := Run(ctrl, dep, groups, Config{Events: 400, EventsPerSecond: 100, Seed: 10}); err != nil {
+		t.Fatal(err)
+	}
+	// Every group still exists, has at least one member, and all
+	// members belong to the owning tenant.
+	for gi := range groups {
+		g := &groups[gi]
+		st := ctrl.Group(controller.GroupKey{Tenant: uint32(g.Tenant), Group: g.ID})
+		if st == nil {
+			t.Fatalf("group %d lost", g.ID)
+		}
+		if len(st.Members) == 0 {
+			t.Fatalf("group %d empty", g.ID)
+		}
+		tenantHosts := make(map[topology.HostID]bool)
+		for _, vm := range dep.Tenants[g.Tenant].VMs {
+			tenantHosts[vm.Host] = true
+		}
+		for h := range st.Members {
+			if !tenantHosts[h] {
+				t.Fatalf("group %d member %d not in tenant", g.ID, h)
+			}
+		}
+	}
+}
+
+func TestRunFailures(t *testing.T) {
+	ctrl, _, _ := churnFixture(t, 120)
+	res := RunFailures(ctrl, 42)
+	if res.SpineImpactedFrac < 0 || res.SpineImpactedFrac > 1 {
+		t.Fatalf("spine impact = %f", res.SpineImpactedFrac)
+	}
+	// Core failures impact cross-pod groups, typically more than a
+	// single pod's spine failure (paper: 12.3% vs 25.8%).
+	if res.CoreImpactedFrac <= 0 {
+		t.Fatal("core failure impacted no groups")
+	}
+	if res.SpineHypervisorUpdates < 0 || res.CoreHypervisorUpdates <= 0 {
+		t.Fatalf("hypervisor updates: spine=%d core=%d",
+			res.SpineHypervisorUpdates, res.CoreHypervisorUpdates)
+	}
+	// Failure handling must leave the failure set clean (repaired).
+	if !ctrl.Failures().Empty() {
+		t.Fatal("failures not repaired after experiment")
+	}
+}
+
+func TestRoleForCoversAllRoles(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seen := make(map[controller.Role]bool)
+	for i := 0; i < 100; i++ {
+		seen[RoleFor(rng)] = true
+	}
+	if !seen[controller.RoleSender] || !seen[controller.RoleReceiver] || !seen[controller.RoleBoth] {
+		t.Fatalf("roles seen: %v", seen)
+	}
+}

@@ -1,0 +1,282 @@
+// Package cluster implements the controller's p-/s-rule generation for
+// one downstream layer of one multicast group (paper §3.2, Algorithm 1).
+//
+// The input is the set of (logical) switches on the group's tree at
+// that layer, each with the bitmap of output ports it must forward on.
+// The algorithm packs switches into at most HMax shared p-rules — a
+// shared rule's bitmap is the bitwise OR of its members' bitmaps, and
+// sharing is allowed only while the sum of the members' Hamming
+// distances to the OR stays within R (bounding spurious transmissions,
+// D3) — then spills the
+// remainder into per-switch s-rules where group-table capacity remains
+// (D5), and finally ORs anything left into a single default p-rule (D4).
+//
+// Choosing which switches share a rule is the MIN-K-UNION problem
+// (NP-hard); ApproxMinKUnion is the standard greedy approximation:
+// start from the smallest set and repeatedly add the set that grows
+// the union least.
+package cluster
+
+import (
+	"sort"
+
+	"elmo/internal/bitmap"
+)
+
+// Member is one switch at a layer with its required output ports.
+type Member struct {
+	// Switch is the logical switch identifier (pod ID for the spine
+	// layer, global leaf ID for the leaf layer).
+	Switch uint16
+	// Ports is the downstream output-port bitmap of the switch in the
+	// group's multicast tree. Never empty for a tree member.
+	Ports bitmap.Bitmap
+}
+
+// Constraints bounds the assignment for one layer.
+type Constraints struct {
+	// R is the redundancy limit: switches may share a p-rule only if
+	// the SUM of Hamming distances from each member's bitmap to the
+	// rule's OR bitmap is at most R ("the sum of Hamming Distances of
+	// each input bitmap to the output bitmap", §3.2) — so R bounds the
+	// spurious transmissions one shared rule can cause. R=0 shares
+	// only identical bitmaps.
+	R int
+	// HMax is the maximum number of non-default p-rules for the layer.
+	HMax int
+	// KMax is the maximum number of switches sharing one p-rule. It
+	// bounds the identifier list so the rule's wire size is known a
+	// priori. Zero means no limit beyond wire framing.
+	KMax int
+	// HasSRuleCapacity reports whether the given switch still has
+	// group-table space (Fmax check). A nil func means no capacity
+	// anywhere, pushing the overflow to the default p-rule.
+	HasSRuleCapacity func(sw uint16) bool
+}
+
+// Rule is one shared p-rule produced by the assignment.
+type Rule struct {
+	Switches []uint16
+	Bitmap   bitmap.Bitmap
+}
+
+// Assignment is the output of Algorithm 1 for one layer.
+type Assignment struct {
+	// PRules are the non-default p-rules, each covering one or more
+	// switches.
+	PRules []Rule
+	// SRules maps switches that received a group-table entry to their
+	// exact port bitmap.
+	SRules map[uint16]bitmap.Bitmap
+	// Default is the OR of the bitmaps of all switches that neither
+	// fit a p-rule nor had s-rule capacity; nil if every switch was
+	// covered exactly.
+	Default *bitmap.Bitmap
+	// DefaultSwitches lists the switches relying on the default rule.
+	DefaultSwitches []uint16
+	// Redundancy is the total number of spurious port transmissions
+	// introduced by sharing and the default rule: for every switch,
+	// the set bits its applied bitmap has beyond its own requirement.
+	Redundancy int
+}
+
+// CoveredExactly reports whether no default rule was needed; the
+// evaluation's "groups covered with p-rules" counts groups whose
+// layers are all covered by p-rules and s-rules only.
+func (a *Assignment) CoveredExactly() bool { return a.Default == nil }
+
+// Assign runs Algorithm 1 over the members of one layer.
+// Members must have bitmaps of equal width; the slice may be in any
+// order, and is not modified. The result is deterministic.
+func Assign(members []Member, c Constraints) Assignment {
+	out := Assignment{SRules: make(map[uint16]bitmap.Bitmap)}
+	if len(members) == 0 {
+		return out
+	}
+	kmax := c.KMax
+	if kmax <= 0 || kmax > len(members) {
+		kmax = len(members)
+	}
+
+	// Collapse identical bitmaps into classes: identical members can
+	// always share (distance 0), and classes shrink the MIN-K-UNION
+	// candidate set dramatically for clustered placements. Classes
+	// larger than KMax are split so every emitted rule honors KMax.
+	classes := splitClasses(buildClasses(members), kmax)
+
+	for len(classes) > 0 && len(out.PRules) < c.HMax {
+		group, union := pickGroup(classes, kmax, c.R)
+		rule := Rule{Bitmap: union}
+		for _, ci := range group {
+			cl := classes[ci]
+			rule.Switches = append(rule.Switches, cl.switches...)
+			out.Redundancy += union.AndNot(cl.ports).PopCount() * len(cl.switches)
+		}
+		sort.Slice(rule.Switches, func(i, j int) bool { return rule.Switches[i] < rule.Switches[j] })
+		out.PRules = append(out.PRules, rule)
+		classes = removeClasses(classes, group)
+	}
+
+	// Spill: s-rules where capacity remains, default p-rule otherwise.
+	for _, cl := range classes {
+		for _, sw := range cl.switches {
+			if c.HasSRuleCapacity != nil && c.HasSRuleCapacity(sw) {
+				out.SRules[sw] = cl.ports.Clone()
+				continue
+			}
+			if out.Default == nil {
+				d := cl.ports.Clone()
+				out.Default = &d
+			} else {
+				out.Default.OrInPlace(cl.ports)
+			}
+			out.DefaultSwitches = append(out.DefaultSwitches, sw)
+		}
+	}
+	// Account default-rule redundancy after the final OR is known.
+	if out.Default != nil {
+		for _, sw := range out.DefaultSwitches {
+			out.Redundancy += out.Default.AndNot(portsOf(members, sw)).PopCount()
+		}
+		sort.Slice(out.DefaultSwitches, func(i, j int) bool {
+			return out.DefaultSwitches[i] < out.DefaultSwitches[j]
+		})
+	}
+	return out
+}
+
+func portsOf(members []Member, sw uint16) bitmap.Bitmap {
+	for _, m := range members {
+		if m.Switch == sw {
+			return m.Ports
+		}
+	}
+	panic("cluster: unknown switch")
+}
+
+// class groups members sharing an identical bitmap.
+type class struct {
+	ports    bitmap.Bitmap
+	switches []uint16
+	pop      int
+}
+
+func buildClasses(members []Member) []*class {
+	byKey := make(map[string]*class, len(members))
+	order := make([]*class, 0, len(members))
+	keyBuf := make([]byte, 0, 64)
+	for _, m := range members {
+		keyBuf = m.Ports.AppendWire(keyBuf[:0])
+		k := string(keyBuf)
+		cl, ok := byKey[k]
+		if !ok {
+			cl = &class{ports: m.Ports.Clone(), pop: m.Ports.PopCount()}
+			byKey[k] = cl
+			order = append(order, cl)
+		}
+		cl.switches = append(cl.switches, m.Switch)
+	}
+	for _, cl := range order {
+		sort.Slice(cl.switches, func(i, j int) bool { return cl.switches[i] < cl.switches[j] })
+	}
+	// Deterministic order: by ascending popcount, then wire key.
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].pop != order[j].pop {
+			return order[i].pop < order[j].pop
+		}
+		return order[i].switches[0] < order[j].switches[0]
+	})
+	return order
+}
+
+// splitClasses chops any class with more than kmax switches into
+// chunks of at most kmax, preserving deterministic order.
+func splitClasses(classes []*class, kmax int) []*class {
+	out := make([]*class, 0, len(classes))
+	for _, cl := range classes {
+		for len(cl.switches) > kmax {
+			out = append(out, &class{ports: cl.ports, pop: cl.pop, switches: cl.switches[:kmax]})
+			cl = &class{ports: cl.ports, pop: cl.pop, switches: cl.switches[kmax:]}
+		}
+		out = append(out, cl)
+	}
+	return out
+}
+
+// pickGroup selects the next shared p-rule: the greedy MIN-K-UNION
+// approximation, constrained to keep the rule's total redundancy — the
+// sum over members of their Hamming distance to the (growing) union,
+// weighted by class multiplicity — at most r. The seed is the class
+// covering the most switches (ties: fewest ports, then lowest switch
+// ID), so a rule covers as many tree switches as possible before the
+// HMax budget runs out; the growth step then adds, while the K budget
+// lasts, the class with the smallest union growth that keeps the sum
+// within r. Returns the picked class indices (ascending) and their
+// union bitmap.
+func pickGroup(classes []*class, k, r int) ([]int, bitmap.Bitmap) {
+	seed := 0
+	for i, cl := range classes[1:] {
+		s := classes[seed]
+		if len(cl.switches) > len(s.switches) ||
+			(len(cl.switches) == len(s.switches) && cl.pop < s.pop) {
+			seed = i + 1
+		}
+	}
+	picked := []int{seed}
+	budget := k - len(classes[seed].switches)
+	union := classes[seed].ports.Clone()
+	for budget > 0 {
+		best, bestGrowth := -1, -1
+		for i, cl := range classes {
+			if i == seed || contains(picked, i) || len(cl.switches) > budget {
+				continue
+			}
+			growth := cl.ports.AndNot(union).PopCount()
+			if best != -1 && growth >= bestGrowth {
+				continue
+			}
+			// R check against the prospective union: total redundant
+			// transmissions across all members of the rule.
+			newUnion := union.Or(cl.ports)
+			sum := len(cl.switches) * cl.ports.HammingDistance(newUnion)
+			for _, pi := range picked {
+				sum += len(classes[pi].switches) * classes[pi].ports.HammingDistance(newUnion)
+			}
+			if sum > r {
+				continue
+			}
+			best, bestGrowth = i, growth
+		}
+		if best == -1 {
+			break
+		}
+		picked = append(picked, best)
+		union.OrInPlace(classes[best].ports)
+		budget -= len(classes[best].switches)
+	}
+	sort.Ints(picked)
+	return picked, union
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func removeClasses(classes []*class, idxs []int) []*class {
+	drop := make(map[int]bool, len(idxs))
+	for _, i := range idxs {
+		drop[i] = true
+	}
+	out := classes[:0]
+	for i, cl := range classes {
+		if !drop[i] {
+			out = append(out, cl)
+		}
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"elmo/internal/bitmap"
+	"elmo/internal/cluster"
+)
+
+// ExampleAssign reproduces the paper's Figure 3a leaf-layer assignment
+// at R=2: leaves L0 and L6 share a rule (identical bitmaps 11), and
+// L5/L7 share one by ORing 10 and 01 into 11 at a cost of two
+// redundant transmissions.
+func ExampleAssign() {
+	members := []cluster.Member{
+		{Switch: 0, Ports: bitmap.FromPorts(2, 0, 1)}, // L0: Ha, Hb
+		{Switch: 5, Ports: bitmap.FromPorts(2, 0)},    // L5: Hk
+		{Switch: 6, Ports: bitmap.FromPorts(2, 0, 1)}, // L6: Hm, Hn
+		{Switch: 7, Ports: bitmap.FromPorts(2, 1)},    // L7: Hp
+	}
+	a := cluster.Assign(members, cluster.Constraints{
+		R: 2, HMax: 2, KMax: 2,
+	})
+	for _, r := range a.PRules {
+		fmt.Printf("p-rule %s -> switches %v\n", r.Bitmap, r.Switches)
+	}
+	fmt.Printf("redundant transmissions: %d\n", a.Redundancy)
+	// Output:
+	// p-rule 11 -> switches [0 6]
+	// p-rule 11 -> switches [5 7]
+	// redundant transmissions: 2
+}

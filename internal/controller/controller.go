@@ -1,0 +1,595 @@
+package controller
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"elmo/internal/bitmap"
+	"elmo/internal/dataplane"
+	"elmo/internal/header"
+	"elmo/internal/topology"
+)
+
+// GroupKey identifies a multicast group: the tenant's VNI plus the
+// tenant-scoped group index. Tenants pick group addresses independently
+// (address-space isolation); the provider never mixes groups across
+// VNIs.
+type GroupKey struct {
+	Tenant uint32 // 24-bit VNI
+	Group  uint32 // 24-bit tenant-scoped group index (maps to 239/8)
+}
+
+func (k GroupKey) String() string { return fmt.Sprintf("vni=%d group=%d", k.Tenant, k.Group) }
+
+// Role describes how a member participates in a group (§5.1.3a).
+type Role uint8
+
+const (
+	// RoleSender members transmit only; they need headers but are not
+	// part of the multicast tree.
+	RoleSender Role = 1 << iota
+	// RoleReceiver members receive only.
+	RoleReceiver
+	// RoleBoth members send and receive.
+	RoleBoth = RoleSender | RoleReceiver
+)
+
+// CanSend reports whether the role includes sending.
+func (r Role) CanSend() bool { return r&RoleSender != 0 }
+
+// CanReceive reports whether the role includes receiving.
+func (r Role) CanReceive() bool { return r&RoleReceiver != 0 }
+
+// GroupState is the controller's record of one group.
+type GroupState struct {
+	Key     GroupKey
+	Members map[topology.HostID]Role
+	Enc     *Encoding
+}
+
+// Receivers returns the member hosts with a receiving role, ascending.
+func (g *GroupState) Receivers() []topology.HostID {
+	return g.hostsWith(Role.CanReceive)
+}
+
+// Senders returns the member hosts with a sending role, ascending.
+func (g *GroupState) Senders() []topology.HostID {
+	return g.hostsWith(Role.CanSend)
+}
+
+func (g *GroupState) hostsWith(pred func(Role) bool) []topology.HostID {
+	hosts := make([]topology.HostID, 0, len(g.Members))
+	for h, r := range g.Members {
+		if pred(r) {
+			hosts = append(hosts, h)
+		}
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	return hosts
+}
+
+// UpdateStats counts control-plane rule updates issued to each switch
+// class, the quantity Table 2 reports. Core switches never receive
+// updates under Elmo (rules ride in packets), so a single counter
+// documents that invariant.
+type UpdateStats struct {
+	Hypervisor map[topology.HostID]int
+	Leaf       map[topology.LeafID]int
+	Spine      map[topology.SpineID]int
+	Core       int
+}
+
+func newUpdateStats() UpdateStats {
+	return UpdateStats{
+		Hypervisor: make(map[topology.HostID]int),
+		Leaf:       make(map[topology.LeafID]int),
+		Spine:      make(map[topology.SpineID]int),
+	}
+}
+
+// Total returns the sum of all update counts.
+func (u *UpdateStats) Total() int {
+	n := u.Core
+	for _, v := range u.Hypervisor {
+		n += v
+	}
+	for _, v := range u.Leaf {
+		n += v
+	}
+	for _, v := range u.Spine {
+		n += v
+	}
+	return n
+}
+
+// Controller is the logically-centralized Elmo controller. It is not
+// safe for concurrent use; callers serialize access (the real system
+// shards groups over controller instances).
+type Controller struct {
+	topo     *topology.Topology
+	cfg      Config
+	layout   header.Layout
+	failures *topology.FailureSet
+
+	groups map[GroupKey]*GroupState
+
+	// Group-table occupancy (s-rules) per physical switch.
+	leafSRules  []int
+	spineSRules []int
+
+	stats UpdateStats
+}
+
+// New creates a controller for a topology.
+func New(topo *topology.Topology, cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{
+		topo:        topo,
+		cfg:         cfg,
+		layout:      header.LayoutFor(topo),
+		failures:    topology.NewFailureSet(),
+		groups:      make(map[GroupKey]*GroupState),
+		leafSRules:  make([]int, topo.NumLeaves()),
+		spineSRules: make([]int, topo.NumSpines()),
+	}, nil
+}
+
+// Topology returns the fabric the controller manages.
+func (c *Controller) Topology() *topology.Topology { return c.topo }
+
+// Config returns the controller's encoding configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Failures exposes the failure set (for fabric wiring and tests).
+func (c *Controller) Failures() *topology.FailureSet { return c.failures }
+
+// Stats returns the accumulated update counters.
+func (c *Controller) Stats() *UpdateStats {
+	if c.stats.Hypervisor == nil {
+		c.stats = newUpdateStats()
+	}
+	return &c.stats
+}
+
+// ResetStats clears the update counters (between experiment phases).
+func (c *Controller) ResetStats() { c.stats = newUpdateStats() }
+
+// Group returns the state for a key, or nil.
+func (c *Controller) Group(key GroupKey) *GroupState { return c.groups[key] }
+
+// NumGroups returns the number of live groups.
+func (c *Controller) NumGroups() int { return len(c.groups) }
+
+// GroupKeys returns the keys of all live groups in ascending
+// (tenant, group) order.
+func (c *Controller) GroupKeys() []GroupKey {
+	keys := make([]GroupKey, 0, len(c.groups))
+	for k := range c.groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Tenant != keys[j].Tenant {
+			return keys[i].Tenant < keys[j].Tenant
+		}
+		return keys[i].Group < keys[j].Group
+	})
+	return keys
+}
+
+// LeafSRuleCount returns the s-rule occupancy of a leaf switch.
+func (c *Controller) LeafSRuleCount(l topology.LeafID) int { return c.leafSRules[l] }
+
+// SpineSRuleCount returns the s-rule occupancy of a physical spine.
+func (c *Controller) SpineSRuleCount(s topology.SpineID) int { return c.spineSRules[s] }
+
+// capacity returns the CapacityFunc backed by the live occupancy
+// counters: a pod has spine capacity only if every physical spine in
+// the pod has a free entry (the logical-spine rule is replicated to
+// each, since multipathing may deliver the packet to any of them).
+func (c *Controller) capacity() CapacityFunc {
+	return CapacityFunc{
+		Leaf: func(l topology.LeafID) bool {
+			return c.leafSRules[l] < c.cfg.SRuleCapacity
+		},
+		Pod: func(p topology.PodID) bool {
+			for plane := 0; plane < c.topo.Config().SpinesPerPod; plane++ {
+				if c.spineSRules[c.topo.SpineAt(p, plane)] >= c.cfg.SRuleCapacity {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// CreateGroup registers a group with the given members and computes
+// its encoding, installing any s-rules. Returns an error if the key
+// exists or a member host is repeated.
+func (c *Controller) CreateGroup(key GroupKey, members map[topology.HostID]Role) (*GroupState, error) {
+	if _, ok := c.groups[key]; ok {
+		return nil, fmt.Errorf("controller: group %v already exists", key)
+	}
+	g := &GroupState{Key: key, Members: make(map[topology.HostID]Role, len(members))}
+	for h, r := range members {
+		if r == 0 {
+			return nil, fmt.Errorf("controller: host %d has empty role", h)
+		}
+		g.Members[h] = r
+	}
+	if err := c.recompute(g, nil); err != nil {
+		return nil, err
+	}
+	c.groups[key] = g
+	// Every member hypervisor receives flow state (senders: encap
+	// rules + headers; receivers: group delivery rules).
+	st := c.Stats()
+	for h := range g.Members {
+		st.Hypervisor[h]++
+	}
+	return g, nil
+}
+
+// RemoveGroup deletes a group, releasing its s-rules.
+func (c *Controller) RemoveGroup(key GroupKey) error {
+	g, ok := c.groups[key]
+	if !ok {
+		return fmt.Errorf("controller: group %v not found", key)
+	}
+	c.releaseSRules(g.Enc, true)
+	st := c.Stats()
+	for h := range g.Members {
+		st.Hypervisor[h]++
+	}
+	delete(c.groups, key)
+	return nil
+}
+
+// Join adds a member (or extends an existing member's role).
+func (c *Controller) Join(key GroupKey, host topology.HostID, role Role) error {
+	g, ok := c.groups[key]
+	if !ok {
+		return fmt.Errorf("controller: group %v not found", key)
+	}
+	if role == 0 {
+		return fmt.Errorf("controller: empty role")
+	}
+	old, present := g.Members[host]
+	if present && old|role == old {
+		return nil // no change
+	}
+	g.Members[host] = old | role
+	st := c.Stats()
+	st.Hypervisor[host]++ // the member's own hypervisor always updates
+	// A sender-only join leaves the tree untouched: only the source
+	// hypervisor is updated (§5.1.3a).
+	receiverChanged := role.CanReceive() && (!present || !old.CanReceive())
+	if !receiverChanged {
+		return nil
+	}
+	if err := c.retree(g, host); err != nil {
+		// Revert the membership so state matches the (rolled back)
+		// encoding.
+		if present {
+			g.Members[host] = old
+		} else {
+			delete(g.Members, host)
+		}
+		return err
+	}
+	return nil
+}
+
+// Leave removes a role from a member, dropping the member entirely
+// when no role remains.
+func (c *Controller) Leave(key GroupKey, host topology.HostID, role Role) error {
+	g, ok := c.groups[key]
+	if !ok {
+		return fmt.Errorf("controller: group %v not found", key)
+	}
+	old, present := g.Members[host]
+	if !present || old&role == 0 {
+		return fmt.Errorf("controller: host %d does not hold role in %v", host, key)
+	}
+	remaining := old &^ role
+	if remaining == 0 {
+		delete(g.Members, host)
+	} else {
+		g.Members[host] = remaining
+	}
+	st := c.Stats()
+	st.Hypervisor[host]++
+	receiverChanged := role.CanReceive() && old.CanReceive()
+	if !receiverChanged {
+		return nil
+	}
+	if err := c.retree(g, host); err != nil {
+		g.Members[host] = old
+		return err
+	}
+	return nil
+}
+
+// retree recomputes a group's encoding after a receiver-set change and
+// charges the resulting switch updates: s-rule diffs to leaf/spine
+// switches, and header refreshes to every sender hypervisor when the
+// shared downstream sections changed.
+func (c *Controller) retree(g *GroupState, changed topology.HostID) error {
+	oldEnc := g.Enc
+	if err := c.recompute(g, oldEnc); err != nil {
+		return err
+	}
+	st := c.Stats()
+	// Leaf s-rule diffs.
+	for l, bm := range encLeafSRules(oldEnc) {
+		nbm, ok := g.Enc.LeafSRules[l]
+		if !ok || !nbm.Equal(bm) {
+			st.Leaf[l]++
+		}
+	}
+	for l := range g.Enc.LeafSRules {
+		if _, ok := encLeafSRules(oldEnc)[l]; !ok {
+			st.Leaf[l]++
+		}
+	}
+	// Spine s-rule diffs (replicated per physical spine of the pod).
+	chargePod := func(p topology.PodID) {
+		for plane := 0; plane < c.topo.Config().SpinesPerPod; plane++ {
+			st.Spine[c.topo.SpineAt(p, plane)]++
+		}
+	}
+	for p, bm := range encSpineSRules(oldEnc) {
+		nbm, ok := g.Enc.SpineSRules[p]
+		if !ok || !nbm.Equal(bm) {
+			chargePod(p)
+		}
+	}
+	for p := range g.Enc.SpineSRules {
+		if _, ok := encSpineSRules(oldEnc)[p]; !ok {
+			chargePod(p)
+		}
+	}
+	// Shared downstream change → all sender hypervisors re-encode
+	// their headers.
+	if !sharedEqual(c.layout, oldEnc, g.Enc) {
+		for h, r := range g.Members {
+			if r.CanSend() && h != changed {
+				st.Hypervisor[h]++
+			}
+		}
+	}
+	return nil
+}
+
+func encLeafSRules(e *Encoding) map[topology.LeafID]bitmap.Bitmap {
+	if e == nil {
+		return nil
+	}
+	return e.LeafSRules
+}
+
+func encSpineSRules(e *Encoding) map[topology.PodID]bitmap.Bitmap {
+	if e == nil {
+		return nil
+	}
+	return e.SpineSRules
+}
+
+// recompute releases the group's old s-rules, recomputes the encoding
+// against current capacity, and commits the new s-rules.
+func (c *Controller) recompute(g *GroupState, oldEnc *Encoding) error {
+	c.releaseSRules(oldEnc, false)
+	enc, err := ComputeEncoding(c.topo, c.cfg, c.capacity(), g.Receivers())
+	if err != nil {
+		// Roll the old s-rules back so state stays consistent.
+		c.commitSRules(oldEnc)
+		return err
+	}
+	g.Enc = enc
+	c.commitSRules(enc)
+	return nil
+}
+
+func (c *Controller) commitSRules(e *Encoding) {
+	if e == nil {
+		return
+	}
+	for l := range e.LeafSRules {
+		c.leafSRules[l]++
+	}
+	for p := range e.SpineSRules {
+		for plane := 0; plane < c.topo.Config().SpinesPerPod; plane++ {
+			c.spineSRules[c.topo.SpineAt(p, plane)]++
+		}
+	}
+}
+
+// releaseSRules decrements occupancy; when charge is true the removals
+// are also counted as switch updates (group teardown).
+func (c *Controller) releaseSRules(e *Encoding, charge bool) {
+	if e == nil {
+		return
+	}
+	st := c.Stats()
+	for l := range e.LeafSRules {
+		c.leafSRules[l]--
+		if charge {
+			st.Leaf[l]++
+		}
+	}
+	for p := range e.SpineSRules {
+		for plane := 0; plane < c.topo.Config().SpinesPerPod; plane++ {
+			s := c.topo.SpineAt(p, plane)
+			c.spineSRules[s]--
+			if charge {
+				st.Spine[s]++
+			}
+		}
+	}
+}
+
+// sharedEqual compares the sender-independent downstream sections of
+// two encodings by their canonical wire form.
+func sharedEqual(l header.Layout, a, b *Encoding) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	wa, errA := header.Encode(l, &header.Header{
+		DSpine: a.DSpine, DSpineDefault: a.DSpineDefault,
+		DLeaf: a.DLeaf, DLeafDefault: a.DLeafDefault,
+	})
+	wb, errB := header.Encode(l, &header.Header{
+		DSpine: b.DSpine, DSpineDefault: b.DSpineDefault,
+		DLeaf: b.DLeaf, DLeafDefault: b.DLeafDefault,
+	})
+	if errA != nil || errB != nil {
+		return false
+	}
+	return bytes.Equal(wa, wb) && a.Pods.Equal(b.Pods)
+}
+
+// HeaderFor assembles the header for a sender in a group. The sender
+// must hold a sending role.
+func (c *Controller) HeaderFor(key GroupKey, sender topology.HostID) (*header.Header, error) {
+	g, ok := c.groups[key]
+	if !ok {
+		return nil, fmt.Errorf("controller: group %v not found", key)
+	}
+	if !g.Members[sender].CanSend() {
+		return nil, fmt.Errorf("controller: host %d is not a sender in %v", sender, key)
+	}
+	return SenderHeader(c.topo, c.cfg, g.Enc, sender, c.failures)
+}
+
+// FailSpine marks a spine failed and refreshes the upstream rules of
+// affected groups, charging one hypervisor update per sender whose
+// header changes. It returns the number of groups impacted.
+//
+// A group is impacted only if one of its flows actually transits the
+// failed switch: the controller replicates the data plane's ECMP
+// choice per sender flow (dataplane.PredictPath), so groups whose
+// traffic rides other planes keep multipathing untouched — this is
+// what keeps the §5.1.3b impact fractions low.
+func (c *Controller) FailSpine(s topology.SpineID) int {
+	c.failures.FailSpine(s)
+	pod, plane := c.topo.SpinePod(s), c.topo.SpinePlane(s)
+	return c.chargeFailure(func(g *GroupState) bool {
+		return c.groupTransitsSpine(g, pod, plane)
+	})
+}
+
+// groupTransitsSpine reports whether any sender flow of the group
+// would cross spine (pod, plane) on a healthy fabric: as the upstream
+// spine (sender in the pod, flow hashed to the plane) or as the
+// downstream entry spine of a member pod (the plane is chosen at the
+// source leaf and preserved through the core).
+func (c *Controller) groupTransitsSpine(g *GroupState, pod topology.PodID, plane int) bool {
+	if _, present := g.Enc.PodLeaves[pod]; !present {
+		// The pod can still be the sender's pod for sender-only hosts.
+		found := false
+		for h, r := range g.Members {
+			if r.CanSend() && c.topo.HostPod(h) == pod {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	addr := dataplane.GroupAddr{VNI: g.Key.Tenant, Group: g.Key.Group}
+	for h, r := range g.Members {
+		if !r.CanSend() {
+			continue
+		}
+		outer := dataplane.SenderOuter(c.topo, h, addr)
+		p, _ := dataplane.PredictPath(c.topo, outer, h)
+		if p != plane {
+			continue
+		}
+		if c.topo.HostPod(h) == pod {
+			return true // upstream spine of this sender
+		}
+		if _, member := g.Enc.PodLeaves[pod]; member {
+			return true // downstream entry spine into a member pod
+		}
+	}
+	return false
+}
+
+// FailCore marks a core failed and refreshes affected groups' upstream
+// rules, returning the number of groups impacted (groups with a sender
+// flow hashed through that core while crossing pods).
+func (c *Controller) FailCore(co topology.CoreID) int {
+	c.failures.FailCore(co)
+	return c.chargeFailure(func(g *GroupState) bool {
+		if g.Enc.Pods.PopCount() <= 1 {
+			return false
+		}
+		addr := dataplane.GroupAddr{VNI: g.Key.Tenant, Group: g.Key.Group}
+		for h, r := range g.Members {
+			if !r.CanSend() {
+				continue
+			}
+			outer := dataplane.SenderOuter(c.topo, h, addr)
+			if _, core := dataplane.PredictPath(c.topo, outer, h); core == co {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+func (c *Controller) chargeFailure(affected func(*GroupState) bool) int {
+	st := c.Stats()
+	n := 0
+	for _, g := range c.groups {
+		if g.Enc == nil || !affected(g) {
+			continue
+		}
+		n++
+		for h, r := range g.Members {
+			if r.CanSend() {
+				st.Hypervisor[h]++
+			}
+		}
+	}
+	return n
+}
+
+// RepairSpine clears a spine failure (headers revert to multipathing;
+// the hypervisors refreshed are those of the groups the failure had
+// impacted).
+func (c *Controller) RepairSpine(s topology.SpineID) int {
+	c.failures.RepairSpine(s)
+	pod, plane := c.topo.SpinePod(s), c.topo.SpinePlane(s)
+	return c.chargeFailure(func(g *GroupState) bool {
+		return c.groupTransitsSpine(g, pod, plane)
+	})
+}
+
+// RepairCore clears a core failure.
+func (c *Controller) RepairCore(co topology.CoreID) int {
+	c.failures.RepairCore(co)
+	return c.chargeFailure(func(g *GroupState) bool {
+		if g.Enc.Pods.PopCount() <= 1 {
+			return false
+		}
+		addr := dataplane.GroupAddr{VNI: g.Key.Tenant, Group: g.Key.Group}
+		for h, r := range g.Members {
+			if !r.CanSend() {
+				continue
+			}
+			outer := dataplane.SenderOuter(c.topo, h, addr)
+			if _, core := dataplane.PredictPath(c.topo, outer, h); core == co {
+				return true
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,353 @@
+// Package controller implements Elmo's logically-centralized
+// controller (paper §2, §3): it tracks multicast group membership,
+// computes each group's multicast tree over the Clos topology, encodes
+// the tree as shared downstream p-rules plus per-switch s-rules
+// (delegating the per-layer packing to package cluster), assembles the
+// per-sender packet headers that hypervisor switches push onto
+// packets, and reacts to membership churn and network failures with
+// minimal switch updates.
+package controller
+
+import (
+	"fmt"
+
+	"elmo/internal/bitmap"
+	"elmo/internal/cluster"
+	"elmo/internal/header"
+	"elmo/internal/topology"
+)
+
+// Config bounds the encodings the controller produces.
+type Config struct {
+	// MaxHeaderBytes caps the assembled per-sender header (paper
+	// evaluation: 325 bytes; the RMT parser ceiling is 512).
+	MaxHeaderBytes int
+	// SpineRuleLimit is HMax for the downstream spine section (paper: 2).
+	SpineRuleLimit int
+	// LeafRuleLimit is HMax for the downstream leaf section (paper:
+	// 30). The effective limit also honors MaxHeaderBytes given
+	// KMaxLeaf (see effectiveLeafLimit).
+	LeafRuleLimit int
+	// KMaxSpine / KMaxLeaf bound switches per shared p-rule.
+	KMaxSpine, KMaxLeaf int
+	// R is the redundancy limit for p-rule sharing (§3.2).
+	R int
+	// SRuleCapacity is Fmax: the group-table entries available per
+	// physical switch. Zero disables s-rules entirely.
+	SRuleCapacity int
+
+	// LegacyLeaves and LegacyPods mark switches that have not migrated
+	// to Elmo (§7, path to deployment): they ignore p-rules and
+	// forward Elmo packets from their group tables alone, so every
+	// group with tree presence there MUST take an s-rule — their
+	// group-table size remains the scalability bottleneck, exactly as
+	// the paper observes for incremental deployments. A pod is legacy
+	// when any of its spines is. Senders whose own leaf or (for
+	// cross-pod groups) own pod is legacy cannot source-route and fall
+	// back to unicast (ErrLegacyPath).
+	LegacyLeaves []topology.LeafID
+	LegacyPods   []topology.PodID
+
+	// EnableINT adds an in-band telemetry section to every sender
+	// header, so switches record the replication path inside the
+	// packet (§7 Monitoring). Costs 2 bytes at the sender plus 4 bytes
+	// per hop in flight.
+	EnableINT bool
+}
+
+// legacyLeafSet/legacyPodSet build O(1) lookups.
+func (c Config) legacyLeafSet() map[topology.LeafID]bool {
+	if len(c.LegacyLeaves) == 0 {
+		return nil
+	}
+	m := make(map[topology.LeafID]bool, len(c.LegacyLeaves))
+	for _, l := range c.LegacyLeaves {
+		m[l] = true
+	}
+	return m
+}
+
+func (c Config) legacyPodSet() map[topology.PodID]bool {
+	if len(c.LegacyPods) == 0 {
+		return nil
+	}
+	m := make(map[topology.PodID]bool, len(c.LegacyPods))
+	for _, p := range c.LegacyPods {
+		m[p] = true
+	}
+	return m
+}
+
+// PaperConfig mirrors the evaluation's defaults at a given R.
+func PaperConfig(r int) Config {
+	return Config{
+		MaxHeaderBytes: header.PaperHeaderBudget,
+		SpineRuleLimit: 2,
+		LeafRuleLimit:  30,
+		KMaxSpine:      2,
+		KMaxLeaf:       2,
+		R:              r,
+		SRuleCapacity:  10000,
+	}
+}
+
+// Validate checks configuration sanity.
+func (c Config) Validate() error {
+	if c.MaxHeaderBytes <= 0 {
+		return fmt.Errorf("controller: MaxHeaderBytes must be positive")
+	}
+	if c.SpineRuleLimit < 0 || c.LeafRuleLimit < 0 {
+		return fmt.Errorf("controller: rule limits must be non-negative")
+	}
+	if c.KMaxSpine < 1 || c.KMaxLeaf < 1 {
+		return fmt.Errorf("controller: KMax must be at least 1")
+	}
+	if c.R < 0 {
+		return fmt.Errorf("controller: R must be non-negative")
+	}
+	if c.SRuleCapacity < 0 {
+		return fmt.Errorf("controller: SRuleCapacity must be non-negative")
+	}
+	return nil
+}
+
+// Encoding is the sender-independent representation of one group's
+// multicast tree: the shared downstream rules (D2c) plus the s-rule
+// installations. Per-sender headers are assembled from it by
+// SenderHeader.
+type Encoding struct {
+	// Pods is the bitmap of pods containing receivers.
+	Pods bitmap.Bitmap
+	// LeafPorts maps each receiver leaf to its member host ports.
+	LeafPorts map[topology.LeafID]bitmap.Bitmap
+	// PodLeaves maps each receiver pod to its member leaf bitmap.
+	PodLeaves map[topology.PodID]bitmap.Bitmap
+
+	// DSpine are the shared downstream spine p-rules (pod IDs).
+	DSpine        []header.PRule
+	DSpineDefault *bitmap.Bitmap
+	// DLeaf are the shared downstream leaf p-rules (global leaf IDs).
+	DLeaf        []header.PRule
+	DLeafDefault *bitmap.Bitmap
+
+	// SpineSRules lists pods whose logical spine takes a group-table
+	// entry (installed in every physical spine of the pod).
+	SpineSRules map[topology.PodID]bitmap.Bitmap
+	// LeafSRules lists leaves taking a group-table entry.
+	LeafSRules map[topology.LeafID]bitmap.Bitmap
+
+	// Redundancy is the total spurious transmissions introduced by
+	// p-rule sharing and default rules across both layers.
+	Redundancy int
+}
+
+// Exact reports whether the encoding needs no default p-rule at either
+// layer — the "groups covered with p-rules (and s-rules)" metric of
+// Figures 4/5 (left).
+func (e *Encoding) Exact() bool { return e.DSpineDefault == nil && e.DLeafDefault == nil }
+
+// UsesSRules reports whether any s-rule was installed.
+func (e *Encoding) UsesSRules() bool { return len(e.SpineSRules) > 0 || len(e.LeafSRules) > 0 }
+
+// CapacityFunc reports whether a physical leaf, or every physical
+// spine of a pod, still has group-table space. Implementations are
+// provided by the Controller (stateful) and by the simulation harness
+// (streaming counters).
+type CapacityFunc struct {
+	Leaf func(topology.LeafID) bool
+	Pod  func(topology.PodID) bool
+}
+
+// NoCapacity is a CapacityFunc with no s-rule space anywhere.
+func NoCapacity() CapacityFunc {
+	return CapacityFunc{
+		Leaf: func(topology.LeafID) bool { return false },
+		Pod:  func(topology.PodID) bool { return false },
+	}
+}
+
+// ComputeEncoding builds the sender-independent encoding for the given
+// receiver hosts. It is deterministic and does not mutate any state:
+// capacity checks go through cap, and the caller is responsible for
+// committing the returned s-rule installations. An empty receiver set
+// yields an empty encoding.
+func ComputeEncoding(topo *topology.Topology, cfg Config, cap CapacityFunc, receivers []topology.HostID) (*Encoding, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Encoding{
+		Pods:      bitmap.New(topo.CoreDownWidth()),
+		LeafPorts: make(map[topology.LeafID]bitmap.Bitmap),
+		PodLeaves: make(map[topology.PodID]bitmap.Bitmap),
+	}
+	for _, h := range receivers {
+		leaf := topo.HostLeaf(h)
+		pod := topo.LeafPod(leaf)
+		lp, ok := e.LeafPorts[leaf]
+		if !ok {
+			lp = bitmap.New(topo.LeafDownWidth())
+			e.LeafPorts[leaf] = lp
+		}
+		lp.Set(topo.HostPort(h))
+		pl, ok := e.PodLeaves[pod]
+		if !ok {
+			pl = bitmap.New(topo.SpineDownWidth())
+			e.PodLeaves[pod] = pl
+		}
+		pl.Set(topo.LeafIndexInPod(leaf))
+		e.Pods.Set(int(pod))
+	}
+	if len(receivers) == 0 {
+		return e, nil
+	}
+
+	legacyLeaves := cfg.legacyLeafSet()
+	legacyPods := cfg.legacyPodSet()
+
+	// Legacy switches can only forward from their group tables: force
+	// s-rules for them before clustering the modern switches.
+	for leaf, ports := range e.LeafPorts {
+		if !legacyLeaves[leaf] {
+			continue
+		}
+		if cap.Leaf == nil || !cap.Leaf(leaf) {
+			return nil, fmt.Errorf("controller: %w (leaf %d)", ErrLegacyTableFull, leaf)
+		}
+		if e.LeafSRules == nil {
+			e.LeafSRules = make(map[topology.LeafID]bitmap.Bitmap)
+		}
+		e.LeafSRules[leaf] = ports.Clone()
+	}
+	for pod, leaves := range e.PodLeaves {
+		if !legacyPods[pod] {
+			continue
+		}
+		if cap.Pod == nil || !cap.Pod(pod) {
+			return nil, fmt.Errorf("controller: %w (pod %d)", ErrLegacyTableFull, pod)
+		}
+		if e.SpineSRules == nil {
+			e.SpineSRules = make(map[topology.PodID]bitmap.Bitmap)
+		}
+		e.SpineSRules[pod] = leaves.Clone()
+	}
+
+	// Leaf layer (Algorithm 1). Leaves reachable entirely through the
+	// sender's own u-leaf rule still need downstream rules because any
+	// member may send; the encoding is shared across senders (D2c).
+	leafMembers := make([]cluster.Member, 0, len(e.LeafPorts))
+	for leaf, ports := range e.LeafPorts {
+		if legacyLeaves[leaf] {
+			continue
+		}
+		leafMembers = append(leafMembers, cluster.Member{Switch: uint16(leaf), Ports: ports})
+	}
+	leafAssign := assignLayer(leafMembers, cluster.Constraints{
+		R:    cfg.R,
+		HMax: effectiveLeafLimit(topo, cfg),
+		KMax: cfg.KMaxLeaf,
+		HasSRuleCapacity: func(sw uint16) bool {
+			return cap.Leaf != nil && cap.Leaf(topology.LeafID(sw))
+		},
+	})
+	e.DLeaf = rulesFrom(leafAssign.PRules)
+	e.DLeafDefault = leafAssign.Default
+	if len(leafAssign.SRules) > 0 {
+		if e.LeafSRules == nil {
+			e.LeafSRules = make(map[topology.LeafID]bitmap.Bitmap, len(leafAssign.SRules))
+		}
+		for sw, bm := range leafAssign.SRules {
+			e.LeafSRules[topology.LeafID(sw)] = bm
+		}
+	}
+	e.Redundancy += leafAssign.Redundancy * 1 // leaf ports are host deliveries
+
+	// Spine layer. Only pods with receivers participate.
+	spineMembers := make([]cluster.Member, 0, len(e.PodLeaves))
+	for pod, leaves := range e.PodLeaves {
+		if legacyPods[pod] {
+			continue
+		}
+		spineMembers = append(spineMembers, cluster.Member{Switch: uint16(pod), Ports: leaves})
+	}
+	spineAssign := assignLayer(spineMembers, cluster.Constraints{
+		R:    cfg.R,
+		HMax: cfg.SpineRuleLimit,
+		KMax: cfg.KMaxSpine,
+		HasSRuleCapacity: func(sw uint16) bool {
+			return cap.Pod != nil && cap.Pod(topology.PodID(sw))
+		},
+	})
+	e.DSpine = rulesFrom(spineAssign.PRules)
+	e.DSpineDefault = spineAssign.Default
+	if len(spineAssign.SRules) > 0 {
+		if e.SpineSRules == nil {
+			e.SpineSRules = make(map[topology.PodID]bitmap.Bitmap, len(spineAssign.SRules))
+		}
+		for sw, bm := range spineAssign.SRules {
+			e.SpineSRules[topology.PodID(sw)] = bm
+		}
+	}
+	e.Redundancy += spineAssign.Redundancy
+
+	return e, nil
+}
+
+// effectiveLeafLimit derives the leaf-section rule budget from the
+// byte budget: the header must fit the upstream sections, the core
+// bitmap, the worst-case spine section, and the leaf section.
+func effectiveLeafLimit(topo *topology.Topology, cfg Config) int {
+	l := header.LayoutFor(topo)
+	fixed := 1 + // TagEnd
+		2 + bitmap.ByteLen(l.LeafDown) + bitmap.ByteLen(l.LeafUp) + // u-leaf
+		2 + bitmap.ByteLen(l.SpineDown) + bitmap.ByteLen(l.SpineUp) + // u-spine
+		1 + bitmap.ByteLen(l.CoreDown) // core
+	spineWorst := header.DownstreamSectionSize(l.SpineDown, repeatInt(cfg.KMaxSpine, cfg.SpineRuleLimit), true)
+	leafOverhead := 3 + bitmap.ByteLen(l.LeafDown) // section framing + default rule
+	perRule := 1 + 2*cfg.KMaxLeaf + bitmap.ByteLen(l.LeafDown)
+	budget := cfg.MaxHeaderBytes - fixed - spineWorst - leafOverhead
+	limit := budget / perRule
+	if limit > cfg.LeafRuleLimit {
+		limit = cfg.LeafRuleLimit
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	return limit
+}
+
+func repeatInt(v, n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// assignLayer runs Algorithm 1, spending the redundancy budget R only
+// when the layer needs it: a tree that encodes exactly (no sharing, no
+// s-rules, no default) within HMax keeps its exact rules — redundant
+// transmissions buy nothing there. Only when the exact encoding
+// overflows the header does sharing at the configured R kick in to
+// pull switches back off s-rules and default rules (the Figure 4/5
+// left-panel effect), which keeps the traffic overhead of raising R
+// bounded by the overflow groups instead of taxing every group.
+func assignLayer(members []cluster.Member, c cluster.Constraints) cluster.Assignment {
+	exactC := c
+	exactC.R = 0
+	exact := cluster.Assign(members, exactC)
+	if c.R == 0 || (exact.CoveredExactly() && len(exact.SRules) == 0) {
+		return exact
+	}
+	return cluster.Assign(members, c)
+}
+
+func rulesFrom(rules []cluster.Rule) []header.PRule {
+	if len(rules) == 0 {
+		return nil
+	}
+	out := make([]header.PRule, len(rules))
+	for i, r := range rules {
+		out[i] = header.PRule{Switches: r.Switches, Bitmap: r.Bitmap}
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+package controller
+
+import (
+	"fmt"
+
+	"elmo/internal/bitmap"
+	"elmo/internal/header"
+	"elmo/internal/topology"
+)
+
+// ErrNoPath reports that failures disconnected some receivers from a
+// sender through every spine/core combination; the hypervisor should
+// degrade to unicast for the group until repair (§3.3).
+var ErrNoPath = fmt.Errorf("controller: no healthy upstream path covers all receivers")
+
+// ErrLegacyPath reports that the sender sits behind a legacy (non-Elmo)
+// leaf, or in a legacy pod while the group crosses pods, so its packets
+// cannot be source-routed; the hypervisor degrades to unicast until the
+// rack migrates (§7, path to deployment).
+var ErrLegacyPath = fmt.Errorf("controller: sender is behind a legacy switch")
+
+// ErrLegacyTableFull reports that a legacy switch on the group's tree
+// has no group-table space left: legacy group tables remain the
+// scalability bottleneck of partially migrated fabrics.
+var ErrLegacyTableFull = fmt.Errorf("legacy switch group table full")
+
+// SenderHeader assembles the Elmo header a hypervisor pushes for
+// packets the given sender host emits into the group encoded by e.
+//
+// The downstream sections are shared across senders (D2c); this
+// function specializes only the sender-dependent parts: the upstream
+// leaf and spine rules, the core pod bitmap (excluding the sender's own
+// pod, which is served on the way up), and the removal of downstream
+// rules that exclusively name the sender's own leaf or pod.
+//
+// When failures is non-nil and affects the group's reachable paths,
+// multipathing is disabled and explicit upstream ports are chosen by
+// greedy set cover (§3.3); ErrNoPath is returned when no cover exists.
+func SenderHeader(topo *topology.Topology, cfg Config, e *Encoding, sender topology.HostID, failures *topology.FailureSet) (*header.Header, error) {
+	l := header.LayoutFor(topo)
+	senderLeaf := topo.HostLeaf(sender)
+	senderPod := topo.LeafPod(senderLeaf)
+
+	for _, lg := range cfg.LegacyLeaves {
+		if lg == senderLeaf {
+			return nil, ErrLegacyPath
+		}
+	}
+
+	h := &header.Header{}
+
+	// Receivers under the sender's own leaf, minus the sender itself:
+	// the hypervisor delivers any co-located member VM locally.
+	uDown := bitmap.New(l.LeafDown)
+	if lp, ok := e.LeafPorts[senderLeaf]; ok {
+		uDown = lp.Clone()
+		if uDown.Test(topo.HostPort(sender)) {
+			uDown.Clear(topo.HostPort(sender))
+		}
+	}
+
+	// Does the tree extend beyond the rack / beyond the pod?
+	beyondRack := false
+	for leaf := range e.LeafPorts {
+		if leaf != senderLeaf {
+			beyondRack = true
+			break
+		}
+	}
+	beyondPod := false
+	for pod := range e.PodLeaves {
+		if pod != senderPod {
+			beyondPod = true
+			break
+		}
+	}
+
+	if uDown.IsEmpty() && !beyondRack {
+		// Nothing to deliver outside the sender's own hypervisor.
+		return h, nil
+	}
+
+	uleaf := &header.UpstreamRule{Down: uDown, Up: bitmap.New(l.LeafUp)}
+	h.ULeaf = uleaf
+	if !beyondRack {
+		return h, nil
+	}
+
+	// Beyond the rack the packet must transit the sender pod's spines;
+	// legacy spines cannot interpret the u-spine rule.
+	for _, lg := range cfg.LegacyPods {
+		if lg == senderPod {
+			return nil, ErrLegacyPath
+		}
+	}
+
+	// The packet must ascend. Build the u-spine rule: deliveries to
+	// other member leaves of the sender's pod happen on the way up.
+	uspine := &header.UpstreamRule{Down: bitmap.New(l.SpineDown), Up: bitmap.New(l.SpineUp)}
+	if pl, ok := e.PodLeaves[senderPod]; ok {
+		uspine.Down = pl.Clone()
+		if uspine.Down.Test(topo.LeafIndexInPod(senderLeaf)) {
+			uspine.Down.Clear(topo.LeafIndexInPod(senderLeaf))
+		}
+	}
+	h.USpine = uspine
+
+	if beyondPod {
+		core := e.Pods.Clone()
+		if core.Test(int(senderPod)) {
+			core.Clear(int(senderPod))
+		}
+		h.Core = &core
+
+		h.DSpine = filterRules(e.DSpine, uint16(senderPod))
+		h.DSpineDefault = e.DSpineDefault
+	}
+
+	h.DLeaf = filterRules(e.DLeaf, uint16(senderLeaf))
+	h.DLeafDefault = e.DLeafDefault
+
+	// Upstream port selection: multipath when the fabric is healthy,
+	// explicit set-cover ports under failures.
+	if failures.Empty() || !groupAffected(topo, e, senderPod, failures) {
+		uleaf.Multipath = true
+		uspine.Multipath = beyondPod
+	} else {
+		planes, corePorts, err := coverUpstream(topo, e, senderPod, beyondPod, failures)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range planes {
+			uleaf.Up.Set(p)
+		}
+		for _, j := range corePorts {
+			uspine.Up.Set(j)
+		}
+	}
+
+	h.INTEnabled = cfg.EnableINT
+
+	if size := header.EncodedSize(l, h); size > cfg.MaxHeaderBytes {
+		return nil, fmt.Errorf("controller: assembled header %d bytes exceeds budget %d", size, cfg.MaxHeaderBytes)
+	}
+	return h, nil
+}
+
+// filterRules drops rules that exclusively name the sender's own
+// switch: the downstream path never revisits it, so carrying the rule
+// only wastes header bytes.
+func filterRules(rules []header.PRule, own uint16) []header.PRule {
+	out := make([]header.PRule, 0, len(rules))
+	for _, r := range rules {
+		if len(r.Switches) == 1 && r.Switches[0] == own {
+			continue
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// groupAffected reports whether any failed switch lies on a path this
+// group's packets could take from the sender's pod.
+func groupAffected(topo *topology.Topology, e *Encoding, senderPod topology.PodID, f *topology.FailureSet) bool {
+	cfg := topo.Config()
+	for plane := 0; plane < cfg.SpinesPerPod; plane++ {
+		if f.SpineFailed(topo.SpineAt(senderPod, plane)) {
+			return true
+		}
+	}
+	for pod := range e.PodLeaves {
+		for plane := 0; plane < cfg.SpinesPerPod; plane++ {
+			if f.SpineFailed(topo.SpineAt(pod, plane)) {
+				return true
+			}
+		}
+	}
+	for c := 0; c < topo.NumCores(); c++ {
+		if f.CoreFailed(topology.CoreID(c)) {
+			return true
+		}
+	}
+	return false
+}
+
+// coverUpstream chooses spine planes (u-leaf upstream ports) and core
+// uplink ports (u-spine upstream ports) such that every receiver pod
+// is reachable, greedily covering the most pods per plane (the same
+// set-cover approach as PortLand, §3.3).
+func coverUpstream(topo *topology.Topology, e *Encoding, senderPod topology.PodID, beyondPod bool, f *topology.FailureSet) (planes, corePorts []int, err error) {
+	cfg := topo.Config()
+	// Pods (other than the sender's) that must be reached via core.
+	need := make(map[topology.PodID]bool)
+	for pod := range e.PodLeaves {
+		if pod != senderPod {
+			need[pod] = true
+		}
+	}
+	podHasOtherLeaves := false
+	if _, ok := e.PodLeaves[senderPod]; ok {
+		podHasOtherLeaves = true
+	}
+
+	type planeInfo struct {
+		plane    int
+		corePort int // healthy core uplink, -1 if none
+		covers   []topology.PodID
+	}
+	candidates := make([]planeInfo, 0, cfg.SpinesPerPod)
+	for plane := 0; plane < cfg.SpinesPerPod; plane++ {
+		if f.SpineFailed(topo.SpineAt(senderPod, plane)) {
+			continue
+		}
+		pi := planeInfo{plane: plane, corePort: -1}
+		for j := 0; j < cfg.CoresPerPlane; j++ {
+			if !f.CoreFailed(topology.CoreID(plane*cfg.CoresPerPlane + j)) {
+				pi.corePort = j
+				break
+			}
+		}
+		if pi.corePort >= 0 {
+			for pod := range need {
+				if !f.SpineFailed(topo.SpineAt(pod, plane)) {
+					pi.covers = append(pi.covers, pod)
+				}
+			}
+		}
+		candidates = append(candidates, pi)
+	}
+	if len(candidates) == 0 {
+		return nil, nil, ErrNoPath
+	}
+	if !beyondPod {
+		// Any healthy spine of the sender's pod reaches its leaves.
+		return []int{candidates[0].plane}, nil, nil
+	}
+	uncovered := need
+	for len(uncovered) > 0 {
+		best := -1
+		bestCover := 0
+		for i, pi := range candidates {
+			n := 0
+			for _, pod := range pi.covers {
+				if uncovered[pod] {
+					n++
+				}
+			}
+			if n > bestCover {
+				best, bestCover = i, n
+			}
+		}
+		if best == -1 {
+			return nil, nil, ErrNoPath
+		}
+		planes = append(planes, candidates[best].plane)
+		corePorts = appendUnique(corePorts, candidates[best].corePort)
+		for _, pod := range candidates[best].covers {
+			delete(uncovered, pod)
+		}
+		candidates[best].covers = nil
+	}
+	// If the sender's pod also has receiver leaves, the first chosen
+	// plane's spine delivers them; a plane was always chosen because
+	// beyondPod implies at least one uncovered pod existed.
+	_ = podHasOtherLeaves
+	return planes, corePorts, nil
+}
+
+func appendUnique(xs []int, x int) []int {
+	for _, v := range xs {
+		if v == x {
+			return xs
+		}
+	}
+	return append(xs, x)
+}

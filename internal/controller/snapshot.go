@@ -1,0 +1,124 @@
+package controller
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"elmo/internal/topology"
+)
+
+// The paper's controller keeps only soft state (§2): group membership
+// and placement, from which every rule is recomputable. This file
+// makes that explicit — a Snapshot carries exactly the soft state
+// (members and roles per group), and Restore rebuilds a controller's
+// encodings and occupancy deterministically from it. Providers use
+// this for controller failover and for moving groups between
+// controller shards.
+
+// snapshotVersion guards the wire format.
+const snapshotVersion = 1
+
+// Snapshot is the serializable soft state of a controller.
+type Snapshot struct {
+	Version int             `json:"version"`
+	Groups  []GroupSnapshot `json:"groups"`
+}
+
+// GroupSnapshot is one group's membership.
+type GroupSnapshot struct {
+	Tenant  uint32           `json:"tenant"`
+	Group   uint32           `json:"group"`
+	Members []MemberSnapshot `json:"members"`
+}
+
+// MemberSnapshot is one member with its role.
+type MemberSnapshot struct {
+	Host topology.HostID `json:"host"`
+	Role Role            `json:"role"`
+}
+
+// Snapshot captures the controller's soft state. The output is
+// deterministic (groups and members sorted).
+func (c *Controller) Snapshot() *Snapshot {
+	s := &Snapshot{Version: snapshotVersion}
+	for _, key := range c.GroupKeys() {
+		g := c.groups[key]
+		gs := GroupSnapshot{Tenant: key.Tenant, Group: key.Group}
+		for h, r := range g.Members {
+			gs.Members = append(gs.Members, MemberSnapshot{Host: h, Role: r})
+		}
+		sort.Slice(gs.Members, func(i, j int) bool { return gs.Members[i].Host < gs.Members[j].Host })
+		s.Groups = append(s.Groups, gs)
+	}
+	return s
+}
+
+// WriteSnapshot serializes the soft state as JSON.
+func (c *Controller) WriteSnapshot(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(c.Snapshot())
+}
+
+// Restore rebuilds a controller's state from a snapshot. The receiving
+// controller must be empty (fresh failover instance). Every group's
+// encoding and the s-rule occupancy are recomputed; update counters are
+// not charged (reinstallation after failover is a bulk push, not
+// incremental updates).
+func (c *Controller) Restore(s *Snapshot) error {
+	if s.Version != snapshotVersion {
+		return fmt.Errorf("controller: snapshot version %d, want %d", s.Version, snapshotVersion)
+	}
+	if len(c.groups) != 0 {
+		return fmt.Errorf("controller: restore into non-empty controller (%d groups)", len(c.groups))
+	}
+	for _, gs := range s.Groups {
+		key := GroupKey{Tenant: gs.Tenant, Group: gs.Group}
+		g := &GroupState{Key: key, Members: make(map[topology.HostID]Role, len(gs.Members))}
+		for _, m := range gs.Members {
+			if m.Role == 0 {
+				return fmt.Errorf("controller: snapshot group %v host %d has empty role", key, m.Host)
+			}
+			g.Members[m.Host] = m.Role
+		}
+		if err := c.recompute(g, nil); err != nil {
+			return fmt.Errorf("controller: restoring %v: %w", key, err)
+		}
+		c.groups[key] = g
+	}
+	c.ResetStats()
+	return nil
+}
+
+// ReadSnapshot parses a snapshot written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("controller: reading snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// AllocateGroup reserves the next free group index for a tenant and
+// creates the group, giving tenants the cloud-API experience of "give
+// me a multicast group" without choosing addresses (they still may:
+// CreateGroup with an explicit key coexists, and indices are scoped
+// per tenant — address-space isolation).
+func (c *Controller) AllocateGroup(tenant uint32, members map[topology.HostID]Role) (GroupKey, error) {
+	next := uint32(1)
+	for key := range c.groups {
+		if key.Tenant == tenant && key.Group >= next {
+			next = key.Group + 1
+		}
+	}
+	if next >= 1<<24 {
+		return GroupKey{}, fmt.Errorf("controller: tenant %d exhausted its group address space", tenant)
+	}
+	key := GroupKey{Tenant: tenant, Group: next}
+	if _, err := c.CreateGroup(key, members); err != nil {
+		return GroupKey{}, err
+	}
+	return key, nil
+}

@@ -1,0 +1,128 @@
+package controller
+
+import (
+	"bytes"
+	"testing"
+
+	"elmo/internal/header"
+	"elmo/internal/topology"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	topo := paperTopo()
+	cfg := testConfig(0)
+	cfg.LeafRuleLimit = 2 // force s-rules so occupancy matters
+	c1, _ := New(topo, cfg)
+	if _, err := c1.CreateGroup(GroupKey{Tenant: 1, Group: 1},
+		map[topology.HostID]Role{0: RoleBoth, 40: RoleReceiver, 56: RoleReceiver, 63: RoleSender}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.CreateGroup(GroupKey{Tenant: 2, Group: 7},
+		map[topology.HostID]Role{8: RoleBoth, 17: RoleReceiver}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := c1.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c2, _ := New(topo, cfg)
+	if err := c2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if c2.NumGroups() != 2 {
+		t.Fatalf("restored %d groups", c2.NumGroups())
+	}
+	// Occupancy identical per switch.
+	for l := 0; l < topo.NumLeaves(); l++ {
+		if c1.LeafSRuleCount(topology.LeafID(l)) != c2.LeafSRuleCount(topology.LeafID(l)) {
+			t.Fatalf("leaf %d occupancy differs", l)
+		}
+	}
+	for s := 0; s < topo.NumSpines(); s++ {
+		if c1.SpineSRuleCount(topology.SpineID(s)) != c2.SpineSRuleCount(topology.SpineID(s)) {
+			t.Fatalf("spine %d occupancy differs", s)
+		}
+	}
+	// Sender headers identical.
+	h1, err := c1.HeaderFor(GroupKey{Tenant: 1, Group: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := c2.HeaderFor(GroupKey{Tenant: 1, Group: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := header.LayoutFor(topo)
+	w1, err := header.Encode(l, h1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := header.Encode(l, h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w1, w2) {
+		t.Fatal("restored controller produces different headers")
+	}
+	// Restore into a non-empty controller is rejected.
+	if err := c2.Restore(snap); err == nil {
+		t.Fatal("restore into non-empty controller accepted")
+	}
+	// Version check.
+	snap.Version = 99
+	c3, _ := New(topo, cfg)
+	if err := c3.Restore(snap); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestReadSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(bytes.NewBufferString("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestAllocateGroup(t *testing.T) {
+	topo := paperTopo()
+	c, _ := New(topo, testConfig(0))
+	members := map[topology.HostID]Role{0: RoleBoth, 40: RoleReceiver}
+	k1, err := c.AllocateGroup(5, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != (GroupKey{Tenant: 5, Group: 1}) {
+		t.Fatalf("first allocation = %v", k1)
+	}
+	k2, err := c.AllocateGroup(5, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2.Group != 2 {
+		t.Fatalf("second allocation = %v", k2)
+	}
+	// Allocation is per tenant (address-space isolation).
+	k3, err := c.AllocateGroup(6, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 != (GroupKey{Tenant: 6, Group: 1}) {
+		t.Fatalf("other tenant allocation = %v", k3)
+	}
+	// Explicit keys coexist: allocate skips past them.
+	if _, err := c.CreateGroup(GroupKey{Tenant: 5, Group: 100}, members); err != nil {
+		t.Fatal(err)
+	}
+	k4, err := c.AllocateGroup(5, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k4.Group != 101 {
+		t.Fatalf("allocation after explicit key = %v", k4)
+	}
+}

@@ -1,0 +1,322 @@
+package dataplane
+
+import (
+	"testing"
+	"testing/quick"
+
+	"elmo/internal/bitmap"
+	"elmo/internal/header"
+	"elmo/internal/topology"
+)
+
+func paperTopo() *topology.Topology { return topology.MustNew(topology.PaperExample()) }
+
+func TestGroupAddrFromOuter(t *testing.T) {
+	f := header.OuterFields{DstIP: header.GroupIP(77), VNI: 5}
+	addr, ok := GroupAddrFromOuter(f)
+	if !ok || addr.VNI != 5 || addr.Group != 77 {
+		t.Fatalf("addr = %+v ok=%v", addr, ok)
+	}
+	if _, ok := GroupAddrFromOuter(header.OuterFields{DstIP: [4]byte{10, 0, 0, 1}}); ok {
+		t.Fatal("unicast IP accepted as group")
+	}
+}
+
+func TestPacketMarshalUnmarshal(t *testing.T) {
+	topo := paperTopo()
+	l := header.LayoutFor(topo)
+	core := bitmap.FromPorts(l.CoreDown, 1, 2)
+	stream, err := header.Encode(l, &header.Header{Core: &core})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Packet{
+		Outer: header.OuterFields{
+			SrcIP: [4]byte{10, 0, 0, 1}, DstIP: header.GroupIP(3),
+			VNI: 9, ElmoVersion: header.Version, TTL: 60,
+		},
+		Elmo:  stream,
+		Inner: []byte("payload"),
+	}
+	wire, err := p.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != p.WireSize() {
+		t.Fatalf("wire %d != WireSize %d", len(wire), p.WireSize())
+	}
+	q, err := Unmarshal(l, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Outer != p.Outer || string(q.Inner) != "payload" || len(q.Elmo) != len(stream) {
+		t.Fatalf("roundtrip mismatch: %+v", q)
+	}
+}
+
+func TestUnmarshalPlainVXLAN(t *testing.T) {
+	l := header.LayoutFor(paperTopo())
+	p := Packet{
+		Outer: header.OuterFields{DstIP: [4]byte{10, 0, 0, 2}, TTL: 4},
+		Inner: []byte("plain"),
+	}
+	wire, err := p.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Unmarshal(l, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Elmo != nil || string(q.Inner) != "plain" {
+		t.Fatalf("plain VXLAN mishandled: %+v", q)
+	}
+}
+
+func TestHypervisorEncapDeliver(t *testing.T) {
+	topo := paperTopo()
+	hv := NewHypervisor(topo, 3)
+	addr := GroupAddr{VNI: 7, Group: 12}
+	h := &header.Header{}
+	if err := hv.InstallSenderFlow(addr, h); err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := hv.Encap(addr, []byte("msg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkt.Outer.VNI != 7 || pkt.Outer.DstIP != header.GroupIP(12) {
+		t.Fatalf("outer = %+v", pkt.Outer)
+	}
+	if pkt.Outer.SrcIP != header.HostIP(topo, 3) {
+		t.Fatal("source IP wrong")
+	}
+	// Unknown group: encap fails.
+	if _, err := hv.Encap(GroupAddr{VNI: 7, Group: 99}, nil); err == nil {
+		t.Fatal("encap for unknown group accepted")
+	}
+	// Delivery filter.
+	if _, ok := hv.Deliver(pkt); ok {
+		t.Fatal("non-member hypervisor accepted packet")
+	}
+	hv.SetReceiving(addr, true)
+	inner, ok := hv.Deliver(pkt)
+	if !ok || string(inner) != "msg" {
+		t.Fatal("member hypervisor rejected packet")
+	}
+	hv.SetReceiving(addr, false)
+	if _, ok := hv.Deliver(pkt); ok {
+		t.Fatal("filter not removed")
+	}
+	if hv.Encapsulated() != 1 || hv.Delivered() != 1 || hv.Filtered() != 2 {
+		t.Fatalf("counters: %d %d %d", hv.Encapsulated(), hv.Delivered(), hv.Filtered())
+	}
+	hv.RemoveSenderFlow(addr)
+	if _, err := hv.Encap(addr, nil); err == nil {
+		t.Fatal("flow not removed")
+	}
+}
+
+func TestSRuleCapacityEnforced(t *testing.T) {
+	topo := paperTopo()
+	sw := NewLeaf(topo, 0, 2)
+	bm := bitmap.FromPorts(topo.LeafDownWidth(), 1)
+	if err := sw.InstallSRule(GroupAddr{VNI: 1, Group: 1}, bm); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.InstallSRule(GroupAddr{VNI: 1, Group: 2}, bm); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.InstallSRule(GroupAddr{VNI: 1, Group: 3}, bm); err == nil {
+		t.Fatal("capacity exceeded silently")
+	}
+	// Overwriting an existing entry is allowed at capacity.
+	if err := sw.InstallSRule(GroupAddr{VNI: 1, Group: 2}, bm); err != nil {
+		t.Fatal(err)
+	}
+	sw.RemoveSRule(GroupAddr{VNI: 1, Group: 1})
+	if sw.SRuleCount() != 1 {
+		t.Fatalf("count = %d", sw.SRuleCount())
+	}
+	if err := sw.InstallSRule(GroupAddr{VNI: 1, Group: 3}, bm); err != nil {
+		t.Fatal(err)
+	}
+	core := NewCore(topo, 0)
+	if err := core.InstallSRule(GroupAddr{VNI: 1, Group: 1}, bm); err == nil {
+		t.Fatal("core accepted an s-rule")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	topo := paperTopo()
+	sw := NewLeaf(topo, 0, 4)
+	l := header.LayoutFor(topo)
+	stream, _ := header.Encode(l, &header.Header{})
+	p := Packet{Outer: header.OuterFields{TTL: 1}, Elmo: stream}
+	ems, err := sw.Process(p)
+	if err != nil || len(ems) != 0 {
+		t.Fatalf("ems=%v err=%v", ems, err)
+	}
+	if sw.Stats().Drops[DropTTL] != 1 {
+		t.Fatal("TTL drop not counted")
+	}
+}
+
+func TestMalformedStreamCountsDrop(t *testing.T) {
+	topo := paperTopo()
+	sw := NewLeaf(topo, 0, 4)
+	p := Packet{Outer: header.OuterFields{TTL: 9}, Elmo: []byte{0x77}}
+	if _, err := sw.Process(p); err == nil {
+		t.Fatal("malformed stream accepted")
+	}
+	if sw.Stats().Drops[DropMalformed] != 1 {
+		t.Fatal("malformed drop not counted")
+	}
+}
+
+func TestLeafDropsWithoutAnyRule(t *testing.T) {
+	topo := paperTopo()
+	sw := NewLeaf(topo, 2, 4)
+	l := header.LayoutFor(topo)
+	// Downstream packet with no d-leaf section, no s-rule installed.
+	stream, _ := header.Encode(l, &header.Header{})
+	p := Packet{
+		Outer: header.OuterFields{TTL: 9, DstIP: header.GroupIP(5), VNI: 1},
+		Elmo:  stream,
+	}
+	ems, err := sw.Process(p)
+	if err != nil || len(ems) != 0 {
+		t.Fatalf("ems=%v err=%v", ems, err)
+	}
+	if sw.Stats().Drops[DropNoRule] != 1 {
+		t.Fatal("no-rule drop not counted")
+	}
+}
+
+func TestLeafUpstreamMultipathSkipsDeadSpines(t *testing.T) {
+	topo := paperTopo()
+	sw := NewLeaf(topo, 0, 4)
+	dead := map[int]bool{0: true}
+	sw.UpstreamAlive = func(port int) bool { return !dead[port] }
+	l := header.LayoutFor(topo)
+	h := &header.Header{
+		ULeaf: &header.UpstreamRule{
+			Down:      bitmap.New(l.LeafDown),
+			Up:        bitmap.New(l.LeafUp),
+			Multipath: true,
+		},
+	}
+	stream, _ := header.Encode(l, h)
+	p := Packet{Outer: header.OuterFields{TTL: 9}, Elmo: stream}
+	ems, err := sw.Process(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ems) != 1 || !ems[0].Up || ems[0].Port != 1 {
+		t.Fatalf("ems = %+v, want single up copy on port 1", ems)
+	}
+	// All spines dead: the copy is simply not emitted.
+	dead[1] = true
+	ems, err = sw.Process(p)
+	if err != nil || len(ems) != 0 {
+		t.Fatalf("ems=%v err=%v", ems, err)
+	}
+}
+
+func TestExplicitUpstreamPorts(t *testing.T) {
+	topo := paperTopo()
+	sw := NewLeaf(topo, 0, 4)
+	l := header.LayoutFor(topo)
+	h := &header.Header{
+		ULeaf: &header.UpstreamRule{
+			Down:      bitmap.FromPorts(l.LeafDown, 2),
+			Up:        bitmap.FromPorts(l.LeafUp, 0, 1),
+			Multipath: false,
+		},
+	}
+	stream, _ := header.Encode(l, h)
+	p := Packet{Outer: header.OuterFields{TTL: 9}, Elmo: stream}
+	ems, err := sw.Process(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups, downs := 0, 0
+	for _, em := range ems {
+		if em.Up {
+			ups++
+		} else {
+			downs++
+			if len(em.Packet.Elmo) != 1 {
+				t.Fatal("host copy not stripped")
+			}
+		}
+	}
+	if ups != 2 || downs != 1 {
+		t.Fatalf("ups=%d downs=%d", ups, downs)
+	}
+}
+
+func TestECMPHashDeterministicAndSpread(t *testing.T) {
+	f1 := header.OuterFields{SrcIP: [4]byte{10, 0, 0, 1}, DstIP: header.GroupIP(1), SrcPort: 5}
+	if ECMPHash(f1, 7) != ECMPHash(f1, 7) {
+		t.Fatal("hash not deterministic")
+	}
+	if ECMPHash(f1, 7) == ECMPHash(f1, 8) {
+		t.Fatal("salt has no effect")
+	}
+	// Different flows should spread (weak check: not all equal).
+	seen := make(map[uint32]bool)
+	for port := 0; port < 64; port++ {
+		f := f1
+		f.SrcPort = uint16(port)
+		seen[ECMPHash(f, 7)%4] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("hash does not spread flows")
+	}
+}
+
+func TestQuickMarshalUnmarshalRoundTrip(t *testing.T) {
+	topo := paperTopo()
+	l := header.LayoutFor(topo)
+	f := func(vni uint32, group uint32, inner []byte) bool {
+		p := Packet{
+			Outer: header.OuterFields{
+				DstIP: header.GroupIP(group % (1 << 24)), VNI: vni % (1 << 24),
+				ElmoVersion: header.Version, TTL: 12,
+			},
+			Elmo:  []byte{header.TagEnd},
+			Inner: inner,
+		}
+		wire, err := p.Marshal(nil)
+		if err != nil {
+			return false
+		}
+		q, err := Unmarshal(l, wire)
+		if err != nil {
+			return false
+		}
+		return q.Outer == p.Outer && len(q.Inner) == len(inner)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHypervisorEncap(b *testing.B) {
+	topo := paperTopo()
+	hv := NewHypervisor(topo, 0)
+	addr := GroupAddr{VNI: 1, Group: 1}
+	l := header.LayoutFor(topo)
+	core := bitmap.FromPorts(l.CoreDown, 1, 2, 3)
+	if err := hv.InstallSenderFlow(addr, &header.Header{Core: &core}); err != nil {
+		b.Fatal(err)
+	}
+	inner := make([]byte, 1500-100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := hv.Encap(addr, inner); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package dataplane
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"elmo/internal/header"
+	"elmo/internal/topology"
+)
+
+// SenderFlow is a hypervisor flow-table entry for one group a local VM
+// sends to: the precomputed Elmo section stream and the outer-header
+// template. Precomputing the stream is the §4.2 optimization — the
+// hypervisor encapsulates with a single contiguous write instead of
+// one write per p-rule header.
+type SenderFlow struct {
+	addr   GroupAddr
+	outer  header.OuterFields
+	stream []byte
+}
+
+// StreamLen returns the Elmo header bytes this flow adds per packet.
+func (f *SenderFlow) StreamLen() int { return len(f.stream) }
+
+// Hypervisor is the software switch on one host (paper §2): it
+// encapsulates multicast packets from local VMs with the group's Elmo
+// header, and on receive it filters packets to groups with local
+// members, discarding the rest.
+type Hypervisor struct {
+	topo   *topology.Topology
+	layout header.Layout
+	host   topology.HostID
+
+	// mu guards flows and receiving: the live fabrics deliver on
+	// concurrent switch goroutines while the controller installs.
+	mu        sync.RWMutex
+	flows     map[GroupAddr]*SenderFlow
+	receiving map[GroupAddr]bool
+
+	// Counters (atomic: the receive path may run on concurrent leaf
+	// goroutines in the live fabric).
+	encapsulated atomic.Int64
+	delivered    atomic.Int64
+	filtered     atomic.Int64
+}
+
+// NewHypervisor creates the hypervisor switch for a host.
+func NewHypervisor(topo *topology.Topology, host topology.HostID) *Hypervisor {
+	return &Hypervisor{
+		topo:      topo,
+		layout:    header.LayoutFor(topo),
+		host:      host,
+		flows:     make(map[GroupAddr]*SenderFlow),
+		receiving: make(map[GroupAddr]bool),
+	}
+}
+
+// Host returns the host this hypervisor runs on.
+func (hv *Hypervisor) Host() topology.HostID { return hv.host }
+
+// InstallSenderFlow installs (or replaces) the encapsulation state for
+// a group: the controller-computed header h is serialized once and
+// reused for every packet.
+func (hv *Hypervisor) InstallSenderFlow(addr GroupAddr, h *header.Header) error {
+	stream, err := header.Encode(hv.layout, h)
+	if err != nil {
+		return fmt.Errorf("dataplane: encoding sender flow: %w", err)
+	}
+	hv.mu.Lock()
+	hv.flows[addr] = &SenderFlow{
+		addr:   addr,
+		outer:  SenderOuter(hv.topo, hv.host, addr),
+		stream: stream,
+	}
+	hv.mu.Unlock()
+	return nil
+}
+
+// RemoveSenderFlow drops the encapsulation state for a group.
+func (hv *Hypervisor) RemoveSenderFlow(addr GroupAddr) {
+	hv.mu.Lock()
+	delete(hv.flows, addr)
+	hv.mu.Unlock()
+}
+
+// SetReceiving marks whether a local VM is a member of the group; the
+// receive path drops packets of other groups.
+func (hv *Hypervisor) SetReceiving(addr GroupAddr, on bool) {
+	hv.mu.Lock()
+	if on {
+		hv.receiving[addr] = true
+	} else {
+		delete(hv.receiving, addr)
+	}
+	hv.mu.Unlock()
+}
+
+// Encap encapsulates an inner frame for the group, returning the
+// packet handed to the source leaf. It fails if no flow is installed
+// (the hypervisor discards sends to unknown groups).
+func (hv *Hypervisor) Encap(addr GroupAddr, inner []byte) (Packet, error) {
+	hv.mu.RLock()
+	f, ok := hv.flows[addr]
+	hv.mu.RUnlock()
+	if !ok {
+		return Packet{}, fmt.Errorf("dataplane: host %d has no flow for %+v", hv.host, addr)
+	}
+	hv.encapsulated.Add(1)
+	return Packet{Outer: f.outer, Elmo: f.stream, Inner: inner}, nil
+}
+
+// Deliver is the receive path: it accepts the packet if a local VM
+// belongs to the group, returning the inner frame. Spurious packets
+// (reaching this host only through shared-bitmap or default-rule
+// redundancy) are filtered, mirroring "each hypervisor switch only
+// maintains flow rules for multicast groups that have member VMs
+// running on the same host, discarding packets belonging to other
+// groups" (§2).
+func (hv *Hypervisor) Deliver(p Packet) ([]byte, bool) {
+	inner, _, ok := hv.DeliverFull(p)
+	return inner, ok
+}
+
+// DeliverFull is Deliver plus the packet's in-band telemetry records
+// (§7 Monitoring): the per-hop path the copy actually took, when the
+// sender enabled INT.
+func (hv *Hypervisor) DeliverFull(p Packet) ([]byte, []header.INTRecord, bool) {
+	addr, ok := GroupAddrFromOuter(p.Outer)
+	if ok {
+		hv.mu.RLock()
+		ok = hv.receiving[addr]
+		hv.mu.RUnlock()
+	}
+	if !ok {
+		hv.filtered.Add(1)
+		return nil, nil, false
+	}
+	hv.delivered.Add(1)
+	records, err := header.ExtractINT(hv.layout, p.Elmo)
+	if err != nil {
+		records = nil
+	}
+	return p.Inner, records, true
+}
+
+// Encapsulated reports the packets this hypervisor encapsulated.
+func (hv *Hypervisor) Encapsulated() int { return int(hv.encapsulated.Load()) }
+
+// Delivered reports the packets accepted for local member VMs.
+func (hv *Hypervisor) Delivered() int { return int(hv.delivered.Load()) }
+
+// Filtered reports the spurious packets discarded on receive.
+func (hv *Hypervisor) Filtered() int { return int(hv.filtered.Load()) }
+
+// groupMAC maps a group address to the standard IPv4-multicast MAC
+// (01:00:5e + low 23 bits).
+func groupMAC(addr GroupAddr) [6]byte {
+	ip := header.GroupIP(addr.Group)
+	return [6]byte{0x01, 0x00, 0x5e, ip[1] & 0x7f, ip[2], ip[3]}
+}

@@ -1,0 +1,469 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"elmo/internal/bitmap"
+	"elmo/internal/header"
+	"elmo/internal/topology"
+)
+
+// SwitchKind is the tier of a network switch.
+type SwitchKind int
+
+const (
+	// KindLeaf is a top-of-rack switch.
+	KindLeaf SwitchKind = iota
+	// KindSpine is a pod spine switch.
+	KindSpine
+	// KindCore is a core (fabric) switch.
+	KindCore
+)
+
+func (k SwitchKind) String() string {
+	switch k {
+	case KindLeaf:
+		return "leaf"
+	case KindSpine:
+		return "spine"
+	case KindCore:
+		return "core"
+	default:
+		return fmt.Sprintf("SwitchKind(%d)", int(k))
+	}
+}
+
+// Emission is one packet copy a switch produces: the output port in
+// the given direction and the (popped) packet.
+type Emission struct {
+	Port   int
+	Up     bool
+	Packet Packet
+}
+
+// DropReason classifies why a switch dropped a packet.
+type DropReason int
+
+const (
+	// DropNone means not dropped.
+	DropNone DropReason = iota
+	// DropNoRule: no p-rule matched, no s-rule, no default.
+	DropNoRule
+	// DropTTL: outer TTL expired.
+	DropTTL
+	// DropMalformed: the section stream failed to parse.
+	DropMalformed
+)
+
+// Stats counts a switch's data-plane events.
+type Stats struct {
+	Packets   int
+	Copies    int
+	Drops     map[DropReason]int
+	SRuleHits int
+	PRuleHits int
+	Defaults  int
+}
+
+// NetworkSwitch is one physical leaf, spine, or core switch. Its only
+// multicast state is the s-rule group table; everything else arrives
+// in packets. Methods are not safe for concurrent use; the fabric
+// serializes per switch.
+type NetworkSwitch struct {
+	topo   *topology.Topology
+	layout header.Layout
+	kind   SwitchKind
+	// Identity within the tier.
+	leaf  topology.LeafID
+	spine topology.SpineID
+	core  topology.CoreID
+
+	groupTable map[GroupAddr]bitmap.Bitmap
+	capacity   int
+
+	// UpstreamAlive reports whether upstream port i currently leads to
+	// a healthy switch; the fabric wires it to the failure set so that
+	// multipath hashing skips dead paths (link-state-aware ECMP).
+	// A nil func treats all ports as alive.
+	UpstreamAlive func(port int) bool
+
+	// Legacy marks a switch that has not migrated to Elmo (§7): it
+	// treats the Elmo section stream as opaque VXLAN payload, forwards
+	// purely from its group table, and pops nothing. Downstream modern
+	// switches skip the stale sections a legacy hop leaves in place.
+	Legacy bool
+
+	// UpstreamPicker overrides the multipath scheme (the paper's D2
+	// multipath flag defers to "the configured underlying multipathing
+	// scheme (e.g., ECMP, CONGA, or HULA)"). It receives the flow's
+	// outer fields and the currently-alive upstream ports and returns
+	// the chosen port. Nil means flow-hash ECMP.
+	UpstreamPicker func(f header.OuterFields, alive []int) int
+
+	stats Stats
+}
+
+// NewLeaf creates the leaf switch for the given ID.
+func NewLeaf(topo *topology.Topology, id topology.LeafID, sRuleCapacity int) *NetworkSwitch {
+	return &NetworkSwitch{topo: topo, layout: header.LayoutFor(topo), kind: KindLeaf, leaf: id,
+		groupTable: make(map[GroupAddr]bitmap.Bitmap), capacity: sRuleCapacity}
+}
+
+// NewSpine creates the spine switch for the given ID.
+func NewSpine(topo *topology.Topology, id topology.SpineID, sRuleCapacity int) *NetworkSwitch {
+	return &NetworkSwitch{topo: topo, layout: header.LayoutFor(topo), kind: KindSpine, spine: id,
+		groupTable: make(map[GroupAddr]bitmap.Bitmap), capacity: sRuleCapacity}
+}
+
+// NewCore creates the core switch for the given ID. Cores hold no
+// group state in Elmo.
+func NewCore(topo *topology.Topology, id topology.CoreID) *NetworkSwitch {
+	return &NetworkSwitch{topo: topo, layout: header.LayoutFor(topo), kind: KindCore, core: id}
+}
+
+// Kind returns the switch tier.
+func (sw *NetworkSwitch) Kind() SwitchKind { return sw.kind }
+
+// Stats returns the switch's counters.
+func (sw *NetworkSwitch) Stats() *Stats {
+	if sw.stats.Drops == nil {
+		sw.stats.Drops = make(map[DropReason]int)
+	}
+	return &sw.stats
+}
+
+// InstallSRule adds a group-table entry. It fails when the table is at
+// capacity (Fmax) — the controller should never let that happen, so an
+// error here indicates a capacity-accounting bug.
+func (sw *NetworkSwitch) InstallSRule(addr GroupAddr, ports bitmap.Bitmap) error {
+	if sw.kind == KindCore {
+		return fmt.Errorf("dataplane: core switches hold no s-rules")
+	}
+	if _, exists := sw.groupTable[addr]; !exists && len(sw.groupTable) >= sw.capacity {
+		return fmt.Errorf("dataplane: %s group table full (%d entries)", sw.kind, sw.capacity)
+	}
+	sw.groupTable[addr] = ports.Clone()
+	return nil
+}
+
+// RemoveSRule deletes a group-table entry (idempotent).
+func (sw *NetworkSwitch) RemoveSRule(addr GroupAddr) {
+	delete(sw.groupTable, addr)
+}
+
+// SRuleCount returns the current group-table occupancy.
+func (sw *NetworkSwitch) SRuleCount() int { return len(sw.groupTable) }
+
+// Process runs the switch pipeline on one packet and returns the
+// emitted copies. A nil error with no emissions means the packet was
+// dropped (see Stats().Drops).
+func (sw *NetworkSwitch) Process(p Packet) ([]Emission, error) {
+	st := sw.Stats()
+	st.Packets++
+	if p.Outer.TTL <= 1 {
+		st.Drops[DropTTL]++
+		return nil, nil
+	}
+	p.Outer.TTL--
+	var out []Emission
+	var err error
+	switch {
+	case sw.Legacy:
+		out, err = sw.processLegacy(p)
+	case sw.kind == KindLeaf:
+		out, err = sw.processLeaf(p)
+	case sw.kind == KindSpine:
+		out, err = sw.processSpine(p)
+	case sw.kind == KindCore:
+		out, err = sw.processCore(p)
+	}
+	if err != nil {
+		st.Drops[DropMalformed]++
+		return nil, err
+	}
+	st.Copies += len(out)
+	return out, nil
+}
+
+// processLegacy forwards an Elmo packet from the group table alone —
+// the paper's tested legacy-switch behavior: the switch was configured
+// to consult its multicast group table when it sees an Elmo packet,
+// treating the section stream as opaque payload (never popped).
+func (sw *NetworkSwitch) processLegacy(p Packet) ([]Emission, error) {
+	if sw.kind == KindCore {
+		return nil, fmt.Errorf("dataplane: legacy cores are not modeled")
+	}
+	addr, ok := GroupAddrFromOuter(p.Outer)
+	if !ok {
+		sw.Stats().Drops[DropNoRule]++
+		return nil, nil
+	}
+	ports, ok := sw.groupTable[addr]
+	if !ok {
+		sw.Stats().Drops[DropNoRule]++
+		return nil, nil
+	}
+	sw.Stats().SRuleHits++
+	var out []Emission
+	ports.ForEach(func(port int) {
+		out = append(out, Emission{Port: port, Packet: p})
+	})
+	return out, nil
+}
+
+// processLeaf handles both directions: packets from hosts carry a
+// u-leaf section; packets from spines carry (at most) a d-leaf section.
+func (sw *NetworkSwitch) processLeaf(p Packet) ([]Emission, error) {
+	tag, err := header.PeekTag(p.Elmo)
+	if err != nil {
+		return nil, err
+	}
+	if tag == header.TagULeaf {
+		rule, rest, err := header.ConsumeUpstream(sw.layout, header.TagULeaf, p.Elmo)
+		if err != nil {
+			return nil, err
+		}
+		rest = sw.stamp(rest, p.Outer.TTL)
+		var out []Emission
+		// Host deliveries: strip the remaining p-rules — the egress
+		// invalidates all p-rules toward hosts (§4.1).
+		rule.Down.ForEach(func(port int) {
+			out = append(out, Emission{Port: port, Packet: sw.hostCopy(p, rest)})
+		})
+		out = append(out, sw.upstreamCopies(p, rest, rule, sw.topo.LeafUpWidth())...)
+		sw.Stats().PRuleHits++
+		return out, nil
+	}
+	// Downstream: skip any stale earlier sections (a legacy hop pops
+	// nothing), then match our own leaf ID if a d-leaf section is
+	// present; otherwise consult the group table directly.
+	stream, err := streamFrom(sw.layout, p.Elmo, header.TagDLeaf)
+	if err != nil {
+		return nil, err
+	}
+	tag, err = header.PeekTag(stream)
+	if err != nil {
+		return nil, err
+	}
+	m, _, err := sw.downstreamMatch(header.TagDLeaf, uint16(sw.leaf), stream, tag)
+	if err != nil {
+		return nil, err
+	}
+	ports, ok := sw.resolve(m, p.Outer)
+	if !ok {
+		sw.Stats().Drops[DropNoRule]++
+		return nil, nil
+	}
+	stamped := sw.stamp(stream, p.Outer.TTL)
+	var out []Emission
+	ports.ForEach(func(port int) {
+		out = append(out, Emission{Port: port, Packet: sw.hostCopy(p, stamped)})
+	})
+	return out, nil
+}
+
+// processSpine handles the upstream turn (u-spine section) and the
+// downstream fan-out (d-spine section keyed by pod).
+func (sw *NetworkSwitch) processSpine(p Packet) ([]Emission, error) {
+	tag, err := header.PeekTag(p.Elmo)
+	if err != nil {
+		return nil, err
+	}
+	if tag == header.TagUSpine {
+		rule, rest, err := header.ConsumeUpstream(sw.layout, header.TagUSpine, p.Elmo)
+		if err != nil {
+			return nil, err
+		}
+		rest = sw.stamp(rest, p.Outer.TTL)
+		var out []Emission
+		if !rule.Down.IsEmpty() {
+			// Down-copies into our own pod skip ahead to the d-leaf
+			// section: the core and d-spine sections are not for them.
+			downStream, err := streamFrom(sw.layout, rest, header.TagDLeaf)
+			if err != nil {
+				return nil, err
+			}
+			rule.Down.ForEach(func(port int) {
+				out = append(out, Emission{Port: port, Packet: Packet{Outer: p.Outer, Elmo: downStream, Inner: p.Inner}})
+			})
+		}
+		out = append(out, sw.upstreamCopies(p, rest, rule, sw.topo.SpineUpWidth())...)
+		sw.Stats().PRuleHits++
+		return out, nil
+	}
+	// Downstream from core: skip stale sections, then match our pod in
+	// the d-spine section.
+	stream, err := streamFrom(sw.layout, p.Elmo, header.TagDSpine)
+	if err != nil {
+		return nil, err
+	}
+	tag, err = header.PeekTag(stream)
+	if err != nil {
+		return nil, err
+	}
+	pod := sw.topo.SpinePod(sw.spine)
+	m, rest, err := sw.downstreamMatch(header.TagDSpine, uint16(pod), stream, tag)
+	if err != nil {
+		return nil, err
+	}
+	ports, ok := sw.resolve(m, p.Outer)
+	if !ok {
+		sw.Stats().Drops[DropNoRule]++
+		return nil, nil
+	}
+	rest = sw.stamp(rest, p.Outer.TTL)
+	var out []Emission
+	ports.ForEach(func(port int) {
+		out = append(out, Emission{Port: port, Packet: Packet{Outer: p.Outer, Elmo: rest, Inner: p.Inner}})
+	})
+	return out, nil
+}
+
+// processCore forwards one copy to each pod named in the core bitmap,
+// popping the core section.
+func (sw *NetworkSwitch) processCore(p Packet) ([]Emission, error) {
+	pods, rest, err := header.ConsumeCore(sw.layout, p.Elmo)
+	if err != nil {
+		return nil, err
+	}
+	rest = sw.stamp(rest, p.Outer.TTL)
+	var out []Emission
+	pods.ForEach(func(pod int) {
+		out = append(out, Emission{Port: pod, Packet: Packet{Outer: p.Outer, Elmo: rest, Inner: p.Inner}})
+	})
+	sw.Stats().PRuleHits++
+	return out, nil
+}
+
+// upstreamCopies emits the upward copies of an upstream rule: one
+// ECMP-chosen port under multipathing, or every explicit Up port.
+func (sw *NetworkSwitch) upstreamCopies(p Packet, rest []byte, rule header.UpstreamRule, upWidth int) []Emission {
+	var out []Emission
+	next := Packet{Outer: p.Outer, Elmo: rest, Inner: p.Inner}
+	if rule.Multipath {
+		if port, ok := sw.pickUpstream(p.Outer, upWidth); ok {
+			out = append(out, Emission{Port: port, Up: true, Packet: next})
+		}
+		return out
+	}
+	rule.Up.ForEach(func(port int) {
+		out = append(out, Emission{Port: port, Up: true, Packet: next})
+	})
+	return out
+}
+
+// pickUpstream hashes the flow over the alive upstream ports.
+func (sw *NetworkSwitch) pickUpstream(f header.OuterFields, width int) (int, bool) {
+	alive := make([]int, 0, width)
+	for i := 0; i < width; i++ {
+		if sw.UpstreamAlive == nil || sw.UpstreamAlive(i) {
+			alive = append(alive, i)
+		}
+	}
+	if len(alive) == 0 {
+		return 0, false
+	}
+	if sw.UpstreamPicker != nil {
+		return sw.UpstreamPicker(f, alive), true
+	}
+	var salt uint32
+	if sw.kind == KindLeaf {
+		salt = leafSalt(sw.leaf)
+	} else {
+		salt = spineSalt(sw.spine)
+	}
+	return alive[ECMPHash(f, salt)%uint32(len(alive))], true
+}
+
+// downstreamMatch consumes the section with wantTag if present; when
+// the front tag is beyond it (already popped or never encoded), it
+// returns an empty match so the caller falls through to the s-rule
+// table, leaving the stream untouched for the next tier.
+func (sw *NetworkSwitch) downstreamMatch(wantTag byte, id uint16, stream []byte, frontTag byte) (header.DownstreamMatch, []byte, error) {
+	if frontTag == wantTag {
+		return consumeDownstreamAt(sw.layout, wantTag, id, stream)
+	}
+	// The section may legitimately be absent (all switches covered by
+	// s-rules): the stream then starts at a later valid tag or TagEnd.
+	if frontTag == header.TagEnd || (frontTag > wantTag && frontTag <= header.TagDLeaf) {
+		return header.DownstreamMatch{}, stream, nil
+	}
+	return header.DownstreamMatch{}, nil, fmt.Errorf("dataplane: %s switch saw unexpected tag %#x", sw.kind, frontTag)
+}
+
+func consumeDownstreamAt(l header.Layout, tag byte, id uint16, stream []byte) (header.DownstreamMatch, []byte, error) {
+	return header.ConsumeDownstream(l, tag, id, stream)
+}
+
+// resolve implements the §4.1 ingress control flow: matched p-rule
+// bitmap, else s-rule group table, else default p-rule.
+func (sw *NetworkSwitch) resolve(m header.DownstreamMatch, outer header.OuterFields) (bitmap.Bitmap, bool) {
+	st := sw.Stats()
+	if m.Matched {
+		st.PRuleHits++
+		return m.Bitmap, true
+	}
+	if addr, ok := GroupAddrFromOuter(outer); ok {
+		if ports, ok := sw.groupTable[addr]; ok {
+			st.SRuleHits++
+			return ports, true
+		}
+	}
+	if m.HasDefault {
+		st.Defaults++
+		return m.Default, true
+	}
+	return bitmap.Bitmap{}, false
+}
+
+// stamp appends this switch's INT record when the stream carries a
+// telemetry section (§7 Monitoring); the remaining TTL serves as the
+// per-hop metadata. Streams without an INT section pass through
+// untouched and unallocated.
+func (sw *NetworkSwitch) stamp(stream []byte, ttl byte) []byte {
+	var rec header.INTRecord
+	switch sw.kind {
+	case KindLeaf:
+		rec = header.INTRecord{Tier: header.INTTierLeaf, ID: uint16(sw.leaf), Meta: ttl}
+	case KindSpine:
+		rec = header.INTRecord{Tier: header.INTTierSpine, ID: uint16(sw.spine), Meta: ttl}
+	default:
+		rec = header.INTRecord{Tier: header.INTTierCore, ID: uint16(sw.core), Meta: ttl}
+	}
+	out, err := header.AppendINTRecord(sw.layout, stream, rec)
+	if err != nil {
+		return stream
+	}
+	return out
+}
+
+// hostCopy strips the p-rule sections for host delivery, preserving a
+// telemetry section if present (the host's hypervisor is the INT sink).
+func (sw *NetworkSwitch) hostCopy(p Packet, stream []byte) Packet {
+	rest, err := streamFrom(sw.layout, stream, header.TagINT)
+	if err != nil || len(rest) == 0 {
+		rest = emptyStream
+	}
+	return Packet{Outer: p.Outer, Elmo: rest, Inner: p.Inner}
+}
+
+// streamFrom advances the stream to the section with the given tag (or
+// to TagEnd if that section is absent).
+func streamFrom(l header.Layout, stream []byte, tag byte) ([]byte, error) {
+	for {
+		front, err := header.PeekTag(stream)
+		if err != nil {
+			return nil, err
+		}
+		if front == tag || front == header.TagEnd || front > tag {
+			return stream, nil
+		}
+		_, rest, err := header.SkipSection(l, stream)
+		if err != nil {
+			return nil, err
+		}
+		stream = rest
+	}
+}
+
+var emptyStream = []byte{header.TagEnd}

@@ -1,0 +1,306 @@
+// Package fabric wires dataplane switches into a complete emulated
+// Clos network and forwards packets through it synchronously and
+// deterministically. It is the substrate for correctness tests (every
+// member receives exactly one copy), for the traffic-overhead
+// experiments (per-link byte accounting as headers shrink hop by hop),
+// and for the unicast and overlay-multicast baselines (§5.2's
+// comparison points).
+package fabric
+
+import (
+	"fmt"
+
+	"elmo/internal/controller"
+	"elmo/internal/dataplane"
+	"elmo/internal/header"
+	"elmo/internal/topology"
+)
+
+// Fabric is an emulated datacenter network: one hypervisor per host,
+// one dataplane switch per leaf/spine/core, connected per the
+// topology's port map.
+type Fabric struct {
+	topo   *topology.Topology
+	layout header.Layout
+
+	Hypervisors []*dataplane.Hypervisor
+	Leaves      []*dataplane.NetworkSwitch
+	Spines      []*dataplane.NetworkSwitch
+	Cores       []*dataplane.NetworkSwitch
+
+	failures *topology.FailureSet
+}
+
+// New builds the fabric with the given per-switch s-rule capacity.
+func New(topo *topology.Topology, sRuleCapacity int) *Fabric {
+	f := &Fabric{
+		topo:     topo,
+		layout:   header.LayoutFor(topo),
+		failures: topology.NewFailureSet(),
+	}
+	f.Hypervisors = make([]*dataplane.Hypervisor, topo.NumHosts())
+	for h := range f.Hypervisors {
+		f.Hypervisors[h] = dataplane.NewHypervisor(topo, topology.HostID(h))
+	}
+	f.Leaves = make([]*dataplane.NetworkSwitch, topo.NumLeaves())
+	for l := range f.Leaves {
+		id := topology.LeafID(l)
+		sw := dataplane.NewLeaf(topo, id, sRuleCapacity)
+		pod := topo.LeafPod(id)
+		sw.UpstreamAlive = func(port int) bool {
+			return !f.failures.SpineFailed(f.topo.SpineAt(pod, port))
+		}
+		f.Leaves[l] = sw
+	}
+	f.Spines = make([]*dataplane.NetworkSwitch, topo.NumSpines())
+	for s := range f.Spines {
+		id := topology.SpineID(s)
+		sw := dataplane.NewSpine(topo, id, sRuleCapacity)
+		plane := topo.SpinePlane(id)
+		sw.UpstreamAlive = func(port int) bool {
+			return !f.failures.CoreFailed(topology.CoreID(plane*f.topo.Config().CoresPerPlane + port))
+		}
+		f.Spines[s] = sw
+	}
+	f.Cores = make([]*dataplane.NetworkSwitch, topo.NumCores())
+	for c := range f.Cores {
+		f.Cores[c] = dataplane.NewCore(topo, topology.CoreID(c))
+	}
+	return f
+}
+
+// Topology returns the underlying topology.
+func (f *Fabric) Topology() *topology.Topology { return f.topo }
+
+// Failures returns the fabric's failure set. Wire it to the
+// controller's (SyncFailures) so both planes agree on link state.
+func (f *Fabric) Failures() *topology.FailureSet { return f.failures }
+
+// SetFailures replaces the fabric's failure set (typically with the
+// controller's, so one set drives both control and data planes).
+func (f *Fabric) SetFailures(fs *topology.FailureSet) {
+	f.failures = fs
+}
+
+// SetLegacyLeaf switches a leaf into legacy (non-Elmo) mode; pair with
+// controller.Config.LegacyLeaves so the controller installs the
+// group-table entries the switch needs.
+func (f *Fabric) SetLegacyLeaf(l topology.LeafID) { f.Leaves[l].Legacy = true }
+
+// SetLegacyPod switches every spine of a pod into legacy mode; pair
+// with controller.Config.LegacyPods.
+func (f *Fabric) SetLegacyPod(p topology.PodID) {
+	for plane := 0; plane < f.topo.Config().SpinesPerPod; plane++ {
+		f.Spines[f.topo.SpineAt(p, plane)].Legacy = true
+	}
+}
+
+// addr converts a controller group key to the wire address.
+func addr(key controller.GroupKey) dataplane.GroupAddr {
+	return dataplane.GroupAddr{VNI: key.Tenant, Group: key.Group}
+}
+
+// InstallGroup pushes a group's state into the data plane: s-rules to
+// leaf/spine tables, sender flows (precomputed headers) to sender
+// hypervisors, and receive filters to receiver hypervisors. Senders
+// disconnected by failures (controller.ErrNoPath) are skipped and
+// returned; their hypervisors degrade to unicast until repair (§3.3).
+func (f *Fabric) InstallGroup(ctrl *controller.Controller, key controller.GroupKey) (noPath []topology.HostID, err error) {
+	g := ctrl.Group(key)
+	if g == nil {
+		return nil, fmt.Errorf("fabric: group %v not found", key)
+	}
+	a := addr(key)
+	for leaf, bm := range g.Enc.LeafSRules {
+		if err := f.Leaves[leaf].InstallSRule(a, bm); err != nil {
+			return nil, err
+		}
+	}
+	for pod, bm := range g.Enc.SpineSRules {
+		for plane := 0; plane < f.topo.Config().SpinesPerPod; plane++ {
+			if err := f.Spines[f.topo.SpineAt(pod, plane)].InstallSRule(a, bm); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, h := range g.Receivers() {
+		f.Hypervisors[h].SetReceiving(a, true)
+	}
+	for _, h := range g.Senders() {
+		hdr, err := ctrl.HeaderFor(key, h)
+		if err == controller.ErrNoPath || err == controller.ErrLegacyPath {
+			noPath = append(noPath, h)
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := f.Hypervisors[h].InstallSenderFlow(a, hdr); err != nil {
+			return nil, err
+		}
+	}
+	return noPath, nil
+}
+
+// UninstallGroup removes a group's data-plane state.
+func (f *Fabric) UninstallGroup(ctrl *controller.Controller, key controller.GroupKey) error {
+	g := ctrl.Group(key)
+	if g == nil {
+		return fmt.Errorf("fabric: group %v not found", key)
+	}
+	a := addr(key)
+	for leaf := range g.Enc.LeafSRules {
+		f.Leaves[leaf].RemoveSRule(a)
+	}
+	for pod := range g.Enc.SpineSRules {
+		for plane := 0; plane < f.topo.Config().SpinesPerPod; plane++ {
+			f.Spines[f.topo.SpineAt(pod, plane)].RemoveSRule(a)
+		}
+	}
+	for h := range g.Members {
+		f.Hypervisors[h].SetReceiving(a, false)
+		f.Hypervisors[h].RemoveSenderFlow(a)
+	}
+	return nil
+}
+
+// Delivery is the outcome of one multicast send.
+type Delivery struct {
+	// Received maps each host whose hypervisor accepted the packet to
+	// the inner frame it saw.
+	Received map[topology.HostID][]byte
+	// Spurious counts host deliveries filtered by non-member
+	// hypervisors (redundancy from shared bitmaps / default rules).
+	Spurious int
+	// LinkBytes is the total bytes crossing fabric links (host NICs
+	// included), the traffic-overhead integrand.
+	LinkBytes int
+	// Links counts link transmissions (one per copy per link); with
+	// LinkBytes it supports ablations such as "headers never popped".
+	Links int
+	// Hops counts switch traversals.
+	Hops int
+	// Lost counts copies dropped at failed switches.
+	Lost int
+	// Duplicates counts member hosts that received more than one copy
+	// (possible only under multi-plane explicit upstream ports during
+	// failure recovery; zero on a healthy fabric).
+	Duplicates int
+	// Telemetry holds the in-band telemetry records each member's copy
+	// accumulated, when the sender enabled INT (§7 Monitoring).
+	Telemetry map[topology.HostID][]header.INTRecord
+}
+
+// event is one packet arriving somewhere in the fabric.
+type event struct {
+	kind dataplane.SwitchKind
+	id   int
+	pkt  dataplane.Packet
+}
+
+// Send encapsulates inner at the sender's hypervisor and forwards the
+// packet through the fabric, returning the delivery outcome.
+func (f *Fabric) Send(sender topology.HostID, a dataplane.GroupAddr, inner []byte) (*Delivery, error) {
+	pkt, err := f.Hypervisors[sender].Encap(a, inner)
+	if err != nil {
+		return nil, err
+	}
+	return f.forward(sender, pkt)
+}
+
+// forward walks the packet through the fabric synchronously.
+func (f *Fabric) forward(src topology.HostID, pkt dataplane.Packet) (*Delivery, error) {
+	d := &Delivery{Received: make(map[topology.HostID][]byte)}
+	maxEvents := 4 * (f.topo.NumSwitches() + f.topo.NumHosts())
+	queue := make([]event, 0, 16)
+	// Host NIC -> leaf link.
+	d.LinkBytes += pkt.WireSize()
+	d.Links++
+	queue = append(queue, event{kind: dataplane.KindLeaf, id: int(f.topo.HostLeaf(src)), pkt: pkt})
+	for n := 0; len(queue) > 0; n++ {
+		if n >= maxEvents {
+			return nil, fmt.Errorf("fabric: forwarding loop detected after %d events", n)
+		}
+		ev := queue[0]
+		queue = queue[1:]
+		d.Hops++
+		switch ev.kind {
+		case dataplane.KindLeaf:
+			leaf := topology.LeafID(ev.id)
+			ems, err := f.Leaves[ev.id].Process(ev.pkt)
+			if err != nil {
+				return nil, err
+			}
+			for _, em := range ems {
+				d.LinkBytes += em.Packet.WireSize()
+				d.Links++
+				if em.Up {
+					spine := f.topo.LeafUpstream(leaf, em.Port)
+					if f.failures.SpineFailed(spine) {
+						d.Lost++
+						continue
+					}
+					queue = append(queue, event{kind: dataplane.KindSpine, id: int(spine), pkt: em.Packet})
+				} else {
+					f.deliverHost(d, f.topo.HostAt(leaf, em.Port), em.Packet)
+				}
+			}
+		case dataplane.KindSpine:
+			spine := topology.SpineID(ev.id)
+			ems, err := f.Spines[ev.id].Process(ev.pkt)
+			if err != nil {
+				return nil, err
+			}
+			for _, em := range ems {
+				d.LinkBytes += em.Packet.WireSize()
+				d.Links++
+				if em.Up {
+					core := f.topo.SpineUpstream(spine, em.Port)
+					if f.failures.CoreFailed(core) {
+						d.Lost++
+						continue
+					}
+					queue = append(queue, event{kind: dataplane.KindCore, id: int(core), pkt: em.Packet})
+				} else {
+					leaf := f.topo.SpineDownstream(spine, em.Port)
+					queue = append(queue, event{kind: dataplane.KindLeaf, id: int(leaf), pkt: em.Packet})
+				}
+			}
+		case dataplane.KindCore:
+			core := topology.CoreID(ev.id)
+			ems, err := f.Cores[ev.id].Process(ev.pkt)
+			if err != nil {
+				return nil, err
+			}
+			for _, em := range ems {
+				d.LinkBytes += em.Packet.WireSize()
+				d.Links++
+				spine := f.topo.CoreDownstream(core, topology.PodID(em.Port))
+				if f.failures.SpineFailed(spine) {
+					d.Lost++
+					continue
+				}
+				queue = append(queue, event{kind: dataplane.KindSpine, id: int(spine), pkt: em.Packet})
+			}
+		}
+	}
+	return d, nil
+}
+
+func (f *Fabric) deliverHost(d *Delivery, h topology.HostID, pkt dataplane.Packet) {
+	inner, tel, ok := f.Hypervisors[h].DeliverFull(pkt)
+	if !ok {
+		d.Spurious++
+		return
+	}
+	if _, dup := d.Received[h]; dup {
+		d.Duplicates++
+	}
+	d.Received[h] = inner
+	if len(tel) > 0 {
+		if d.Telemetry == nil {
+			d.Telemetry = make(map[topology.HostID][]header.INTRecord)
+		}
+		d.Telemetry[h] = tel
+	}
+}

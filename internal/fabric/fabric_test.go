@@ -1,0 +1,477 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"elmo/internal/controller"
+	"elmo/internal/dataplane"
+	"elmo/internal/topology"
+)
+
+func paperTopo() *topology.Topology { return topology.MustNew(topology.PaperExample()) }
+
+func testConfig(r int) controller.Config {
+	return controller.Config{
+		MaxHeaderBytes: 325,
+		SpineRuleLimit: 2,
+		LeafRuleLimit:  30,
+		KMaxSpine:      2,
+		KMaxLeaf:       2,
+		R:              r,
+		SRuleCapacity:  16,
+	}
+}
+
+// setup builds a controller+fabric pair sharing a failure set.
+func setup(t *testing.T, topo *topology.Topology, cfg controller.Config) (*controller.Controller, *Fabric) {
+	t.Helper()
+	ctrl, err := controller.New(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(topo, cfg.SRuleCapacity)
+	f.SetFailures(ctrl.Failures())
+	return ctrl, f
+}
+
+// installGroup creates a group where every member is RoleBoth.
+func installGroup(t *testing.T, ctrl *controller.Controller, f *Fabric, key controller.GroupKey, hosts []topology.HostID) {
+	t.Helper()
+	members := make(map[topology.HostID]controller.Role, len(hosts))
+	for _, h := range hosts {
+		members[h] = controller.RoleBoth
+	}
+	if _, err := ctrl.CreateGroup(key, members); err != nil {
+		t.Fatal(err)
+	}
+	noPath, err := f.InstallGroup(ctrl, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noPath) != 0 {
+		t.Fatalf("unexpected no-path senders: %v", noPath)
+	}
+}
+
+// figure3Hosts is the paper's Fig. 3 group.
+func figure3Hosts() []topology.HostID {
+	return []topology.HostID{0, 1, 40, 48, 49, 63}
+}
+
+func TestEndToEndFigure3(t *testing.T) {
+	for _, r := range []int{0, 2, 12} {
+		topo := paperTopo()
+		ctrl, f := setup(t, topo, testConfig(r))
+		key := controller.GroupKey{Tenant: 1, Group: 1}
+		installGroup(t, ctrl, f, key, figure3Hosts())
+		payload := []byte("hello multicast")
+		for _, sender := range figure3Hosts() {
+			d, err := f.Send(sender, dataplane.GroupAddr{VNI: 1, Group: 1}, payload)
+			if err != nil {
+				t.Fatalf("R=%d sender %d: %v", r, sender, err)
+			}
+			if d.Lost != 0 || d.Duplicates != 0 {
+				t.Fatalf("R=%d sender %d: %s", r, sender, d)
+			}
+			// Every member except the sender receives exactly once.
+			want := make(map[topology.HostID]bool)
+			for _, h := range figure3Hosts() {
+				if h != sender {
+					want[h] = true
+				}
+			}
+			if len(d.Received) != len(want) {
+				t.Fatalf("R=%d sender %d: received %v, want %v", r, sender, d.Received, want)
+			}
+			for h := range want {
+				inner, ok := d.Received[h]
+				if !ok {
+					t.Fatalf("R=%d sender %d: host %d missed", r, sender, h)
+				}
+				if string(inner) != string(payload) {
+					t.Fatalf("payload corrupted at host %d", h)
+				}
+			}
+			// Traffic can never beat ideal multicast.
+			ideal := IdealBytes(topo, sender, figure3Hosts(), len(payload))
+			if d.LinkBytes < ideal {
+				t.Fatalf("R=%d sender %d: bytes %d below ideal %d", r, sender, d.LinkBytes, ideal)
+			}
+		}
+	}
+}
+
+func TestSingleRackGroup(t *testing.T) {
+	topo := paperTopo()
+	ctrl, f := setup(t, topo, testConfig(0))
+	key := controller.GroupKey{Tenant: 1, Group: 2}
+	hosts := []topology.HostID{0, 2, 5}
+	installGroup(t, ctrl, f, key, hosts)
+	d, err := f.Send(0, dataplane.GroupAddr{VNI: 1, Group: 2}, []byte("rack-local"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Received) != 2 || d.Spurious != 0 {
+		t.Fatalf("delivery = %s", d)
+	}
+	// Single-rack traffic: host->leaf + 2 leaf->host links, 3 hops... 1
+	// switch traversal.
+	if d.Hops != 1 {
+		t.Fatalf("hops = %d, want 1 (leaf only)", d.Hops)
+	}
+}
+
+func TestSpuriousDeliveriesAreFiltered(t *testing.T) {
+	// Force default-rule usage (no s-rule capacity, no leaf p-rules):
+	// non-member hosts on over-covered leaves must filter the packet.
+	topo := paperTopo()
+	cfg := testConfig(0)
+	cfg.LeafRuleLimit = 0
+	cfg.SpineRuleLimit = 0
+	cfg.SRuleCapacity = 0
+	ctrl, f := setup(t, topo, cfg)
+	key := controller.GroupKey{Tenant: 1, Group: 3}
+	hosts := figure3Hosts()
+	installGroup(t, ctrl, f, key, hosts)
+	d, err := f.Send(0, dataplane.GroupAddr{VNI: 1, Group: 3}, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Received) != len(hosts)-1 {
+		t.Fatalf("members missed: %s", d)
+	}
+	if d.Spurious == 0 {
+		t.Fatal("expected spurious deliveries via default rules")
+	}
+	// Spurious packets reached wires but never applications.
+	if d.Duplicates != 0 {
+		t.Fatalf("duplicates = %d", d.Duplicates)
+	}
+}
+
+func TestSRulePathDelivery(t *testing.T) {
+	// Zero p-rule budget, ample s-rule capacity: delivery must flow
+	// entirely through group tables.
+	topo := paperTopo()
+	cfg := testConfig(0)
+	cfg.LeafRuleLimit = 0
+	cfg.SpineRuleLimit = 0
+	ctrl, f := setup(t, topo, cfg)
+	key := controller.GroupKey{Tenant: 1, Group: 4}
+	hosts := figure3Hosts()
+	installGroup(t, ctrl, f, key, hosts)
+	d, err := f.Send(0, dataplane.GroupAddr{VNI: 1, Group: 4}, []byte("via srules"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Received) != len(hosts)-1 || d.Spurious != 0 {
+		t.Fatalf("delivery = %s", d)
+	}
+	// The leaves and spines used must report s-rule hits.
+	hits := 0
+	for _, sw := range f.Leaves {
+		hits += sw.Stats().SRuleHits
+	}
+	for _, sw := range f.Spines {
+		hits += sw.Stats().SRuleHits
+	}
+	if hits == 0 {
+		t.Fatal("no s-rule hits recorded")
+	}
+}
+
+func TestTrafficShrinksPerHop(t *testing.T) {
+	// The same group delivered with and without header popping must
+	// show that popping saves bytes: compare against a hypothetical
+	// constant-size header (stream length at the source times links).
+	topo := paperTopo()
+	ctrl, f := setup(t, topo, testConfig(0))
+	key := controller.GroupKey{Tenant: 1, Group: 5}
+	hosts := figure3Hosts()
+	installGroup(t, ctrl, f, key, hosts)
+	d, err := f.Send(0, dataplane.GroupAddr{VNI: 1, Group: 5}, make([]byte, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := IdealBytes(topo, 0, hosts, 100)
+	overhead := float64(d.LinkBytes)/float64(ideal) - 1
+	if overhead < 0 {
+		t.Fatalf("negative overhead?")
+	}
+	if overhead > 0.40 {
+		t.Fatalf("overhead %.2f too high for 100-byte payload on tiny topology", overhead)
+	}
+}
+
+func TestFailureRecoveryEndToEnd(t *testing.T) {
+	topo := paperTopo()
+	ctrl, f := setup(t, topo, testConfig(0))
+	key := controller.GroupKey{Tenant: 2, Group: 1}
+	hosts := figure3Hosts()
+	installGroup(t, ctrl, f, key, hosts)
+	addr := dataplane.GroupAddr{VNI: 2, Group: 1}
+
+	// Fail spine 0 (pod 0 plane 0) and core 0 (plane 0).
+	ctrl.FailSpine(0)
+	ctrl.FailCore(0)
+	// Reinstall sender flows with recomputed headers.
+	if _, err := f.InstallGroup(ctrl, controller.GroupKey{Tenant: 2, Group: 1}); err == nil {
+		// InstallGroup fails on duplicate s-rule installs only; it is
+		// idempotent for identical entries, so no error is also fine.
+		_ = err
+	}
+	// Refresh sender flows directly.
+	for _, h := range hosts {
+		hdr, err := ctrl.HeaderFor(key, h)
+		if err != nil {
+			t.Fatalf("header for %d: %v", h, err)
+		}
+		if err := f.Hypervisors[h].InstallSenderFlow(addr, hdr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, sender := range hosts {
+		d, err := f.Send(sender, addr, []byte("after failure"))
+		if err != nil {
+			t.Fatalf("sender %d: %v", sender, err)
+		}
+		if d.Lost != 0 {
+			t.Fatalf("sender %d lost copies: %s", sender, d)
+		}
+		if len(d.Received) != len(hosts)-1 {
+			t.Fatalf("sender %d: %s", sender, d)
+		}
+	}
+
+	// Repair and verify multipath resumes without loss.
+	ctrl.RepairSpine(0)
+	ctrl.RepairCore(0)
+	for _, h := range hosts {
+		hdr, err := ctrl.HeaderFor(key, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Hypervisors[h].InstallSenderFlow(addr, hdr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := f.Send(0, addr, []byte("after repair"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Received) != len(hosts)-1 || d.Lost != 0 {
+		t.Fatalf("after repair: %s", d)
+	}
+}
+
+func TestUnicastBaseline(t *testing.T) {
+	topo := paperTopo()
+	_, f := setup(t, topo, testConfig(0))
+	hosts := figure3Hosts()
+	inner := make([]byte, 100)
+	d, err := f.SendUnicast(0, hosts, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Received) != len(hosts)-1 {
+		t.Fatalf("unicast delivery = %s", d)
+	}
+	ideal := IdealBytes(topo, 0, hosts, len(inner))
+	if d.LinkBytes <= ideal {
+		t.Fatalf("unicast bytes %d should exceed ideal %d", d.LinkBytes, ideal)
+	}
+}
+
+func TestOverlayBaseline(t *testing.T) {
+	topo := paperTopo()
+	_, f := setup(t, topo, testConfig(0))
+	hosts := figure3Hosts()
+	inner := make([]byte, 100)
+	d, relaySends, err := f.SendOverlay(0, hosts, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Received) != len(hosts)-1 {
+		t.Fatalf("overlay delivery = %s", d)
+	}
+	// L6 has two members: one relay send expected there; L0's second
+	// member is rack-local to the sender.
+	if relaySends == 0 {
+		t.Fatal("expected relay sends")
+	}
+	// Overlay must cost less than unicast but more than ideal.
+	u, err := f.SendUnicast(0, hosts, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := IdealBytes(topo, 0, hosts, len(inner))
+	if d.LinkBytes <= ideal || d.LinkBytes >= u.LinkBytes {
+		t.Fatalf("overlay %d, unicast %d, ideal %d", d.LinkBytes, u.LinkBytes, ideal)
+	}
+}
+
+func TestIdealBytesEdgeCases(t *testing.T) {
+	topo := paperTopo()
+	if IdealBytes(topo, 0, []topology.HostID{0}, 100) != 0 {
+		t.Fatal("self-only group should cost nothing")
+	}
+	// One rack-local receiver: sender NIC + receiver NIC.
+	got := IdealBytes(topo, 0, []topology.HostID{0, 1}, 100)
+	want := 2 * (50 + 100)
+	if got != want {
+		t.Fatalf("rack-local ideal = %d, want %d", got, want)
+	}
+	// Cross-pod single receiver: host + leaf->spine + spine->core +
+	// core->spine + spine->leaf + leaf->host = 6 links.
+	got = IdealBytes(topo, 0, []topology.HostID{40}, 100)
+	want = 6 * 150
+	if got != want {
+		t.Fatalf("cross-pod ideal = %d, want %d", got, want)
+	}
+}
+
+// TestQuickEndToEnd is the system-level property test: random groups
+// on a random topology deliver exactly once to every member and never
+// to applications on non-member hosts.
+func TestQuickEndToEnd(t *testing.T) {
+	topo := topology.MustNew(topology.Config{Pods: 4, SpinesPerPod: 2, LeavesPerPod: 4, HostsPerLeaf: 6, CoresPerPlane: 2})
+	f := func(seed int64, rRaw, srCap uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := testConfig(int(rRaw % 13))
+		cfg.SRuleCapacity = int(srCap % 8)
+		cfg.LeafRuleLimit = rng.Intn(8)
+		cfg.SpineRuleLimit = rng.Intn(3)
+		ctrl, err := controller.New(topo, cfg)
+		if err != nil {
+			return false
+		}
+		fab := New(topo, cfg.SRuleCapacity)
+		fab.SetFailures(ctrl.Failures())
+
+		n := rng.Intn(20) + 2
+		seen := make(map[topology.HostID]bool)
+		var hosts []topology.HostID
+		for len(hosts) < n {
+			h := topology.HostID(rng.Intn(topo.NumHosts()))
+			if !seen[h] {
+				seen[h] = true
+				hosts = append(hosts, h)
+			}
+		}
+		key := controller.GroupKey{Tenant: 9, Group: uint32(rng.Intn(1000))}
+		members := make(map[topology.HostID]controller.Role, len(hosts))
+		for _, h := range hosts {
+			members[h] = controller.RoleBoth
+		}
+		if _, err := ctrl.CreateGroup(key, members); err != nil {
+			return false
+		}
+		if _, err := fab.InstallGroup(ctrl, key); err != nil {
+			return false
+		}
+		addr := dataplane.GroupAddr{VNI: key.Tenant, Group: key.Group}
+		sender := hosts[rng.Intn(len(hosts))]
+		d, err := fab.Send(sender, addr, []byte("q"))
+		if err != nil {
+			return false
+		}
+		if d.Lost != 0 || d.Duplicates != 0 {
+			return false
+		}
+		if len(d.Received) != len(hosts)-1 {
+			return false
+		}
+		for _, h := range hosts {
+			if h == sender {
+				continue
+			}
+			if _, ok := d.Received[h]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSendFigure3(b *testing.B) {
+	topo := paperTopo()
+	ctrl, err := controller.New(topo, testConfig(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := New(topo, 16)
+	f.SetFailures(ctrl.Failures())
+	key := controller.GroupKey{Tenant: 1, Group: 1}
+	members := make(map[topology.HostID]controller.Role)
+	for _, h := range figure3Hosts() {
+		members[h] = controller.RoleBoth
+	}
+	if _, err := ctrl.CreateGroup(key, members); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := f.InstallGroup(ctrl, key); err != nil {
+		b.Fatal(err)
+	}
+	addr := dataplane.GroupAddr{VNI: 1, Group: 1}
+	payload := make([]byte, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Send(0, addr, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestMultiPlaneFailureDelivery: when set cover pins two planes (no
+// single plane reaches all receiver pods), delivery still reaches every
+// member; duplicate copies are possible and counted, never lost ones.
+func TestMultiPlaneFailureDelivery(t *testing.T) {
+	topo := paperTopo()
+	ctrl, f := setup(t, topo, testConfig(0))
+	key := controller.GroupKey{Tenant: 8, Group: 1}
+	hosts := []topology.HostID{0, 40, 56}
+	installGroup(t, ctrl, f, key, hosts)
+	// Pod 2 only via plane 1; pod 3 only via plane 0. Senders inside
+	// those pods are genuinely partitioned from each other (both their
+	// planes cross a failed spine) and must fall back to unicast; the
+	// pod-0 sender can still cover everything with two pinned planes.
+	ctrl.FailSpine(4)
+	ctrl.FailSpine(7)
+	for _, h := range []topology.HostID{40, 56} {
+		if _, err := ctrl.HeaderFor(key, h); err != controller.ErrNoPath {
+			t.Fatalf("host %d: err = %v, want ErrNoPath", h, err)
+		}
+	}
+	hdr, err := ctrl.HeaderFor(key, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.ULeaf.Up.PopCount() != 2 {
+		t.Fatalf("sender 0 should pin both planes: %s", hdr.ULeaf.Up)
+	}
+	if err := f.Hypervisors[0].InstallSenderFlow(dataplane.GroupAddr{VNI: 8, Group: 1}, hdr); err != nil {
+		t.Fatal(err)
+	}
+	d, err := f.Send(0, dataplane.GroupAddr{VNI: 8, Group: 1}, []byte("multi-plane"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Received) != 2 {
+		t.Fatalf("delivery = %s", d)
+	}
+	// With two pinned planes each core fans out to both receiver pods,
+	// and the copy entering a pod via its dead spine is dropped there:
+	// redundant losses are expected, missing deliveries are not.
+	if d.Lost == 0 {
+		t.Fatalf("expected redundant copies to die at failed spines: %s", d)
+	}
+	if d.Duplicates > 2 {
+		t.Fatalf("too many duplicates: %s", d)
+	}
+}

@@ -1,0 +1,60 @@
+package fabric
+
+import (
+	"elmo/internal/controller"
+	"elmo/internal/dataplane"
+	"elmo/internal/header"
+	"elmo/internal/topology"
+)
+
+// This file provides encoding-level install/uninstall, used by the
+// streaming experiment harness: the §5.1 simulation computes millions
+// of group encodings without retaining controller state, installing
+// each group into the fabric only for the duration of its measurement.
+
+// InstallEncoding pushes one group's s-rules and receiver filters into
+// the data plane directly from its encoding.
+func (f *Fabric) InstallEncoding(a dataplane.GroupAddr, enc *controller.Encoding, receivers []topology.HostID) error {
+	for leaf, bm := range enc.LeafSRules {
+		if err := f.Leaves[leaf].InstallSRule(a, bm); err != nil {
+			return err
+		}
+	}
+	for pod, bm := range enc.SpineSRules {
+		for plane := 0; plane < f.topo.Config().SpinesPerPod; plane++ {
+			if err := f.Spines[f.topo.SpineAt(pod, plane)].InstallSRule(a, bm); err != nil {
+				return err
+			}
+		}
+	}
+	for _, h := range receivers {
+		f.Hypervisors[h].SetReceiving(a, true)
+	}
+	return nil
+}
+
+// UninstallEncoding reverses InstallEncoding.
+func (f *Fabric) UninstallEncoding(a dataplane.GroupAddr, enc *controller.Encoding, receivers []topology.HostID) {
+	for leaf := range enc.LeafSRules {
+		f.Leaves[leaf].RemoveSRule(a)
+	}
+	for pod := range enc.SpineSRules {
+		for plane := 0; plane < f.topo.Config().SpinesPerPod; plane++ {
+			f.Spines[f.topo.SpineAt(pod, plane)].RemoveSRule(a)
+		}
+	}
+	for _, h := range receivers {
+		f.Hypervisors[h].SetReceiving(a, false)
+	}
+}
+
+// InstallSenderHeader installs a precomputed header as the sender's
+// flow for the group.
+func (f *Fabric) InstallSenderHeader(a dataplane.GroupAddr, sender topology.HostID, h *header.Header) error {
+	return f.Hypervisors[sender].InstallSenderFlow(a, h)
+}
+
+// RemoveSenderHeader removes the sender flow.
+func (f *Fabric) RemoveSenderHeader(a dataplane.GroupAddr, sender topology.HostID) {
+	f.Hypervisors[sender].RemoveSenderFlow(a)
+}

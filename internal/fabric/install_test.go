@@ -1,0 +1,104 @@
+package fabric
+
+import (
+	"testing"
+
+	"elmo/internal/controller"
+	"elmo/internal/dataplane"
+	"elmo/internal/topology"
+)
+
+func TestInstallEncodingDirect(t *testing.T) {
+	topo := paperTopo()
+	cfg := testConfig(0)
+	cfg.LeafRuleLimit = 0 // force s-rules
+	cfg.SpineRuleLimit = 0
+	f := New(topo, 4)
+	receivers := []topology.HostID{0, 1, 40}
+	enc, err := controller.ComputeEncoding(topo, cfg, controller.CapacityFunc{
+		Leaf: func(topology.LeafID) bool { return true },
+		Pod:  func(topology.PodID) bool { return true },
+	}, receivers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := dataplane.GroupAddr{VNI: 1, Group: 1}
+	if err := f.InstallEncoding(addr, enc, receivers); err != nil {
+		t.Fatal(err)
+	}
+	// Sender header installed directly.
+	hdr, err := controller.SenderHeader(topo, cfg, enc, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.InstallSenderHeader(addr, 0, hdr); err != nil {
+		t.Fatal(err)
+	}
+	d, err := f.Send(0, addr, []byte("direct"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Received) != 2 {
+		t.Fatalf("delivery = %s", d)
+	}
+	// Uninstall clears everything.
+	f.RemoveSenderHeader(addr, 0)
+	f.UninstallEncoding(addr, enc, receivers)
+	for _, sw := range f.Leaves {
+		if sw.SRuleCount() != 0 {
+			t.Fatal("leaf s-rules leaked")
+		}
+	}
+	for _, sw := range f.Spines {
+		if sw.SRuleCount() != 0 {
+			t.Fatal("spine s-rules leaked")
+		}
+	}
+	if _, err := f.Send(0, addr, []byte("x")); err == nil {
+		t.Fatal("send succeeded after flow removal")
+	}
+}
+
+func TestInstallEncodingCapacityError(t *testing.T) {
+	topo := paperTopo()
+	cfg := testConfig(0)
+	cfg.LeafRuleLimit = 0
+	cfg.SpineRuleLimit = 0
+	// Fabric tables hold only 1 entry; install two encodings that both
+	// need a leaf s-rule on leaf 0.
+	f := New(topo, 1)
+	fullCap := controller.CapacityFunc{
+		Leaf: func(topology.LeafID) bool { return true },
+		Pod:  func(topology.PodID) bool { return true },
+	}
+	receivers := []topology.HostID{0, 1}
+	enc, err := controller.ComputeEncoding(topo, cfg, fullCap, receivers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.InstallEncoding(dataplane.GroupAddr{VNI: 1, Group: 1}, enc, receivers); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.InstallEncoding(dataplane.GroupAddr{VNI: 1, Group: 2}, enc, receivers); err == nil {
+		t.Fatal("second install should exceed fabric table capacity")
+	}
+}
+
+func TestInstallGroupUnknownKey(t *testing.T) {
+	topo := paperTopo()
+	ctrl, f := setup(t, topo, testConfig(0))
+	if _, err := f.InstallGroup(ctrl, controller.GroupKey{Tenant: 9, Group: 9}); err == nil {
+		t.Fatal("unknown group installed")
+	}
+	if err := f.UninstallGroup(ctrl, controller.GroupKey{Tenant: 9, Group: 9}); err == nil {
+		t.Fatal("unknown group uninstalled")
+	}
+}
+
+func TestSendWithoutFlowFails(t *testing.T) {
+	topo := paperTopo()
+	_, f := setup(t, topo, testConfig(0))
+	if _, err := f.Send(0, dataplane.GroupAddr{VNI: 5, Group: 5}, []byte("x")); err == nil {
+		t.Fatal("send without installed flow accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package fabric
+
+import (
+	"testing"
+
+	"elmo/internal/controller"
+	"elmo/internal/dataplane"
+	"elmo/internal/header"
+	"elmo/internal/topology"
+)
+
+// TestINTEndToEnd validates the §7 Monitoring extension: with INT
+// enabled, every delivered copy carries the exact switch path it took,
+// and the path is a valid walk of the Clos fabric.
+func TestINTEndToEnd(t *testing.T) {
+	topo := paperTopo()
+	cfg := testConfig(0)
+	cfg.EnableINT = true
+	ctrl, f := setup(t, topo, cfg)
+	key := controller.GroupKey{Tenant: 6, Group: 1}
+	hosts := figure3Hosts()
+	installGroup(t, ctrl, f, key, hosts)
+
+	sender := topology.HostID(0)
+	d, err := f.Send(sender, dataplane.GroupAddr{VNI: 6, Group: 1}, []byte("trace me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Received) != len(hosts)-1 {
+		t.Fatalf("delivery = %s", d)
+	}
+	if len(d.Telemetry) != len(d.Received) {
+		t.Fatalf("telemetry for %d of %d receivers", len(d.Telemetry), len(d.Received))
+	}
+	for h, path := range d.Telemetry {
+		if len(path) < 1 {
+			t.Fatalf("host %d: empty path", h)
+		}
+		// First hop is always the sender's leaf.
+		if path[0].Tier != header.INTTierLeaf || path[0].ID != uint16(topo.HostLeaf(sender)) {
+			t.Fatalf("host %d: path starts at %+v, want sender leaf", h, path[0])
+		}
+		// Last hop is the receiver's leaf.
+		last := path[len(path)-1]
+		if last.Tier != header.INTTierLeaf || last.ID != uint16(topo.HostLeaf(h)) {
+			t.Fatalf("host %d: path ends at %+v, want its leaf %d", h, last, topo.HostLeaf(h))
+		}
+		// Tiers follow leaf (, spine (, core, spine)?, leaf)? order and
+		// TTL metadata strictly decreases.
+		for i := 1; i < len(path); i++ {
+			if path[i].Meta >= path[i-1].Meta {
+				t.Fatalf("host %d: TTL metadata not decreasing: %+v", h, path)
+			}
+		}
+		// Cross-pod receivers must show a core hop.
+		if topo.HostPod(h) != topo.HostPod(sender) {
+			foundCore := false
+			for _, rec := range path {
+				if rec.Tier == header.INTTierCore {
+					foundCore = true
+				}
+			}
+			if !foundCore {
+				t.Fatalf("host %d (other pod): no core hop in %+v", h, path)
+			}
+		}
+	}
+}
+
+// TestINTDisabledByDefault: without EnableINT no telemetry is carried
+// and headers stay smaller.
+func TestINTDisabledByDefault(t *testing.T) {
+	topo := paperTopo()
+	ctrl, f := setup(t, topo, testConfig(0))
+	key := controller.GroupKey{Tenant: 6, Group: 2}
+	installGroup(t, ctrl, f, key, figure3Hosts())
+	d, err := f.Send(0, dataplane.GroupAddr{VNI: 6, Group: 2}, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Telemetry != nil {
+		t.Fatalf("telemetry present without INT: %v", d.Telemetry)
+	}
+}
+
+// TestINTTrafficCost: INT grows each in-flight copy by 4 bytes per hop
+// — measurable but small against the p-rule savings.
+func TestINTTrafficCost(t *testing.T) {
+	topo := paperTopo()
+	plain, fp := setup(t, topo, testConfig(0))
+	intCfg := testConfig(0)
+	intCfg.EnableINT = true
+	traced, ft := setup(t, topo, intCfg)
+	key := controller.GroupKey{Tenant: 6, Group: 3}
+	installGroup(t, plain, fp, key, figure3Hosts())
+	installGroup(t, traced, ft, key, figure3Hosts())
+	dp, err := fp.Send(0, dataplane.GroupAddr{VNI: 6, Group: 3}, []byte("y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := ft.Send(0, dataplane.GroupAddr{VNI: 6, Group: 3}, []byte("y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.LinkBytes <= dp.LinkBytes {
+		t.Fatalf("INT bytes %d should exceed plain %d", dt.LinkBytes, dp.LinkBytes)
+	}
+	// Each link carries the accumulated section (2 B framing + 4 B per
+	// hop so far), so the total cost is O(hops * path length).
+	if dt.LinkBytes > dp.LinkBytes+30*dt.Hops+30 {
+		t.Fatalf("INT cost implausibly high: %d vs %d over %d hops", dt.LinkBytes, dp.LinkBytes, dt.Hops)
+	}
+}

@@ -1,0 +1,188 @@
+// Package header implements the Elmo packet header (paper §3.1, Fig. 2):
+// a sequence of sections ordered by the layers a packet traverses in a
+// Clos fabric — upstream leaf, upstream spine, core, downstream spine,
+// downstream leaf — each carrying packet rules (p-rules).
+//
+// A p-rule is a port bitmap plus the list of (logical) switch
+// identifiers that should apply it (D1, D3). Upstream rules carry no
+// identifiers — the switch on the upstream path is unambiguous — and
+// instead carry both downstream delivery ports and either a multipath
+// flag or explicit upstream ports (D2, §3.3). Downstream sections may
+// end with a default p-rule that any unmatched switch applies (D4).
+//
+// Sections are popped as the packet ascends/descends (D2d): a switch
+// removes its own layer's section before forwarding, so headers shrink
+// at every hop and the traffic overhead of source routing stays low.
+//
+// The wire format frames each section with a 1-byte tag followed by a
+// self-delimiting body, terminated by TagEnd. Bitmap widths are not
+// carried in the packet: like a P4 program compiled for a concrete
+// fabric, both ends share a Layout derived from the topology.
+package header
+
+import (
+	"fmt"
+
+	"elmo/internal/bitmap"
+	"elmo/internal/topology"
+)
+
+// Version is the Elmo header version encoded by this package.
+const Version = 1
+
+// Section tags, in the order sections appear on the wire.
+const (
+	TagEnd    = 0x00 // terminates the Elmo header; inner packet follows
+	TagULeaf  = 0x01 // upstream rule for the source leaf
+	TagUSpine = 0x02 // upstream rule for the source spine
+	TagCore   = 0x03 // logical-core rule: bitmap over pods
+	TagDSpine = 0x04 // downstream spine p-rules (+ optional default)
+	TagDLeaf  = 0x05 // downstream leaf p-rules (+ optional default)
+)
+
+// Layout fixes the bitmap widths of every section for a concrete
+// fabric. It plays the role of the P4 program's compile-time header
+// definitions: switches and hypervisors exchange packets that are only
+// meaningful under the same layout.
+type Layout struct {
+	LeafDown  int // hosts per leaf
+	LeafUp    int // spines per pod
+	SpineDown int // leaves per pod
+	SpineUp   int // cores per plane
+	CoreDown  int // pods
+}
+
+// LayoutFor derives the layout from a topology.
+func LayoutFor(t *topology.Topology) Layout {
+	return Layout{
+		LeafDown:  t.LeafDownWidth(),
+		LeafUp:    t.LeafUpWidth(),
+		SpineDown: t.SpineDownWidth(),
+		SpineUp:   t.SpineUpWidth(),
+		CoreDown:  t.CoreDownWidth(),
+	}
+}
+
+// Validate checks that all widths are positive and identifier-sized.
+func (l Layout) Validate() error {
+	for _, d := range []struct {
+		name string
+		v    int
+	}{
+		{"LeafDown", l.LeafDown}, {"LeafUp", l.LeafUp},
+		{"SpineDown", l.SpineDown}, {"SpineUp", l.SpineUp},
+		{"CoreDown", l.CoreDown},
+	} {
+		if d.v <= 0 {
+			return fmt.Errorf("header: layout %s must be positive, got %d", d.name, d.v)
+		}
+	}
+	return nil
+}
+
+// UpstreamRule is the bitmap-only rule used by the source leaf and
+// spine (Fig. 2b, type=u). Down carries the member delivery ports at
+// this switch; when Multipath is set the switch forwards one copy
+// upward via its configured multipath scheme, otherwise it forwards on
+// the explicit Up ports (§3.3 failure handling). An UpstreamRule with
+// an empty Down, a false Multipath, and an empty Up performs no
+// upstream forwarding (single-rack groups).
+type UpstreamRule struct {
+	Down      bitmap.Bitmap
+	Up        bitmap.Bitmap
+	Multipath bool
+}
+
+// PRule is a downstream packet rule (Fig. 2b, type=d): the output-port
+// bitmap shared by the listed logical switches. For the spine section,
+// identifiers are pod IDs (one logical spine per pod); for the leaf
+// section they are global leaf IDs.
+type PRule struct {
+	Switches []uint16
+	Bitmap   bitmap.Bitmap
+}
+
+// Header is the decoded form of an Elmo header. Nil/empty fields mean
+// the section is absent (already popped, or never needed — e.g. a
+// single-pod group carries no core section).
+type Header struct {
+	ULeaf  *UpstreamRule
+	USpine *UpstreamRule
+	Core   *bitmap.Bitmap // bitmap over pods
+
+	DSpine        []PRule
+	DSpineDefault *bitmap.Bitmap
+
+	DLeaf        []PRule
+	DLeafDefault *bitmap.Bitmap
+
+	// INTEnabled adds an in-band telemetry section (§7 Monitoring):
+	// switches on the path append INTRecords that receivers can read.
+	// INT holds any records already present (normally empty at the
+	// sender).
+	INTEnabled bool
+	INT        []INTRecord
+}
+
+// Clone returns a deep copy of the header.
+func (h *Header) Clone() *Header {
+	c := &Header{}
+	if h.ULeaf != nil {
+		r := *h.ULeaf
+		r.Down = h.ULeaf.Down.Clone()
+		r.Up = h.ULeaf.Up.Clone()
+		c.ULeaf = &r
+	}
+	if h.USpine != nil {
+		r := *h.USpine
+		r.Down = h.USpine.Down.Clone()
+		r.Up = h.USpine.Up.Clone()
+		c.USpine = &r
+	}
+	if h.Core != nil {
+		b := h.Core.Clone()
+		c.Core = &b
+	}
+	c.DSpine = clonePRules(h.DSpine)
+	if h.DSpineDefault != nil {
+		b := h.DSpineDefault.Clone()
+		c.DSpineDefault = &b
+	}
+	c.DLeaf = clonePRules(h.DLeaf)
+	if h.DLeafDefault != nil {
+		b := h.DLeafDefault.Clone()
+		c.DLeafDefault = &b
+	}
+	c.INTEnabled = h.INTEnabled
+	if h.INT != nil {
+		c.INT = make([]INTRecord, len(h.INT))
+		copy(c.INT, h.INT)
+	}
+	return c
+}
+
+func clonePRules(rules []PRule) []PRule {
+	if rules == nil {
+		return nil
+	}
+	out := make([]PRule, len(rules))
+	for i, r := range rules {
+		ids := make([]uint16, len(r.Switches))
+		copy(ids, r.Switches)
+		out[i] = PRule{Switches: ids, Bitmap: r.Bitmap.Clone()}
+	}
+	return out
+}
+
+// NumPRules returns the number of downstream spine and leaf p-rules,
+// counting defaults.
+func (h *Header) NumPRules() (spine, leaf int) {
+	spine, leaf = len(h.DSpine), len(h.DLeaf)
+	if h.DSpineDefault != nil {
+		spine++
+	}
+	if h.DLeafDefault != nil {
+		leaf++
+	}
+	return spine, leaf
+}

@@ -1,0 +1,141 @@
+package header
+
+import (
+	"testing"
+	"testing/quick"
+
+	"elmo/internal/topology"
+)
+
+func TestOuterRoundTrip(t *testing.T) {
+	f := OuterFields{
+		SrcMAC:      [6]byte{2, 0, 0, 0, 0, 1},
+		DstMAC:      [6]byte{1, 0, 0x5e, 0, 0, 5},
+		SrcIP:       [4]byte{10, 0, 0, 1},
+		DstIP:       [4]byte{239, 0, 0, 5},
+		SrcPort:     49152,
+		VNI:         0xabcdef,
+		ElmoVersion: Version,
+		TTL:         64,
+	}
+	payload := []byte{TagEnd, 0xde, 0xad, 0xbe, 0xef}
+	pkt, err := AppendOuter(nil, f, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkt) != OuterSize {
+		t.Fatalf("outer size = %d, want %d", len(pkt), OuterSize)
+	}
+	pkt = append(pkt, payload...)
+	got, body, err := ParseOuter(pkt)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got != f {
+		t.Fatalf("fields roundtrip: got %+v want %+v", got, f)
+	}
+	if len(body) != len(payload) {
+		t.Fatalf("payload len = %d, want %d", len(body), len(payload))
+	}
+	for i := range payload {
+		if body[i] != payload[i] {
+			t.Fatal("payload corrupted")
+		}
+	}
+}
+
+func TestOuterRejectsBadInput(t *testing.T) {
+	if _, err := AppendOuter(nil, OuterFields{VNI: 1 << 24}, 0); err == nil {
+		t.Fatal("expected VNI overflow error")
+	}
+	if _, err := AppendOuter(nil, OuterFields{}, 0x10000); err == nil {
+		t.Fatal("expected length overflow error")
+	}
+	good, _ := AppendOuter(nil, OuterFields{TTL: 1}, 0)
+	if _, _, err := ParseOuter(good[:10]); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	bad := append([]byte{}, good...)
+	bad[14+8]++ // corrupt TTL -> checksum failure
+	if _, _, err := ParseOuter(bad); err == nil {
+		t.Fatal("expected checksum error")
+	}
+	bad2 := append([]byte{}, good...)
+	bad2[12] = 0x86 // wrong ethertype
+	if _, _, err := ParseOuter(bad2); err == nil {
+		t.Fatal("expected ethertype error")
+	}
+}
+
+func TestChecksumSelfVerifies(t *testing.T) {
+	pkt, err := AppendOuter(nil, OuterFields{SrcIP: [4]byte{10, 1, 2, 3}, DstIP: [4]byte{239, 9, 9, 9}, TTL: 7}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := ipv4Checksum(pkt[EthernetSize : EthernetSize+IPv4Size]); cs != 0 {
+		t.Fatalf("checksum over valid header = %#x, want 0", cs)
+	}
+}
+
+func TestHostIPUnique(t *testing.T) {
+	topo := topology.MustNew(topology.PaperExample())
+	seen := make(map[[4]byte]topology.HostID)
+	for h := 0; h < topo.NumHosts(); h++ {
+		ip := HostIP(topo, topology.HostID(h))
+		if prev, dup := seen[ip]; dup {
+			t.Fatalf("hosts %d and %d share IP %v", prev, h, ip)
+		}
+		seen[ip] = topology.HostID(h)
+		if ip[0] != 10 {
+			t.Fatalf("host IP %v not in 10/8", ip)
+		}
+	}
+}
+
+func TestGroupIPRoundTrip(t *testing.T) {
+	f := func(g uint32) bool {
+		g %= 1 << 24
+		ip := GroupIP(g)
+		got, ok := GroupFromIP(ip)
+		return ok && got == g && ip[0] == 239
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := GroupFromIP([4]byte{10, 0, 0, 1}); ok {
+		t.Fatal("unicast IP accepted as group")
+	}
+}
+
+func TestQuickOuterRoundTrip(t *testing.T) {
+	f := func(src, dst [4]byte, port uint16, vni uint32, n uint8) bool {
+		fields := OuterFields{
+			SrcIP: src, DstIP: dst, SrcPort: port,
+			VNI: vni % (1 << 24), ElmoVersion: Version, TTL: 32,
+		}
+		payload := make([]byte, int(n))
+		pkt, err := AppendOuter(nil, fields, len(payload))
+		if err != nil {
+			return false
+		}
+		pkt = append(pkt, payload...)
+		got, body, err := ParseOuter(pkt)
+		return err == nil && got == fields && len(body) == len(payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAppendOuter(b *testing.B) {
+	f := OuterFields{SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{239, 0, 0, 1}, VNI: 7, ElmoVersion: 1, TTL: 64}
+	buf := make([]byte, 0, OuterSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendOuter(buf[:0], f, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

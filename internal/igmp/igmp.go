@@ -1,0 +1,192 @@
+// Package igmp is the tenant-facing compatibility shim: tenants keep
+// using standard IP multicast — IGMPv2 membership reports and leaves —
+// and the hypervisor switch snoops them and drives the Elmo
+// controller's API instead of flooding the network (paper §1/§6:
+// "its use of source-routing stays internal to the provider with
+// tenants issuing standard IP multicast data packets", and the
+// controller "receives join and leave requests ... via an API").
+//
+// The wire format is real IGMPv2 (RFC 2236): 8 bytes of type, max
+// response time, checksum, and group address. The snooper validates
+// checksums, maps the 239/8 group address to the tenant-scoped group
+// index, and issues controller Join/Leave calls for the reporting VM's
+// host.
+package igmp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"elmo/internal/controller"
+	"elmo/internal/header"
+	"elmo/internal/topology"
+)
+
+// IGMPv2 message types (RFC 2236).
+const (
+	// TypeMembershipQuery is sent by queriers; the shim never needs
+	// queries (the controller knows membership), but parses them.
+	TypeMembershipQuery = 0x11
+	// TypeV2MembershipReport is a join.
+	TypeV2MembershipReport = 0x16
+	// TypeLeaveGroup is a leave.
+	TypeLeaveGroup = 0x17
+)
+
+// MessageSize is the fixed IGMPv2 message size.
+const MessageSize = 8
+
+// Message is a parsed IGMPv2 message.
+type Message struct {
+	Type        uint8
+	MaxRespTime uint8
+	Group       [4]byte
+}
+
+// Marshal encodes the message with a correct checksum.
+func (m *Message) Marshal() []byte {
+	b := make([]byte, MessageSize)
+	b[0] = m.Type
+	b[1] = m.MaxRespTime
+	copy(b[4:], m.Group[:])
+	binary.BigEndian.PutUint16(b[2:], checksum(b))
+	return b
+}
+
+// Unmarshal parses and validates an IGMPv2 message.
+func Unmarshal(b []byte) (*Message, error) {
+	if len(b) < MessageSize {
+		return nil, fmt.Errorf("igmp: message %d bytes, want %d", len(b), MessageSize)
+	}
+	b = b[:MessageSize]
+	// The Internet checksum over a message that includes its own
+	// correct checksum folds to zero.
+	if verify(b) != 0 {
+		return nil, fmt.Errorf("igmp: bad checksum")
+	}
+	m := &Message{Type: b[0], MaxRespTime: b[1]}
+	copy(m.Group[:], b[4:8])
+	switch m.Type {
+	case TypeMembershipQuery, TypeV2MembershipReport, TypeLeaveGroup:
+		return m, nil
+	default:
+		return nil, fmt.Errorf("igmp: unknown type %#x", m.Type)
+	}
+}
+
+// checksum computes the Internet checksum with the checksum field as
+// currently stored zeroed out.
+func checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		if i == 2 {
+			continue // checksum field
+		}
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// verify folds the full message (checksum included); zero means valid.
+func verify(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Snooper translates a tenant VM's IGMP messages into controller API
+// calls — one snooper per hypervisor, bound to the host's tenant VNI
+// context. Hosts joining via IGMP participate as receivers; the
+// application data path (sending) needs no signaling at all, exactly
+// like classic IGMP snooping.
+type Snooper struct {
+	ctrl *controller.Controller
+	host topology.HostID
+	// Joins and Leaves count translated operations.
+	Joins, Leaves int
+	// AutoCreate makes the first join of an unknown group create it
+	// (cloud tenants don't pre-declare IGMP groups).
+	AutoCreate bool
+}
+
+// NewSnooper creates the shim for one host.
+func NewSnooper(ctrl *controller.Controller, host topology.HostID) *Snooper {
+	return &Snooper{ctrl: ctrl, host: host, AutoCreate: true}
+}
+
+// Handle processes one IGMP message from a local VM of the given
+// tenant. Queries are ignored (the controller replaces the querier).
+func (s *Snooper) Handle(tenant uint32, raw []byte) error {
+	m, err := Unmarshal(raw)
+	if err != nil {
+		return err
+	}
+	group, ok := header.GroupFromIP(m.Group)
+	if !ok {
+		return fmt.Errorf("igmp: group %v outside the provider's 239/8 block", m.Group)
+	}
+	key := controller.GroupKey{Tenant: tenant, Group: group}
+	switch m.Type {
+	case TypeMembershipQuery:
+		return nil
+	case TypeV2MembershipReport:
+		if s.ctrl.Group(key) == nil {
+			if !s.AutoCreate {
+				return fmt.Errorf("igmp: group %v does not exist", key)
+			}
+			if _, err := s.ctrl.CreateGroup(key, map[topology.HostID]controller.Role{
+				s.host: controller.RoleBoth,
+			}); err != nil {
+				return err
+			}
+			s.Joins++
+			return nil
+		}
+		if err := s.ctrl.Join(key, s.host, controller.RoleBoth); err != nil {
+			return err
+		}
+		s.Joins++
+		return nil
+	case TypeLeaveGroup:
+		g := s.ctrl.Group(key)
+		if g == nil {
+			return fmt.Errorf("igmp: leave for unknown group %v", key)
+		}
+		role, member := g.Members[s.host]
+		if !member {
+			return fmt.Errorf("igmp: leave from non-member host %d", s.host)
+		}
+		// The last member's leave retires the group entirely.
+		if len(g.Members) == 1 {
+			if err := s.ctrl.RemoveGroup(key); err != nil {
+				return err
+			}
+		} else if err := s.ctrl.Leave(key, s.host, role); err != nil {
+			return err
+		}
+		s.Leaves++
+		return nil
+	}
+	return fmt.Errorf("igmp: unhandled type %#x", m.Type)
+}
+
+// JoinMessage builds the IGMPv2 report a tenant VM would emit for a
+// group index (handy for tests and examples).
+func JoinMessage(group uint32) []byte {
+	m := Message{Type: TypeV2MembershipReport, Group: header.GroupIP(group)}
+	return m.Marshal()
+}
+
+// LeaveMessage builds the IGMPv2 leave for a group index.
+func LeaveMessage(group uint32) []byte {
+	m := Message{Type: TypeLeaveGroup, Group: header.GroupIP(group)}
+	return m.Marshal()
+}

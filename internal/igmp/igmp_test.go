@@ -1,0 +1,142 @@
+package igmp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"elmo/internal/controller"
+	"elmo/internal/header"
+	"elmo/internal/topology"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	for _, typ := range []uint8{TypeMembershipQuery, TypeV2MembershipReport, TypeLeaveGroup} {
+		m := Message{Type: typ, MaxRespTime: 10, Group: header.GroupIP(1234)}
+		got, err := Unmarshal(m.Marshal())
+		if err != nil {
+			t.Fatalf("type %#x: %v", typ, err)
+		}
+		if *got != m {
+			t.Fatalf("roundtrip %+v != %+v", got, m)
+		}
+	}
+}
+
+func TestUnmarshalRejectsMalformed(t *testing.T) {
+	good := JoinMessage(7)
+	corrupt := append([]byte{}, good...)
+	corrupt[7] ^= 0xff // group byte changes, checksum now wrong
+	unknown := (&Message{Type: 0x99, Group: header.GroupIP(1)}).Marshal()
+	cases := [][]byte{nil, good[:4], corrupt, unknown}
+	for i, b := range cases {
+		if _, err := Unmarshal(b); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestQuickChecksumDetectsBitFlips(t *testing.T) {
+	f := func(group uint32, bit uint8) bool {
+		g := group % (1 << 24)
+		msg := JoinMessage(g)
+		i := int(bit) % (MessageSize * 8)
+		msg[i/8] ^= 1 << (uint(i) % 8)
+		_, err := Unmarshal(msg)
+		// Any single bit flip must be detected (Internet checksum
+		// catches all 1-bit errors) — either as a checksum failure or,
+		// if it hit the type field, as an unknown type.
+		return err != nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnooperLifecycle(t *testing.T) {
+	topo := topology.MustNew(topology.PaperExample())
+	ctrl, err := controller.New(topo, controller.PaperConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := NewSnooper(ctrl, 0)
+	s40 := NewSnooper(ctrl, 40)
+	const tenant, group = 9, 77
+
+	// First join auto-creates the group.
+	if err := s0.Handle(tenant, JoinMessage(group)); err != nil {
+		t.Fatal(err)
+	}
+	key := controller.GroupKey{Tenant: tenant, Group: group}
+	if ctrl.Group(key) == nil {
+		t.Fatal("group not created")
+	}
+	// Second host joins.
+	if err := s40.Handle(tenant, JoinMessage(group)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ctrl.Group(key).Members); got != 2 {
+		t.Fatalf("members = %d", got)
+	}
+	// Duplicate join is a no-op at the controller, not an error.
+	if err := s40.Handle(tenant, JoinMessage(group)); err != nil {
+		t.Fatal(err)
+	}
+	// Queries are ignored.
+	q := (&Message{Type: TypeMembershipQuery, Group: header.GroupIP(group)}).Marshal()
+	if err := s0.Handle(tenant, q); err != nil {
+		t.Fatal(err)
+	}
+	// Leaves; the last one retires the group.
+	if err := s40.Handle(tenant, LeaveMessage(group)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ctrl.Group(key).Members); got != 1 {
+		t.Fatalf("members after leave = %d", got)
+	}
+	if err := s0.Handle(tenant, LeaveMessage(group)); err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Group(key) != nil {
+		t.Fatal("group not retired after last leave")
+	}
+	// s40 reported twice; each report translates to a Join call.
+	if s0.Joins != 1 || s0.Leaves != 1 || s40.Joins != 2 || s40.Leaves != 1 {
+		t.Fatalf("counters: %d/%d %d/%d", s0.Joins, s0.Leaves, s40.Joins, s40.Leaves)
+	}
+	// Tenant isolation: the same group index under another VNI is a
+	// different group.
+	if err := s0.Handle(tenant+1, JoinMessage(group)); err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Group(controller.GroupKey{Tenant: tenant + 1, Group: group}) == nil {
+		t.Fatal("other tenant's group missing")
+	}
+}
+
+func TestSnooperErrors(t *testing.T) {
+	topo := topology.MustNew(topology.PaperExample())
+	ctrl, _ := controller.New(topo, controller.PaperConfig(0))
+	s := NewSnooper(ctrl, 0)
+	// Leave before join.
+	if err := s.Handle(1, LeaveMessage(5)); err == nil {
+		t.Fatal("leave of unknown group accepted")
+	}
+	// Non-239/8 group address.
+	bad := (&Message{Type: TypeV2MembershipReport, Group: [4]byte{224, 0, 0, 1}}).Marshal()
+	if err := s.Handle(1, bad); err == nil {
+		t.Fatal("out-of-block group accepted")
+	}
+	// AutoCreate off.
+	s.AutoCreate = false
+	if err := s.Handle(1, JoinMessage(6)); err == nil {
+		t.Fatal("join of unknown group accepted with AutoCreate off")
+	}
+	// Leave from a host that never joined.
+	if _, err := ctrl.CreateGroup(controller.GroupKey{Tenant: 1, Group: 8},
+		map[topology.HostID]controller.Role{40: controller.RoleBoth}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Handle(1, LeaveMessage(8)); err == nil {
+		t.Fatal("leave from non-member accepted")
+	}
+}

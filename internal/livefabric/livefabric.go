@@ -1,0 +1,365 @@
+// Package livefabric runs the emulated Elmo fabric as a concurrent
+// system: every leaf, spine, and core switch is a goroutine consuming
+// fully marshaled wire frames from its ingress channel, running the
+// dataplane pipeline (parse → match → replicate → pop), and writing the
+// resulting frames to its neighbors' channels. Hosts receive decoded
+// frames on per-host channels.
+//
+// Where package fabric forwards synchronously for deterministic
+// measurement, livefabric exercises the same switch pipelines under
+// real concurrency and real (de)serialization per hop — the form the
+// example applications (market data feeds, chat) run on.
+package livefabric
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"elmo/internal/controller"
+	"elmo/internal/dataplane"
+	"elmo/internal/fabric"
+	"elmo/internal/header"
+	"elmo/internal/topology"
+)
+
+// HostPacket is one frame delivered to a host's VMs.
+type HostPacket struct {
+	Addr      dataplane.GroupAddr
+	Inner     []byte
+	Telemetry []header.INTRecord
+}
+
+// Config tunes the live fabric.
+type Config struct {
+	// QueueDepth is each switch ingress queue's capacity. Queues full
+	// enough to block model congestion; frames are never dropped.
+	QueueDepth int
+	// HostQueueDepth is each host RX channel's capacity; overflow
+	// drops the frame (receiver too slow), counted in Stats.
+	HostQueueDepth int
+}
+
+// DefaultConfig returns sensible emulation defaults.
+func DefaultConfig() Config { return Config{QueueDepth: 4096, HostQueueDepth: 4096} }
+
+// LiveFabric wraps a fabric's switches with goroutines and channels.
+type LiveFabric struct {
+	topo   *topology.Topology
+	layout header.Layout
+	base   *fabric.Fabric
+	cfg    Config
+
+	leafIn  []chan []byte
+	spineIn []chan []byte
+	coreIn  []chan []byte
+	hostRx  []chan HostPacket
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+
+	mu sync.Mutex
+	// HostDrops counts frames dropped at full host queues.
+	HostDrops int
+	// Malformed counts frames a switch failed to parse.
+	Malformed int
+}
+
+// New wraps an existing (already configured) fabric. Group state must
+// be installed through the base fabric before Start; the live fabric
+// only moves packets.
+func New(base *fabric.Fabric, cfg Config) *LiveFabric {
+	topo := base.Topology()
+	lf := &LiveFabric{
+		topo:   topo,
+		layout: header.LayoutFor(topo),
+		base:   base,
+		cfg:    cfg,
+		stop:   make(chan struct{}),
+	}
+	lf.leafIn = makeChans(topo.NumLeaves(), cfg.QueueDepth)
+	lf.spineIn = makeChans(topo.NumSpines(), cfg.QueueDepth)
+	lf.coreIn = makeChans(topo.NumCores(), cfg.QueueDepth)
+	lf.hostRx = make([]chan HostPacket, topo.NumHosts())
+	for i := range lf.hostRx {
+		lf.hostRx[i] = make(chan HostPacket, cfg.HostQueueDepth)
+	}
+	return lf
+}
+
+func makeChans(n, depth int) []chan []byte {
+	chs := make([]chan []byte, n)
+	for i := range chs {
+		chs[i] = make(chan []byte, depth)
+	}
+	return chs
+}
+
+// Base returns the wrapped fabric (for group installation).
+func (lf *LiveFabric) Base() *fabric.Fabric { return lf.base }
+
+// HostRx returns the delivery channel for a host.
+func (lf *LiveFabric) HostRx(h topology.HostID) <-chan HostPacket { return lf.hostRx[h] }
+
+// Start launches one goroutine per switch.
+func (lf *LiveFabric) Start() {
+	if lf.started {
+		return
+	}
+	lf.started = true
+	for i := range lf.leafIn {
+		lf.wg.Add(1)
+		go lf.runLeaf(topology.LeafID(i))
+	}
+	for i := range lf.spineIn {
+		lf.wg.Add(1)
+		go lf.runSpine(topology.SpineID(i))
+	}
+	for i := range lf.coreIn {
+		lf.wg.Add(1)
+		go lf.runCore(topology.CoreID(i))
+	}
+}
+
+// Stop terminates the switch goroutines. In-flight frames may be lost;
+// call Drain first for a clean shutdown.
+func (lf *LiveFabric) Stop() {
+	if !lf.started {
+		return
+	}
+	close(lf.stop)
+	lf.wg.Wait()
+	lf.started = false
+}
+
+// Drain waits until all switch ingress queues are empty (quiescence),
+// up to the timeout. It does not guarantee host channels were read.
+func (lf *LiveFabric) Drain(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if lf.queuesEmpty() {
+			// Double-check after a settle period: a frame may be
+			// between queues (popped but not yet re-enqueued).
+			time.Sleep(2 * time.Millisecond)
+			if lf.queuesEmpty() {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("livefabric: drain timeout")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (lf *LiveFabric) queuesEmpty() bool {
+	for _, ch := range lf.leafIn {
+		if len(ch) > 0 {
+			return false
+		}
+	}
+	for _, ch := range lf.spineIn {
+		if len(ch) > 0 {
+			return false
+		}
+	}
+	for _, ch := range lf.coreIn {
+		if len(ch) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Send encapsulates at the sender's hypervisor and injects the frame
+// at its leaf. It returns immediately; deliveries arrive on HostRx
+// channels.
+func (lf *LiveFabric) Send(sender topology.HostID, addr dataplane.GroupAddr, inner []byte) error {
+	pkt, err := lf.base.Hypervisors[sender].Encap(addr, inner)
+	if err != nil {
+		return err
+	}
+	wire, err := pkt.Marshal(nil)
+	if err != nil {
+		return err
+	}
+	select {
+	case lf.leafIn[lf.topo.HostLeaf(sender)] <- wire:
+		return nil
+	case <-lf.stop:
+		return fmt.Errorf("livefabric: stopped")
+	}
+}
+
+func (lf *LiveFabric) runLeaf(id topology.LeafID) {
+	defer lf.wg.Done()
+	sw := lf.base.Leaves[id]
+	for {
+		select {
+		case <-lf.stop:
+			return
+		case wire := <-lf.leafIn[id]:
+			ems, ok := lf.process(sw, wire)
+			if !ok {
+				continue
+			}
+			for _, em := range ems {
+				if em.Up {
+					lf.forwardWire(lf.spineIn[lf.topo.LeafUpstream(id, em.Port)], em.Packet)
+				} else {
+					lf.deliverHost(lf.topo.HostAt(id, em.Port), em.Packet)
+				}
+			}
+		}
+	}
+}
+
+func (lf *LiveFabric) runSpine(id topology.SpineID) {
+	defer lf.wg.Done()
+	sw := lf.base.Spines[id]
+	for {
+		select {
+		case <-lf.stop:
+			return
+		case wire := <-lf.spineIn[id]:
+			ems, ok := lf.process(sw, wire)
+			if !ok {
+				continue
+			}
+			for _, em := range ems {
+				if em.Up {
+					lf.forwardWire(lf.coreIn[lf.topo.SpineUpstream(id, em.Port)], em.Packet)
+				} else {
+					lf.forwardWire(lf.leafIn[lf.topo.SpineDownstream(id, em.Port)], em.Packet)
+				}
+			}
+		}
+	}
+}
+
+func (lf *LiveFabric) runCore(id topology.CoreID) {
+	defer lf.wg.Done()
+	sw := lf.base.Cores[id]
+	for {
+		select {
+		case <-lf.stop:
+			return
+		case wire := <-lf.coreIn[id]:
+			ems, ok := lf.process(sw, wire)
+			if !ok {
+				continue
+			}
+			for _, em := range ems {
+				lf.forwardWire(lf.spineIn[lf.topo.CoreDownstream(id, topology.PodID(em.Port))], em.Packet)
+			}
+		}
+	}
+}
+
+// process unmarshals and runs the switch pipeline, counting malformed
+// frames.
+func (lf *LiveFabric) process(sw *dataplane.NetworkSwitch, wire []byte) ([]dataplane.Emission, bool) {
+	pkt, err := dataplane.Unmarshal(lf.layout, wire)
+	if err != nil {
+		lf.countMalformed()
+		return nil, false
+	}
+	ems, err := sw.Process(pkt)
+	if err != nil {
+		lf.countMalformed()
+		return nil, false
+	}
+	return ems, true
+}
+
+// forwardWire marshals and enqueues a frame, blocking on a full queue
+// (congestion) unless the fabric stops.
+func (lf *LiveFabric) forwardWire(ch chan []byte, pkt dataplane.Packet) {
+	wire, err := pkt.Marshal(nil)
+	if err != nil {
+		lf.countMalformed()
+		return
+	}
+	select {
+	case ch <- wire:
+	case <-lf.stop:
+	}
+}
+
+func (lf *LiveFabric) deliverHost(h topology.HostID, pkt dataplane.Packet) {
+	inner, tel, ok := lf.base.Hypervisors[h].DeliverFull(pkt)
+	if !ok {
+		return
+	}
+	addr, _ := dataplane.GroupAddrFromOuter(pkt.Outer)
+	hp := HostPacket{Addr: addr, Inner: inner, Telemetry: tel}
+	select {
+	case lf.hostRx[h] <- hp:
+	default:
+		lf.mu.Lock()
+		lf.HostDrops++
+		lf.mu.Unlock()
+	}
+}
+
+func (lf *LiveFabric) countMalformed() {
+	lf.mu.Lock()
+	lf.Malformed++
+	lf.mu.Unlock()
+}
+
+// EnableCongestionAwareMultipath replaces flow-hash ECMP with a
+// CONGA/HULA-style least-loaded picker: each switch steers multipathed
+// packets to the upstream port whose next-hop ingress queue is
+// shortest (ties broken by flow hash so steady state stays spread).
+// Call before Start.
+func (lf *LiveFabric) EnableCongestionAwareMultipath() {
+	cfg := lf.topo.Config()
+	for i, sw := range lf.base.Leaves {
+		leaf := topology.LeafID(i)
+		sw.UpstreamPicker = func(f header.OuterFields, alive []int) int {
+			return lf.leastLoaded(alive, f, func(port int) int {
+				return len(lf.spineIn[lf.topo.LeafUpstream(leaf, port)])
+			})
+		}
+	}
+	for i, sw := range lf.base.Spines {
+		plane := lf.topo.SpinePlane(topology.SpineID(i))
+		sw.UpstreamPicker = func(f header.OuterFields, alive []int) int {
+			return lf.leastLoaded(alive, f, func(port int) int {
+				return len(lf.coreIn[plane*cfg.CoresPerPlane+port])
+			})
+		}
+	}
+}
+
+// leastLoaded returns the alive port with the smallest queue estimate,
+// breaking ties with the flow hash.
+func (lf *LiveFabric) leastLoaded(alive []int, f header.OuterFields, depth func(port int) int) int {
+	best := alive[0]
+	bestDepth := depth(best)
+	for _, p := range alive[1:] {
+		if d := depth(p); d < bestDepth {
+			best, bestDepth = p, d
+		}
+	}
+	// Tie-break across equally-empty queues by hashing the flow.
+	ties := make([]int, 0, len(alive))
+	for _, p := range alive {
+		if depth(p) == bestDepth {
+			ties = append(ties, p)
+		}
+	}
+	if len(ties) > 1 {
+		return ties[dataplane.ECMPHash(f, 0x10ad)%uint32(len(ties))]
+	}
+	return best
+}
+
+// InstallGroup is a convenience proxy to the base fabric. Call before
+// Start, or after Drain while senders are quiet — switch goroutines
+// read the same group tables.
+func (lf *LiveFabric) InstallGroup(ctrl *controller.Controller, key controller.GroupKey) ([]topology.HostID, error) {
+	return lf.base.InstallGroup(ctrl, key)
+}

@@ -1,0 +1,132 @@
+package multidc
+
+import (
+	"testing"
+
+	"elmo/internal/controller"
+	"elmo/internal/header"
+	"elmo/internal/topology"
+)
+
+func bridgeFixture(t *testing.T) *Bridge {
+	t.Helper()
+	cfg := controller.PaperConfig(0)
+	east, err := NewDatacenter("east", topology.PaperExample(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A differently-shaped fabric on the west side.
+	west, err := NewDatacenter("west", topology.Config{
+		Pods: 2, SpinesPerPod: 2, LeavesPerPod: 4, HostsPerLeaf: 6, CoresPerPlane: 2,
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBridge(east, west)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestGlobalGroupDelivery(t *testing.T) {
+	b := bridgeFixture(t)
+	key := controller.GroupKey{Tenant: 7, Group: 1}
+	members := map[string][]topology.HostID{
+		"east": {0, 1, 40},
+		"west": {5, 13, 30},
+	}
+	if err := b.CreateGlobalGroup(key, members); err != nil {
+		t.Fatal(err)
+	}
+	out, err := b.Send("east", 0, key, []byte("global"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// East: local multicast to the 2 other members.
+	if d := out["east"]; len(d.Received) != 2 || d.Lost != 0 {
+		t.Fatalf("east delivery: %s", d)
+	}
+	// West: relay (host 5) re-multicast reaches all 3 members (relay
+	// counts as receiving its WAN copy).
+	if d := out["west"]; len(d.Received) != 3 {
+		t.Fatalf("west delivery: %s", d)
+	}
+	// Exactly one WAN copy for one remote DC.
+	if b.WANCopies != 1 {
+		t.Fatalf("WAN copies = %d", b.WANCopies)
+	}
+	if b.WANBytes != header.OuterSize+len("global") {
+		t.Fatalf("WAN bytes = %d", b.WANBytes)
+	}
+}
+
+func TestGlobalGroupWANScalesWithDCsNotMembers(t *testing.T) {
+	b := bridgeFixture(t)
+	key := controller.GroupKey{Tenant: 7, Group: 2}
+	// Many members in the remote DC: still one WAN copy per send.
+	members := map[string][]topology.HostID{
+		"east": {0},
+		"west": {0, 6, 12, 18, 24, 30, 36, 42},
+	}
+	if err := b.CreateGlobalGroup(key, members); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := b.Send("east", 0, key, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.WANCopies != 5 {
+		t.Fatalf("WAN copies = %d, want one per send", b.WANCopies)
+	}
+}
+
+func TestGlobalGroupSingleDC(t *testing.T) {
+	b := bridgeFixture(t)
+	key := controller.GroupKey{Tenant: 7, Group: 3}
+	if err := b.CreateGlobalGroup(key, map[string][]topology.HostID{"west": {1, 7}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := b.Send("west", 1, key, []byte("local-only"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || b.WANCopies != 0 {
+		t.Fatalf("out=%d wan=%d", len(out), b.WANCopies)
+	}
+}
+
+func TestBridgeErrors(t *testing.T) {
+	b := bridgeFixture(t)
+	key := controller.GroupKey{Tenant: 7, Group: 4}
+	if err := b.CreateGlobalGroup(key, map[string][]topology.HostID{"mars": {1}}); err == nil {
+		t.Fatal("unknown DC accepted")
+	}
+	if err := b.CreateGlobalGroup(key, map[string][]topology.HostID{}); err == nil {
+		t.Fatal("empty group accepted")
+	}
+	if _, err := b.Send("east", 0, key, nil); err == nil {
+		t.Fatal("send to missing group accepted")
+	}
+	if err := b.CreateGlobalGroup(key, map[string][]topology.HostID{"east": {0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateGlobalGroup(key, map[string][]topology.HostID{"east": {2}}); err == nil {
+		t.Fatal("duplicate group accepted")
+	}
+	if _, err := b.Send("mars", 0, key, nil); err == nil {
+		t.Fatal("send from unknown DC accepted")
+	}
+	if err := b.RemoveGlobalGroup(key); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RemoveGlobalGroup(key); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	cfgDup, _ := NewDatacenter("dup", topology.PaperExample(), controller.PaperConfig(0))
+	cfgDup2, _ := NewDatacenter("dup", topology.PaperExample(), controller.PaperConfig(0))
+	if _, err := NewBridge(cfgDup, cfgDup2); err == nil {
+		t.Fatal("duplicate DC names accepted")
+	}
+}

@@ -1,0 +1,143 @@
+package p4gen
+
+import (
+	"strings"
+	"testing"
+
+	"elmo/internal/header"
+	"elmo/internal/topology"
+)
+
+func paperLayout() header.Layout {
+	return header.LayoutFor(topology.MustNew(topology.FacebookFabric()))
+}
+
+func TestProgramsGenerateForAllTiers(t *testing.T) {
+	l := paperLayout()
+	for _, tier := range []Tier{TierLeaf, TierSpine, TierCore} {
+		prog, err := NetworkSwitchProgram(l, tier, PaperOptions())
+		if err != nil {
+			t.Fatalf("%v: %v", tier, err)
+		}
+		for _, want := range []string{
+			"#include <v1model.p4>",
+			"parser ElmoParser",
+			"control ElmoIngress",
+			"control ElmoDeparser",
+			"V1Switch(",
+			"header vxlan_t",
+		} {
+			if !strings.Contains(prog, want) {
+				t.Fatalf("%v: program missing %q", tier, want)
+			}
+		}
+		if balance(prog) != 0 {
+			t.Fatalf("%v: unbalanced braces (%d)", tier, balance(prog))
+		}
+	}
+}
+
+func balance(s string) int {
+	n := 0
+	for _, c := range s {
+		switch c {
+		case '{':
+			n++
+		case '}':
+			n--
+		}
+	}
+	return n
+}
+
+func TestParserUnrollMatchesBudget(t *testing.T) {
+	l := paperLayout()
+	opts := PaperOptions() // 30 leaf rules, 2 spine rules
+	prog, err := NetworkSwitchProgram(l, TierLeaf, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(prog, "state parse_dleaf_rule_"); got != opts.MaxLeafRules {
+		t.Fatalf("leaf rule states = %d, want %d", got, opts.MaxLeafRules)
+	}
+	if got := strings.Count(prog, "state parse_dspine_rule_"); got != opts.MaxSpineRules {
+		t.Fatalf("spine rule states = %d, want %d", got, opts.MaxSpineRules)
+	}
+	// Bitmap widths reflect the layout (48 hosts/leaf -> 48-bit field).
+	if !strings.Contains(prog, "bit<48> down_ports") {
+		t.Fatal("leaf down_ports width missing")
+	}
+	// The s-rule table carries the Fmax size.
+	if !strings.Contains(prog, "size = 10000") {
+		t.Fatal("Fmax table size missing")
+	}
+	// Ingress control order: matched -> s-rule -> default -> drop.
+	idxMatched := strings.Index(prog, "if (meta.matched == 1)")
+	idxSRule := strings.Index(prog, "srule_group_table.apply().hit")
+	idxDefault := strings.Index(prog, "meta.has_default == 1")
+	idxDrop := strings.Index(prog, "mark_to_drop")
+	if !(idxMatched < idxSRule && idxSRule < idxDefault && idxDefault < idxDrop) {
+		t.Fatal("ingress fallback order wrong")
+	}
+}
+
+func TestINTOptionAddsStamping(t *testing.T) {
+	l := paperLayout()
+	opts := PaperOptions()
+	opts.EnableINT = true
+	prog, err := NetworkSwitchProgram(l, TierSpine, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog, "elmo_int_record_t") || !strings.Contains(prog, "append_int_record") {
+		t.Fatal("INT support missing")
+	}
+	plain, _ := NetworkSwitchProgram(l, TierSpine, PaperOptions())
+	if strings.Contains(plain, "append_int_record") {
+		t.Fatal("INT emitted without the option")
+	}
+}
+
+func TestCoreProgramHasNoGroupTableLookup(t *testing.T) {
+	l := paperLayout()
+	prog, err := NetworkSwitchProgram(l, TierCore, PaperOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cores forward purely from the pods bitmap.
+	if !strings.Contains(prog, "bitmap_port_select(hdr.core.pods)") {
+		t.Fatal("core fan-out missing")
+	}
+	if strings.Contains(prog, "srule_group_table.apply()") {
+		t.Fatal("core program consults a group table")
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	l := paperLayout()
+	a, _ := NetworkSwitchProgram(l, TierLeaf, PaperOptions())
+	b, _ := NetworkSwitchProgram(l, TierLeaf, PaperOptions())
+	if a != b {
+		t.Fatal("generation not deterministic")
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	if _, err := NetworkSwitchProgram(header.Layout{}, TierLeaf, PaperOptions()); err == nil {
+		t.Fatal("invalid layout accepted")
+	}
+	bad := PaperOptions()
+	bad.MaxSwitchesPerRule = 0
+	if _, err := NetworkSwitchProgram(paperLayout(), TierLeaf, bad); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}
+
+func TestHypervisorPipeline(t *testing.T) {
+	out := HypervisorPipeline(paperLayout())
+	for _, want := range []string{"multicast_groups", "PRECOMPUTED_SECTION_STREAM", "receive_filter", "drop()"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("pipeline missing %q", want)
+		}
+	}
+}

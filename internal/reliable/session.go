@@ -1,0 +1,168 @@
+package reliable
+
+import (
+	"fmt"
+
+	"elmo/internal/controller"
+	"elmo/internal/dataplane"
+	"elmo/internal/fabric"
+	"elmo/internal/topology"
+)
+
+// Session couples one sender's reliable stream with the per-receiver
+// reassembly state, transporting DATA over Elmo multicast and
+// NAK/RDATA over ordinary unicast — the PGM deployment shape on an
+// Elmo fabric.
+type Session struct {
+	fab    *fabric.Fabric
+	addr   dataplane.GroupAddr
+	sender topology.HostID
+
+	s         *Sender
+	receivers map[topology.HostID]*Receiver
+	delivered map[topology.HostID][][]byte
+
+	// LossInjector, when non-nil, decides whether a receiver's copy of
+	// a DATA frame is dropped before reassembly — the test hook
+	// standing in for transient congestion or reconfiguration loss.
+	LossInjector func(h topology.HostID, seq uint32) bool
+
+	// NAKs counts repair requests processed.
+	NAKs int
+}
+
+// NewSession builds the session for an installed group. The group must
+// already be installed in the fabric (sender flow + receiver filters).
+func NewSession(fab *fabric.Fabric, ctrl *controller.Controller, key controller.GroupKey, sender topology.HostID, window int) (*Session, error) {
+	g := ctrl.Group(key)
+	if g == nil {
+		return nil, fmt.Errorf("reliable: group %v not found", key)
+	}
+	sess := &Session{
+		fab:       fab,
+		addr:      dataplane.GroupAddr{VNI: key.Tenant, Group: key.Group},
+		sender:    sender,
+		s:         NewSender(window),
+		receivers: make(map[topology.HostID]*Receiver),
+		delivered: make(map[topology.HostID][][]byte),
+	}
+	for _, h := range g.Receivers() {
+		if h == sender {
+			continue
+		}
+		sess.receivers[h] = NewReceiver(window)
+	}
+	return sess, nil
+}
+
+// Publish multicasts one payload and runs reassembly (and any repair
+// rounds) for every receiver.
+func (sess *Session) Publish(payload []byte) error {
+	frame, seq, err := sess.s.Next(payload)
+	if err != nil {
+		return err
+	}
+	d, err := sess.fab.Send(sess.sender, sess.addr, frame)
+	if err != nil {
+		return err
+	}
+	for h := range sess.receivers {
+		inner, ok := d.Received[h]
+		if !ok {
+			continue // copy lost in the fabric; recovered on a later publish
+		}
+		if sess.LossInjector != nil && sess.LossInjector(h, seq) {
+			continue
+		}
+		if err := sess.ingest(h, inner); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ingest feeds one frame to a receiver and services resulting NAKs
+// with unicast repairs until the receiver is quiescent.
+func (sess *Session) ingest(h topology.HostID, frame []byte) error {
+	r := sess.receivers[h]
+	out, nak, err := r.Handle(frame)
+	if err != nil {
+		return err
+	}
+	sess.delivered[h] = append(sess.delivered[h], out...)
+	for rounds := 0; nak != nil && rounds < 64; rounds++ {
+		// NAK travels to the sender as unicast...
+		if _, err := sess.fab.SendUnicast(h, []topology.HostID{sess.sender}, nak); err != nil {
+			return err
+		}
+		sess.NAKs++
+		nm, err := Unmarshal(nak)
+		if err != nil {
+			return err
+		}
+		repairs, err := sess.s.HandleNAK(nm)
+		if err != nil {
+			return err
+		}
+		nak = nil
+		for _, rd := range repairs {
+			// ...and each repair returns as unicast RDATA.
+			if _, err := sess.fab.SendUnicast(sess.sender, []topology.HostID{h}, rd); err != nil {
+				return err
+			}
+			out, n2, err := r.Handle(rd)
+			if err != nil {
+				return err
+			}
+			sess.delivered[h] = append(sess.delivered[h], out...)
+			if n2 != nil {
+				nak = n2
+			}
+		}
+	}
+	return nil
+}
+
+// Flush performs a final repair round for receivers with tail losses
+// (the PGM heartbeat): the sender re-announces its high-water mark and
+// services the resulting NAKs.
+func (sess *Session) Flush() error {
+	high := sess.s.nextSeq
+	if high == 0 {
+		return nil
+	}
+	for h, r := range sess.receivers {
+		for rounds := 0; r.Next() < high && rounds < 64; rounds++ {
+			nm := &Message{Type: TypeNAK, Ranges: []Range{{r.Next(), high - 1}}}
+			frame, err := nm.Marshal()
+			if err != nil {
+				return err
+			}
+			if _, err := sess.fab.SendUnicast(h, []topology.HostID{sess.sender}, frame); err != nil {
+				return err
+			}
+			sess.NAKs++
+			repairs, err := sess.s.HandleNAK(nm)
+			if err != nil {
+				return err
+			}
+			if len(repairs) == 0 {
+				break // window evicted: unrecoverable
+			}
+			for _, rd := range repairs {
+				if _, err := sess.fab.SendUnicast(sess.sender, []topology.HostID{h}, rd); err != nil {
+					return err
+				}
+				out, _, err := r.Handle(rd)
+				if err != nil {
+					return err
+				}
+				sess.delivered[h] = append(sess.delivered[h], out...)
+			}
+		}
+	}
+	return nil
+}
+
+// Delivered returns the in-order payloads a receiver has consumed.
+func (sess *Session) Delivered(h topology.HostID) [][]byte { return sess.delivered[h] }

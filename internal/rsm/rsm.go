@@ -1,0 +1,233 @@
+// Package rsm implements a leader-based replicated state machine — one
+// of the paper's motivating one-to-many workloads (§1: "replicated
+// state machines", citing Paxos and Speculative Paxos). A leader
+// sequences commands and replicates them to follower replicas over
+// Elmo multicast with the PGM-style reliable layer providing gap
+// repair and in-order delivery; every replica applies the same command
+// sequence and therefore reaches the same state.
+//
+// This is deliberately the NOPaxos/Speculative-Paxos deployment shape
+// the paper alludes to: the network's multicast does the fan-out (one
+// copy per link instead of one unicast stream per replica), and the
+// application layers ordering/recovery on top.
+package rsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"elmo/internal/controller"
+	"elmo/internal/fabric"
+	"elmo/internal/reliable"
+	"elmo/internal/topology"
+)
+
+// Op is a state-machine command type.
+type Op uint8
+
+const (
+	// OpSet stores Key=Value.
+	OpSet Op = 1
+	// OpDelete removes Key.
+	OpDelete Op = 2
+)
+
+// Command is one replicated state-machine command.
+type Command struct {
+	Op    Op
+	Key   string
+	Value string
+}
+
+// Marshal encodes the command (length-prefixed strings).
+func (c Command) Marshal() ([]byte, error) {
+	if c.Op != OpSet && c.Op != OpDelete {
+		return nil, fmt.Errorf("rsm: unknown op %d", c.Op)
+	}
+	if len(c.Key) > 0xffff || len(c.Value) > 0xffff {
+		return nil, fmt.Errorf("rsm: key/value too long")
+	}
+	b := make([]byte, 0, 5+len(c.Key)+len(c.Value))
+	b = append(b, byte(c.Op))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(c.Key)))
+	b = append(b, c.Key...)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(c.Value)))
+	b = append(b, c.Value...)
+	return b, nil
+}
+
+// UnmarshalCommand decodes a command.
+func UnmarshalCommand(b []byte) (Command, error) {
+	var c Command
+	if len(b) < 5 {
+		return c, fmt.Errorf("rsm: short command")
+	}
+	c.Op = Op(b[0])
+	if c.Op != OpSet && c.Op != OpDelete {
+		return c, fmt.Errorf("rsm: unknown op %d", c.Op)
+	}
+	kl := int(binary.BigEndian.Uint16(b[1:]))
+	if 3+kl+2 > len(b) {
+		return c, fmt.Errorf("rsm: truncated key")
+	}
+	c.Key = string(b[3 : 3+kl])
+	vl := int(binary.BigEndian.Uint16(b[3+kl:]))
+	if 5+kl+vl > len(b) {
+		return c, fmt.Errorf("rsm: truncated value")
+	}
+	c.Value = string(b[5+kl : 5+kl+vl])
+	return c, nil
+}
+
+// Replica is one state machine instance: a key-value store built by
+// applying the leader's command log in order.
+type Replica struct {
+	host    topology.HostID
+	store   map[string]string
+	applied int
+}
+
+// NewReplica creates an empty replica for a host.
+func NewReplica(host topology.HostID) *Replica {
+	return &Replica{host: host, store: make(map[string]string)}
+}
+
+// Apply executes one command payload (called in log order).
+func (r *Replica) Apply(payload []byte) error {
+	c, err := UnmarshalCommand(payload)
+	if err != nil {
+		return err
+	}
+	switch c.Op {
+	case OpSet:
+		r.store[c.Key] = c.Value
+	case OpDelete:
+		delete(r.store, c.Key)
+	}
+	r.applied++
+	return nil
+}
+
+// Get reads a key.
+func (r *Replica) Get(key string) (string, bool) {
+	v, ok := r.store[key]
+	return v, ok
+}
+
+// Applied reports the number of commands applied.
+func (r *Replica) Applied() int { return r.applied }
+
+// Fingerprint returns a canonical rendering of the state, used to
+// compare replicas for convergence.
+func (r *Replica) Fingerprint() string {
+	keys := make([]string, 0, len(r.store))
+	for k := range r.store {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += k + "=" + r.store[k] + ";"
+	}
+	return out
+}
+
+// Cluster is a leader plus follower replicas bound to one multicast
+// group on a fabric.
+type Cluster struct {
+	session  *reliable.Session
+	leader   topology.HostID
+	replicas map[topology.HostID]*Replica
+	// Proposed counts commands the leader has sequenced.
+	Proposed int
+}
+
+// NewCluster creates the group (leader sends, replicas receive),
+// installs it, and builds the replication session.
+func NewCluster(ctrl *controller.Controller, fab *fabric.Fabric, key controller.GroupKey, leader topology.HostID, followers []topology.HostID, window int) (*Cluster, error) {
+	members := map[topology.HostID]controller.Role{leader: controller.RoleSender}
+	for _, f := range followers {
+		if f == leader {
+			return nil, fmt.Errorf("rsm: leader cannot be a follower")
+		}
+		members[f] = controller.RoleReceiver
+	}
+	if _, err := ctrl.CreateGroup(key, members); err != nil {
+		return nil, err
+	}
+	if _, err := fab.InstallGroup(ctrl, key); err != nil {
+		return nil, err
+	}
+	sess, err := reliable.NewSession(fab, ctrl, key, leader, window)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{session: sess, leader: leader, replicas: make(map[topology.HostID]*Replica, len(followers))}
+	for _, f := range followers {
+		c.replicas[f] = NewReplica(f)
+	}
+	return c, nil
+}
+
+// Session exposes the underlying reliable session (e.g. to inject loss
+// in tests).
+func (c *Cluster) Session() *reliable.Session { return c.session }
+
+// Propose replicates one command. Followers apply everything the
+// reliable layer delivers in order.
+func (c *Cluster) Propose(cmd Command) error {
+	payload, err := cmd.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := c.session.Publish(payload); err != nil {
+		return err
+	}
+	c.Proposed++
+	return c.drain()
+}
+
+// Sync forces a final repair round (tail-loss recovery) and applies
+// everything outstanding.
+func (c *Cluster) Sync() error {
+	if err := c.session.Flush(); err != nil {
+		return err
+	}
+	return c.drain()
+}
+
+// drain applies newly delivered payloads to each replica.
+func (c *Cluster) drain() error {
+	for h, r := range c.replicas {
+		delivered := c.session.Delivered(h)
+		for r.applied < len(delivered) {
+			if err := r.Apply(delivered[r.applied]); err != nil {
+				return fmt.Errorf("rsm: replica %d: %w", h, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Replica returns a follower's state machine.
+func (c *Cluster) Replica(h topology.HostID) *Replica { return c.replicas[h] }
+
+// Converged reports whether every replica has applied every proposed
+// command and all fingerprints agree.
+func (c *Cluster) Converged() (bool, string) {
+	var want string
+	first := true
+	for _, r := range c.replicas {
+		if r.Applied() != c.Proposed {
+			return false, fmt.Sprintf("replica %d applied %d of %d", r.host, r.Applied(), c.Proposed)
+		}
+		fp := r.Fingerprint()
+		if first {
+			want, first = fp, false
+		} else if fp != want {
+			return false, "fingerprint divergence"
+		}
+	}
+	return true, ""
+}

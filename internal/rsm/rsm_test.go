@@ -1,0 +1,173 @@
+package rsm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"elmo/internal/controller"
+	"elmo/internal/fabric"
+	"elmo/internal/topology"
+)
+
+func rsmFixture(t *testing.T, window int) *Cluster {
+	t.Helper()
+	topo := topology.MustNew(topology.PaperExample())
+	cfg := controller.PaperConfig(0)
+	ctrl, err := controller.New(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := fabric.New(topo, cfg.SRuleCapacity)
+	fab.SetFailures(ctrl.Failures())
+	c, err := NewCluster(ctrl, fab, controller.GroupKey{Tenant: 12, Group: 1},
+		0, []topology.HostID{8, 17, 40, 56}, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCommandRoundTrip(t *testing.T) {
+	cases := []Command{
+		{Op: OpSet, Key: "a", Value: "1"},
+		{Op: OpSet, Key: "", Value: ""},
+		{Op: OpDelete, Key: "gone"},
+	}
+	for _, c := range cases {
+		b, err := c.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalCommand(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c {
+			t.Fatalf("roundtrip %+v != %+v", got, c)
+		}
+	}
+	if _, err := (Command{Op: 9}).Marshal(); err == nil {
+		t.Fatal("bad op marshaled")
+	}
+	for _, b := range [][]byte{nil, {1}, {1, 0, 5, 'a'}, {9, 0, 0, 0, 0}} {
+		if _, err := UnmarshalCommand(b); err == nil {
+			t.Fatalf("malformed command %v accepted", b)
+		}
+	}
+}
+
+func TestReplicationConverges(t *testing.T) {
+	c := rsmFixture(t, 64)
+	for i := 0; i < 30; i++ {
+		if err := c.Propose(Command{Op: OpSet, Key: fmt.Sprintf("k%d", i%7), Value: fmt.Sprintf("v%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Propose(Command{Op: OpDelete, Key: "k3"}); err != nil {
+		t.Fatal(err)
+	}
+	ok, why := c.Converged()
+	if !ok {
+		t.Fatal(why)
+	}
+	r := c.Replica(8)
+	if v, ok := r.Get("k6"); !ok || v != "v27" {
+		t.Fatalf("k6 = %q,%v", v, ok)
+	}
+	if _, ok := r.Get("k3"); ok {
+		t.Fatal("k3 survived delete")
+	}
+}
+
+func TestReplicationConvergesUnderLoss(t *testing.T) {
+	c := rsmFixture(t, 256)
+	rng := rand.New(rand.NewSource(3))
+	c.Session().LossInjector = func(h topology.HostID, seq uint32) bool {
+		return rng.Float64() < 0.3
+	}
+	for i := 0; i < 50; i++ {
+		if err := c.Propose(Command{Op: OpSet, Key: fmt.Sprintf("k%d", i%5), Value: fmt.Sprintf("v%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	ok, why := c.Converged()
+	if !ok {
+		t.Fatal(why)
+	}
+	if c.Session().NAKs == 0 {
+		t.Fatal("30% loss should have triggered repairs")
+	}
+}
+
+func TestQuickLinearizableHistory(t *testing.T) {
+	// Property: replicas equal a reference map applied in proposal
+	// order, under random command streams and random loss.
+	f := func(seed int64) bool {
+		topo := topology.MustNew(topology.PaperExample())
+		cfg := controller.PaperConfig(0)
+		ctrl, err := controller.New(topo, cfg)
+		if err != nil {
+			return false
+		}
+		fab := fabric.New(topo, cfg.SRuleCapacity)
+		fab.SetFailures(ctrl.Failures())
+		c, err := NewCluster(ctrl, fab, controller.GroupKey{Tenant: 12, Group: 2},
+			0, []topology.HostID{8, 40}, 256)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		c.Session().LossInjector = func(h topology.HostID, seq uint32) bool {
+			return rng.Float64() < 0.25
+		}
+		ref := make(map[string]string)
+		n := rng.Intn(40) + 1
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("k%d", rng.Intn(6))
+			if rng.Intn(4) == 0 {
+				delete(ref, key)
+				if err := c.Propose(Command{Op: OpDelete, Key: key}); err != nil {
+					return false
+				}
+			} else {
+				val := fmt.Sprintf("v%d", i)
+				ref[key] = val
+				if err := c.Propose(Command{Op: OpSet, Key: key, Value: val}); err != nil {
+					return false
+				}
+			}
+		}
+		if err := c.Sync(); err != nil {
+			return false
+		}
+		if ok, _ := c.Converged(); !ok {
+			return false
+		}
+		r := c.Replica(8)
+		for k, v := range ref {
+			if got, ok := r.Get(k); !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaderCannotFollow(t *testing.T) {
+	topo := topology.MustNew(topology.PaperExample())
+	cfg := controller.PaperConfig(0)
+	ctrl, _ := controller.New(topo, cfg)
+	fab := fabric.New(topo, cfg.SRuleCapacity)
+	if _, err := NewCluster(ctrl, fab, controller.GroupKey{Tenant: 12, Group: 3},
+		0, []topology.HostID{0, 8}, 8); err == nil {
+		t.Fatal("leader-as-follower accepted")
+	}
+}

@@ -1,0 +1,310 @@
+// Package sim is the experiment harness for the paper's §5.1
+// scalability evaluation. It builds a fabric, places tenants, generates
+// a group workload, runs the controller's encoding for every group
+// against shared s-rule capacity, and measures:
+//
+//   - the number of groups covered without default p-rules, split into
+//     p-rules-only and p+s-rules (Figures 4 and 5, left panels);
+//   - the distribution of s-rules installed per leaf and spine switch,
+//     with the Li et al. baseline (center panels);
+//   - the traffic overhead relative to ideal multicast, by forwarding
+//     one packet per group through the emulated data plane, with
+//     unicast and overlay baselines (right panels);
+//   - per-sender header-size statistics (§5.1.2's 114-byte average /
+//     325-byte cap).
+//
+// The harness streams: per-group state is discarded after measurement,
+// so paper-scale runs (27,648 hosts, one million groups) fit in memory.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"elmo/internal/baselines"
+	"elmo/internal/controller"
+	"elmo/internal/dataplane"
+	"elmo/internal/fabric"
+	"elmo/internal/groupgen"
+	"elmo/internal/header"
+	"elmo/internal/metrics"
+	"elmo/internal/placement"
+	"elmo/internal/topology"
+)
+
+// ScalabilityConfig assembles a full §5.1 experiment.
+type ScalabilityConfig struct {
+	Topology   topology.Config
+	Placement  placement.Config
+	Groups     groupgen.Config
+	Controller controller.Config
+	// PacketSizes are the inner-frame sizes to measure traffic
+	// overhead for (paper: 64 and 1500).
+	PacketSizes []int
+	// BaselineSampleEvery measures unicast/overlay baselines on every
+	// Nth group (they are ratios; sampling keeps full-scale runs
+	// fast). Zero disables baseline measurement.
+	BaselineSampleEvery int
+	// Seed drives sender selection.
+	Seed int64
+}
+
+// PaperScalability returns the full paper-scale configuration for a
+// placement locality P, redundancy R and group count.
+func PaperScalability(p, r, totalGroups int, dist groupgen.Distribution) ScalabilityConfig {
+	return ScalabilityConfig{
+		Topology:            topology.FacebookFabric(),
+		Placement:           placement.PaperConfig(p),
+		Groups:              groupgen.PaperConfig(totalGroups, dist),
+		Controller:          controller.PaperConfig(r),
+		PacketSizes:         []int{64, 1500},
+		BaselineSampleEvery: 101,
+		Seed:                33,
+	}
+}
+
+// ScalabilityResult aggregates one run's measurements.
+type ScalabilityResult struct {
+	Config ScalabilityConfig
+
+	TotalGroups int
+	// GroupsPRulesOnly are covered exactly with p-rules alone at both
+	// downstream layers.
+	GroupsPRulesOnly int
+	// LeafPRulesOnly counts groups whose LEAF layer is covered by
+	// p-rules alone — the paper's Figure 4/5 left-panel metric ("there
+	// are 30 p-rules for the leaf layer — just enough header capacity
+	// to be covered only with p-rules"); leaf rules dominate the
+	// header, so the paper tracks this layer.
+	LeafPRulesOnly int
+	// GroupsWithSRules are covered exactly using s-rules too.
+	GroupsWithSRules int
+	// GroupsWithDefault needed a default p-rule (not exactly covered).
+	GroupsWithDefault int
+
+	// LeafSRules / SpineSRules are the final per-switch occupancy
+	// distributions.
+	LeafSRules  metrics.Samples
+	SpineSRules metrics.Samples
+	// LiLeafEntries / LiSpineEntries / LiCoreEntries are the Li et al.
+	// baseline per-switch group-table entries.
+	LiLeafEntries  metrics.Samples
+	LiSpineEntries metrics.Samples
+	LiCoreEntries  metrics.Samples
+
+	// HeaderBytes summarizes assembled sender-header sizes.
+	HeaderBytes metrics.Summary
+
+	// TrafficOverhead[n] is Σelmo/Σideal − 1 for inner size n;
+	// UnicastOverhead and OverlayOverhead are sampled analogues.
+	TrafficOverhead map[int]float64
+	UnicastOverhead map[int]float64
+	OverlayOverhead map[int]float64
+
+	// DeliveryFailures counts groups whose forwarding check missed a
+	// member (must be zero; non-zero indicates a bug).
+	DeliveryFailures int
+}
+
+// RunScalability executes the experiment.
+func RunScalability(cfg ScalabilityConfig) (*ScalabilityResult, error) {
+	topo, err := topology.New(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	dep, err := placement.Place(topo, cfg.Placement)
+	if err != nil {
+		return nil, err
+	}
+	groups, err := groupgen.Generate(dep, cfg.Groups)
+	if err != nil {
+		return nil, err
+	}
+	res := &ScalabilityResult{
+		Config:          cfg,
+		TotalGroups:     len(groups),
+		TrafficOverhead: make(map[int]float64),
+		UnicastOverhead: make(map[int]float64),
+		OverlayOverhead: make(map[int]float64),
+	}
+
+	// Shared s-rule occupancy across all groups (streaming capacity).
+	leafUsed := make([]int, topo.NumLeaves())
+	spineUsed := make([]int, topo.NumSpines())
+	capFn := controller.CapacityFunc{
+		Leaf: func(l topology.LeafID) bool {
+			return leafUsed[l] < cfg.Controller.SRuleCapacity
+		},
+		Pod: func(p topology.PodID) bool {
+			for plane := 0; plane < topo.Config().SpinesPerPod; plane++ {
+				if spineUsed[topo.SpineAt(p, plane)] >= cfg.Controller.SRuleCapacity {
+					return false
+				}
+			}
+			return true
+		},
+	}
+
+	fab := fabric.New(topo, cfg.Controller.SRuleCapacity)
+	li := baselines.NewLiState(topo)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	elmoBytes := make(map[int]float64, len(cfg.PacketSizes))
+	idealBytes := make(map[int]float64, len(cfg.PacketSizes))
+	uniBytes := make(map[int]float64, len(cfg.PacketSizes))
+	ovlBytes := make(map[int]float64, len(cfg.PacketSizes))
+	sampleIdeal := make(map[int]float64, len(cfg.PacketSizes))
+
+	payloads := make(map[int][]byte, len(cfg.PacketSizes))
+	for _, n := range cfg.PacketSizes {
+		payloads[n] = make([]byte, n)
+	}
+
+	for gi := range groups {
+		g := &groups[gi]
+		enc, err := controller.ComputeEncoding(topo, cfg.Controller, capFn, g.Hosts)
+		if err != nil {
+			return nil, fmt.Errorf("sim: group %d: %w", g.ID, err)
+		}
+		// Commit s-rule occupancy.
+		for l := range enc.LeafSRules {
+			leafUsed[l]++
+		}
+		for p := range enc.SpineSRules {
+			for plane := 0; plane < topo.Config().SpinesPerPod; plane++ {
+				spineUsed[topo.SpineAt(p, plane)]++
+			}
+		}
+		switch {
+		case !enc.Exact():
+			res.GroupsWithDefault++
+		case enc.UsesSRules():
+			res.GroupsWithSRules++
+		default:
+			res.GroupsPRulesOnly++
+		}
+		if len(enc.LeafSRules) == 0 && enc.DLeafDefault == nil {
+			res.LeafPRulesOnly++
+		}
+		li.InstallGroup(g.ID, g.Hosts)
+
+		// Traffic measurement: one packet from a random member through
+		// the real data plane.
+		sender := g.Hosts[rng.Intn(len(g.Hosts))]
+		hdr, err := controller.SenderHeader(topo, cfg.Controller, enc, sender, nil)
+		if err != nil {
+			return nil, fmt.Errorf("sim: header for group %d: %w", g.ID, err)
+		}
+		res.HeaderBytes.Add(float64(header.EncodedSize(header.LayoutFor(topo), hdr)))
+
+		addr := dataplane.GroupAddr{VNI: uint32(g.Tenant), Group: g.ID}
+		if err := fab.InstallEncoding(addr, enc, g.Hosts); err != nil {
+			return nil, err
+		}
+		if err := fab.InstallSenderHeader(addr, sender, hdr); err != nil {
+			return nil, err
+		}
+		sampleBaselines := cfg.BaselineSampleEvery > 0 && gi%cfg.BaselineSampleEvery == 0
+		for _, n := range cfg.PacketSizes {
+			d, err := fab.Send(sender, addr, payloads[n])
+			if err != nil {
+				return nil, fmt.Errorf("sim: send group %d: %w", g.ID, err)
+			}
+			if len(d.Received) != countOthers(g.Hosts, sender) || d.Lost != 0 {
+				res.DeliveryFailures++
+			}
+			ideal := fabric.IdealBytes(topo, sender, g.Hosts, n)
+			elmoBytes[n] += float64(d.LinkBytes)
+			idealBytes[n] += float64(ideal)
+			if sampleBaselines {
+				du, err := fab.SendUnicast(sender, g.Hosts, payloads[n])
+				if err != nil {
+					return nil, err
+				}
+				do, _, err := fab.SendOverlay(sender, g.Hosts, payloads[n])
+				if err != nil {
+					return nil, err
+				}
+				uniBytes[n] += float64(du.LinkBytes)
+				ovlBytes[n] += float64(do.LinkBytes)
+				sampleIdeal[n] += float64(ideal)
+			}
+		}
+		fab.RemoveSenderHeader(addr, sender)
+		fab.UninstallEncoding(addr, enc, g.Hosts)
+	}
+
+	for _, n := range cfg.PacketSizes {
+		if idealBytes[n] > 0 {
+			res.TrafficOverhead[n] = elmoBytes[n]/idealBytes[n] - 1
+		}
+		if sampleIdeal[n] > 0 {
+			res.UnicastOverhead[n] = uniBytes[n]/sampleIdeal[n] - 1
+			res.OverlayOverhead[n] = ovlBytes[n]/sampleIdeal[n] - 1
+		}
+	}
+	for _, v := range leafUsed {
+		res.LeafSRules.Add(float64(v))
+	}
+	for _, v := range spineUsed {
+		res.SpineSRules.Add(float64(v))
+	}
+	for _, v := range li.LeafEntries {
+		res.LiLeafEntries.Add(float64(v))
+	}
+	for _, v := range li.SpineEntries {
+		res.LiSpineEntries.Add(float64(v))
+	}
+	for _, v := range li.CoreEntries {
+		res.LiCoreEntries.Add(float64(v))
+	}
+	return res, nil
+}
+
+func countOthers(hosts []topology.HostID, sender topology.HostID) int {
+	n := 0
+	for _, h := range hosts {
+		if h != sender {
+			n++
+		}
+	}
+	return n
+}
+
+// CoveredFraction returns the fraction of groups encodable without a
+// default p-rule — the Figure 4/5 left-panel metric.
+func (r *ScalabilityResult) CoveredFraction() float64 {
+	if r.TotalGroups == 0 {
+		return 0
+	}
+	return float64(r.GroupsPRulesOnly+r.GroupsWithSRules) / float64(r.TotalGroups)
+}
+
+// Table renders the run as an aligned results table.
+func (r *ScalabilityResult) Table(name string) *metrics.Table {
+	t := metrics.NewTable(name,
+		"metric", "value")
+	t.AddRow("groups", r.TotalGroups)
+	t.AddRow("covered by p-rules only", r.GroupsPRulesOnly)
+	t.AddRow("leaf layer p-rules only", r.LeafPRulesOnly)
+	t.AddRow("covered with s-rules", r.GroupsWithSRules)
+	t.AddRow("needing default p-rule", r.GroupsWithDefault)
+	t.AddRow("covered fraction", r.CoveredFraction())
+	t.AddRow("leaf s-rules mean", r.LeafSRules.Mean())
+	t.AddRow("leaf s-rules p95", r.LeafSRules.Percentile(95))
+	t.AddRow("leaf s-rules max", r.LeafSRules.Max())
+	t.AddRow("spine s-rules mean", r.SpineSRules.Mean())
+	t.AddRow("spine s-rules max", r.SpineSRules.Max())
+	t.AddRow("Li leaf entries mean", r.LiLeafEntries.Mean())
+	t.AddRow("Li leaf entries max", r.LiLeafEntries.Max())
+	t.AddRow("header bytes mean", r.HeaderBytes.Mean())
+	t.AddRow("header bytes min", r.HeaderBytes.Min())
+	t.AddRow("header bytes max", r.HeaderBytes.Max())
+	for _, n := range r.Config.PacketSizes {
+		t.AddRow(fmt.Sprintf("traffic overhead %dB", n), r.TrafficOverhead[n])
+		t.AddRow(fmt.Sprintf("unicast overhead %dB", n), r.UnicastOverhead[n])
+		t.AddRow(fmt.Sprintf("overlay overhead %dB", n), r.OverlayOverhead[n])
+	}
+	t.AddRow("delivery failures", r.DeliveryFailures)
+	return t
+}

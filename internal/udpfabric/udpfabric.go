@@ -1,0 +1,308 @@
+// Package udpfabric runs the Elmo data plane over real UDP sockets:
+// every leaf, spine, and core switch — and every host — is a localhost
+// datagram endpoint, and packets cross genuine OS sockets as the exact
+// wire bytes (outer Ethernet/IPv4/UDP/VXLAN encapsulation + Elmo
+// section stream + inner frame) that the header package defines.
+//
+// This is the highest-fidelity emulation tier: where package fabric
+// forwards synchronously in process and package livefabric uses
+// channels, udpfabric exercises the full marshal → socket → parse path
+// per hop, the shape a userspace software-switch deployment (PISCES/
+// OVS-style) actually has. It is used by tests and examples, not by
+// the large-scale simulations.
+package udpfabric
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"elmo/internal/controller"
+	"elmo/internal/dataplane"
+	"elmo/internal/fabric"
+	"elmo/internal/header"
+	"elmo/internal/topology"
+)
+
+// maxFrame bounds one datagram (outer + 512-byte header budget + MTU).
+const maxFrame = 4096
+
+// HostPacket is a frame delivered to a host endpoint.
+type HostPacket struct {
+	Addr      dataplane.GroupAddr
+	Inner     []byte
+	Telemetry []header.INTRecord
+}
+
+// UDPFabric binds a fabric's switches to UDP sockets.
+type UDPFabric struct {
+	topo   *topology.Topology
+	layout header.Layout
+	base   *fabric.Fabric
+
+	leafConn  []*net.UDPConn
+	spineConn []*net.UDPConn
+	coreConn  []*net.UDPConn
+	hostConn  []*net.UDPConn
+
+	hostRx []chan HostPacket
+
+	stopOnce sync.Once
+	stopped  chan struct{}
+	wg       sync.WaitGroup
+	started  bool
+
+	mu sync.Mutex
+	// Malformed counts undecodable datagrams; Dropped counts frames
+	// discarded at full host queues.
+	Malformed, Dropped int
+}
+
+// New binds one ephemeral localhost UDP socket per switch and host of
+// the base fabric. Install group state, then call Start to spawn the
+// switch/host readers (switch group tables are not guarded; installs
+// must happen while the fabric is quiet, same contract as livefabric).
+func New(base *fabric.Fabric) (*UDPFabric, error) {
+	topo := base.Topology()
+	u := &UDPFabric{
+		topo:    topo,
+		layout:  header.LayoutFor(topo),
+		base:    base,
+		stopped: make(chan struct{}),
+	}
+	var err error
+	if u.leafConn, err = listenN(topo.NumLeaves()); err != nil {
+		return nil, err
+	}
+	if u.spineConn, err = listenN(topo.NumSpines()); err != nil {
+		u.Close()
+		return nil, err
+	}
+	if u.coreConn, err = listenN(topo.NumCores()); err != nil {
+		u.Close()
+		return nil, err
+	}
+	if u.hostConn, err = listenN(topo.NumHosts()); err != nil {
+		u.Close()
+		return nil, err
+	}
+	u.hostRx = make([]chan HostPacket, topo.NumHosts())
+	for i := range u.hostRx {
+		u.hostRx[i] = make(chan HostPacket, 1024)
+	}
+	return u, nil
+}
+
+// Start spawns the per-switch and per-host reader goroutines.
+func (u *UDPFabric) Start() {
+	if u.started {
+		return
+	}
+	u.started = true
+	for i := range u.leafConn {
+		u.wg.Add(1)
+		go u.runLeaf(topology.LeafID(i))
+	}
+	for i := range u.spineConn {
+		u.wg.Add(1)
+		go u.runSpine(topology.SpineID(i))
+	}
+	for i := range u.coreConn {
+		u.wg.Add(1)
+		go u.runCore(topology.CoreID(i))
+	}
+	for i := range u.hostConn {
+		u.wg.Add(1)
+		go u.runHost(topology.HostID(i))
+	}
+}
+
+func listenN(n int) ([]*net.UDPConn, error) {
+	conns := make([]*net.UDPConn, n)
+	for i := range conns {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			for _, prev := range conns[:i] {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("udpfabric: %w", err)
+		}
+		conns[i] = c
+	}
+	return conns, nil
+}
+
+// Close shuts the sockets down and waits for the readers.
+func (u *UDPFabric) Close() {
+	u.stopOnce.Do(func() { close(u.stopped) })
+	for _, set := range [][]*net.UDPConn{u.leafConn, u.spineConn, u.coreConn, u.hostConn} {
+		for _, c := range set {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}
+	u.wg.Wait()
+}
+
+// HostRx returns the delivery channel for a host.
+func (u *UDPFabric) HostRx(h topology.HostID) <-chan HostPacket { return u.hostRx[h] }
+
+// HostAddr returns the UDP address a host endpoint listens on (the
+// "NIC" applications would send through).
+func (u *UDPFabric) HostAddr(h topology.HostID) *net.UDPAddr {
+	return u.hostConn[h].LocalAddr().(*net.UDPAddr)
+}
+
+// Send encapsulates at the sender's hypervisor and transmits the frame
+// to the sender's leaf over UDP.
+func (u *UDPFabric) Send(sender topology.HostID, addr dataplane.GroupAddr, inner []byte) error {
+	pkt, err := u.base.Hypervisors[sender].Encap(addr, inner)
+	if err != nil {
+		return err
+	}
+	wire, err := pkt.Marshal(nil)
+	if err != nil {
+		return err
+	}
+	leaf := u.topo.HostLeaf(sender)
+	_, err = u.hostConn[sender].WriteToUDP(wire, u.leafConn[leaf].LocalAddr().(*net.UDPAddr))
+	return err
+}
+
+// InstallGroup proxies to the base fabric.
+func (u *UDPFabric) InstallGroup(ctrl *controller.Controller, key controller.GroupKey) ([]topology.HostID, error) {
+	return u.base.InstallGroup(ctrl, key)
+}
+
+func (u *UDPFabric) countMalformed() {
+	u.mu.Lock()
+	u.Malformed++
+	u.mu.Unlock()
+}
+
+// readLoop drains one socket, handing each datagram to fn until close.
+func (u *UDPFabric) readLoop(conn *net.UDPConn, fn func(wire []byte)) {
+	defer u.wg.Done()
+	buf := make([]byte, maxFrame)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			select {
+			case <-u.stopped:
+				return
+			default:
+				continue
+			}
+		}
+		wire := make([]byte, n)
+		copy(wire, buf[:n])
+		fn(wire)
+	}
+}
+
+func (u *UDPFabric) process(sw *dataplane.NetworkSwitch, wire []byte) []dataplane.Emission {
+	pkt, err := dataplane.Unmarshal(u.layout, wire)
+	if err != nil {
+		u.countMalformed()
+		return nil
+	}
+	ems, err := sw.Process(pkt)
+	if err != nil {
+		u.countMalformed()
+		return nil
+	}
+	return ems
+}
+
+func (u *UDPFabric) forward(from *net.UDPConn, to *net.UDPConn, pkt dataplane.Packet) {
+	wire, err := pkt.Marshal(nil)
+	if err != nil {
+		u.countMalformed()
+		return
+	}
+	from.WriteToUDP(wire, to.LocalAddr().(*net.UDPAddr))
+}
+
+func (u *UDPFabric) runLeaf(id topology.LeafID) {
+	conn := u.leafConn[id]
+	sw := u.base.Leaves[id]
+	u.readLoop(conn, func(wire []byte) {
+		for _, em := range u.process(sw, wire) {
+			if em.Up {
+				u.forward(conn, u.spineConn[u.topo.LeafUpstream(id, em.Port)], em.Packet)
+			} else {
+				u.forward(conn, u.hostConn[u.topo.HostAt(id, em.Port)], em.Packet)
+			}
+		}
+	})
+}
+
+func (u *UDPFabric) runSpine(id topology.SpineID) {
+	conn := u.spineConn[id]
+	sw := u.base.Spines[id]
+	u.readLoop(conn, func(wire []byte) {
+		for _, em := range u.process(sw, wire) {
+			if em.Up {
+				u.forward(conn, u.coreConn[u.topo.SpineUpstream(id, em.Port)], em.Packet)
+			} else {
+				u.forward(conn, u.leafConn[u.topo.SpineDownstream(id, em.Port)], em.Packet)
+			}
+		}
+	})
+}
+
+func (u *UDPFabric) runCore(id topology.CoreID) {
+	conn := u.coreConn[id]
+	sw := u.base.Cores[id]
+	u.readLoop(conn, func(wire []byte) {
+		for _, em := range u.process(sw, wire) {
+			u.forward(conn, u.spineConn[u.topo.CoreDownstream(id, topology.PodID(em.Port))], em.Packet)
+		}
+	})
+}
+
+func (u *UDPFabric) runHost(h topology.HostID) {
+	conn := u.hostConn[h]
+	hv := u.base.Hypervisors[h]
+	u.readLoop(conn, func(wire []byte) {
+		pkt, err := dataplane.Unmarshal(u.layout, wire)
+		if err != nil {
+			u.countMalformed()
+			return
+		}
+		inner, tel, ok := hv.DeliverFull(pkt)
+		if !ok {
+			return
+		}
+		addr, _ := dataplane.GroupAddrFromOuter(pkt.Outer)
+		select {
+		case u.hostRx[h] <- HostPacket{Addr: addr, Inner: inner, Telemetry: tel}:
+		default:
+			u.mu.Lock()
+			u.Dropped++
+			u.mu.Unlock()
+		}
+	})
+}
+
+// WaitForDeliveries collects n frames from a host with a deadline —
+// a convenience for tests and examples on real sockets.
+func (u *UDPFabric) WaitForDeliveries(h topology.HostID, n int, timeout time.Duration) ([]HostPacket, error) {
+	out := make([]HostPacket, 0, n)
+	deadline := time.After(timeout)
+	for len(out) < n {
+		select {
+		case p := <-u.hostRx[h]:
+			out = append(out, p)
+		case <-deadline:
+			return out, fmt.Errorf("udpfabric: host %d got %d of %d before timeout", h, len(out), n)
+		}
+	}
+	return out, nil
+}

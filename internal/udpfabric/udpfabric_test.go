@@ -1,0 +1,129 @@
+package udpfabric
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"elmo/internal/controller"
+	"elmo/internal/dataplane"
+	"elmo/internal/fabric"
+	"elmo/internal/header"
+	"elmo/internal/topology"
+)
+
+func udpFixture(t *testing.T, enableINT bool) (*UDPFabric, controller.GroupKey, []topology.HostID) {
+	t.Helper()
+	topo := topology.MustNew(topology.PaperExample())
+	cfg := controller.PaperConfig(0)
+	cfg.EnableINT = enableINT
+	ctrl, err := controller.New(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := fabric.New(topo, cfg.SRuleCapacity)
+	base.SetFailures(ctrl.Failures())
+	key := controller.GroupKey{Tenant: 21, Group: 1}
+	hosts := []topology.HostID{0, 1, 40, 48, 63}
+	members := make(map[topology.HostID]controller.Role)
+	for _, h := range hosts {
+		members[h] = controller.RoleBoth
+	}
+	if _, err := ctrl.CreateGroup(key, members); err != nil {
+		t.Fatal(err)
+	}
+	u, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(u.Close)
+	if _, err := u.InstallGroup(ctrl, key); err != nil {
+		t.Fatal(err)
+	}
+	u.Start()
+	return u, key, hosts
+}
+
+func TestDeliveryOverRealUDP(t *testing.T) {
+	u, key, hosts := udpFixture(t, false)
+	addr := dataplane.GroupAddr{VNI: key.Tenant, Group: key.Group}
+	const n = 25
+	for i := 0; i < n; i++ {
+		if err := u.Send(0, addr, []byte(fmt.Sprintf("udp %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, h := range hosts[1:] {
+		got, err := u.WaitForDeliveries(h, n, 10*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for _, p := range got {
+			if p.Addr != addr {
+				t.Fatalf("host %d: wrong group %+v", h, p.Addr)
+			}
+			seen[string(p.Inner)] = true
+		}
+		if len(seen) != n {
+			t.Fatalf("host %d: %d distinct of %d", h, len(seen), n)
+		}
+	}
+	if u.Malformed != 0 || u.Dropped != 0 {
+		t.Fatalf("malformed=%d dropped=%d", u.Malformed, u.Dropped)
+	}
+}
+
+func TestINTOverRealUDP(t *testing.T) {
+	u, key, _ := udpFixture(t, true)
+	addr := dataplane.GroupAddr{VNI: key.Tenant, Group: key.Group}
+	if err := u.Send(0, addr, []byte("trace")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := u.WaitForDeliveries(63, 1, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := got[0].Telemetry
+	if len(path) < 3 {
+		t.Fatalf("cross-pod path too short: %+v", path)
+	}
+	if path[0].Tier != header.INTTierLeaf {
+		t.Fatalf("path does not start at a leaf: %+v", path)
+	}
+}
+
+func TestHostAddrStable(t *testing.T) {
+	u, _, _ := udpFixture(t, false)
+	a1 := u.HostAddr(5)
+	a2 := u.HostAddr(5)
+	if a1.Port == 0 || a1.String() != a2.String() {
+		t.Fatalf("host addr unstable: %v vs %v", a1, a2)
+	}
+	if u.HostAddr(6).Port == a1.Port {
+		t.Fatal("distinct hosts share a port")
+	}
+}
+
+func TestGarbageDatagramCounted(t *testing.T) {
+	u, _, _ := udpFixture(t, false)
+	// Fire a garbage datagram straight at a leaf socket.
+	conn := u.hostConn[3]
+	if _, err := conn.WriteToUDP([]byte{0xde, 0xad}, u.leafConn[0].LocalAddr().(*net.UDPAddr)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		u.mu.Lock()
+		m := u.Malformed
+		u.mu.Unlock()
+		if m == 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("malformed datagram not counted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
