@@ -1,0 +1,34 @@
+# Developer entry points. The CI-equivalent gate is `make verify`;
+# `make race` additionally runs the whole suite under the race
+# detector (the live and UDP fabrics are heavily concurrent).
+
+GO ?= go
+
+.PHONY: all build test verify race bench trace
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the tier-1 gate: vet + build + full test suite.
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
+# race runs vet plus the full suite under the race detector.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# trace records the flight-recorder demo scenario and writes a Chrome
+# trace_event JSON for chrome://tracing / Perfetto.
+trace:
+	$(GO) run ./cmd/elmo-sim -trace -traceout trace.json

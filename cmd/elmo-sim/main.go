@@ -26,37 +26,46 @@ import (
 
 	"elmo/internal/churn"
 	"elmo/internal/controller"
+	"elmo/internal/dataplane"
+	"elmo/internal/fabric"
 	"elmo/internal/groupgen"
 	"elmo/internal/metrics"
 	"elmo/internal/placement"
 	"elmo/internal/sim"
 	"elmo/internal/topology"
+	"elmo/internal/trace"
 )
 
 func main() {
 	var (
-		pods    = flag.Int("pods", 4, "pods")
-		spines  = flag.Int("spines", 2, "spines per pod")
-		leaves  = flag.Int("leaves", 8, "leaves per pod")
-		hosts   = flag.Int("hosts", 8, "hosts per leaf")
-		cores   = flag.Int("cores", 2, "cores per plane")
-		tenants = flag.Int("tenants", 80, "tenants")
-		groups  = flag.Int("groups", 2000, "total multicast groups")
-		srules  = flag.Int("srules", 10000, "s-rule capacity per switch (Fmax)")
-		dist    = flag.String("dist", "wve", "group-size distribution: wve or uniform")
-		rList   = flag.String("r", "0,6,12", "comma-separated redundancy limits")
-		doChurn = flag.Bool("churn", false, "run the Table 2 churn experiment")
-		events  = flag.Int("events", 20000, "churn events (with -churn)")
-		doFail  = flag.Bool("failures", false, "run the failure-impact experiment")
-		csvDir  = flag.String("csv", "", "directory to write figure CSV series into (empty = none)")
-		meanVMs = flag.Float64("meanvms", 0, "mean tenant VMs (0 = auto: paper's 178.77 capped by fabric capacity)")
-		seed    = flag.Int64("seed", 1, "random seed")
+		pods     = flag.Int("pods", 4, "pods")
+		spines   = flag.Int("spines", 2, "spines per pod")
+		leaves   = flag.Int("leaves", 8, "leaves per pod")
+		hosts    = flag.Int("hosts", 8, "hosts per leaf")
+		cores    = flag.Int("cores", 2, "cores per plane")
+		tenants  = flag.Int("tenants", 80, "tenants")
+		groups   = flag.Int("groups", 2000, "total multicast groups")
+		srules   = flag.Int("srules", 10000, "s-rule capacity per switch (Fmax)")
+		dist     = flag.String("dist", "wve", "group-size distribution: wve or uniform")
+		rList    = flag.String("r", "0,6,12", "comma-separated redundancy limits")
+		doChurn  = flag.Bool("churn", false, "run the Table 2 churn experiment")
+		events   = flag.Int("events", 20000, "churn events (with -churn)")
+		doFail   = flag.Bool("failures", false, "run the failure-impact experiment")
+		csvDir   = flag.String("csv", "", "directory to write figure CSV series into (empty = none)")
+		doTrace  = flag.Bool("trace", false, "record a traced multicast scenario instead of the figure sweeps")
+		traceOut = flag.String("traceout", "", "file to write the Chrome trace_event JSON into (with -trace; empty = none)")
+		meanVMs  = flag.Float64("meanvms", 0, "mean tenant VMs (0 = auto: paper's 178.77 capped by fabric capacity)")
+		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
 
 	topoCfg := topology.Config{
 		Pods: *pods, SpinesPerPod: *spines, LeavesPerPod: *leaves,
 		HostsPerLeaf: *hosts, CoresPerPlane: *cores,
+	}
+	if *doTrace {
+		runTrace(topoCfg, *srules, *traceOut)
+		return
 	}
 	distribution := groupgen.WVE
 	if *dist == "uniform" {
@@ -149,6 +158,117 @@ func main() {
 	}
 	if *doChurn || *doFail {
 		runControlPlane(topoCfg, *tenants, *groups, *srules, distribution, *events, *meanVMs, *seed, *doChurn, *doFail)
+	}
+}
+
+// runTrace records one multicast scenario with the flight recorder on:
+// a cross-pod group send, a spine failure with reroute, and the repair,
+// printing the per-packet path and the controller's flight log, and
+// optionally dumping the Chrome trace_event JSON for chrome://tracing.
+func runTrace(topoCfg topology.Config, srules int, out string) {
+	topo := topology.MustNew(topoCfg)
+	cfg := paperController(0, srules)
+	ctrl, err := controller.New(topo, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := fabric.New(topo, cfg.SRuleCapacity)
+	f.SetFailures(ctrl.Failures())
+
+	rec := trace.New(trace.Config{Capacity: 1 << 16})
+	rec.Enable() // every category
+	ctrl.SetTracer(rec)
+	f.SetTracer(rec)
+
+	key := controller.GroupKey{Tenant: 1, Group: 1}
+	addr := dataplane.GroupAddr{VNI: key.Tenant, Group: key.Group}
+	hosts := tracedHosts(topo)
+	members := make(map[topology.HostID]controller.Role, len(hosts))
+	for _, h := range hosts {
+		members[h] = controller.RoleBoth
+	}
+	if _, err := ctrl.CreateGroup(key, members); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := f.InstallGroup(ctrl, key); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("=== traced scenario: tenant %d group %d, members %v ===\n", key.Tenant, key.Group, hosts)
+	d, err := f.Send(hosts[0], addr, []byte("traced packet"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	healthy := rec.Snapshot()
+	fmt.Printf("\nhealthy send from host %d (%d copies delivered):\n  %s\n",
+		hosts[0], len(d.Received), trace.RenderPath(healthy, addr.VNI, addr.Group))
+
+	// Fail a spine in the sender's pod, refresh the sender flows with
+	// the recomputed headers, and send again to show the reroute.
+	failed := topo.SpineAt(topo.HostPod(hosts[0]), 0)
+	ctrl.FailSpine(failed)
+	refreshFlows(ctrl, f, key, addr, hosts)
+	d, err = f.Send(hosts[0], addr, []byte("after failure"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	all := rec.Snapshot()
+	fmt.Printf("\nafter FailSpine(%d) (%d copies delivered):\n  %s\n",
+		failed, len(d.Received), trace.RenderPath(all[len(healthy):], addr.VNI, addr.Group))
+
+	ctrl.RepairSpine(failed)
+	refreshFlows(ctrl, f, key, addr, hosts)
+
+	final := rec.Snapshot()
+	fmt.Printf("\ncontrol-plane flight log:\n%s", trace.RenderControl(final))
+
+	if out != "" {
+		fd, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WriteChrome(fd, final); err != nil {
+			log.Fatal(err)
+		}
+		if err := fd.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%d events written to %s (load in chrome://tracing or https://ui.perfetto.dev)\n",
+			len(final), out)
+	}
+}
+
+// tracedHosts picks a small group that exercises every tier: two hosts
+// under the sender's leaf (leaf-local delivery), one under a second
+// leaf of the same pod (spine hop), and one in another pod (core hop),
+// as the topology allows.
+func tracedHosts(topo *topology.Topology) []topology.HostID {
+	cfg := topo.Config()
+	hosts := []topology.HostID{topo.HostAt(0, 0)}
+	if cfg.HostsPerLeaf > 1 {
+		hosts = append(hosts, topo.HostAt(0, 1))
+	}
+	if cfg.LeavesPerPod > 1 {
+		hosts = append(hosts, topo.HostAt(1, 0))
+	}
+	if cfg.Pods > 1 {
+		hosts = append(hosts, topo.HostAt(topo.LeafAt(1, 0), 0))
+	}
+	return hosts
+}
+
+// refreshFlows reinstalls the sender flows with freshly computed
+// headers — the hypervisor update the controller pushes after churn or
+// a failure (§4.3).
+func refreshFlows(ctrl *controller.Controller, f *fabric.Fabric, key controller.GroupKey, addr dataplane.GroupAddr, hosts []topology.HostID) {
+	for _, h := range hosts {
+		hdr, err := ctrl.HeaderFor(key, h)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Hypervisors[h].InstallSenderFlow(addr, hdr); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

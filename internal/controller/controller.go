@@ -9,6 +9,7 @@ import (
 	"elmo/internal/dataplane"
 	"elmo/internal/header"
 	"elmo/internal/topology"
+	"elmo/internal/trace"
 )
 
 // GroupKey identifies a multicast group: the tenant's VNI plus the
@@ -119,6 +120,8 @@ type Controller struct {
 	spineSRules []int
 
 	stats UpdateStats
+
+	tracer trace.Recorder
 }
 
 // New creates a controller for a topology.
@@ -145,6 +148,34 @@ func (c *Controller) Config() Config { return c.cfg }
 
 // Failures exposes the failure set (for fabric wiring and tests).
 func (c *Controller) Failures() *topology.FailureSet { return c.failures }
+
+// SetTracer attaches a flight recorder: group lifecycle, churn,
+// recompute, failure charging, and rollback events are recorded under
+// the control category, encoding runs under the encoder category. Nil
+// or disabled recorders cost one check per control-plane operation.
+func (c *Controller) SetTracer(r trace.Recorder) { c.tracer = r }
+
+// traceControl records a control-plane event for a group.
+func (c *Controller) traceControl(kind trace.Kind, key GroupKey, arg int64, note string) {
+	if !trace.On(c.tracer, trace.CatControl) {
+		return
+	}
+	c.tracer.Record(trace.Event{
+		Cat: trace.CatControl, Kind: kind, Tier: trace.TierController,
+		VNI: key.Tenant, Group: key.Group, Arg: arg, Note: note,
+	})
+}
+
+// traceFailure records a failure/repair event for a switch.
+func (c *Controller) traceFailure(kind trace.Kind, sw int32, impacted int) {
+	if !trace.On(c.tracer, trace.CatControl) {
+		return
+	}
+	c.tracer.Record(trace.Event{
+		Cat: trace.CatControl, Kind: kind, Tier: trace.TierController,
+		Switch: sw, Arg: int64(impacted),
+	})
+}
 
 // Stats returns the accumulated update counters.
 func (c *Controller) Stats() *UpdateStats {
@@ -229,6 +260,7 @@ func (c *Controller) CreateGroup(key GroupKey, members map[topology.HostID]Role)
 	for h := range g.Members {
 		st.Hypervisor[h]++
 	}
+	c.traceControl(trace.KindCreateGroup, key, int64(len(g.Members)), "")
 	return g, nil
 }
 
@@ -244,6 +276,7 @@ func (c *Controller) RemoveGroup(key GroupKey) error {
 		st.Hypervisor[h]++
 	}
 	delete(c.groups, key)
+	c.traceControl(trace.KindRemoveGroup, key, int64(len(g.Members)), "")
 	return nil
 }
 
@@ -265,6 +298,7 @@ func (c *Controller) Join(key GroupKey, host topology.HostID, role Role) error {
 	st.Hypervisor[host]++ // the member's own hypervisor always updates
 	// A sender-only join leaves the tree untouched: only the source
 	// hypervisor is updated (§5.1.3a).
+	c.traceControl(trace.KindJoin, key, int64(host), "")
 	receiverChanged := role.CanReceive() && (!present || !old.CanReceive())
 	if !receiverChanged {
 		return nil
@@ -277,6 +311,7 @@ func (c *Controller) Join(key GroupKey, host topology.HostID, role Role) error {
 		} else {
 			delete(g.Members, host)
 		}
+		c.traceControl(trace.KindRollback, key, int64(host), err.Error())
 		return err
 	}
 	return nil
@@ -301,12 +336,14 @@ func (c *Controller) Leave(key GroupKey, host topology.HostID, role Role) error 
 	}
 	st := c.Stats()
 	st.Hypervisor[host]++
+	c.traceControl(trace.KindLeave, key, int64(host), "")
 	receiverChanged := role.CanReceive() && old.CanReceive()
 	if !receiverChanged {
 		return nil
 	}
 	if err := c.retree(g, host); err != nil {
 		g.Members[host] = old
+		c.traceControl(trace.KindRollback, key, int64(host), err.Error())
 		return err
 	}
 	return nil
@@ -321,6 +358,7 @@ func (c *Controller) retree(g *GroupState, changed topology.HostID) error {
 	if err := c.recompute(g, oldEnc); err != nil {
 		return err
 	}
+	c.traceControl(trace.KindRecompute, g.Key, int64(changed), "")
 	st := c.Stats()
 	// Leaf s-rule diffs.
 	for l, bm := range encLeafSRules(oldEnc) {
@@ -385,11 +423,35 @@ func (c *Controller) recompute(g *GroupState, oldEnc *Encoding) error {
 	if err != nil {
 		// Roll the old s-rules back so state stays consistent.
 		c.commitSRules(oldEnc)
+		c.traceControl(trace.KindRollback, g.Key, -1, err.Error())
 		return err
 	}
 	g.Enc = enc
 	c.commitSRules(enc)
+	c.traceEncode(g.Key, enc)
 	return nil
+}
+
+// traceEncode records one encoding run with the clustering constraints
+// it ran under (Hmax, Kmax, R, Fmax) and what came out: p-rule counts
+// per layer, s-rule installations, default fallback, and the redundancy
+// the sharing introduced.
+func (c *Controller) traceEncode(key GroupKey, enc *Encoding) {
+	if !trace.On(c.tracer, trace.CatEncoder) {
+		return
+	}
+	note := fmt.Sprintf(
+		"Hmax=%d/%d Kmax=%d/%d R=%d Fmax=%d -> dleaf=%d dspine=%d srules=%d+%d default=%t redundancy=%d",
+		c.cfg.LeafRuleLimit, c.cfg.SpineRuleLimit, c.cfg.KMaxLeaf, c.cfg.KMaxSpine,
+		c.cfg.R, c.cfg.SRuleCapacity,
+		len(enc.DLeaf), len(enc.DSpine), len(enc.LeafSRules), len(enc.SpineSRules),
+		!enc.Exact(), enc.Redundancy)
+	c.tracer.Record(trace.Event{
+		Cat: trace.CatEncoder, Kind: trace.KindEncode, Tier: trace.TierController,
+		VNI: key.Tenant, Group: key.Group,
+		Arg:  int64(enc.Redundancy),
+		Note: note,
+	})
 }
 
 func (c *Controller) commitSRules(e *Encoding) {
@@ -478,9 +540,11 @@ func (c *Controller) HeaderFor(key GroupKey, sender topology.HostID) (*header.He
 func (c *Controller) FailSpine(s topology.SpineID) int {
 	c.failures.FailSpine(s)
 	pod, plane := c.topo.SpinePod(s), c.topo.SpinePlane(s)
-	return c.chargeFailure(func(g *GroupState) bool {
+	n := c.chargeFailure(func(g *GroupState) bool {
 		return c.groupTransitsSpine(g, pod, plane)
 	})
+	c.traceFailure(trace.KindFailSpine, int32(s), n)
+	return n
 }
 
 // groupTransitsSpine reports whether any sender flow of the group
@@ -527,7 +591,7 @@ func (c *Controller) groupTransitsSpine(g *GroupState, pod topology.PodID, plane
 // flow hashed through that core while crossing pods).
 func (c *Controller) FailCore(co topology.CoreID) int {
 	c.failures.FailCore(co)
-	return c.chargeFailure(func(g *GroupState) bool {
+	n := c.chargeFailure(func(g *GroupState) bool {
 		if g.Enc.Pods.PopCount() <= 1 {
 			return false
 		}
@@ -543,6 +607,8 @@ func (c *Controller) FailCore(co topology.CoreID) int {
 		}
 		return false
 	})
+	c.traceFailure(trace.KindFailCore, int32(co), n)
+	return n
 }
 
 func (c *Controller) chargeFailure(affected func(*GroupState) bool) int {
@@ -568,15 +634,17 @@ func (c *Controller) chargeFailure(affected func(*GroupState) bool) int {
 func (c *Controller) RepairSpine(s topology.SpineID) int {
 	c.failures.RepairSpine(s)
 	pod, plane := c.topo.SpinePod(s), c.topo.SpinePlane(s)
-	return c.chargeFailure(func(g *GroupState) bool {
+	n := c.chargeFailure(func(g *GroupState) bool {
 		return c.groupTransitsSpine(g, pod, plane)
 	})
+	c.traceFailure(trace.KindRepairSpine, int32(s), n)
+	return n
 }
 
 // RepairCore clears a core failure.
 func (c *Controller) RepairCore(co topology.CoreID) int {
 	c.failures.RepairCore(co)
-	return c.chargeFailure(func(g *GroupState) bool {
+	n := c.chargeFailure(func(g *GroupState) bool {
 		if g.Enc.Pods.PopCount() <= 1 {
 			return false
 		}
@@ -592,4 +660,6 @@ func (c *Controller) RepairCore(co topology.CoreID) int {
 		}
 		return false
 	})
+	c.traceFailure(trace.KindRepairCore, int32(co), n)
+	return n
 }

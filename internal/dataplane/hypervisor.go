@@ -7,6 +7,7 @@ import (
 
 	"elmo/internal/header"
 	"elmo/internal/topology"
+	"elmo/internal/trace"
 )
 
 // SenderFlow is a hypervisor flow-table entry for one group a local VM
@@ -43,6 +44,11 @@ type Hypervisor struct {
 	encapsulated atomic.Int64
 	delivered    atomic.Int64
 	filtered     atomic.Int64
+
+	// Tracer receives encap/deliver/filter flight-recorder events when
+	// the host category is enabled; nil or disabled costs one check per
+	// packet. Set while the fabric is quiet.
+	Tracer trace.Recorder
 }
 
 // NewHypervisor creates the hypervisor switch for a host.
@@ -107,6 +113,13 @@ func (hv *Hypervisor) Encap(addr GroupAddr, inner []byte) (Packet, error) {
 		return Packet{}, fmt.Errorf("dataplane: host %d has no flow for %+v", hv.host, addr)
 	}
 	hv.encapsulated.Add(1)
+	if trace.On(hv.Tracer, trace.CatHost) {
+		hv.Tracer.Record(trace.Event{
+			Cat: trace.CatHost, Kind: trace.KindEncap, Tier: trace.TierHost,
+			Switch: int32(hv.host), VNI: addr.VNI, Group: addr.Group,
+			Arg: int64(len(f.stream)),
+		})
+	}
 	return Packet{Outer: f.outer, Elmo: f.stream, Inner: inner}, nil
 }
 
@@ -134,9 +147,21 @@ func (hv *Hypervisor) DeliverFull(p Packet) ([]byte, []header.INTRecord, bool) {
 	}
 	if !ok {
 		hv.filtered.Add(1)
+		if trace.On(hv.Tracer, trace.CatHost) {
+			hv.Tracer.Record(trace.Event{
+				Cat: trace.CatHost, Kind: trace.KindFilter, Tier: trace.TierHost,
+				Switch: int32(hv.host), VNI: addr.VNI, Group: addr.Group,
+			})
+		}
 		return nil, nil, false
 	}
 	hv.delivered.Add(1)
+	if trace.On(hv.Tracer, trace.CatHost) {
+		hv.Tracer.Record(trace.Event{
+			Cat: trace.CatHost, Kind: trace.KindDeliver, Tier: trace.TierHost,
+			Switch: int32(hv.host), VNI: addr.VNI, Group: addr.Group,
+		})
+	}
 	records, err := header.ExtractINT(hv.layout, p.Elmo)
 	if err != nil {
 		records = nil

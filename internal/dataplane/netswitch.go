@@ -6,6 +6,7 @@ import (
 	"elmo/internal/bitmap"
 	"elmo/internal/header"
 	"elmo/internal/topology"
+	"elmo/internal/trace"
 )
 
 // SwitchKind is the tier of a network switch.
@@ -100,6 +101,13 @@ type NetworkSwitch struct {
 	// the chosen port. Nil means flow-hash ECMP.
 	UpstreamPicker func(f header.OuterFields, alive []int) int
 
+	// Tracer receives a flight-recorder event per processed packet
+	// (which rule matched, output ports, header bytes popped) when the
+	// hop category is enabled. Nil or disabled costs one nil check /
+	// atomic load per packet and allocates nothing. Set it while the
+	// switch is quiet (same contract as the group table).
+	Tracer trace.Recorder
+
 	stats Stats
 }
 
@@ -162,6 +170,7 @@ func (sw *NetworkSwitch) Process(p Packet) ([]Emission, error) {
 	st.Packets++
 	if p.Outer.TTL <= 1 {
 		st.Drops[DropTTL]++
+		sw.traceDrop(p, DropTTL)
 		return nil, nil
 	}
 	p.Outer.TTL--
@@ -179,6 +188,7 @@ func (sw *NetworkSwitch) Process(p Packet) ([]Emission, error) {
 	}
 	if err != nil {
 		st.Drops[DropMalformed]++
+		sw.traceDrop(p, DropMalformed)
 		return nil, err
 	}
 	st.Copies += len(out)
@@ -196,11 +206,13 @@ func (sw *NetworkSwitch) processLegacy(p Packet) ([]Emission, error) {
 	addr, ok := GroupAddrFromOuter(p.Outer)
 	if !ok {
 		sw.Stats().Drops[DropNoRule]++
+		sw.traceDrop(p, DropNoRule)
 		return nil, nil
 	}
 	ports, ok := sw.groupTable[addr]
 	if !ok {
 		sw.Stats().Drops[DropNoRule]++
+		sw.traceDrop(p, DropNoRule)
 		return nil, nil
 	}
 	sw.Stats().SRuleHits++
@@ -208,6 +220,7 @@ func (sw *NetworkSwitch) processLegacy(p Packet) ([]Emission, error) {
 	ports.ForEach(func(port int) {
 		out = append(out, Emission{Port: port, Packet: p})
 	})
+	sw.traceHop(p, trace.RuleSRule, out)
 	return out, nil
 }
 
@@ -232,6 +245,7 @@ func (sw *NetworkSwitch) processLeaf(p Packet) ([]Emission, error) {
 		})
 		out = append(out, sw.upstreamCopies(p, rest, rule, sw.topo.LeafUpWidth())...)
 		sw.Stats().PRuleHits++
+		sw.traceHop(p, trace.RulePRule, out)
 		return out, nil
 	}
 	// Downstream: skip any stale earlier sections (a legacy hop pops
@@ -249,9 +263,10 @@ func (sw *NetworkSwitch) processLeaf(p Packet) ([]Emission, error) {
 	if err != nil {
 		return nil, err
 	}
-	ports, ok := sw.resolve(m, p.Outer)
+	ports, rule, ok := sw.resolve(m, p.Outer)
 	if !ok {
 		sw.Stats().Drops[DropNoRule]++
+		sw.traceDrop(p, DropNoRule)
 		return nil, nil
 	}
 	stamped := sw.stamp(stream, p.Outer.TTL)
@@ -259,6 +274,7 @@ func (sw *NetworkSwitch) processLeaf(p Packet) ([]Emission, error) {
 	ports.ForEach(func(port int) {
 		out = append(out, Emission{Port: port, Packet: sw.hostCopy(p, stamped)})
 	})
+	sw.traceHop(p, rule, out)
 	return out, nil
 }
 
@@ -289,6 +305,7 @@ func (sw *NetworkSwitch) processSpine(p Packet) ([]Emission, error) {
 		}
 		out = append(out, sw.upstreamCopies(p, rest, rule, sw.topo.SpineUpWidth())...)
 		sw.Stats().PRuleHits++
+		sw.traceHop(p, trace.RulePRule, out)
 		return out, nil
 	}
 	// Downstream from core: skip stale sections, then match our pod in
@@ -306,9 +323,10 @@ func (sw *NetworkSwitch) processSpine(p Packet) ([]Emission, error) {
 	if err != nil {
 		return nil, err
 	}
-	ports, ok := sw.resolve(m, p.Outer)
+	ports, rule, ok := sw.resolve(m, p.Outer)
 	if !ok {
 		sw.Stats().Drops[DropNoRule]++
+		sw.traceDrop(p, DropNoRule)
 		return nil, nil
 	}
 	rest = sw.stamp(rest, p.Outer.TTL)
@@ -316,6 +334,7 @@ func (sw *NetworkSwitch) processSpine(p Packet) ([]Emission, error) {
 	ports.ForEach(func(port int) {
 		out = append(out, Emission{Port: port, Packet: Packet{Outer: p.Outer, Elmo: rest, Inner: p.Inner}})
 	})
+	sw.traceHop(p, rule, out)
 	return out, nil
 }
 
@@ -332,6 +351,7 @@ func (sw *NetworkSwitch) processCore(p Packet) ([]Emission, error) {
 		out = append(out, Emission{Port: pod, Packet: Packet{Outer: p.Outer, Elmo: rest, Inner: p.Inner}})
 	})
 	sw.Stats().PRuleHits++
+	sw.traceHop(p, trace.RulePRule, out)
 	return out, nil
 }
 
@@ -396,24 +416,25 @@ func consumeDownstreamAt(l header.Layout, tag byte, id uint16, stream []byte) (h
 }
 
 // resolve implements the §4.1 ingress control flow: matched p-rule
-// bitmap, else s-rule group table, else default p-rule.
-func (sw *NetworkSwitch) resolve(m header.DownstreamMatch, outer header.OuterFields) (bitmap.Bitmap, bool) {
+// bitmap, else s-rule group table, else default p-rule. The returned
+// RuleKind records which stage matched, for the flight recorder.
+func (sw *NetworkSwitch) resolve(m header.DownstreamMatch, outer header.OuterFields) (bitmap.Bitmap, trace.RuleKind, bool) {
 	st := sw.Stats()
 	if m.Matched {
 		st.PRuleHits++
-		return m.Bitmap, true
+		return m.Bitmap, trace.RulePRule, true
 	}
 	if addr, ok := GroupAddrFromOuter(outer); ok {
 		if ports, ok := sw.groupTable[addr]; ok {
 			st.SRuleHits++
-			return ports, true
+			return ports, trace.RuleSRule, true
 		}
 	}
 	if m.HasDefault {
 		st.Defaults++
-		return m.Default, true
+		return m.Default, trace.RuleDefault, true
 	}
-	return bitmap.Bitmap{}, false
+	return bitmap.Bitmap{}, trace.RuleNone, false
 }
 
 // stamp appends this switch's INT record when the stream carries a
@@ -467,3 +488,59 @@ func streamFrom(l header.Layout, stream []byte, tag byte) ([]byte, error) {
 }
 
 var emptyStream = []byte{header.TagEnd}
+
+// traceIdentity fills the event's tier/switch fields and the port
+// widths used for rendering.
+func (sw *NetworkSwitch) traceIdentity(ev *trace.Event) {
+	switch sw.kind {
+	case KindLeaf:
+		ev.Tier, ev.Switch = trace.TierLeaf, int32(sw.leaf)
+		ev.PortWidth = uint16(sw.topo.LeafDownWidth())
+		ev.UpWidth = uint16(sw.topo.LeafUpWidth())
+	case KindSpine:
+		ev.Tier, ev.Switch = trace.TierSpine, int32(sw.spine)
+		ev.PortWidth = uint16(sw.topo.SpineDownWidth())
+		ev.UpWidth = uint16(sw.topo.SpineUpWidth())
+	default:
+		ev.Tier, ev.Switch = trace.TierCore, int32(sw.core)
+		ev.PortWidth = uint16(sw.topo.CoreDownWidth())
+	}
+}
+
+// traceHop records one pipeline traversal: the rule kind that matched,
+// where the copies went, and the header bytes this hop consumed. Fully
+// guarded — a nil or disabled tracer costs one check and no allocation.
+func (sw *NetworkSwitch) traceHop(p Packet, rule trace.RuleKind, out []Emission) {
+	if !trace.On(sw.Tracer, trace.CatHop) {
+		return
+	}
+	ev := trace.Event{Cat: trace.CatHop, Kind: trace.KindHop, Rule: rule}
+	sw.traceIdentity(&ev)
+	if addr, ok := GroupAddrFromOuter(p.Outer); ok {
+		ev.VNI, ev.Group = addr.VNI, addr.Group
+	}
+	for _, em := range out {
+		if em.Up {
+			ev.UpPorts.Set(em.Port)
+		} else {
+			ev.Ports.Set(em.Port)
+		}
+	}
+	if len(out) > 0 {
+		ev.Popped = int32(len(p.Elmo) - len(out[0].Packet.Elmo))
+	}
+	sw.Tracer.Record(ev)
+}
+
+// traceDrop records a dropped packet with its DropReason in Arg.
+func (sw *NetworkSwitch) traceDrop(p Packet, reason DropReason) {
+	if !trace.On(sw.Tracer, trace.CatHop) {
+		return
+	}
+	ev := trace.Event{Cat: trace.CatHop, Kind: trace.KindDrop, Arg: int64(reason)}
+	sw.traceIdentity(&ev)
+	if addr, ok := GroupAddrFromOuter(p.Outer); ok {
+		ev.VNI, ev.Group = addr.VNI, addr.Group
+	}
+	sw.Tracer.Record(ev)
+}

@@ -14,6 +14,7 @@ import (
 	"elmo/internal/dataplane"
 	"elmo/internal/header"
 	"elmo/internal/topology"
+	"elmo/internal/trace"
 )
 
 // Fabric is an emulated datacenter network: one hypervisor per host,
@@ -29,6 +30,7 @@ type Fabric struct {
 	Cores       []*dataplane.NetworkSwitch
 
 	failures *topology.FailureSet
+	tracer   trace.Recorder
 }
 
 // New builds the fabric with the given per-switch s-rule capacity.
@@ -80,6 +82,40 @@ func (f *Fabric) Failures() *topology.FailureSet { return f.failures }
 // controller's, so one set drives both control and data planes).
 func (f *Fabric) SetFailures(fs *topology.FailureSet) {
 	f.failures = fs
+}
+
+// SetTracer attaches a flight recorder to every switch and hypervisor
+// of the fabric (and to the fabric's own link-loss events), so packet
+// hops record which rule forwarded them at each tier. Call while the
+// fabric is quiet — the live fabrics read the same switch objects from
+// their goroutines. A nil or disabled recorder adds one atomic check
+// per packet and no allocation.
+func (f *Fabric) SetTracer(r trace.Recorder) {
+	f.tracer = r
+	for _, hv := range f.Hypervisors {
+		hv.Tracer = r
+	}
+	for _, sw := range f.Leaves {
+		sw.Tracer = r
+	}
+	for _, sw := range f.Spines {
+		sw.Tracer = r
+	}
+	for _, sw := range f.Cores {
+		sw.Tracer = r
+	}
+}
+
+// traceLost records a copy dropped at a failed switch.
+func (f *Fabric) traceLost(tier trace.Tier, id int, pkt dataplane.Packet) {
+	if !trace.On(f.tracer, trace.CatFabric) {
+		return
+	}
+	ev := trace.Event{Cat: trace.CatFabric, Kind: trace.KindDrop, Tier: tier, Switch: int32(id)}
+	if addr, ok := dataplane.GroupAddrFromOuter(pkt.Outer); ok {
+		ev.VNI, ev.Group = addr.VNI, addr.Group
+	}
+	f.tracer.Record(ev)
 }
 
 // SetLegacyLeaf switches a leaf into legacy (non-Elmo) mode; pair with
@@ -238,6 +274,7 @@ func (f *Fabric) forward(src topology.HostID, pkt dataplane.Packet) (*Delivery, 
 					spine := f.topo.LeafUpstream(leaf, em.Port)
 					if f.failures.SpineFailed(spine) {
 						d.Lost++
+						f.traceLost(trace.TierSpine, int(spine), em.Packet)
 						continue
 					}
 					queue = append(queue, event{kind: dataplane.KindSpine, id: int(spine), pkt: em.Packet})
@@ -258,6 +295,7 @@ func (f *Fabric) forward(src topology.HostID, pkt dataplane.Packet) (*Delivery, 
 					core := f.topo.SpineUpstream(spine, em.Port)
 					if f.failures.CoreFailed(core) {
 						d.Lost++
+						f.traceLost(trace.TierCore, int(core), em.Packet)
 						continue
 					}
 					queue = append(queue, event{kind: dataplane.KindCore, id: int(core), pkt: em.Packet})
@@ -278,6 +316,7 @@ func (f *Fabric) forward(src topology.HostID, pkt dataplane.Packet) (*Delivery, 
 				spine := f.topo.CoreDownstream(core, topology.PodID(em.Port))
 				if f.failures.SpineFailed(spine) {
 					d.Lost++
+					f.traceLost(trace.TierSpine, int(spine), em.Packet)
 					continue
 				}
 				queue = append(queue, event{kind: dataplane.KindSpine, id: int(spine), pkt: em.Packet})

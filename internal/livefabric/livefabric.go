@@ -21,6 +21,7 @@ import (
 	"elmo/internal/fabric"
 	"elmo/internal/header"
 	"elmo/internal/topology"
+	"elmo/internal/trace"
 )
 
 // HostPacket is one frame delivered to a host's VMs.
@@ -58,6 +59,7 @@ type LiveFabric struct {
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	started bool
+	tracer  trace.Recorder
 
 	mu sync.Mutex
 	// HostDrops counts frames dropped at full host queues.
@@ -98,6 +100,14 @@ func makeChans(n, depth int) []chan []byte {
 
 // Base returns the wrapped fabric (for group installation).
 func (lf *LiveFabric) Base() *fabric.Fabric { return lf.base }
+
+// SetTracer attaches a flight recorder to the underlying switches and
+// hypervisors and to the live fabric's own transport events (host
+// queue overflows, malformed frames). Call before Start.
+func (lf *LiveFabric) SetTracer(r trace.Recorder) {
+	lf.tracer = r
+	lf.base.SetTracer(r)
+}
 
 // HostRx returns the delivery channel for a host.
 func (lf *LiveFabric) HostRx(h topology.HostID) <-chan HostPacket { return lf.hostRx[h] }
@@ -300,6 +310,12 @@ func (lf *LiveFabric) deliverHost(h topology.HostID, pkt dataplane.Packet) {
 		lf.mu.Lock()
 		lf.HostDrops++
 		lf.mu.Unlock()
+		if trace.On(lf.tracer, trace.CatFabric) {
+			lf.tracer.Record(trace.Event{
+				Cat: trace.CatFabric, Kind: trace.KindHostDrop, Tier: trace.TierHost,
+				Switch: int32(h), VNI: addr.VNI, Group: addr.Group,
+			})
+		}
 	}
 }
 
@@ -307,6 +323,9 @@ func (lf *LiveFabric) countMalformed() {
 	lf.mu.Lock()
 	lf.Malformed++
 	lf.mu.Unlock()
+	if trace.On(lf.tracer, trace.CatFabric) {
+		lf.tracer.Record(trace.Event{Cat: trace.CatFabric, Kind: trace.KindMalformed})
+	}
 }
 
 // EnableCongestionAwareMultipath replaces flow-hash ECMP with a

@@ -32,11 +32,21 @@ func (s *Summary) Add(x float64) {
 	s.sumSq += x * x
 }
 
-// AddN records a sample with multiplicity.
+// AddN records a sample with multiplicity n in constant time,
+// equivalent to calling Add(x) n times.
 func (s *Summary) AddN(x float64, n int) {
-	for i := 0; i < n; i++ {
-		s.Add(x)
+	if n <= 0 {
+		return
 	}
+	if s.n == 0 || x < s.min {
+		s.min = x
+	}
+	if s.n == 0 || x > s.max {
+		s.max = x
+	}
+	s.n += n
+	s.sum += x * float64(n)
+	s.sumSq += x * x * float64(n)
 }
 
 // N returns the sample count.

@@ -29,6 +29,33 @@ func TestSummaryBasics(t *testing.T) {
 	}
 }
 
+// TestAddNEquivalence checks the O(1) AddN matches n repeated Adds
+// exactly across interleaved random sequences, including n <= 0 being
+// a no-op.
+func TestAddNEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var fast, slow Summary
+	fast.AddN(99, 0)
+	fast.AddN(99, -3)
+	for i := 0; i < 200; i++ {
+		x := rng.NormFloat64() * 50
+		n := rng.Intn(6) // 0 is a valid multiplicity
+		fast.AddN(x, n)
+		for j := 0; j < n; j++ {
+			slow.Add(x)
+		}
+	}
+	if fast.N() != slow.N() || fast.Min() != slow.Min() || fast.Max() != slow.Max() {
+		t.Fatalf("AddN %s != repeated Add %s", fast.String(), slow.String())
+	}
+	if math.Abs(fast.Sum()-slow.Sum()) > 1e-9*math.Abs(slow.Sum()) {
+		t.Fatalf("sum: %g vs %g", fast.Sum(), slow.Sum())
+	}
+	if math.Abs(fast.Std()-slow.Std()) > 1e-9 {
+		t.Fatalf("std: %g vs %g", fast.Std(), slow.Std())
+	}
+}
+
 func TestSummaryNegatives(t *testing.T) {
 	var s Summary
 	s.Add(-5)

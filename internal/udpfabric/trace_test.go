@@ -1,0 +1,90 @@
+package udpfabric
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"elmo/internal/controller"
+	"elmo/internal/dataplane"
+	"elmo/internal/fabric"
+	"elmo/internal/topology"
+	"elmo/internal/trace"
+)
+
+// TestTracePathOverRealUDP records one multicast send across real UDP
+// sockets and checks the flight recorder reconstructs the multi-hop
+// path — the same deterministic tree the synchronous fabric builds,
+// captured from concurrent socket-reader goroutines.
+func TestTracePathOverRealUDP(t *testing.T) {
+	topo := topology.MustNew(topology.PaperExample())
+	cfg := controller.Config{
+		MaxHeaderBytes: 325, SpineRuleLimit: 2, LeafRuleLimit: 30,
+		KMaxSpine: 2, KMaxLeaf: 2, SRuleCapacity: 16,
+	}
+	ctrl, err := controller.New(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := fabric.New(topo, cfg.SRuleCapacity)
+	base.SetFailures(ctrl.Failures())
+	u, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(u.Close)
+
+	rec := trace.New(trace.Config{})
+	rec.Enable(trace.CatHop, trace.CatHost, trace.CatFabric)
+	u.SetTracer(rec)
+
+	key := controller.GroupKey{Tenant: 1, Group: 1}
+	hosts := []topology.HostID{0, 1, 40, 48, 49, 63}
+	members := make(map[topology.HostID]controller.Role)
+	for _, h := range hosts {
+		members[h] = controller.RoleBoth
+	}
+	if _, err := ctrl.CreateGroup(key, members); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.InstallGroup(ctrl, key); err != nil {
+		t.Fatal(err)
+	}
+	u.Start()
+
+	addr := dataplane.GroupAddr{VNI: key.Tenant, Group: key.Group}
+	if err := u.Send(0, addr, []byte("traced udp")); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hosts[1:] {
+		if _, err := u.WaitForDeliveries(h, 1, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rendered := trace.RenderPath(rec.Snapshot(), uint32(key.Tenant), uint32(key.Group))
+	for _, want := range []string{
+		"group vni=1 g=1: host 0",
+		"leaf 0 [p-rule ports=01000000 up=10",
+		"spine 0 [p-rule up=01",
+		"core 1 [p-rule ports=0011",
+		"spine 6 [s-rule ports=11",
+		"leaf 5 [p-rule ports=10000000",
+		"leaf 6 [p-rule ports=11000000",
+		"leaf 7 [p-rule ports=00000001",
+		"host 40 ✓", "host 48 ✓", "host 49 ✓", "host 63 ✓",
+	} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("rendered path missing %q:\n%s", want, rendered)
+		}
+	}
+	var delivers int
+	for _, ev := range rec.Snapshot() {
+		if ev.Kind == trace.KindDeliver {
+			delivers++
+		}
+	}
+	if delivers != len(hosts)-1 {
+		t.Fatalf("want %d delivery events, got %d", len(hosts)-1, delivers)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"elmo/internal/fabric"
 	"elmo/internal/header"
 	"elmo/internal/topology"
+	"elmo/internal/trace"
 )
 
 // maxFrame bounds one datagram (outer + 512-byte header budget + MTU).
@@ -53,6 +54,7 @@ type UDPFabric struct {
 	stopped  chan struct{}
 	wg       sync.WaitGroup
 	started  bool
+	tracer   trace.Recorder
 
 	mu sync.Mutex
 	// Malformed counts undecodable datagrams; Dropped counts frames
@@ -177,10 +179,21 @@ func (u *UDPFabric) InstallGroup(ctrl *controller.Controller, key controller.Gro
 	return u.base.InstallGroup(ctrl, key)
 }
 
+// SetTracer attaches a flight recorder to the underlying switches and
+// hypervisors and to the UDP fabric's own transport events. Call
+// before Start.
+func (u *UDPFabric) SetTracer(r trace.Recorder) {
+	u.tracer = r
+	u.base.SetTracer(r)
+}
+
 func (u *UDPFabric) countMalformed() {
 	u.mu.Lock()
 	u.Malformed++
 	u.mu.Unlock()
+	if trace.On(u.tracer, trace.CatFabric) {
+		u.tracer.Record(trace.Event{Cat: trace.CatFabric, Kind: trace.KindMalformed})
+	}
 }
 
 // readLoop drains one socket, handing each datagram to fn until close.
@@ -287,6 +300,12 @@ func (u *UDPFabric) runHost(h topology.HostID) {
 			u.mu.Lock()
 			u.Dropped++
 			u.mu.Unlock()
+			if trace.On(u.tracer, trace.CatFabric) {
+				u.tracer.Record(trace.Event{
+					Cat: trace.CatFabric, Kind: trace.KindHostDrop, Tier: trace.TierHost,
+					Switch: int32(h), VNI: addr.VNI, Group: addr.Group,
+				})
+			}
 		}
 	})
 }
