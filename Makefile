@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify race bench trace
+.PHONY: all build test verify race bench trace chaos
 
 all: verify
 
@@ -32,3 +32,11 @@ bench:
 # trace_event JSON for chrome://tracing / Perfetto.
 trace:
 	$(GO) run ./cmd/elmo-sim -trace -traceout trace.json
+
+# chaos runs the seeded fault-injection soaks on all three fabric
+# tiers under the race detector (the soaks skip themselves in -short
+# mode, so `go test -short ./...` stays fast), then the scripted
+# fail->degrade->repair->reconverge scenario.
+chaos:
+	$(GO) test -race -run 'Chaos|Monitor|Injector|FaultPlan' -count=1 ./internal/chaos/
+	$(GO) run ./cmd/elmo-sim -chaos -seed 7

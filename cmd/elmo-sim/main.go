@@ -53,6 +53,7 @@ func main() {
 		doFail   = flag.Bool("failures", false, "run the failure-impact experiment")
 		csvDir   = flag.String("csv", "", "directory to write figure CSV series into (empty = none)")
 		doTrace  = flag.Bool("trace", false, "record a traced multicast scenario instead of the figure sweeps")
+		doChaos  = flag.Bool("chaos", false, "run the scripted fault-injection scenario (seeded faults, detection, repair, reconvergence) instead of the figure sweeps")
 		traceOut = flag.String("traceout", "", "file to write the Chrome trace_event JSON into (with -trace; empty = none)")
 		meanVMs  = flag.Float64("meanvms", 0, "mean tenant VMs (0 = auto: paper's 178.77 capped by fabric capacity)")
 		seed     = flag.Int64("seed", 1, "random seed")
@@ -65,6 +66,10 @@ func main() {
 	}
 	if *doTrace {
 		runTrace(topoCfg, *srules, *traceOut)
+		return
+	}
+	if *doChaos {
+		runChaos(topoCfg, *srules, *seed)
 		return
 	}
 	distribution := groupgen.WVE

@@ -1,0 +1,61 @@
+package chaos
+
+import "elmo/internal/dataplane"
+
+// PlanEvent is one scripted fault transition: at logical step Step,
+// set the loss override of a switch (or, when Link is non-nil, of one
+// directed link) to Loss. Loss = 1 kills the device, a fraction grays
+// it, and 0 repairs it — so a link flap is a pair of events (fail at
+// step N, repair at step M).
+type PlanEvent struct {
+	Step   int
+	Tier   dataplane.LinkTier
+	Switch int32
+	Loss   float64
+	Link   *dataplane.Link
+}
+
+// FaultPlan is a schedule of fault transitions against the injector's
+// logical clock, advanced by Step(). Events may appear in any order;
+// every event whose Step matches the clock is applied on that step.
+type FaultPlan []PlanEvent
+
+// LoadPlan installs a schedule and resets the logical clock to zero.
+func (inj *Injector) LoadPlan(p FaultPlan) {
+	inj.mu.Lock()
+	inj.plan = p
+	inj.planStep = 0
+	inj.mu.Unlock()
+}
+
+// Step advances the logical clock one tick and applies every plan
+// event due at the new step, returning the applied events. Drive it
+// from the workload loop (e.g. once per message sent) so the schedule
+// is phase-locked to the traffic regardless of wall-clock speed.
+func (inj *Injector) Step() []PlanEvent {
+	inj.mu.Lock()
+	inj.planStep++
+	now := inj.planStep
+	var due []PlanEvent
+	for _, ev := range inj.plan {
+		if ev.Step == now {
+			due = append(due, ev)
+		}
+	}
+	inj.mu.Unlock()
+	for _, ev := range due {
+		if ev.Link != nil {
+			inj.SetLinkLoss(*ev.Link, ev.Loss)
+		} else {
+			inj.SetSwitchLoss(ev.Tier, ev.Switch, ev.Loss)
+		}
+	}
+	return due
+}
+
+// Now returns the logical clock's current step.
+func (inj *Injector) Now() int {
+	inj.mu.RLock()
+	defer inj.mu.RUnlock()
+	return inj.planStep
+}

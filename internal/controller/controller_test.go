@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -528,6 +529,92 @@ func BenchmarkRuleGeneration60Members(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := ComputeEncoding(topo, cfg, NoCapacity(), receivers); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestFailureRepairCycleRestoresState walks the full §3.3 repair
+// path: fail a spine and a core, recompute mid-failure (membership
+// churn while degraded), repair, recompute again — and check the
+// sender encoding and the per-switch s-rule charge both return
+// exactly to their pre-failure state.
+func TestFailureRepairCycleRestoresState(t *testing.T) {
+	topo := paperTopo()
+	c, err := New(topo, testConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := GroupKey{Tenant: 5, Group: 9}
+	members := map[topology.HostID]Role{0: RoleBoth}
+	for _, h := range figure3Receivers()[1:] {
+		members[h] = RoleReceiver
+	}
+	if _, err := c.CreateGroup(key, members); err != nil {
+		t.Fatal(err)
+	}
+	lay := header.LayoutFor(topo)
+	snapshot := func() ([]byte, []int, []int) {
+		hdr, err := c.HeaderFor(key, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire, err := header.Encode(lay, hdr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaves := make([]int, topo.NumLeaves())
+		for l := range leaves {
+			leaves[l] = c.LeafSRuleCount(topology.LeafID(l))
+		}
+		spines := make([]int, topo.NumSpines())
+		for s := range spines {
+			spines[s] = c.SpineSRuleCount(topology.SpineID(s))
+		}
+		return wire, leaves, spines
+	}
+	preWire, preLeaf, preSpine := snapshot()
+
+	c.FailSpine(0)
+	c.FailCore(0)
+	mid, err := c.HeaderFor(key, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.ULeaf.Multipath {
+		t.Fatal("failure-mode header still multipaths")
+	}
+
+	// Recompute while degraded: churn one receiver so the encoder
+	// re-runs under the failure view.
+	if err := c.Leave(key, 63, RoleReceiver); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Join(key, 63, RoleReceiver); err != nil {
+		t.Fatal(err)
+	}
+
+	c.RepairSpine(0)
+	c.RepairCore(0)
+	// Recompute after repair: churn again back to the same membership.
+	if err := c.Leave(key, 63, RoleReceiver); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Join(key, 63, RoleReceiver); err != nil {
+		t.Fatal(err)
+	}
+
+	postWire, postLeaf, postSpine := snapshot()
+	if !bytes.Equal(preWire, postWire) {
+		t.Fatalf("post-repair encoding differs:\npre  %x\npost %x", preWire, postWire)
+	}
+	for l := range preLeaf {
+		if preLeaf[l] != postLeaf[l] {
+			t.Fatalf("leaf %d s-rule count %d -> %d across fail/repair", l, preLeaf[l], postLeaf[l])
+		}
+	}
+	for s := range preSpine {
+		if preSpine[s] != postSpine[s] {
+			t.Fatalf("spine %d s-rule count %d -> %d across fail/repair", s, preSpine[s], postSpine[s])
 		}
 	}
 }

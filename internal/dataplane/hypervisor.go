@@ -1,6 +1,7 @@
 package dataplane
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,11 @@ import (
 	"elmo/internal/topology"
 	"elmo/internal/trace"
 )
+
+// ErrNoSenderFlow is returned (wrapped) by Encap when the hypervisor
+// has no flow installed for the group — the signal a sender uses to
+// fall back to unicast while the controller repairs the group (§3.3).
+var ErrNoSenderFlow = errors.New("dataplane: no sender flow")
 
 // SenderFlow is a hypervisor flow-table entry for one group a local VM
 // sends to: the precomputed Elmo section stream and the outer-header
@@ -110,7 +116,7 @@ func (hv *Hypervisor) Encap(addr GroupAddr, inner []byte) (Packet, error) {
 	f, ok := hv.flows[addr]
 	hv.mu.RUnlock()
 	if !ok {
-		return Packet{}, fmt.Errorf("dataplane: host %d has no flow for %+v", hv.host, addr)
+		return Packet{}, fmt.Errorf("host %d, group %+v: %w", hv.host, addr, ErrNoSenderFlow)
 	}
 	hv.encapsulated.Add(1)
 	if trace.On(hv.Tracer, trace.CatHost) {

@@ -31,6 +31,7 @@ type Fabric struct {
 
 	failures *topology.FailureSet
 	tracer   trace.Recorder
+	injector dataplane.FaultInjector
 }
 
 // New builds the fabric with the given per-switch s-rule capacity.
@@ -105,6 +106,11 @@ func (f *Fabric) SetTracer(r trace.Recorder) {
 		sw.Tracer = r
 	}
 }
+
+// SetInjector attaches a fault injector; every link crossing consults
+// it. Call while the fabric is quiet. A nil or inactive injector adds
+// one nil check plus one atomic load per crossing and no allocation.
+func (f *Fabric) SetInjector(inj dataplane.FaultInjector) { f.injector = inj }
 
 // traceLost records a copy dropped at a failed switch.
 func (f *Fabric) traceLost(tier trace.Tier, id int, pkt dataplane.Packet) {
@@ -225,13 +231,86 @@ type Delivery struct {
 	// Telemetry holds the in-band telemetry records each member's copy
 	// accumulated, when the sender enabled INT (§7 Monitoring).
 	Telemetry map[topology.HostID][]header.INTRecord
+	// FaultDrops / FaultDups / FaultCorrupts / FaultDelays count the
+	// chaos-injector verdicts applied during this send (all zero when
+	// no injector is active).
+	FaultDrops    int
+	FaultDups     int
+	FaultCorrupts int
+	FaultDelays   int
+	// Malformed counts copies dropped because a switch could not parse
+	// them — under chaos, the fate of corrupted headers.
+	Malformed int
 }
+
+// kindHost marks an event that is a host delivery rather than a
+// switch traversal (only used internally by forward).
+const kindHost dataplane.SwitchKind = -1
 
 // event is one packet arriving somewhere in the fabric.
 type event struct {
 	kind dataplane.SwitchKind
 	id   int
 	pkt  dataplane.Packet
+}
+
+// heldEvent is a delayed event: released into the queue when the
+// forwarding loop's iteration counter reaches due.
+type heldEvent struct {
+	ev  event
+	due int
+}
+
+// fwd is the per-send forwarding state shared with admit.
+type fwd struct {
+	d          *Delivery
+	queue      []event
+	held       []heldEvent
+	n          int
+	vni, group uint32
+}
+
+// admit applies the fault injector's verdict for one link crossing and
+// enqueues the surviving copies. With no active injector it is a plain
+// enqueue.
+func (f *Fabric) admit(st *fwd, l dataplane.Link, ev event) {
+	if !dataplane.FaultsOn(f.injector) {
+		st.queue = append(st.queue, ev)
+		return
+	}
+	v := f.injector.Cross(l, st.vni, st.group)
+	if v.Drop {
+		st.d.FaultDrops++
+		return
+	}
+	if v.Corrupt {
+		st.d.FaultCorrupts++
+		// The Elmo stream aliases the sender flow's precomputed bytes;
+		// corrupt a copy so other packets (and retransmissions) are
+		// unaffected.
+		elmo := make([]byte, len(ev.pkt.Elmo))
+		copy(elmo, ev.pkt.Elmo)
+		f.injector.CorruptWire(elmo)
+		ev.pkt.Elmo = elmo
+	}
+	copies := 1
+	if v.Duplicate {
+		copies = 2
+		st.d.FaultDups++
+		// The extra copy crosses this link too.
+		st.d.LinkBytes += ev.pkt.WireSize()
+		st.d.Links++
+	}
+	if v.DelaySteps > 0 {
+		st.d.FaultDelays++
+	}
+	for i := 0; i < copies; i++ {
+		if v.DelaySteps > 0 {
+			st.held = append(st.held, heldEvent{ev: ev, due: st.n + int(v.DelaySteps)})
+		} else {
+			st.queue = append(st.queue, ev)
+		}
+	}
 }
 
 // Send encapsulates inner at the sender's hypervisor and forwards the
@@ -244,27 +323,71 @@ func (f *Fabric) Send(sender topology.HostID, a dataplane.GroupAddr, inner []byt
 	return f.forward(sender, pkt)
 }
 
-// forward walks the packet through the fabric synchronously.
+// forward walks the packet through the fabric synchronously. With a
+// fault injector attached and active, every link crossing may drop,
+// duplicate, corrupt, or delay the copy; health probes
+// (dataplane.ProbeVNI) additionally bypass the declared-failure drops
+// so the chaos monitor can observe a physically repaired switch that
+// the controller still believes failed.
 func (f *Fabric) forward(src topology.HostID, pkt dataplane.Packet) (*Delivery, error) {
-	d := &Delivery{Received: make(map[topology.HostID][]byte)}
+	st := fwd{d: &Delivery{Received: make(map[topology.HostID][]byte)}}
+	d := st.d
+	if a, ok := dataplane.GroupAddrFromOuter(pkt.Outer); ok {
+		st.vni, st.group = a.VNI, a.Group
+	}
+	probe := st.vni == dataplane.ProbeVNI
+	chaos := dataplane.FaultsOn(f.injector)
 	maxEvents := 4 * (f.topo.NumSwitches() + f.topo.NumHosts())
-	queue := make([]event, 0, 16)
+	if chaos {
+		// Duplication, delay ticks, and retransmission under chaos all
+		// inflate the event count of a legitimate send.
+		maxEvents *= 8
+	}
+	st.queue = make([]event, 0, 16)
 	// Host NIC -> leaf link.
 	d.LinkBytes += pkt.WireSize()
 	d.Links++
-	queue = append(queue, event{kind: dataplane.KindLeaf, id: int(f.topo.HostLeaf(src)), pkt: pkt})
-	for n := 0; len(queue) > 0; n++ {
-		if n >= maxEvents {
-			return nil, fmt.Errorf("fabric: forwarding loop detected after %d events", n)
+	srcLeaf := f.topo.HostLeaf(src)
+	f.admit(&st, dataplane.Link{
+		FromTier: dataplane.LinkHost, From: int32(src),
+		ToTier: dataplane.LinkLeaf, To: int32(srcLeaf),
+	}, event{kind: dataplane.KindLeaf, id: int(srcLeaf), pkt: pkt})
+	for st.n = 0; len(st.queue) > 0 || len(st.held) > 0; st.n++ {
+		if st.n >= maxEvents {
+			return nil, fmt.Errorf("fabric: forwarding loop detected after %d events", st.n)
 		}
-		ev := queue[0]
-		queue = queue[1:]
+		if len(st.held) > 0 {
+			kept := st.held[:0]
+			for _, h := range st.held {
+				if h.due <= st.n {
+					st.queue = append(st.queue, h.ev)
+				} else {
+					kept = append(kept, h)
+				}
+			}
+			st.held = kept
+			if len(st.queue) == 0 {
+				continue // idle tick: everything in flight is delayed
+			}
+		}
+		ev := st.queue[0]
+		st.queue = st.queue[1:]
+		if ev.kind == kindHost {
+			f.deliverHost(d, topology.HostID(ev.id), ev.pkt)
+			continue
+		}
 		d.Hops++
 		switch ev.kind {
 		case dataplane.KindLeaf:
 			leaf := topology.LeafID(ev.id)
 			ems, err := f.Leaves[ev.id].Process(ev.pkt)
 			if err != nil {
+				if chaos {
+					// A corrupted header is dropped where parsing fails,
+					// not surfaced as a fabric error.
+					d.Malformed++
+					continue
+				}
 				return nil, err
 			}
 			for _, em := range ems {
@@ -272,20 +395,31 @@ func (f *Fabric) forward(src topology.HostID, pkt dataplane.Packet) (*Delivery, 
 				d.Links++
 				if em.Up {
 					spine := f.topo.LeafUpstream(leaf, em.Port)
-					if f.failures.SpineFailed(spine) {
+					if f.failures.SpineFailed(spine) && !probe {
 						d.Lost++
 						f.traceLost(trace.TierSpine, int(spine), em.Packet)
 						continue
 					}
-					queue = append(queue, event{kind: dataplane.KindSpine, id: int(spine), pkt: em.Packet})
+					f.admit(&st, dataplane.Link{
+						FromTier: dataplane.LinkLeaf, From: int32(leaf),
+						ToTier: dataplane.LinkSpine, To: int32(spine),
+					}, event{kind: dataplane.KindSpine, id: int(spine), pkt: em.Packet})
 				} else {
-					f.deliverHost(d, f.topo.HostAt(leaf, em.Port), em.Packet)
+					host := f.topo.HostAt(leaf, em.Port)
+					f.admit(&st, dataplane.Link{
+						FromTier: dataplane.LinkLeaf, From: int32(leaf),
+						ToTier: dataplane.LinkHost, To: int32(host),
+					}, event{kind: kindHost, id: int(host), pkt: em.Packet})
 				}
 			}
 		case dataplane.KindSpine:
 			spine := topology.SpineID(ev.id)
 			ems, err := f.Spines[ev.id].Process(ev.pkt)
 			if err != nil {
+				if chaos {
+					d.Malformed++
+					continue
+				}
 				return nil, err
 			}
 			for _, em := range ems {
@@ -293,33 +427,46 @@ func (f *Fabric) forward(src topology.HostID, pkt dataplane.Packet) (*Delivery, 
 				d.Links++
 				if em.Up {
 					core := f.topo.SpineUpstream(spine, em.Port)
-					if f.failures.CoreFailed(core) {
+					if f.failures.CoreFailed(core) && !probe {
 						d.Lost++
 						f.traceLost(trace.TierCore, int(core), em.Packet)
 						continue
 					}
-					queue = append(queue, event{kind: dataplane.KindCore, id: int(core), pkt: em.Packet})
+					f.admit(&st, dataplane.Link{
+						FromTier: dataplane.LinkSpine, From: int32(spine),
+						ToTier: dataplane.LinkCore, To: int32(core),
+					}, event{kind: dataplane.KindCore, id: int(core), pkt: em.Packet})
 				} else {
 					leaf := f.topo.SpineDownstream(spine, em.Port)
-					queue = append(queue, event{kind: dataplane.KindLeaf, id: int(leaf), pkt: em.Packet})
+					f.admit(&st, dataplane.Link{
+						FromTier: dataplane.LinkSpine, From: int32(spine),
+						ToTier: dataplane.LinkLeaf, To: int32(leaf),
+					}, event{kind: dataplane.KindLeaf, id: int(leaf), pkt: em.Packet})
 				}
 			}
 		case dataplane.KindCore:
 			core := topology.CoreID(ev.id)
 			ems, err := f.Cores[ev.id].Process(ev.pkt)
 			if err != nil {
+				if chaos {
+					d.Malformed++
+					continue
+				}
 				return nil, err
 			}
 			for _, em := range ems {
 				d.LinkBytes += em.Packet.WireSize()
 				d.Links++
 				spine := f.topo.CoreDownstream(core, topology.PodID(em.Port))
-				if f.failures.SpineFailed(spine) {
+				if f.failures.SpineFailed(spine) && !probe {
 					d.Lost++
 					f.traceLost(trace.TierSpine, int(spine), em.Packet)
 					continue
 				}
-				queue = append(queue, event{kind: dataplane.KindSpine, id: int(spine), pkt: em.Packet})
+				f.admit(&st, dataplane.Link{
+					FromTier: dataplane.LinkCore, From: int32(core),
+					ToTier: dataplane.LinkSpine, To: int32(spine),
+				}, event{kind: dataplane.KindSpine, id: int(spine), pkt: em.Packet})
 			}
 		}
 	}

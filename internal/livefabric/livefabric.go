@@ -56,10 +56,11 @@ type LiveFabric struct {
 	coreIn  []chan []byte
 	hostRx  []chan HostPacket
 
-	stop    chan struct{}
-	wg      sync.WaitGroup
-	started bool
-	tracer  trace.Recorder
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	started  bool
+	tracer   trace.Recorder
+	injector dataplane.FaultInjector
 
 	mu sync.Mutex
 	// HostDrops counts frames dropped at full host queues.
@@ -107,6 +108,15 @@ func (lf *LiveFabric) Base() *fabric.Fabric { return lf.base }
 func (lf *LiveFabric) SetTracer(r trace.Recorder) {
 	lf.tracer = r
 	lf.base.SetTracer(r)
+}
+
+// SetInjector attaches a fault injector to every link crossing (and to
+// the base fabric). Call before Start. Delay verdicts are interpreted
+// as milliseconds here; an inactive injector costs one nil check plus
+// one atomic load per crossing.
+func (lf *LiveFabric) SetInjector(inj dataplane.FaultInjector) {
+	lf.injector = inj
+	lf.base.SetInjector(inj)
 }
 
 // HostRx returns the delivery channel for a host.
@@ -194,8 +204,17 @@ func (lf *LiveFabric) Send(sender topology.HostID, addr dataplane.GroupAddr, inn
 	if err != nil {
 		return err
 	}
+	leaf := lf.topo.HostLeaf(sender)
+	if dataplane.FaultsOn(lf.injector) {
+		l := dataplane.Link{
+			FromTier: dataplane.LinkHost, From: int32(sender),
+			ToTier: dataplane.LinkLeaf, To: int32(leaf),
+		}
+		lf.admitWire(l, addr.VNI, addr.Group, lf.leafIn[leaf], wire)
+		return nil
+	}
 	select {
-	case lf.leafIn[lf.topo.HostLeaf(sender)] <- wire:
+	case lf.leafIn[leaf] <- wire:
 		return nil
 	case <-lf.stop:
 		return fmt.Errorf("livefabric: stopped")
@@ -216,9 +235,13 @@ func (lf *LiveFabric) runLeaf(id topology.LeafID) {
 			}
 			for _, em := range ems {
 				if em.Up {
-					lf.forwardWire(lf.spineIn[lf.topo.LeafUpstream(id, em.Port)], em.Packet)
+					spine := lf.topo.LeafUpstream(id, em.Port)
+					lf.forwardWire(dataplane.Link{
+						FromTier: dataplane.LinkLeaf, From: int32(id),
+						ToTier: dataplane.LinkSpine, To: int32(spine),
+					}, lf.spineIn[spine], em.Packet)
 				} else {
-					lf.deliverHost(lf.topo.HostAt(id, em.Port), em.Packet)
+					lf.deliverHost(id, lf.topo.HostAt(id, em.Port), em.Packet)
 				}
 			}
 		}
@@ -239,9 +262,17 @@ func (lf *LiveFabric) runSpine(id topology.SpineID) {
 			}
 			for _, em := range ems {
 				if em.Up {
-					lf.forwardWire(lf.coreIn[lf.topo.SpineUpstream(id, em.Port)], em.Packet)
+					core := lf.topo.SpineUpstream(id, em.Port)
+					lf.forwardWire(dataplane.Link{
+						FromTier: dataplane.LinkSpine, From: int32(id),
+						ToTier: dataplane.LinkCore, To: int32(core),
+					}, lf.coreIn[core], em.Packet)
 				} else {
-					lf.forwardWire(lf.leafIn[lf.topo.SpineDownstream(id, em.Port)], em.Packet)
+					leaf := lf.topo.SpineDownstream(id, em.Port)
+					lf.forwardWire(dataplane.Link{
+						FromTier: dataplane.LinkSpine, From: int32(id),
+						ToTier: dataplane.LinkLeaf, To: int32(leaf),
+					}, lf.leafIn[leaf], em.Packet)
 				}
 			}
 		}
@@ -261,7 +292,11 @@ func (lf *LiveFabric) runCore(id topology.CoreID) {
 				continue
 			}
 			for _, em := range ems {
-				lf.forwardWire(lf.spineIn[lf.topo.CoreDownstream(id, topology.PodID(em.Port))], em.Packet)
+				spine := lf.topo.CoreDownstream(id, topology.PodID(em.Port))
+				lf.forwardWire(dataplane.Link{
+					FromTier: dataplane.LinkCore, From: int32(id),
+					ToTier: dataplane.LinkSpine, To: int32(spine),
+				}, lf.spineIn[spine], em.Packet)
 			}
 		}
 	}
@@ -284,11 +319,17 @@ func (lf *LiveFabric) process(sw *dataplane.NetworkSwitch, wire []byte) ([]datap
 }
 
 // forwardWire marshals and enqueues a frame, blocking on a full queue
-// (congestion) unless the fabric stops.
-func (lf *LiveFabric) forwardWire(ch chan []byte, pkt dataplane.Packet) {
+// (congestion) unless the fabric stops. With an active injector the
+// link crossing may drop, duplicate, corrupt, or delay the frame.
+func (lf *LiveFabric) forwardWire(l dataplane.Link, ch chan []byte, pkt dataplane.Packet) {
 	wire, err := pkt.Marshal(nil)
 	if err != nil {
 		lf.countMalformed()
+		return
+	}
+	if dataplane.FaultsOn(lf.injector) {
+		a, _ := dataplane.GroupAddrFromOuter(pkt.Outer)
+		lf.admitWire(l, a.VNI, a.Group, ch, wire)
 		return
 	}
 	select {
@@ -297,7 +338,69 @@ func (lf *LiveFabric) forwardWire(ch chan []byte, pkt dataplane.Packet) {
 	}
 }
 
-func (lf *LiveFabric) deliverHost(h topology.HostID, pkt dataplane.Packet) {
+// admitWire applies the injector verdict to a marshaled frame and
+// enqueues the surviving copies; the frame is owned by this call.
+func (lf *LiveFabric) admitWire(l dataplane.Link, vni, group uint32, ch chan []byte, wire []byte) {
+	v := lf.injector.Cross(l, vni, group)
+	if v.Drop {
+		return
+	}
+	if v.Corrupt {
+		lf.injector.CorruptWire(wire)
+	}
+	if v.Duplicate {
+		dup := append([]byte(nil), wire...)
+		lf.enqueue(ch, dup, 0)
+	}
+	lf.enqueue(ch, wire, v.DelaySteps)
+}
+
+// enqueue writes a frame to a switch queue, after delayMS milliseconds
+// when positive (injected delay/reordering).
+func (lf *LiveFabric) enqueue(ch chan []byte, wire []byte, delayMS int32) {
+	if delayMS > 0 {
+		lf.wg.Add(1)
+		go func() {
+			defer lf.wg.Done()
+			select {
+			case <-time.After(time.Duration(delayMS) * time.Millisecond):
+			case <-lf.stop:
+				return
+			}
+			select {
+			case ch <- wire:
+			case <-lf.stop:
+			}
+		}()
+		return
+	}
+	select {
+	case ch <- wire:
+	case <-lf.stop:
+	}
+}
+
+func (lf *LiveFabric) deliverHost(from topology.LeafID, h topology.HostID, pkt dataplane.Packet) {
+	if dataplane.FaultsOn(lf.injector) {
+		a, _ := dataplane.GroupAddrFromOuter(pkt.Outer)
+		v := lf.injector.Cross(dataplane.Link{
+			FromTier: dataplane.LinkLeaf, From: int32(from),
+			ToTier: dataplane.LinkHost, To: int32(h),
+		}, a.VNI, a.Group)
+		// The last hop applies loss and duplication only: the frame is
+		// already decoded, and host-queue latency dominates any injected
+		// delay at this point.
+		if v.Drop {
+			return
+		}
+		if v.Duplicate {
+			lf.deliverHostDirect(h, pkt)
+		}
+	}
+	lf.deliverHostDirect(h, pkt)
+}
+
+func (lf *LiveFabric) deliverHostDirect(h topology.HostID, pkt dataplane.Packet) {
 	inner, tel, ok := lf.base.Hypervisors[h].DeliverFull(pkt)
 	if !ok {
 		return

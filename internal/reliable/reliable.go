@@ -267,6 +267,17 @@ func (r *Receiver) buildNAK(highest uint32) []byte {
 	return frame
 }
 
+// OutstandingNAK rebuilds the NAK for whatever gaps the receiver still
+// has (nil when the stream is contiguous). It is the recovery path
+// after a lost RDATA: the repair loop re-requests instead of wedging
+// on a NAK that was answered with frames that never arrived.
+func (r *Receiver) OutstandingNAK() []byte {
+	if len(r.pending) == 0 {
+		return nil
+	}
+	return r.buildNAK(maxSeq(r.pending))
+}
+
 // Next reports the next in-order sequence the receiver expects.
 func (r *Receiver) Next() uint32 { return r.next }
 

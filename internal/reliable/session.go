@@ -1,6 +1,7 @@
 package reliable
 
 import (
+	"errors"
 	"fmt"
 
 	"elmo/internal/controller"
@@ -8,6 +9,12 @@ import (
 	"elmo/internal/fabric"
 	"elmo/internal/topology"
 )
+
+// DefaultNAKRetryBudget bounds the repair rounds per ingest/flush when
+// Session.NAKRetryBudget is zero. Each round that loses its NAK or its
+// RDATA consumes one unit; under loss probability p the chance of
+// exhausting the budget is ~p^64.
+const DefaultNAKRetryBudget = 64
 
 // Session couples one sender's reliable stream with the per-receiver
 // reassembly state, transporting DATA over Elmo multicast and
@@ -27,8 +34,47 @@ type Session struct {
 	// standing in for transient congestion or reconfiguration loss.
 	LossInjector func(h topology.HostID, seq uint32) bool
 
-	// NAKs counts repair requests processed.
-	NAKs int
+	// ControlLoss, when non-nil, decides whether a NAK or RDATA unicast
+	// (msgType TypeNAK / TypeRData) from one host to another is lost in
+	// flight. The repair loop retries lost control traffic within
+	// NAKRetryBudget instead of wedging.
+	ControlLoss func(msgType uint8, from, to topology.HostID) bool
+
+	// NAKRetryBudget bounds repair rounds per ingest/flush (zero means
+	// DefaultNAKRetryBudget); BackoffFn, when non-nil, is called before
+	// each retry with the attempt number (1-based) — wall-clock pacing
+	// on live tiers, a no-op on the synchronous fabric.
+	NAKRetryBudget int
+	BackoffFn      func(attempt int)
+
+	// NAKs counts repair requests processed; NAKRetries counts repair
+	// rounds retried after control loss; ControlDrops counts NAK/RDATA
+	// unicasts ControlLoss ate; CorruptFrames counts undecodable frames
+	// treated as loss; UnicastFallbacks counts publishes that degraded
+	// to per-receiver unicast because no multicast sender flow was
+	// installed (§3.3 failure degradation).
+	NAKs             int
+	NAKRetries       int
+	ControlDrops     int
+	CorruptFrames    int
+	UnicastFallbacks int
+}
+
+// dropControl applies ControlLoss to one control unicast.
+func (sess *Session) dropControl(msgType uint8, from, to topology.HostID) bool {
+	if sess.ControlLoss != nil && sess.ControlLoss(msgType, from, to) {
+		sess.ControlDrops++
+		return true
+	}
+	return false
+}
+
+// retryBudget returns the effective repair-round bound.
+func (sess *Session) retryBudget() int {
+	if sess.NAKRetryBudget > 0 {
+		return sess.NAKRetryBudget
+	}
+	return DefaultNAKRetryBudget
 }
 
 // NewSession builds the session for an installed group. The group must
@@ -56,13 +102,31 @@ func NewSession(fab *fabric.Fabric, ctrl *controller.Controller, key controller.
 }
 
 // Publish multicasts one payload and runs reassembly (and any repair
-// rounds) for every receiver.
+// rounds) for every receiver. When the sender has no multicast flow
+// installed (the controller found no failure-free path and left the
+// group degraded, §3.3), the publish falls back to per-receiver
+// unicast so the stream stays live until repair.
 func (sess *Session) Publish(payload []byte) error {
 	frame, seq, err := sess.s.Next(payload)
 	if err != nil {
 		return err
 	}
 	d, err := sess.fab.Send(sess.sender, sess.addr, frame)
+	if errors.Is(err, dataplane.ErrNoSenderFlow) {
+		sess.UnicastFallbacks++
+		for h := range sess.receivers {
+			if sess.LossInjector != nil && sess.LossInjector(h, seq) {
+				continue
+			}
+			if _, err := sess.fab.SendUnicast(sess.sender, []topology.HostID{h}, frame); err != nil {
+				return err
+			}
+			if err := sess.ingest(h, frame); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	if err != nil {
 		return err
 	}
@@ -82,16 +146,38 @@ func (sess *Session) Publish(payload []byte) error {
 }
 
 // ingest feeds one frame to a receiver and services resulting NAKs
-// with unicast repairs until the receiver is quiescent.
+// with unicast repairs until the receiver is quiescent. Undecodable
+// frames (chaos corruption that survived switch parsing) count as
+// loss: a later in-order frame reopens the gap and repair recovers it.
 func (sess *Session) ingest(h topology.HostID, frame []byte) error {
 	r := sess.receivers[h]
 	out, nak, err := r.Handle(frame)
 	if err != nil {
-		return err
+		sess.CorruptFrames++
+		return nil
 	}
 	sess.delivered[h] = append(sess.delivered[h], out...)
-	for rounds := 0; nak != nil && rounds < 64; rounds++ {
+	return sess.repair(h, nak)
+}
+
+// repair runs NAK/RDATA rounds for one receiver until its reorder
+// buffer drains or the retry budget is exhausted. A round whose NAK is
+// lost retransmits the same NAK; a round whose RDATA is lost rebuilds
+// the NAK from the receiver's outstanding gaps — both consume budget
+// and invoke BackoffFn, so a single lost control frame can no longer
+// wedge recovery.
+func (sess *Session) repair(h topology.HostID, nak []byte) error {
+	r := sess.receivers[h]
+	budget := sess.retryBudget()
+	for attempt := 1; nak != nil && attempt <= budget; attempt++ {
 		// NAK travels to the sender as unicast...
+		if sess.dropControl(TypeNAK, h, sess.sender) {
+			sess.NAKRetries++
+			if sess.BackoffFn != nil {
+				sess.BackoffFn(attempt)
+			}
+			continue
+		}
 		if _, err := sess.fab.SendUnicast(h, []topology.HostID{sess.sender}, nak); err != nil {
 			return err
 		}
@@ -104,19 +190,30 @@ func (sess *Session) ingest(h topology.HostID, frame []byte) error {
 		if err != nil {
 			return err
 		}
-		nak = nil
+		if len(repairs) == 0 {
+			return nil // window evicted: unrecoverable, stop asking
+		}
 		for _, rd := range repairs {
 			// ...and each repair returns as unicast RDATA.
+			if sess.dropControl(TypeRData, sess.sender, h) {
+				continue
+			}
 			if _, err := sess.fab.SendUnicast(sess.sender, []topology.HostID{h}, rd); err != nil {
 				return err
 			}
-			out, n2, err := r.Handle(rd)
+			out, _, err := r.Handle(rd)
 			if err != nil {
-				return err
+				sess.CorruptFrames++
+				continue
 			}
 			sess.delivered[h] = append(sess.delivered[h], out...)
-			if n2 != nil {
-				nak = n2
+		}
+		// Rebuild from actual receiver state: covers RDATA loss without
+		// trusting the per-frame NAK hints.
+		if nak = r.OutstandingNAK(); nak != nil {
+			sess.NAKRetries++
+			if sess.BackoffFn != nil {
+				sess.BackoffFn(attempt)
 			}
 		}
 	}
@@ -132,11 +229,18 @@ func (sess *Session) Flush() error {
 		return nil
 	}
 	for h, r := range sess.receivers {
-		for rounds := 0; r.Next() < high && rounds < 64; rounds++ {
+		for attempt := 1; r.Next() < high && attempt <= sess.retryBudget(); attempt++ {
 			nm := &Message{Type: TypeNAK, Ranges: []Range{{r.Next(), high - 1}}}
 			frame, err := nm.Marshal()
 			if err != nil {
 				return err
+			}
+			if sess.dropControl(TypeNAK, h, sess.sender) {
+				sess.NAKRetries++
+				if sess.BackoffFn != nil {
+					sess.BackoffFn(attempt)
+				}
+				continue
 			}
 			if _, err := sess.fab.SendUnicast(h, []topology.HostID{sess.sender}, frame); err != nil {
 				return err
@@ -149,15 +253,27 @@ func (sess *Session) Flush() error {
 			if len(repairs) == 0 {
 				break // window evicted: unrecoverable
 			}
+			progressed := false
 			for _, rd := range repairs {
+				if sess.dropControl(TypeRData, sess.sender, h) {
+					continue
+				}
 				if _, err := sess.fab.SendUnicast(sess.sender, []topology.HostID{h}, rd); err != nil {
 					return err
 				}
 				out, _, err := r.Handle(rd)
 				if err != nil {
-					return err
+					sess.CorruptFrames++
+					continue
 				}
 				sess.delivered[h] = append(sess.delivered[h], out...)
+				progressed = progressed || len(out) > 0
+			}
+			if r.Next() < high && !progressed {
+				sess.NAKRetries++
+				if sess.BackoffFn != nil {
+					sess.BackoffFn(attempt)
+				}
 			}
 		}
 	}

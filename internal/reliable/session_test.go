@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"elmo/internal/controller"
+	"elmo/internal/dataplane"
 	"elmo/internal/fabric"
 	"elmo/internal/topology"
 )
@@ -94,6 +95,103 @@ func TestSessionRecoversInjectedLoss(t *testing.T) {
 		for i, p := range got {
 			if string(p) != fmt.Sprintf("msg-%d", i) {
 				t.Fatalf("host %d out of order at %d: %q", h, i, p)
+			}
+		}
+	}
+}
+
+// TestSessionConvergesUnderNAKLoss injects loss on both the data path
+// and the NAK/RDATA control path: before the retry budget existed, one
+// lost NAK wedged recovery forever. Every receiver must still converge
+// to full in-order delivery, with retries (and backoff callbacks)
+// recorded.
+func TestSessionConvergesUnderNAKLoss(t *testing.T) {
+	fab, ctrl, key, sender, receivers := sessionFixture(t)
+	sess, err := NewSession(fab, ctrl, key, sender, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	sess.LossInjector = func(h topology.HostID, seq uint32) bool {
+		return rng.Float64() < 0.25
+	}
+	var backoffs int
+	sess.ControlLoss = func(msgType uint8, from, to topology.HostID) bool {
+		return rng.Float64() < 0.30
+	}
+	sess.BackoffFn = func(attempt int) { backoffs++ }
+	const n = 60
+	for i := 0; i < n; i++ {
+		if err := sess.Publish([]byte(fmt.Sprintf("msg-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sess.ControlDrops == 0 || sess.NAKRetries == 0 {
+		t.Fatalf("control loss not exercised: drops=%d retries=%d",
+			sess.ControlDrops, sess.NAKRetries)
+	}
+	if backoffs == 0 {
+		t.Fatal("retries never invoked the backoff hook")
+	}
+	for _, h := range receivers {
+		got := sess.Delivered(h)
+		if len(got) != n {
+			t.Fatalf("host %d delivered %d of %d under NAK loss (drops=%d retries=%d)",
+				h, len(got), n, sess.ControlDrops, sess.NAKRetries)
+		}
+		for i, p := range got {
+			if string(p) != fmt.Sprintf("msg-%d", i) {
+				t.Fatalf("host %d out of order at %d: %q", h, i, p)
+			}
+		}
+	}
+}
+
+// TestSessionUnicastFallback removes the sender flow (the state of a
+// §3.3-degraded group) and checks Publish falls back to per-receiver
+// unicast instead of failing, then resumes multicast once the flow is
+// reinstalled.
+func TestSessionUnicastFallback(t *testing.T) {
+	fab, ctrl, key, sender, receivers := sessionFixture(t)
+	sess, err := NewSession(fab, ctrl, key, sender, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := dataplane.GroupAddr{VNI: key.Tenant, Group: key.Group}
+	if err := sess.Publish([]byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	fab.Hypervisors[sender].RemoveSenderFlow(addr)
+	if err := sess.Publish([]byte("degraded")); err != nil {
+		t.Fatalf("publish without sender flow should degrade, got %v", err)
+	}
+	if sess.UnicastFallbacks != 1 {
+		t.Fatalf("want 1 unicast fallback, got %d", sess.UnicastFallbacks)
+	}
+	hdr, err := ctrl.HeaderFor(key, sender)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fab.Hypervisors[sender].InstallSenderFlow(addr, hdr); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Publish([]byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	if sess.UnicastFallbacks != 1 {
+		t.Fatalf("fallback fired after repair: %d", sess.UnicastFallbacks)
+	}
+	for _, h := range receivers {
+		got := sess.Delivered(h)
+		if len(got) != 3 {
+			t.Fatalf("host %d delivered %d of 3", h, len(got))
+		}
+		for i, want := range []string{"pre", "degraded", "post"} {
+			if string(got[i]) != want {
+				t.Fatalf("host %d message %d = %q, want %q", h, i, got[i], want)
 			}
 		}
 	}

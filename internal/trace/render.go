@@ -43,6 +43,14 @@ func RenderPath(evs []Event, vni, group uint32) string {
 			parts = append(parts, fmt.Sprintf("host %d ✗", ev.Switch))
 		case KindHostDrop:
 			parts = append(parts, fmt.Sprintf("host %d ✗queue-full", ev.Switch))
+		case KindFaultDrop:
+			parts = append(parts, fmt.Sprintf("%s %d ✗fault-drop", ev.Tier, ev.Switch))
+		case KindFaultDup:
+			parts = append(parts, fmt.Sprintf("%s %d ⧉fault-dup", ev.Tier, ev.Switch))
+		case KindFaultCorrupt:
+			parts = append(parts, fmt.Sprintf("%s %d ≈fault-corrupt", ev.Tier, ev.Switch))
+		case KindFaultDelay:
+			parts = append(parts, fmt.Sprintf("%s %d …fault-delay+%d", ev.Tier, ev.Switch, ev.Arg))
 		}
 	}
 	if prefix == "" && len(parts) == 0 {
@@ -81,7 +89,8 @@ func hopString(ev Event) string {
 func RenderControl(evs []Event) string {
 	var sb strings.Builder
 	for _, ev := range evs {
-		if ev.Cat != CatControl && ev.Cat != CatEncoder {
+		detect := ev.Kind == KindDetectFail || ev.Kind == KindDetectRepair
+		if ev.Cat != CatControl && ev.Cat != CatEncoder && !detect {
 			continue
 		}
 		fmt.Fprintf(&sb, "%-12s", ev.Kind)
@@ -101,6 +110,8 @@ func RenderControl(evs []Event) string {
 			fmt.Fprintf(&sb, " spine=%d impacted=%d", ev.Switch, ev.Arg)
 		case KindFailCore, KindRepairCore:
 			fmt.Fprintf(&sb, " core=%d impacted=%d", ev.Switch, ev.Arg)
+		case KindDetectFail, KindDetectRepair:
+			fmt.Fprintf(&sb, " %s=%d rounds=%d", ev.Tier, ev.Switch, ev.Arg)
 		}
 		if ev.Note != "" {
 			fmt.Fprintf(&sb, " %s", ev.Note)

@@ -50,6 +50,10 @@ const (
 	// malformed frames (live fabrics only; the sync fabric surfaces
 	// these as errors).
 	CatFabric
+	// CatChaos is an injected fault: a chaos injector dropped,
+	// duplicated, corrupted, or delayed a packet at a link crossing, or
+	// the health monitor detected a failure/repair from probe loss.
+	CatChaos
 
 	numCategories
 )
@@ -66,6 +70,8 @@ func (c Category) String() string {
 		return "encoder"
 	case CatFabric:
 		return "fabric"
+	case CatChaos:
+		return "chaos"
 	default:
 		return "?"
 	}
@@ -121,6 +127,20 @@ const (
 	// KindEncode (CatEncoder): one encoding run; Note carries the
 	// Hmax/Kmax/R/Fmax context and the resulting rule counts.
 	KindEncode
+	// KindFaultDrop / KindFaultDup / KindFaultCorrupt / KindFaultDelay
+	// (CatChaos): an injector verdict at a link crossing; Tier/Switch
+	// identify the receiving end of the link, Arg the delay in steps for
+	// KindFaultDelay.
+	KindFaultDrop
+	KindFaultDup
+	KindFaultCorrupt
+	KindFaultDelay
+	// KindDetectFail / KindDetectRepair (CatChaos): the health monitor
+	// concluded from probe loss that a switch failed or recovered;
+	// Tier/Switch identify the switch, Arg the consecutive probe rounds
+	// behind the verdict.
+	KindDetectFail
+	KindDetectRepair
 )
 
 func (k Kind) String() string {
@@ -161,6 +181,18 @@ func (k Kind) String() string {
 		return "rollback"
 	case KindEncode:
 		return "encode"
+	case KindFaultDrop:
+		return "fault-drop"
+	case KindFaultDup:
+		return "fault-dup"
+	case KindFaultCorrupt:
+		return "fault-corrupt"
+	case KindFaultDelay:
+		return "fault-delay"
+	case KindDetectFail:
+		return "detect-fail"
+	case KindDetectRepair:
+		return "detect-repair"
 	default:
 		return "?"
 	}

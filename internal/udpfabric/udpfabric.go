@@ -55,11 +55,13 @@ type UDPFabric struct {
 	wg       sync.WaitGroup
 	started  bool
 	tracer   trace.Recorder
+	injector dataplane.FaultInjector
 
 	mu sync.Mutex
 	// Malformed counts undecodable datagrams; Dropped counts frames
-	// discarded at full host queues.
-	Malformed, Dropped int
+	// discarded at full host queues; ReadErrors counts transient socket
+	// read errors the readers retried past.
+	Malformed, Dropped, ReadErrors int
 }
 
 // New binds one ephemeral localhost UDP socket per switch and host of
@@ -170,6 +172,13 @@ func (u *UDPFabric) Send(sender topology.HostID, addr dataplane.GroupAddr, inner
 		return err
 	}
 	leaf := u.topo.HostLeaf(sender)
+	if dataplane.FaultsOn(u.injector) {
+		u.admitWire(dataplane.Link{
+			FromTier: dataplane.LinkHost, From: int32(sender),
+			ToTier: dataplane.LinkLeaf, To: int32(leaf),
+		}, addr.VNI, addr.Group, u.hostConn[sender], u.leafConn[leaf], wire)
+		return nil
+	}
 	_, err = u.hostConn[sender].WriteToUDP(wire, u.leafConn[leaf].LocalAddr().(*net.UDPAddr))
 	return err
 }
@@ -187,6 +196,14 @@ func (u *UDPFabric) SetTracer(r trace.Recorder) {
 	u.base.SetTracer(r)
 }
 
+// SetInjector attaches a fault injector to every link crossing (and to
+// the base fabric). Call before Start. Delay verdicts are interpreted
+// as milliseconds.
+func (u *UDPFabric) SetInjector(inj dataplane.FaultInjector) {
+	u.injector = inj
+	u.base.SetInjector(inj)
+}
+
 func (u *UDPFabric) countMalformed() {
 	u.mu.Lock()
 	u.Malformed++
@@ -196,23 +213,41 @@ func (u *UDPFabric) countMalformed() {
 	}
 }
 
+// readErrBackoffCap bounds the retry backoff after consecutive
+// transient socket read errors.
+const readErrBackoffCap = 100 * time.Millisecond
+
 // readLoop drains one socket, handing each datagram to fn until close.
+// Transient read errors (e.g. ECONNREFUSED bounced back on localhost,
+// buffer pressure) are counted and retried with exponential backoff
+// capped at readErrBackoffCap; only a closed socket or fabric stop
+// ends the loop.
 func (u *UDPFabric) readLoop(conn *net.UDPConn, fn func(wire []byte)) {
 	defer u.wg.Done()
 	buf := make([]byte, maxFrame)
+	backoff := time.Duration(0)
 	for {
 		n, _, err := conn.ReadFromUDP(buf)
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return
 			}
+			u.mu.Lock()
+			u.ReadErrors++
+			u.mu.Unlock()
+			if backoff == 0 {
+				backoff = time.Millisecond
+			} else if backoff *= 2; backoff > readErrBackoffCap {
+				backoff = readErrBackoffCap
+			}
 			select {
 			case <-u.stopped:
 				return
-			default:
+			case <-time.After(backoff):
 				continue
 			}
 		}
+		backoff = 0
 		wire := make([]byte, n)
 		copy(wire, buf[:n])
 		fn(wire)
@@ -233,13 +268,49 @@ func (u *UDPFabric) process(sw *dataplane.NetworkSwitch, wire []byte) []dataplan
 	return ems
 }
 
-func (u *UDPFabric) forward(from *net.UDPConn, to *net.UDPConn, pkt dataplane.Packet) {
+func (u *UDPFabric) forward(l dataplane.Link, from *net.UDPConn, to *net.UDPConn, pkt dataplane.Packet) {
 	wire, err := pkt.Marshal(nil)
 	if err != nil {
 		u.countMalformed()
 		return
 	}
+	if dataplane.FaultsOn(u.injector) {
+		a, _ := dataplane.GroupAddrFromOuter(pkt.Outer)
+		u.admitWire(l, a.VNI, a.Group, from, to, wire)
+		return
+	}
 	from.WriteToUDP(wire, to.LocalAddr().(*net.UDPAddr))
+}
+
+// admitWire applies the injector verdict to a marshaled datagram and
+// transmits the surviving copies.
+func (u *UDPFabric) admitWire(l dataplane.Link, vni, group uint32, from, to *net.UDPConn, wire []byte) {
+	v := u.injector.Cross(l, vni, group)
+	if v.Drop {
+		return
+	}
+	if v.Corrupt {
+		u.injector.CorruptWire(wire)
+	}
+	dst := to.LocalAddr().(*net.UDPAddr)
+	if v.Duplicate {
+		from.WriteToUDP(wire, dst)
+	}
+	if v.DelaySteps > 0 {
+		delayed := append([]byte(nil), wire...)
+		u.wg.Add(1)
+		go func() {
+			defer u.wg.Done()
+			select {
+			case <-time.After(time.Duration(v.DelaySteps) * time.Millisecond):
+			case <-u.stopped:
+				return
+			}
+			from.WriteToUDP(delayed, dst)
+		}()
+		return
+	}
+	from.WriteToUDP(wire, dst)
 }
 
 func (u *UDPFabric) runLeaf(id topology.LeafID) {
@@ -248,9 +319,17 @@ func (u *UDPFabric) runLeaf(id topology.LeafID) {
 	u.readLoop(conn, func(wire []byte) {
 		for _, em := range u.process(sw, wire) {
 			if em.Up {
-				u.forward(conn, u.spineConn[u.topo.LeafUpstream(id, em.Port)], em.Packet)
+				spine := u.topo.LeafUpstream(id, em.Port)
+				u.forward(dataplane.Link{
+					FromTier: dataplane.LinkLeaf, From: int32(id),
+					ToTier: dataplane.LinkSpine, To: int32(spine),
+				}, conn, u.spineConn[spine], em.Packet)
 			} else {
-				u.forward(conn, u.hostConn[u.topo.HostAt(id, em.Port)], em.Packet)
+				host := u.topo.HostAt(id, em.Port)
+				u.forward(dataplane.Link{
+					FromTier: dataplane.LinkLeaf, From: int32(id),
+					ToTier: dataplane.LinkHost, To: int32(host),
+				}, conn, u.hostConn[host], em.Packet)
 			}
 		}
 	})
@@ -262,9 +341,17 @@ func (u *UDPFabric) runSpine(id topology.SpineID) {
 	u.readLoop(conn, func(wire []byte) {
 		for _, em := range u.process(sw, wire) {
 			if em.Up {
-				u.forward(conn, u.coreConn[u.topo.SpineUpstream(id, em.Port)], em.Packet)
+				core := u.topo.SpineUpstream(id, em.Port)
+				u.forward(dataplane.Link{
+					FromTier: dataplane.LinkSpine, From: int32(id),
+					ToTier: dataplane.LinkCore, To: int32(core),
+				}, conn, u.coreConn[core], em.Packet)
 			} else {
-				u.forward(conn, u.leafConn[u.topo.SpineDownstream(id, em.Port)], em.Packet)
+				leaf := u.topo.SpineDownstream(id, em.Port)
+				u.forward(dataplane.Link{
+					FromTier: dataplane.LinkSpine, From: int32(id),
+					ToTier: dataplane.LinkLeaf, To: int32(leaf),
+				}, conn, u.leafConn[leaf], em.Packet)
 			}
 		}
 	})
@@ -275,7 +362,11 @@ func (u *UDPFabric) runCore(id topology.CoreID) {
 	sw := u.base.Cores[id]
 	u.readLoop(conn, func(wire []byte) {
 		for _, em := range u.process(sw, wire) {
-			u.forward(conn, u.spineConn[u.topo.CoreDownstream(id, topology.PodID(em.Port))], em.Packet)
+			spine := u.topo.CoreDownstream(id, topology.PodID(em.Port))
+			u.forward(dataplane.Link{
+				FromTier: dataplane.LinkCore, From: int32(id),
+				ToTier: dataplane.LinkSpine, To: int32(spine),
+			}, conn, u.spineConn[spine], em.Packet)
 		}
 	})
 }
