@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify race bench trace chaos
+.PHONY: all build test verify race bench bench-all trace chaos
 
 all: verify
 
@@ -25,7 +25,18 @@ race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
+# bench runs the controller-scale benchmarks and records the
+# machine-readable perf trajectory. It fails when elmo-bench measures a
+# regression >20% against the checked-in baseline (BENCH_baseline.json;
+# promote a trusted BENCH_controller.json run with
+# `cp BENCH_controller.json BENCH_baseline.json` — until that file
+# exists the comparison is skipped).
 bench:
+	$(GO) test -bench 'ControllerInstallBatch|ChurnPipeline|ControllerRuleGeneration' -benchmem -run '^$$' .
+	$(GO) run ./cmd/elmo-bench -groups 100000 -events 20000 -out BENCH_controller.json -baseline BENCH_baseline.json
+
+# bench-all runs the full figure/table benchmark suite.
+bench-all:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
 
 # trace records the flight-recorder demo scenario and writes a Chrome

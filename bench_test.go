@@ -10,6 +10,7 @@ package elmo
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -493,4 +494,132 @@ func yn(v bool) string {
 		return "yes"
 	}
 	return "no"
+}
+
+// buildBatchSpecs converts a generated workload into controller batch
+// specs with randomized roles (one forced receiver per group).
+func buildBatchSpecs(dep *placement.Deployment, groups []groupgen.Group, seed int64) []controller.BatchSpec {
+	_ = dep
+	rng := rand.New(rand.NewSource(seed))
+	specs := make([]controller.BatchSpec, len(groups))
+	for gi := range groups {
+		g := &groups[gi]
+		members := make(map[topology.HostID]controller.Role, len(g.Hosts))
+		hasReceiver := false
+		for _, h := range g.Hosts {
+			r := churn.RoleFor(rng)
+			members[h] = r
+			if r.CanReceive() {
+				hasReceiver = true
+			}
+		}
+		if !hasReceiver {
+			members[g.Hosts[0]] = controller.RoleBoth
+		}
+		specs[gi] = controller.BatchSpec{
+			Key:     controller.GroupKey{Tenant: uint32(g.Tenant), Group: g.ID},
+			Members: members,
+		}
+	}
+	return specs
+}
+
+// BenchmarkControllerInstallBatch measures the parallel bulk-install
+// pipeline (§5.1.3 controller scale): groups/sec at 1 worker vs
+// GOMAXPROCS workers, with the byte-identical-result guarantee checked
+// separately by TestInstallBatchDeterministicAcrossWorkers. Run
+// cmd/elmo-bench for the recorded BENCH_controller.json trajectory.
+func BenchmarkControllerInstallBatch(b *testing.B) {
+	topo := topology.MustNew(benchTopo())
+	dep, err := placement.Place(topo, placement.Config{
+		Tenants: 60, VMsPerHost: 20, MinVMs: 5, MaxVMs: 24, MeanVMs: 16, P: 1, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	groups, err := groupgen.Generate(dep, groupgen.Config{TotalGroups: 2000, MinSize: 5, Dist: groupgen.WVE, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := buildBatchSpecs(dep, groups, 7)
+	for _, workers := range []int{1, parallelWorkers()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var start time.Time
+			for i := 0; i < b.N; i++ {
+				ctrl, err := controller.New(topo, controller.PaperConfig(0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					start = time.Now()
+				}
+				res, err := ctrl.InstallBatch(specs, controller.BatchOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Installed != len(specs) {
+					b.Fatalf("installed %d of %d", res.Installed, len(specs))
+				}
+			}
+			b.ReportMetric(float64(b.N*len(specs))/time.Since(start).Seconds(), "groups/sec")
+		})
+	}
+}
+
+// BenchmarkChurnPipeline measures the two-phase churn replay
+// (generation + apply) at 1 worker vs GOMAXPROCS apply workers,
+// reporting wall-clock events/sec.
+func BenchmarkChurnPipeline(b *testing.B) {
+	topo := topology.MustNew(benchTopo())
+	dep, err := placement.Place(topo, placement.Config{
+		Tenants: 60, VMsPerHost: 20, MinVMs: 5, MaxVMs: 24, MeanVMs: 16, P: 1, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	groups, err := groupgen.Generate(dep, groupgen.Config{TotalGroups: 400, MinSize: 5, Dist: groupgen.WVE, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, parallelWorkers()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var applied int
+			var start time.Time
+			for i := 0; i < b.N; i++ {
+				ctrl, err := controller.New(topo, controller.PaperConfig(0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := churn.Setup(ctrl, dep, groups, rand.New(rand.NewSource(7))); err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					start = time.Now() // exclude the first Setup warm-up
+				}
+				res, err := ctrl2Run(ctrl, dep, groups, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				applied += res.EventsApplied
+			}
+			b.ReportMetric(float64(applied)/time.Since(start).Seconds(), "events/sec")
+		})
+	}
+}
+
+// parallelWorkers picks the concurrent worker count to benchmark:
+// GOMAXPROCS, floored at 2 so the parallel code path is exercised even
+// on a single-core runner (where no speedup can materialize).
+func parallelWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 2
+}
+
+func ctrl2Run(ctrl *controller.Controller, dep *placement.Deployment, groups []groupgen.Group, workers int) (*churn.Result, error) {
+	return churn.Run(ctrl, dep, groups, churn.Config{
+		Events: 4000, EventsPerSecond: 1000, Seed: 9, Workers: workers,
+	})
 }

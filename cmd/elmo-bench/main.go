@@ -1,0 +1,266 @@
+// Command elmo-bench records the controller performance trajectory:
+// bulk-install groups/sec and churn events/sec, serial vs parallel,
+// written as machine-readable JSON (BENCH_controller.json) so
+// regressions are caught against a checked-in baseline.
+//
+// Usage:
+//
+//	go run ./cmd/elmo-bench -groups 100000 -out BENCH_controller.json
+//	go run ./cmd/elmo-bench -baseline BENCH_baseline.json   # exits 1 on >20% regression
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"elmo/internal/churn"
+	"elmo/internal/controller"
+	"elmo/internal/groupgen"
+	"elmo/internal/placement"
+	"elmo/internal/topology"
+)
+
+// Report is the persisted benchmark record.
+type Report struct {
+	Timestamp   string `json:"timestamp"`
+	GoMaxProcs  int    `json:"go_maxprocs"`
+	NumCPU      int    `json:"num_cpu"`
+	Workers     int    `json:"workers"` // parallel worker count measured
+	Groups      int    `json:"groups"`
+	ChurnEvents int    `json:"churn_events"`
+
+	InstallSerialGroupsPerSec   float64 `json:"install_serial_groups_per_sec"`
+	InstallParallelGroupsPerSec float64 `json:"install_parallel_groups_per_sec"`
+	InstallSpeedup              float64 `json:"install_speedup"`
+	InstallRecomputed           int     `json:"install_recomputed"`
+
+	ChurnSerialEventsPerSec   float64 `json:"churn_serial_events_per_sec"`
+	ChurnParallelEventsPerSec float64 `json:"churn_parallel_events_per_sec"`
+	ChurnSpeedup              float64 `json:"churn_speedup"`
+}
+
+func main() {
+	var (
+		groups    = flag.Int("groups", 100000, "groups to bulk-install")
+		events    = flag.Int("events", 20000, "churn events to replay")
+		workers   = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS, floored at 2)")
+		out       = flag.String("out", "BENCH_controller.json", "output JSON file (empty = stdout only)")
+		baseline  = flag.String("baseline", "", "baseline JSON to compare against (missing file = skip)")
+		tolerance = flag.Float64("tolerance", 0.2, "allowed fractional regression vs baseline")
+		verify    = flag.Bool("verify", true, "assert parallel install state is byte-identical to serial")
+	)
+	flag.Parse()
+
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+		if w < 2 {
+			w = 2
+		}
+	}
+
+	topo := topology.MustNew(topology.Config{
+		Pods: 4, SpinesPerPod: 2, LeavesPerPod: 8, HostsPerLeaf: 8, CoresPerPlane: 2,
+	})
+	dep, err := placement.Place(topo, placement.Config{
+		Tenants: 80, VMsPerHost: 20, MinVMs: 5, MaxVMs: 24, MeanVMs: 16, P: 1, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gs, err := groupgen.Generate(dep, groupgen.Config{TotalGroups: *groups, MinSize: 5, Dist: groupgen.WVE, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs := buildSpecs(gs, 7)
+
+	rep := &Report{
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Workers:     w,
+		Groups:      len(specs),
+		ChurnEvents: *events,
+	}
+
+	fmt.Printf("installing %d groups serially...\n", len(specs))
+	serialCtrl, _, secs := install(topo, specs, 1)
+	rep.InstallSerialGroupsPerSec = float64(len(specs)) / secs
+	fmt.Printf("installing %d groups with %d workers...\n", len(specs), w)
+	parCtrl, pres, pcs := install(topo, specs, w)
+	rep.InstallParallelGroupsPerSec = float64(len(specs)) / pcs
+	rep.InstallRecomputed = pres.Recomputed
+	rep.InstallSpeedup = rep.InstallParallelGroupsPerSec / rep.InstallSerialGroupsPerSec
+
+	if *verify {
+		fmt.Println("verifying parallel state matches serial...")
+		if err := compareState(serialCtrl, parCtrl, specs); err != nil {
+			log.Fatalf("determinism violation: %v", err)
+		}
+	}
+	// Drop the install controllers and pay their GC debt now, not
+	// inside the first timed churn phase.
+	serialCtrl = nil
+	parCtrl = nil
+	runtime.GC()
+	runtime.GC()
+
+	fmt.Printf("replaying %d churn events serially...\n", *events)
+	rep.ChurnSerialEventsPerSec = churnRate(topo, dep, gs, *events, 1)
+	fmt.Printf("replaying %d churn events with %d workers...\n", *events, w)
+	rep.ChurnParallelEventsPerSec = churnRate(topo, dep, gs, *events, w)
+	rep.ChurnSpeedup = rep.ChurnParallelEventsPerSec / rep.ChurnSerialEventsPerSec
+
+	buf, err := json.MarshalIndent(rep, "", " ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(buf))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *baseline != "" {
+		if err := checkBaseline(rep, *baseline, *tolerance); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func buildSpecs(gs []groupgen.Group, seed int64) []controller.BatchSpec {
+	rng := rand.New(rand.NewSource(seed))
+	specs := make([]controller.BatchSpec, len(gs))
+	for gi := range gs {
+		g := &gs[gi]
+		members := make(map[topology.HostID]controller.Role, len(g.Hosts))
+		hasReceiver := false
+		for _, h := range g.Hosts {
+			r := churn.RoleFor(rng)
+			members[h] = r
+			if r.CanReceive() {
+				hasReceiver = true
+			}
+		}
+		if !hasReceiver {
+			members[g.Hosts[0]] = controller.RoleBoth
+		}
+		specs[gi] = controller.BatchSpec{
+			Key:     controller.GroupKey{Tenant: uint32(g.Tenant), Group: g.ID},
+			Members: members,
+		}
+	}
+	return specs
+}
+
+func install(topo *topology.Topology, specs []controller.BatchSpec, workers int) (*controller.Controller, *controller.BatchResult, float64) {
+	ctrl, err := controller.New(topo, controller.PaperConfig(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	runtime.GC() // level the playing field between phases
+	start := time.Now()
+	res, err := ctrl.InstallBatch(specs, controller.BatchOptions{Workers: workers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Installed != len(specs) {
+		log.Fatalf("installed %d of %d groups", res.Installed, len(specs))
+	}
+	return ctrl, res, time.Since(start).Seconds()
+}
+
+func compareState(a, b *controller.Controller, specs []controller.BatchSpec) error {
+	topo := a.Topology()
+	for l := 0; l < topo.NumLeaves(); l++ {
+		if a.LeafSRuleCount(topology.LeafID(l)) != b.LeafSRuleCount(topology.LeafID(l)) {
+			return fmt.Errorf("leaf %d occupancy differs", l)
+		}
+	}
+	for s := 0; s < topo.NumSpines(); s++ {
+		if a.SpineSRuleCount(topology.SpineID(s)) != b.SpineSRuleCount(topology.SpineID(s)) {
+			return fmt.Errorf("spine %d occupancy differs", s)
+		}
+	}
+	for _, spec := range specs {
+		ga, gb := a.Group(spec.Key), b.Group(spec.Key)
+		if ga == nil || gb == nil {
+			return fmt.Errorf("group %v missing", spec.Key)
+		}
+		if !reflect.DeepEqual(ga.Enc, gb.Enc) {
+			return fmt.Errorf("group %v encoding differs", spec.Key)
+		}
+	}
+	return nil
+}
+
+func churnRate(topo *topology.Topology, dep *placement.Deployment, gs []groupgen.Group, events, workers int) float64 {
+	ctrl, err := controller.New(topo, controller.PaperConfig(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := churn.Setup(ctrl, dep, gs, rand.New(rand.NewSource(7))); err != nil {
+		log.Fatal(err)
+	}
+	runtime.GC() // level the playing field between phases
+	start := time.Now()
+	res, err := churn.Run(ctrl, dep, gs, churn.Config{
+		Events: events, EventsPerSecond: 1000, Seed: 9, Workers: workers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return float64(res.EventsApplied) / time.Since(start).Seconds()
+}
+
+func checkBaseline(rep *Report, path string, tolerance float64) error {
+	buf, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		fmt.Printf("no baseline at %s; skipping regression check\n", path)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	type metric struct {
+		name       string
+		base, curr float64
+	}
+	checks := []metric{
+		{"install_serial_groups_per_sec", base.InstallSerialGroupsPerSec, rep.InstallSerialGroupsPerSec},
+		{"install_parallel_groups_per_sec", base.InstallParallelGroupsPerSec, rep.InstallParallelGroupsPerSec},
+		{"churn_serial_events_per_sec", base.ChurnSerialEventsPerSec, rep.ChurnSerialEventsPerSec},
+		{"churn_parallel_events_per_sec", base.ChurnParallelEventsPerSec, rep.ChurnParallelEventsPerSec},
+	}
+	failed := false
+	for _, m := range checks {
+		if m.base <= 0 {
+			continue
+		}
+		drop := 1 - m.curr/m.base
+		status := "ok"
+		if drop > tolerance {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-34s baseline %12.0f current %12.0f (%+.1f%%) %s\n",
+			m.name, m.base, m.curr, -100*drop, status)
+	}
+	if failed {
+		return fmt.Errorf("performance regressed more than %.0f%% vs %s", 100*tolerance, path)
+	}
+	return nil
+}

@@ -56,6 +56,7 @@ func main() {
 		doChaos  = flag.Bool("chaos", false, "run the scripted fault-injection scenario (seeded faults, detection, repair, reconvergence) instead of the figure sweeps")
 		traceOut = flag.String("traceout", "", "file to write the Chrome trace_event JSON into (with -trace; empty = none)")
 		meanVMs  = flag.Float64("meanvms", 0, "mean tenant VMs (0 = auto: paper's 178.77 capped by fabric capacity)")
+		workers  = flag.Int("workers", 0, "encoder/apply workers for the controller pipeline (0 = GOMAXPROCS; results are identical for every value)")
 		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -118,6 +119,7 @@ func main() {
 				PacketSizes:         []int{64, 1500},
 				BaselineSampleEvery: 101,
 				Seed:                *seed + 2,
+				Workers:             *workers,
 			}
 			start := time.Now()
 			res, err := sim.RunScalability(cfg)
@@ -162,7 +164,7 @@ func main() {
 		}
 	}
 	if *doChurn || *doFail {
-		runControlPlane(topoCfg, *tenants, *groups, *srules, distribution, *events, *meanVMs, *seed, *doChurn, *doFail)
+		runControlPlane(topoCfg, *tenants, *groups, *srules, distribution, *events, *meanVMs, *seed, *workers, *doChurn, *doFail)
 	}
 }
 
@@ -341,7 +343,7 @@ func effectiveMeanVMs(flagVal float64, t topology.Config, tenants int) float64 {
 	return cap
 }
 
-func runControlPlane(topoCfg topology.Config, tenants, groups, srules int, dist groupgen.Distribution, events int, meanVMs float64, seed int64, doChurn, doFail bool) {
+func runControlPlane(topoCfg topology.Config, tenants, groups, srules int, dist groupgen.Distribution, events int, meanVMs float64, seed int64, workers int, doChurn, doFail bool) {
 	topo := topology.MustNew(topoCfg)
 	dep, err := placement.Place(topo, placement.Config{
 		Tenants: tenants, VMsPerHost: 20, MinVMs: 5,
@@ -365,15 +367,18 @@ func runControlPlane(topoCfg topology.Config, tenants, groups, srules int, dist 
 		log.Fatal(err)
 	}
 	if doChurn {
+		start := time.Now()
 		res, err := churn.Run(ctrl, dep, gs, churn.Config{
-			Events: events, EventsPerSecond: 1000, Seed: seed + 3,
+			Events: events, EventsPerSecond: 1000, Seed: seed + 3, Workers: workers,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		elapsed := time.Since(start)
 		fmt.Print(res.Table2())
-		fmt.Printf("(%d events applied, %d skipped, simulated %.0fs)\n\n",
-			res.EventsApplied, res.EventsSkipped, res.Duration)
+		fmt.Printf("(%d events applied, %d skipped, simulated %.0fs; %d workers, %.0f events/sec wall-clock)\n\n",
+			res.EventsApplied, res.EventsSkipped, res.Duration,
+			res.Workers, float64(res.EventsApplied)/elapsed.Seconds())
 	}
 	if doFail {
 		res := churn.RunFailures(ctrl, seed+4)

@@ -13,7 +13,9 @@ package churn
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"elmo/internal/baselines"
 	"elmo/internal/controller"
@@ -32,6 +34,14 @@ type Config struct {
 	EventsPerSecond float64
 	// Seed drives role assignment and event sampling.
 	Seed int64
+	// Workers applies the generated events concurrently across that
+	// many goroutines, partitioned by group so per-group ordering (and
+	// therefore each group's final encoding) is preserved. 1 applies
+	// serially; 0 uses GOMAXPROCS. Event generation and the Li baseline
+	// are always serial and identical for every worker count;
+	// controller results match the serial run whenever s-rule capacity
+	// is uncontended.
+	Workers int
 }
 
 // Result holds per-switch update rates (updates per second).
@@ -49,6 +59,14 @@ type Result struct {
 
 	EventsApplied int
 	EventsSkipped int
+
+	// WeightDrift is the largest divergence observed at the end of the
+	// run between a group's sampling weight and its actual membership
+	// size — zero when the live-weight invariant holds (regression
+	// guard for the stale-weight bug).
+	WeightDrift int
+	// Workers is the number of apply workers used.
+	Workers int
 }
 
 // RoleFor deterministically assigns one of the three roles (§5.1.3a:
@@ -64,11 +82,13 @@ func RoleFor(rng *rand.Rand) controller.Role {
 	}
 }
 
-// Setup creates all groups in the controller with randomized roles,
-// returning the per-group member bookkeeping the event loop uses.
+// Setup creates all groups in the controller with randomized roles.
 // Groups whose receiver set would be empty get one forced receiver so
-// trees exist.
+// trees exist. Role assignment is serial (one rng); the installs go
+// through the controller's parallel bulk pipeline, whose result is
+// byte-identical to serial CreateGroup calls in group order.
 func Setup(ctrl *controller.Controller, dep *placement.Deployment, groups []groupgen.Group, rng *rand.Rand) error {
+	specs := make([]controller.BatchSpec, len(groups))
 	for gi := range groups {
 		g := &groups[gi]
 		members := make(map[topology.HostID]controller.Role, len(g.Hosts))
@@ -83,20 +103,76 @@ func Setup(ctrl *controller.Controller, dep *placement.Deployment, groups []grou
 		if !hasReceiver {
 			members[g.Hosts[0]] = controller.RoleBoth
 		}
-		if _, err := ctrl.CreateGroup(key(g), members); err != nil {
-			return err
-		}
+		specs[gi] = controller.BatchSpec{Key: key(g), Members: members}
 	}
-	return nil
+	_, err := ctrl.InstallBatch(specs, controller.BatchOptions{})
+	return err
 }
 
 func key(g *groupgen.Group) controller.GroupKey {
 	return controller.GroupKey{Tenant: uint32(g.Tenant), Group: g.ID}
 }
 
+// event is one generated membership change; role carries the joining
+// role or the leaving member's full role.
+type event struct {
+	gi   int
+	host topology.HostID
+	role controller.Role
+	join bool
+}
+
+// shadowGroup mirrors one group's membership during event generation,
+// so generation (and the Li baseline) never reads live controller
+// state and the apply phase can run concurrently.
+type shadowGroup struct {
+	roles map[topology.HostID]controller.Role
+	hosts []topology.HostID // members, ascending (deterministic sampling)
+}
+
+func newShadowGroup(st *controller.GroupState) *shadowGroup {
+	s := &shadowGroup{roles: make(map[topology.HostID]controller.Role, len(st.Members))}
+	for h, r := range st.Members {
+		s.roles[h] = r
+		s.hosts = append(s.hosts, h)
+	}
+	sort.Slice(s.hosts, func(i, j int) bool { return s.hosts[i] < s.hosts[j] })
+	return s
+}
+
+func (s *shadowGroup) add(h topology.HostID, r controller.Role) {
+	s.roles[h] = r
+	i := sort.Search(len(s.hosts), func(i int) bool { return s.hosts[i] >= h })
+	s.hosts = append(s.hosts, 0)
+	copy(s.hosts[i+1:], s.hosts[i:])
+	s.hosts[i] = h
+}
+
+func (s *shadowGroup) remove(h topology.HostID) {
+	delete(s.roles, h)
+	i := sort.Search(len(s.hosts), func(i int) bool { return s.hosts[i] >= h })
+	s.hosts = append(s.hosts[:i], s.hosts[i+1:]...)
+}
+
+func (s *shadowGroup) receivers() []topology.HostID {
+	out := make([]topology.HostID, 0, len(s.hosts))
+	for _, h := range s.hosts {
+		if s.roles[h].CanReceive() {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
 // Run generates cfg.Events join/leave events against the controller
 // (already Setup) and measures update rates. The Li et al. baseline is
 // charged from the same event stream.
+//
+// The run is two-phase: events are generated serially against shadow
+// membership state (with sampling weights tracked live in a Fenwick
+// tree, so per-group event frequency stays proportional to the
+// *current* group size), then applied to the controller — serially, or
+// across cfg.Workers goroutines partitioned by group.
 func Run(ctrl *controller.Controller, dep *placement.Deployment, groups []groupgen.Group, cfg Config) (*Result, error) {
 	if cfg.Events <= 0 || cfg.EventsPerSecond <= 0 {
 		return nil, fmt.Errorf("churn: Events and EventsPerSecond must be positive")
@@ -106,47 +182,73 @@ func Run(ctrl *controller.Controller, dep *placement.Deployment, groups []groupg
 	li := baselines.NewLiState(topo)
 	ctrl.ResetStats()
 
-	// Weighted group sampling by size (largest groups churn most).
-	cum := make([]int, len(groups))
-	total := 0
+	// Shadow membership + live size-proportional sampling weights
+	// (largest groups churn most — and keep churning most as they grow).
+	shadows := make([]*shadowGroup, len(groups))
+	weights := make([]int, len(groups))
 	for i := range groups {
-		total += groups[i].Size()
-		cum[i] = total
+		st := ctrl.Group(key(&groups[i]))
+		if st == nil {
+			return nil, fmt.Errorf("churn: group %d missing from controller", groups[i].ID)
+		}
+		shadows[i] = newShadowGroup(st)
+		weights[i] = len(shadows[i].hosts)
 	}
-	pick := func() *groupgen.Group {
-		x := rng.Intn(total)
-		i := sort.SearchInts(cum, x+1)
-		return &groups[i]
+	fw := newFenwick(weights)
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := &Result{
+		Duration: float64(cfg.Events) / cfg.EventsPerSecond,
+		Workers:  workers,
 	}
 
-	res := &Result{Duration: float64(cfg.Events) / cfg.EventsPerSecond}
+	// Phase 1: serial generation. Identical for every worker count.
+	events := make([]event, 0, cfg.Events)
 	for e := 0; e < cfg.Events; e++ {
-		g := pick()
-		st := ctrl.Group(key(g))
-		if st == nil {
-			return nil, fmt.Errorf("churn: group %d missing from controller", g.ID)
-		}
+		gi := fw.find(rng.Intn(fw.total()))
+		g := &groups[gi]
+		sh := shadows[gi]
 		join := rng.Intn(2) == 0
-		if len(st.Members) <= 1 {
+		if len(sh.hosts) <= 1 {
 			join = true
 		}
-		var err error
 		if join {
-			host, ok := pickNonMember(rng, dep, g, st)
+			host, ok := pickNonMember(rng, dep, g, sh)
 			if !ok {
 				res.EventsSkipped++
 				continue
 			}
-			err = ctrl.Join(key(g), host, RoleFor(rng))
+			role := RoleFor(rng)
+			sh.add(host, role)
+			fw.add(gi, 1)
+			events = append(events, event{gi: gi, host: host, role: role, join: true})
 		} else {
-			host := pickMember(rng, st)
-			err = ctrl.Leave(key(g), host, st.Members[host])
-		}
-		if err != nil {
-			return nil, fmt.Errorf("churn: event %d: %w", e, err)
+			host := sh.hosts[rng.Intn(len(sh.hosts))]
+			role := sh.roles[host]
+			sh.remove(host)
+			fw.add(gi, -1)
+			events = append(events, event{gi: gi, host: host, role: role})
 		}
 		res.EventsApplied++
-		li.ApplyChurnEvent(g.ID, st.Receivers())
+		li.ApplyChurnEvent(g.ID, sh.receivers())
+	}
+	for i := range shadows {
+		if d := fw.weight(i) - len(shadows[i].hosts); d > res.WeightDrift {
+			res.WeightDrift = d
+		} else if -d > res.WeightDrift {
+			res.WeightDrift = -d
+		}
+	}
+
+	// Phase 2: apply. Partitioning by group preserves per-group event
+	// order, so each group's membership trajectory — and with
+	// uncontended s-rule capacity, its encodings and update charges —
+	// matches the serial run.
+	if err := applyEvents(ctrl, groups, events, workers); err != nil {
+		return nil, err
 	}
 
 	// Convert counts to per-switch rates over all switches of each
@@ -174,26 +276,61 @@ func Run(ctrl *controller.Controller, dep *placement.Deployment, groups []groupg
 	return res, nil
 }
 
-func pickNonMember(rng *rand.Rand, dep *placement.Deployment, g *groupgen.Group, st *controller.GroupState) (topology.HostID, bool) {
+// applyEvents replays the generated events against the controller.
+// With one worker the events run in generation order; with more, each
+// worker owns the groups with gi % workers == its index and applies
+// their events in order.
+func applyEvents(ctrl *controller.Controller, groups []groupgen.Group, events []event, workers int) error {
+	apply := func(ev event) error {
+		k := key(&groups[ev.gi])
+		if ev.join {
+			return ctrl.Join(k, ev.host, ev.role)
+		}
+		return ctrl.Leave(k, ev.host, ev.role)
+	}
+	if workers <= 1 {
+		for i, ev := range events {
+			if err := apply(ev); err != nil {
+				return fmt.Errorf("churn: event %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, ev := range events {
+				if ev.gi%workers != w {
+					continue
+				}
+				if err := apply(ev); err != nil {
+					errs[w] = fmt.Errorf("churn: event %d: %w", i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pickNonMember(rng *rand.Rand, dep *placement.Deployment, g *groupgen.Group, sh *shadowGroup) (topology.HostID, bool) {
 	tenant := &dep.Tenants[g.Tenant]
 	for try := 0; try < 16; try++ {
 		vm := tenant.VMs[rng.Intn(len(tenant.VMs))]
-		if _, member := st.Members[vm.Host]; !member {
+		if _, member := sh.roles[vm.Host]; !member {
 			return vm.Host, true
 		}
 	}
 	return 0, false
-}
-
-func pickMember(rng *rand.Rand, st *controller.GroupState) topology.HostID {
-	i := rng.Intn(len(st.Members))
-	for h := range st.Members {
-		if i == 0 {
-			return h
-		}
-		i--
-	}
-	panic("unreachable")
 }
 
 // Table2 renders the churn result as the paper's Table 2.

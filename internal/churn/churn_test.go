@@ -2,6 +2,7 @@ package churn
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"elmo/internal/controller"
@@ -141,5 +142,127 @@ func TestRoleForCoversAllRoles(t *testing.T) {
 	}
 	if !seen[controller.RoleSender] || !seen[controller.RoleReceiver] || !seen[controller.RoleBoth] {
 		t.Fatalf("roles seen: %v", seen)
+	}
+}
+
+func TestFenwick(t *testing.T) {
+	weights := []int{3, 0, 5, 1, 2, 7, 4}
+	f := newFenwick(weights)
+	if got := f.total(); got != 22 {
+		t.Fatalf("total = %d, want 22", got)
+	}
+	for i, w := range weights {
+		if got := f.weight(i); got != w {
+			t.Fatalf("weight(%d) = %d, want %d", i, got, w)
+		}
+	}
+	// find maps every point in [0, total) to the index owning that
+	// slice of the cumulative distribution.
+	wantIdx := func(x int) int {
+		cum := 0
+		for i, w := range weights {
+			cum += w
+			if x < cum {
+				return i
+			}
+		}
+		t.Fatalf("x=%d out of range", x)
+		return -1
+	}
+	for x := 0; x < 22; x++ {
+		if got := f.find(x); got != wantIdx(x) {
+			t.Fatalf("find(%d) = %d, want %d", x, got, wantIdx(x))
+		}
+	}
+	// Live updates shift the distribution.
+	f.add(1, 6)
+	f.add(5, -7)
+	if f.weight(1) != 6 || f.weight(5) != 0 || f.total() != 21 {
+		t.Fatalf("after updates: w1=%d w5=%d total=%d", f.weight(1), f.weight(5), f.total())
+	}
+	weights[1], weights[5] = 6, 0
+	for x := 0; x < 21; x++ {
+		if got := f.find(x); got != wantIdx(x) {
+			t.Fatalf("after update find(%d) = %d, want %d", x, got, wantIdx(x))
+		}
+	}
+}
+
+// TestChurnWeightsTrackSize is the regression test for the
+// stale-weight bug: after a long churn run, every group's sampling
+// weight must equal its actual membership size.
+func TestChurnWeightsTrackSize(t *testing.T) {
+	ctrl, dep, groups := churnFixture(t, 100)
+	res, err := Run(ctrl, dep, groups, Config{Events: 2000, EventsPerSecond: 100, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WeightDrift != 0 {
+		t.Fatalf("sampling weights drifted %d from membership sizes", res.WeightDrift)
+	}
+	// The shadow replay driving the weights must agree with the
+	// controller's actual final membership.
+	for gi := range groups {
+		g := &groups[gi]
+		st := ctrl.Group(controller.GroupKey{Tenant: uint32(g.Tenant), Group: g.ID})
+		if st == nil {
+			t.Fatalf("group %d lost", g.ID)
+		}
+	}
+}
+
+// TestChurnConcurrentMatchesSerial runs the same churn twice — serial
+// apply and 4-worker apply — and asserts identical controller end
+// state (memberships, encodings, update stats) plus identical
+// generated-stream results (Li baseline, applied/skipped counts).
+func TestChurnConcurrentMatchesSerial(t *testing.T) {
+	run := func(workers int) (*controller.Controller, *Result, []groupgen.Group) {
+		ctrl, dep, groups := churnFixture(t, 100)
+		res, err := Run(ctrl, dep, groups, Config{Events: 1500, EventsPerSecond: 100, Seed: 23, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctrl, res, groups
+	}
+	sc, sr, groups := run(1)
+	cc, cr, _ := run(4)
+
+	if sr.EventsApplied != cr.EventsApplied || sr.EventsSkipped != cr.EventsSkipped {
+		t.Fatalf("event counts differ: serial %d/%d concurrent %d/%d",
+			sr.EventsApplied, sr.EventsSkipped, cr.EventsApplied, cr.EventsSkipped)
+	}
+	if sr.LiLeaf.Mean() != cr.LiLeaf.Mean() || sr.LiSpine.Mean() != cr.LiSpine.Mean() || sr.LiCore.Mean() != cr.LiCore.Mean() {
+		t.Fatal("Li baseline differs between serial and concurrent runs")
+	}
+	for gi := range groups {
+		g := &groups[gi]
+		k := controller.GroupKey{Tenant: uint32(g.Tenant), Group: g.ID}
+		ss, cs := sc.Group(k), cc.Group(k)
+		if ss == nil || cs == nil {
+			t.Fatalf("group %d missing", g.ID)
+		}
+		if !reflect.DeepEqual(ss.Members, cs.Members) {
+			t.Fatalf("group %d membership differs", g.ID)
+		}
+		if !reflect.DeepEqual(ss.Enc, cs.Enc) {
+			t.Fatalf("group %d encoding differs", g.ID)
+		}
+	}
+	topo := sc.Topology()
+	for l := 0; l < topo.NumLeaves(); l++ {
+		if sc.LeafSRuleCount(topology.LeafID(l)) != cc.LeafSRuleCount(topology.LeafID(l)) {
+			t.Fatalf("leaf %d occupancy differs", l)
+		}
+	}
+	for s := 0; s < topo.NumSpines(); s++ {
+		if sc.SpineSRuleCount(topology.SpineID(s)) != cc.SpineSRuleCount(topology.SpineID(s)) {
+			t.Fatalf("spine %d occupancy differs", s)
+		}
+	}
+	if !reflect.DeepEqual(sc.Stats(), cc.Stats()) {
+		t.Fatal("update stats differ between serial and concurrent runs")
+	}
+	if sr.Hypervisor.Mean() != cr.Hypervisor.Mean() || sr.Leaf.Mean() != cr.Leaf.Mean() || sr.Spine.Mean() != cr.Spine.Mean() {
+		t.Fatal("rate summaries differ between serial and concurrent runs")
 	}
 }

@@ -1,0 +1,68 @@
+package churn
+
+// fenwick is a binary indexed tree over per-group weights, giving the
+// event generator O(log n) size-proportional sampling with live
+// updates — the fix for the stale-weight bug where the cumulative
+// table was built once from initial group sizes and never tracked
+// membership churn.
+type fenwick struct {
+	tree []int // 1-based; tree[i] covers (i - lowbit(i), i]
+	n    int
+}
+
+// newFenwick builds a tree over the initial weights in O(n).
+func newFenwick(weights []int) *fenwick {
+	f := &fenwick{tree: make([]int, len(weights)+1), n: len(weights)}
+	for i, w := range weights {
+		f.tree[i+1] += w
+		if p := (i + 1) + ((i + 1) & -(i + 1)); p <= f.n {
+			f.tree[p] += f.tree[i+1]
+		}
+	}
+	return f
+}
+
+// add adjusts weight i by delta.
+func (f *fenwick) add(i, delta int) {
+	for j := i + 1; j <= f.n; j += j & -j {
+		f.tree[j] += delta
+	}
+}
+
+// total returns the sum of all weights.
+func (f *fenwick) total() int {
+	return f.prefix(f.n)
+}
+
+// prefix returns the sum of weights [0, i).
+func (f *fenwick) prefix(i int) int {
+	s := 0
+	for ; i > 0; i -= i & -i {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// weight returns the current weight of index i.
+func (f *fenwick) weight(i int) int {
+	return f.prefix(i+1) - f.prefix(i)
+}
+
+// find returns the smallest index i whose prefix sum through i exceeds
+// x (i.e. samples index i when x is uniform in [0, total)). Requires
+// 0 <= x < total.
+func (f *fenwick) find(x int) int {
+	i := 0
+	// Highest power of two <= n.
+	step := 1
+	for step<<1 <= f.n {
+		step <<= 1
+	}
+	for ; step > 0; step >>= 1 {
+		if next := i + step; next <= f.n && f.tree[next] <= x {
+			i = next
+			x -= f.tree[next]
+		}
+	}
+	return i
+}

@@ -88,6 +88,13 @@ func (a *Assignment) CoveredExactly() bool { return a.Default == nil }
 // Assign runs Algorithm 1 over the members of one layer.
 // Members must have bitmaps of equal width; the slice may be in any
 // order, and is not modified. The result is deterministic.
+//
+// Assign is safe for concurrent use: it reads its inputs (including
+// the member bitmaps, which it never mutates) and builds fresh output
+// structures, so the parallel controller pipeline runs it from many
+// workers against shared member slices. The HasSRuleCapacity callback
+// must itself be safe to call concurrently (the controller passes
+// closures over atomic occupancy counters).
 func Assign(members []Member, c Constraints) Assignment {
 	out := Assignment{SRules: make(map[uint16]bitmap.Bitmap)}
 	if len(members) == 0 {

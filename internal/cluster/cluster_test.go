@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"math/rand"
+	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -332,5 +334,38 @@ func BenchmarkAssignLargeGroup(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		Assign(ms, c)
+	}
+}
+
+// TestAssignConcurrent pins down the reentrancy contract the parallel
+// controller pipeline relies on: many goroutines running Assign over
+// the same shared member slice produce identical assignments and never
+// trip the race detector (run via `make race`).
+func TestAssignConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ms := randomMembers(48, 40, 4, rng)
+	c := Constraints{R: 4, HMax: 10, KMax: 4, HasSRuleCapacity: fullCapacity}
+	want := Assign(ms, c)
+
+	const workers, iters = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				got := Assign(ms, c)
+				if !reflect.DeepEqual(got, want) {
+					errs <- "concurrent Assign diverged from serial result"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
 	}
 }

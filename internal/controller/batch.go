@@ -1,0 +1,250 @@
+package controller
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"elmo/internal/topology"
+	"elmo/internal/trace"
+)
+
+// This file implements the parallel bulk-install pipeline (§5.1.3
+// controller scale): group encodings are independent except for the
+// shared s-rule capacity counters, so the cluster/encoder phase shards
+// across workers while a single committer admits s-rules in
+// deterministic input order. Workers encode speculatively against
+// point-in-time occupancy reads (capRecorder); the committer validates
+// each recorded capacity answer against the live counters and recomputes
+// serially on a mismatch, so the committed encodings and the final
+// LeafSRuleCount/SpineSRuleCount are byte-identical for any worker
+// count.
+
+// BatchError wraps an error raised while encoding or committing one
+// batch element, preserving the input index (all elements before Index
+// were fully committed, exactly as a serial loop would leave them).
+type BatchError struct {
+	Index int
+	Err   error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("batch index %d: %v", e.Index, e.Err)
+}
+
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// batchChunkSize is the unit of work a worker claims at a time: large
+// enough to amortize scheduling, small enough to pipeline the committer
+// behind the workers.
+const batchChunkSize = 64
+
+// EncodeBatch computes the encodings for n receiver sets using the
+// given number of workers (<=0 means GOMAXPROCS) against shared s-rule
+// occupancy, invoking commit(i, enc) sequentially in strict input
+// order. The occupancy counters are charged after commit returns nil;
+// a non-nil commit error (or an encoding error) aborts the batch with a
+// *BatchError, leaving all earlier elements committed.
+//
+// receivers(i) must be pure: it may be called concurrently and more
+// than once per index. The result is byte-identical to the serial loop
+//
+//	for i := range n { enc := ComputeEncoding(..., occ.CapacityFunc(), receivers(i)); commit(i, enc); occ.Commit(enc) }
+//
+// for every worker count. Returned is the number of elements whose
+// speculative encoding was discarded and recomputed at the commit point
+// because a capacity answer changed under it (contention on nearly-full
+// tables).
+func EncodeBatch(topo *topology.Topology, cfg Config, occ *Occupancy, n, workers int,
+	receivers func(i int) []topology.HostID,
+	commit func(i int, enc *Encoding) error) (recomputed int, err error) {
+	if n == 0 {
+		return 0, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			enc, cerr := ComputeEncoding(topo, cfg, occ.CapacityFunc(), receivers(i))
+			if cerr != nil {
+				return recomputed, &BatchError{Index: i, Err: cerr}
+			}
+			if cerr := commit(i, enc); cerr != nil {
+				return recomputed, &BatchError{Index: i, Err: cerr}
+			}
+			occ.Commit(enc)
+		}
+		return 0, nil
+	}
+
+	type result struct {
+		enc *Encoding
+		rec *capRecorder
+		err error
+	}
+	results := make([]result, n)
+	chunks := (n + batchChunkSize - 1) / batchChunkSize
+	ready := make([]chan struct{}, chunks)
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	var next atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				ci := int(next.Add(1)) - 1
+				if ci >= chunks {
+					return
+				}
+				lo := ci * batchChunkSize
+				hi := lo + batchChunkSize
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					rec := newCapRecorder(occ, nil)
+					enc, cerr := ComputeEncoding(topo, cfg, rec.capacity(), receivers(i))
+					results[i] = result{enc: enc, rec: rec, err: cerr}
+				}
+				close(ready[ci])
+			}
+		}()
+	}
+	defer func() {
+		stop.Store(true)
+		wg.Wait()
+	}()
+
+	// Deterministic commit order: admit element i only after 0..i-1,
+	// validating the speculative capacity answers against the live
+	// counters (which only this goroutine mutates during the batch).
+	for ci := 0; ci < chunks; ci++ {
+		<-ready[ci]
+		lo := ci * batchChunkSize
+		hi := lo + batchChunkSize
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			r := results[i]
+			enc := r.enc
+			if r.err != nil || !r.rec.valid() {
+				// The speculative run raced a capacity boundary (or
+				// errored under a stale view): redo it serially at the
+				// commit point — exactly what a serial loop would see.
+				recomputed++
+				var cerr error
+				enc, cerr = ComputeEncoding(topo, cfg, occ.CapacityFunc(), receivers(i))
+				if cerr != nil {
+					return recomputed, &BatchError{Index: i, Err: cerr}
+				}
+			}
+			if cerr := commit(i, enc); cerr != nil {
+				return recomputed, &BatchError{Index: i, Err: cerr}
+			}
+			occ.Commit(enc)
+			results[i] = result{} // release speculative memory early
+		}
+	}
+	return recomputed, nil
+}
+
+// BatchSpec is one group to install: its key and members with roles.
+type BatchSpec struct {
+	Key     GroupKey
+	Members map[topology.HostID]Role
+}
+
+// BatchOptions tunes InstallBatch.
+type BatchOptions struct {
+	// Workers is the number of concurrent encoder workers; <=0 uses
+	// GOMAXPROCS. The result is identical for every value.
+	Workers int
+}
+
+// BatchResult reports what a bulk install did.
+type BatchResult struct {
+	// Installed counts groups committed (== len(specs) on success).
+	Installed int
+	// Recomputed counts encodings redone at the commit point because a
+	// concurrent admission changed a capacity answer they relied on.
+	Recomputed int
+	// Workers is the effective worker count used.
+	Workers int
+}
+
+// InstallBatch creates all the given groups, sharding the encoder phase
+// across opts.Workers goroutines while admitting s-rules in input
+// order, so the installed state — encodings, occupancy counters, update
+// stats, trace events — is byte-identical to calling CreateGroup for
+// each spec in slice order. On error (duplicate or empty key roles,
+// legacy table overflow) the batch stops with a *BatchError; specs
+// before the failing index remain installed, exactly like the serial
+// loop.
+//
+// InstallBatch is safe to run concurrently with other controller
+// operations, but the byte-identical-to-serial guarantee holds only for
+// a quiescent controller (no concurrent mutations admitting s-rules).
+func (c *Controller) InstallBatch(specs []BatchSpec, opts BatchOptions) (*BatchResult, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := &BatchResult{Workers: workers}
+	receivers := func(i int) []topology.HostID {
+		return receiversOf(specs[i].Members)
+	}
+	commit := func(i int, enc *Encoding) error {
+		spec := specs[i]
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if _, ok := c.groups[spec.Key]; ok {
+			return fmt.Errorf("controller: group %v already exists", spec.Key)
+		}
+		g := &GroupState{Key: spec.Key, Members: make(map[topology.HostID]Role, len(spec.Members))}
+		for h, r := range spec.Members {
+			if r == 0 {
+				return fmt.Errorf("controller: host %d has empty role", h)
+			}
+			g.Members[h] = r
+		}
+		g.Enc = enc
+		c.groups[spec.Key] = g
+		for h := range g.Members {
+			c.stats.Hypervisor[h]++
+		}
+		c.traceEncode(spec.Key, enc)
+		c.traceControl(trace.KindCreateGroup, spec.Key, int64(len(g.Members)), "")
+		res.Installed++
+		return nil
+	}
+	recomputed, err := EncodeBatch(c.topo, c.cfg, c.occ, len(specs), workers, receivers, commit)
+	res.Recomputed = recomputed
+	if err != nil {
+		return res, fmt.Errorf("controller: install %w", err)
+	}
+	return res, nil
+}
+
+// receiversOf lists the receiving hosts of a member map, ascending —
+// the same order GroupState.Receivers produces.
+func receiversOf(members map[topology.HostID]Role) []topology.HostID {
+	hosts := make([]topology.HostID, 0, len(members))
+	for h, r := range members {
+		if r.CanReceive() {
+			hosts = append(hosts, h)
+		}
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	return hosts
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"sync"
 
 	"elmo/internal/bitmap"
 	"elmo/internal/dataplane"
@@ -43,10 +44,22 @@ func (r Role) CanSend() bool { return r&RoleSender != 0 }
 func (r Role) CanReceive() bool { return r&RoleReceiver != 0 }
 
 // GroupState is the controller's record of one group.
+//
+// Concurrency: fields are written only while holding BOTH the group's
+// own mutex and the controller mutex in write mode, so a reader holding
+// either lock sees consistent state (see the locking notes on
+// Controller).
 type GroupState struct {
 	Key     GroupKey
 	Members map[topology.HostID]Role
 	Enc     *Encoding
+
+	// mu serializes membership operations on this group; it is acquired
+	// before (never after) the controller mutex.
+	mu sync.Mutex
+	// removed marks a group deleted from the controller map while a
+	// racing membership operation was waiting on mu.
+	removed bool
 }
 
 // Receivers returns the member hosts with a receiving role, ascending.
@@ -104,22 +117,32 @@ func (u *UpdateStats) Total() int {
 	return n
 }
 
-// Controller is the logically-centralized Elmo controller. It is not
-// safe for concurrent use; callers serialize access (the real system
-// shards groups over controller instances).
+// Controller is the logically-centralized Elmo controller. It is safe
+// for concurrent use: the encoder phase of every membership operation
+// runs outside the controller lock (speculatively, against atomic
+// occupancy reads), and only admission — s-rule occupancy, update
+// stats, the group map — is serialized.
+//
+// Locking model (see DESIGN.md, "Controller concurrency model"):
+//
+//   - c.mu guards the group map, update stats, failure set and s-rule
+//     admission; GroupState fields are written only under BOTH g.mu and
+//     c.mu, so holders of either lock read them safely.
+//   - g.mu serializes membership operations per group and is always
+//     acquired before c.mu.
+//   - s-rule occupancy lives in atomically-readable counters
+//     (Occupancy) so concurrent encoder runs consult capacity without
+//     blocking each other.
 type Controller struct {
 	topo     *topology.Topology
 	cfg      Config
 	layout   header.Layout
 	failures *topology.FailureSet
 
+	mu     sync.RWMutex
 	groups map[GroupKey]*GroupState
-
-	// Group-table occupancy (s-rules) per physical switch.
-	leafSRules  []int
-	spineSRules []int
-
-	stats UpdateStats
+	occ    *Occupancy
+	stats  UpdateStats
 
 	tracer trace.Recorder
 }
@@ -130,13 +153,13 @@ func New(topo *topology.Topology, cfg Config) (*Controller, error) {
 		return nil, err
 	}
 	return &Controller{
-		topo:        topo,
-		cfg:         cfg,
-		layout:      header.LayoutFor(topo),
-		failures:    topology.NewFailureSet(),
-		groups:      make(map[GroupKey]*GroupState),
-		leafSRules:  make([]int, topo.NumLeaves()),
-		spineSRules: make([]int, topo.NumSpines()),
+		topo:     topo,
+		cfg:      cfg,
+		layout:   header.LayoutFor(topo),
+		failures: topology.NewFailureSet(),
+		groups:   make(map[GroupKey]*GroupState),
+		occ:      NewOccupancy(topo, cfg.SRuleCapacity),
+		stats:    newUpdateStats(),
 	}, nil
 }
 
@@ -153,9 +176,14 @@ func (c *Controller) Failures() *topology.FailureSet { return c.failures }
 // recompute, failure charging, and rollback events are recorded under
 // the control category, encoding runs under the encoder category. Nil
 // or disabled recorders cost one check per control-plane operation.
-func (c *Controller) SetTracer(r trace.Recorder) { c.tracer = r }
+func (c *Controller) SetTracer(r trace.Recorder) {
+	c.mu.Lock()
+	c.tracer = r
+	c.mu.Unlock()
+}
 
-// traceControl records a control-plane event for a group.
+// traceControl records a control-plane event for a group. Callers hold
+// c.mu (read or write).
 func (c *Controller) traceControl(kind trace.Kind, key GroupKey, arg int64, note string) {
 	if !trace.On(c.tracer, trace.CatControl) {
 		return
@@ -177,8 +205,12 @@ func (c *Controller) traceFailure(kind trace.Kind, sw int32, impacted int) {
 	})
 }
 
-// Stats returns the accumulated update counters.
+// Stats returns the accumulated update counters. The returned pointer
+// aliases live state: read it only while no concurrent mutations run
+// (between experiment phases), like every other aggregate accessor.
 func (c *Controller) Stats() *UpdateStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.stats.Hypervisor == nil {
 		c.stats = newUpdateStats()
 	}
@@ -186,21 +218,35 @@ func (c *Controller) Stats() *UpdateStats {
 }
 
 // ResetStats clears the update counters (between experiment phases).
-func (c *Controller) ResetStats() { c.stats = newUpdateStats() }
+func (c *Controller) ResetStats() {
+	c.mu.Lock()
+	c.stats = newUpdateStats()
+	c.mu.Unlock()
+}
 
 // Group returns the state for a key, or nil.
-func (c *Controller) Group(key GroupKey) *GroupState { return c.groups[key] }
+func (c *Controller) Group(key GroupKey) *GroupState {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.groups[key]
+}
 
 // NumGroups returns the number of live groups.
-func (c *Controller) NumGroups() int { return len(c.groups) }
+func (c *Controller) NumGroups() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.groups)
+}
 
 // GroupKeys returns the keys of all live groups in ascending
 // (tenant, group) order.
 func (c *Controller) GroupKeys() []GroupKey {
+	c.mu.RLock()
 	keys := make([]GroupKey, 0, len(c.groups))
 	for k := range c.groups {
 		keys = append(keys, k)
 	}
+	c.mu.RUnlock()
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i].Tenant != keys[j].Tenant {
 			return keys[i].Tenant < keys[j].Tenant
@@ -210,37 +256,28 @@ func (c *Controller) GroupKeys() []GroupKey {
 	return keys
 }
 
+// Occupancy exposes the live s-rule occupancy counters.
+func (c *Controller) Occupancy() *Occupancy { return c.occ }
+
 // LeafSRuleCount returns the s-rule occupancy of a leaf switch.
-func (c *Controller) LeafSRuleCount(l topology.LeafID) int { return c.leafSRules[l] }
+func (c *Controller) LeafSRuleCount(l topology.LeafID) int { return c.occ.LeafCount(l) }
 
 // SpineSRuleCount returns the s-rule occupancy of a physical spine.
-func (c *Controller) SpineSRuleCount(s topology.SpineID) int { return c.spineSRules[s] }
+func (c *Controller) SpineSRuleCount(s topology.SpineID) int { return c.occ.SpineCount(s) }
 
-// capacity returns the CapacityFunc backed by the live occupancy
-// counters: a pod has spine capacity only if every physical spine in
-// the pod has a free entry (the logical-spine rule is replicated to
-// each, since multipathing may deliver the packet to any of them).
-func (c *Controller) capacity() CapacityFunc {
-	return CapacityFunc{
-		Leaf: func(l topology.LeafID) bool {
-			return c.leafSRules[l] < c.cfg.SRuleCapacity
-		},
-		Pod: func(p topology.PodID) bool {
-			for plane := 0; plane < c.topo.Config().SpinesPerPod; plane++ {
-				if c.spineSRules[c.topo.SpineAt(p, plane)] >= c.cfg.SRuleCapacity {
-					return false
-				}
-			}
-			return true
-		},
-	}
+// lookup fetches a group without holding any lock afterwards.
+func (c *Controller) lookup(key GroupKey) *GroupState {
+	c.mu.RLock()
+	g := c.groups[key]
+	c.mu.RUnlock()
+	return g
 }
 
 // CreateGroup registers a group with the given members and computes
 // its encoding, installing any s-rules. Returns an error if the key
 // exists or a member host is repeated.
 func (c *Controller) CreateGroup(key GroupKey, members map[topology.HostID]Role) (*GroupState, error) {
-	if _, ok := c.groups[key]; ok {
+	if c.lookup(key) != nil {
 		return nil, fmt.Errorf("controller: group %v already exists", key)
 	}
 	g := &GroupState{Key: key, Members: make(map[topology.HostID]Role, len(members))}
@@ -250,15 +287,33 @@ func (c *Controller) CreateGroup(key GroupKey, members map[topology.HostID]Role)
 		}
 		g.Members[h] = r
 	}
-	if err := c.recompute(g, nil); err != nil {
-		return nil, err
+
+	// Speculative encode outside the lock; validated at admission.
+	receivers := g.Receivers()
+	rec := newCapRecorder(c.occ, nil)
+	enc, cerr := ComputeEncoding(c.topo, c.cfg, rec.capacity(), receivers)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.groups[key]; ok {
+		return nil, fmt.Errorf("controller: group %v already exists", key)
 	}
+	if cerr != nil || !rec.valid() {
+		var err error
+		enc, err = ComputeEncoding(c.topo, c.cfg, c.occ.CapacityFunc(), receivers)
+		if err != nil {
+			c.traceControl(trace.KindRollback, key, -1, err.Error())
+			return nil, err
+		}
+	}
+	g.Enc = enc
+	c.occ.Commit(enc)
 	c.groups[key] = g
+	c.traceEncode(key, enc)
 	// Every member hypervisor receives flow state (senders: encap
 	// rules + headers; receivers: group delivery rules).
-	st := c.Stats()
 	for h := range g.Members {
-		st.Hypervisor[h]++
+		c.stats.Hypervisor[h]++
 	}
 	c.traceControl(trace.KindCreateGroup, key, int64(len(g.Members)), "")
 	return g, nil
@@ -266,62 +321,90 @@ func (c *Controller) CreateGroup(key GroupKey, members map[topology.HostID]Role)
 
 // RemoveGroup deletes a group, releasing its s-rules.
 func (c *Controller) RemoveGroup(key GroupKey) error {
-	g, ok := c.groups[key]
-	if !ok {
+	g := c.lookup(key)
+	if g == nil {
 		return fmt.Errorf("controller: group %v not found", key)
 	}
-	c.releaseSRules(g.Enc, true)
-	st := c.Stats()
-	for h := range g.Members {
-		st.Hypervisor[h]++
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g.removed || c.groups[key] != g {
+		return fmt.Errorf("controller: group %v not found", key)
 	}
+	g.removed = true
 	delete(c.groups, key)
+	c.releaseSRulesCharged(g.Enc)
+	for h := range g.Members {
+		c.stats.Hypervisor[h]++
+	}
 	c.traceControl(trace.KindRemoveGroup, key, int64(len(g.Members)), "")
 	return nil
 }
 
 // Join adds a member (or extends an existing member's role).
+//
+// Accounting note: the member's hypervisor update and the Join trace
+// event are charged only after the operation commits; a failed retree
+// rolls back membership and emits only the rollback trace, so
+// update-rate results never count rolled-back events.
 func (c *Controller) Join(key GroupKey, host topology.HostID, role Role) error {
-	g, ok := c.groups[key]
-	if !ok {
-		return fmt.Errorf("controller: group %v not found", key)
-	}
 	if role == 0 {
 		return fmt.Errorf("controller: empty role")
+	}
+	g := c.lookup(key)
+	if g == nil {
+		return fmt.Errorf("controller: group %v not found", key)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.removed {
+		return fmt.Errorf("controller: group %v not found", key)
 	}
 	old, present := g.Members[host]
 	if present && old|role == old {
 		return nil // no change
 	}
+	c.mu.Lock()
 	g.Members[host] = old | role
-	st := c.Stats()
-	st.Hypervisor[host]++ // the member's own hypervisor always updates
+	c.mu.Unlock()
 	// A sender-only join leaves the tree untouched: only the source
 	// hypervisor is updated (§5.1.3a).
-	c.traceControl(trace.KindJoin, key, int64(host), "")
 	receiverChanged := role.CanReceive() && (!present || !old.CanReceive())
-	if !receiverChanged {
-		return nil
-	}
-	if err := c.retree(g, host); err != nil {
-		// Revert the membership so state matches the (rolled back)
-		// encoding.
-		if present {
-			g.Members[host] = old
-		} else {
-			delete(g.Members, host)
+	if receiverChanged {
+		if err := c.retree(g, host); err != nil {
+			// Revert the membership so state matches the (rolled back)
+			// encoding; the hypervisor counter was never charged and
+			// no Join event was emitted.
+			c.mu.Lock()
+			if present {
+				g.Members[host] = old
+			} else {
+				delete(g.Members, host)
+			}
+			c.traceControl(trace.KindRollback, key, int64(host), err.Error())
+			c.mu.Unlock()
+			return err
 		}
-		c.traceControl(trace.KindRollback, key, int64(host), err.Error())
-		return err
 	}
+	c.mu.Lock()
+	c.stats.Hypervisor[host]++ // the member's own hypervisor always updates
+	c.traceControl(trace.KindJoin, key, int64(host), "")
+	c.mu.Unlock()
 	return nil
 }
 
 // Leave removes a role from a member, dropping the member entirely
-// when no role remains.
+// when no role remains. As with Join, the hypervisor update and Leave
+// trace are charged only after a successful commit.
 func (c *Controller) Leave(key GroupKey, host topology.HostID, role Role) error {
-	g, ok := c.groups[key]
-	if !ok {
+	g := c.lookup(key)
+	if g == nil {
+		return fmt.Errorf("controller: group %v not found", key)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.removed {
 		return fmt.Errorf("controller: group %v not found", key)
 	}
 	old, present := g.Members[host]
@@ -329,23 +412,27 @@ func (c *Controller) Leave(key GroupKey, host topology.HostID, role Role) error 
 		return fmt.Errorf("controller: host %d does not hold role in %v", host, key)
 	}
 	remaining := old &^ role
+	c.mu.Lock()
 	if remaining == 0 {
 		delete(g.Members, host)
 	} else {
 		g.Members[host] = remaining
 	}
-	st := c.Stats()
-	st.Hypervisor[host]++
-	c.traceControl(trace.KindLeave, key, int64(host), "")
+	c.mu.Unlock()
 	receiverChanged := role.CanReceive() && old.CanReceive()
-	if !receiverChanged {
-		return nil
+	if receiverChanged {
+		if err := c.retree(g, host); err != nil {
+			c.mu.Lock()
+			g.Members[host] = old
+			c.traceControl(trace.KindRollback, key, int64(host), err.Error())
+			c.mu.Unlock()
+			return err
+		}
 	}
-	if err := c.retree(g, host); err != nil {
-		g.Members[host] = old
-		c.traceControl(trace.KindRollback, key, int64(host), err.Error())
-		return err
-	}
+	c.mu.Lock()
+	c.stats.Hypervisor[host]++
+	c.traceControl(trace.KindLeave, key, int64(host), "")
+	c.mu.Unlock()
 	return nil
 }
 
@@ -353,29 +440,51 @@ func (c *Controller) Leave(key GroupKey, host topology.HostID, role Role) error 
 // charges the resulting switch updates: s-rule diffs to leaf/spine
 // switches, and header refreshes to every sender hypervisor when the
 // shared downstream sections changed.
+//
+// The encoder phase runs outside the controller lock against a
+// speculative capacity view (the old encoding's s-rules count as
+// released); admission re-validates that view and falls back to a
+// serial recompute under the lock when a capacity answer changed.
+// Callers hold g.mu.
 func (c *Controller) retree(g *GroupState, changed topology.HostID) error {
 	oldEnc := g.Enc
-	if err := c.recompute(g, oldEnc); err != nil {
-		return err
+	receivers := g.Receivers()
+	rec := newCapRecorder(c.occ, oldEnc)
+	enc, cerr := ComputeEncoding(c.topo, c.cfg, rec.capacity(), receivers)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.occ.Release(oldEnc)
+	if cerr != nil || !rec.valid() {
+		var err error
+		enc, err = ComputeEncoding(c.topo, c.cfg, c.occ.CapacityFunc(), receivers)
+		if err != nil {
+			// Roll the old s-rules back so state stays consistent.
+			c.occ.Commit(oldEnc)
+			c.traceControl(trace.KindRollback, g.Key, -1, err.Error())
+			return err
+		}
 	}
+	g.Enc = enc
+	c.occ.Commit(enc)
+	c.traceEncode(g.Key, enc)
 	c.traceControl(trace.KindRecompute, g.Key, int64(changed), "")
-	st := c.Stats()
 	// Leaf s-rule diffs.
 	for l, bm := range encLeafSRules(oldEnc) {
 		nbm, ok := g.Enc.LeafSRules[l]
 		if !ok || !nbm.Equal(bm) {
-			st.Leaf[l]++
+			c.stats.Leaf[l]++
 		}
 	}
 	for l := range g.Enc.LeafSRules {
 		if _, ok := encLeafSRules(oldEnc)[l]; !ok {
-			st.Leaf[l]++
+			c.stats.Leaf[l]++
 		}
 	}
 	// Spine s-rule diffs (replicated per physical spine of the pod).
 	chargePod := func(p topology.PodID) {
 		for plane := 0; plane < c.topo.Config().SpinesPerPod; plane++ {
-			st.Spine[c.topo.SpineAt(p, plane)]++
+			c.stats.Spine[c.topo.SpineAt(p, plane)]++
 		}
 	}
 	for p, bm := range encSpineSRules(oldEnc) {
@@ -394,7 +503,7 @@ func (c *Controller) retree(g *GroupState, changed topology.HostID) error {
 	if !sharedEqual(c.layout, oldEnc, g.Enc) {
 		for h, r := range g.Members {
 			if r.CanSend() && h != changed {
-				st.Hypervisor[h]++
+				c.stats.Hypervisor[h]++
 			}
 		}
 	}
@@ -415,19 +524,16 @@ func encSpineSRules(e *Encoding) map[topology.PodID]bitmap.Bitmap {
 	return e.SpineSRules
 }
 
-// recompute releases the group's old s-rules, recomputes the encoding
-// against current capacity, and commits the new s-rules.
-func (c *Controller) recompute(g *GroupState, oldEnc *Encoding) error {
-	c.releaseSRules(oldEnc, false)
-	enc, err := ComputeEncoding(c.topo, c.cfg, c.capacity(), g.Receivers())
+// installLocked computes and commits an encoding for a group under
+// c.mu (serial path: Restore).
+func (c *Controller) installLocked(g *GroupState) error {
+	enc, err := ComputeEncoding(c.topo, c.cfg, c.occ.CapacityFunc(), g.Receivers())
 	if err != nil {
-		// Roll the old s-rules back so state stays consistent.
-		c.commitSRules(oldEnc)
 		c.traceControl(trace.KindRollback, g.Key, -1, err.Error())
 		return err
 	}
 	g.Enc = enc
-	c.commitSRules(enc)
+	c.occ.Commit(enc)
 	c.traceEncode(g.Key, enc)
 	return nil
 }
@@ -454,40 +560,19 @@ func (c *Controller) traceEncode(key GroupKey, enc *Encoding) {
 	})
 }
 
-func (c *Controller) commitSRules(e *Encoding) {
+// releaseSRulesCharged releases an encoding's occupancy and counts the
+// removals as switch updates (group teardown). Callers hold c.mu.
+func (c *Controller) releaseSRulesCharged(e *Encoding) {
 	if e == nil {
 		return
 	}
+	c.occ.Release(e)
 	for l := range e.LeafSRules {
-		c.leafSRules[l]++
+		c.stats.Leaf[l]++
 	}
 	for p := range e.SpineSRules {
 		for plane := 0; plane < c.topo.Config().SpinesPerPod; plane++ {
-			c.spineSRules[c.topo.SpineAt(p, plane)]++
-		}
-	}
-}
-
-// releaseSRules decrements occupancy; when charge is true the removals
-// are also counted as switch updates (group teardown).
-func (c *Controller) releaseSRules(e *Encoding, charge bool) {
-	if e == nil {
-		return
-	}
-	st := c.Stats()
-	for l := range e.LeafSRules {
-		c.leafSRules[l]--
-		if charge {
-			st.Leaf[l]++
-		}
-	}
-	for p := range e.SpineSRules {
-		for plane := 0; plane < c.topo.Config().SpinesPerPod; plane++ {
-			s := c.topo.SpineAt(p, plane)
-			c.spineSRules[s]--
-			if charge {
-				st.Spine[s]++
-			}
+			c.stats.Spine[c.topo.SpineAt(p, plane)]++
 		}
 	}
 }
@@ -516,8 +601,11 @@ func sharedEqual(l header.Layout, a, b *Encoding) bool {
 }
 
 // HeaderFor assembles the header for a sender in a group. The sender
-// must hold a sending role.
+// must hold a sending role. Safe to call concurrently with membership
+// operations on other groups (and with reads anywhere).
 func (c *Controller) HeaderFor(key GroupKey, sender topology.HostID) (*header.Header, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	g, ok := c.groups[key]
 	if !ok {
 		return nil, fmt.Errorf("controller: group %v not found", key)
@@ -538,6 +626,8 @@ func (c *Controller) HeaderFor(key GroupKey, sender topology.HostID) (*header.He
 // traffic rides other planes keep multipathing untouched — this is
 // what keeps the §5.1.3b impact fractions low.
 func (c *Controller) FailSpine(s topology.SpineID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.failures.FailSpine(s)
 	pod, plane := c.topo.SpinePod(s), c.topo.SpinePlane(s)
 	n := c.chargeFailure(func(g *GroupState) bool {
@@ -590,6 +680,8 @@ func (c *Controller) groupTransitsSpine(g *GroupState, pod topology.PodID, plane
 // rules, returning the number of groups impacted (groups with a sender
 // flow hashed through that core while crossing pods).
 func (c *Controller) FailCore(co topology.CoreID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.failures.FailCore(co)
 	n := c.chargeFailure(func(g *GroupState) bool {
 		if g.Enc.Pods.PopCount() <= 1 {
@@ -611,8 +703,9 @@ func (c *Controller) FailCore(co topology.CoreID) int {
 	return n
 }
 
+// chargeFailure runs with c.mu held: group state reads are safe because
+// writers hold c.mu too.
 func (c *Controller) chargeFailure(affected func(*GroupState) bool) int {
-	st := c.Stats()
 	n := 0
 	for _, g := range c.groups {
 		if g.Enc == nil || !affected(g) {
@@ -621,7 +714,7 @@ func (c *Controller) chargeFailure(affected func(*GroupState) bool) int {
 		n++
 		for h, r := range g.Members {
 			if r.CanSend() {
-				st.Hypervisor[h]++
+				c.stats.Hypervisor[h]++
 			}
 		}
 	}
@@ -632,6 +725,8 @@ func (c *Controller) chargeFailure(affected func(*GroupState) bool) int {
 // the hypervisors refreshed are those of the groups the failure had
 // impacted).
 func (c *Controller) RepairSpine(s topology.SpineID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.failures.RepairSpine(s)
 	pod, plane := c.topo.SpinePod(s), c.topo.SpinePlane(s)
 	n := c.chargeFailure(func(g *GroupState) bool {
@@ -643,6 +738,8 @@ func (c *Controller) RepairSpine(s topology.SpineID) int {
 
 // RepairCore clears a core failure.
 func (c *Controller) RepairCore(co topology.CoreID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.failures.RepairCore(co)
 	n := c.chargeFailure(func(g *GroupState) bool {
 		if g.Enc.Pods.PopCount() <= 1 {

@@ -1,0 +1,190 @@
+package controller
+
+import (
+	"sync/atomic"
+
+	"elmo/internal/topology"
+)
+
+// Occupancy tracks s-rule group-table occupancy per physical switch
+// with atomically-readable counters, so concurrent encoder workers can
+// consult capacity without locks while a single committer (or a
+// committer serialized by the controller lock) mutates the counts.
+//
+// The commit protocol is optimistic: workers compute encodings against
+// a point-in-time read of the counters, recording every capacity answer
+// they consumed (capRecorder); the committer admits encodings in a
+// deterministic order, re-checking the recorded answers against the
+// live counters and recomputing serially on any mismatch. The committed
+// result is therefore byte-identical to a fully serial run regardless
+// of worker count.
+type Occupancy struct {
+	topo     *topology.Topology
+	capacity int
+	leaf     []int64
+	spine    []int64
+}
+
+// NewOccupancy creates zeroed occupancy counters for a topology with
+// the given per-switch group-table capacity (Fmax).
+func NewOccupancy(topo *topology.Topology, capacity int) *Occupancy {
+	return &Occupancy{
+		topo:     topo,
+		capacity: capacity,
+		leaf:     make([]int64, topo.NumLeaves()),
+		spine:    make([]int64, topo.NumSpines()),
+	}
+}
+
+// Capacity returns the per-switch table capacity (Fmax).
+func (o *Occupancy) Capacity() int { return o.capacity }
+
+// LeafCount returns the live occupancy of a leaf switch.
+func (o *Occupancy) LeafCount(l topology.LeafID) int {
+	return int(atomic.LoadInt64(&o.leaf[l]))
+}
+
+// SpineCount returns the live occupancy of a physical spine switch.
+func (o *Occupancy) SpineCount(s topology.SpineID) int {
+	return int(atomic.LoadInt64(&o.spine[s]))
+}
+
+// leafFree reports whether leaf l has room for one more entry after
+// discounting bias entries (entries about to be released, e.g. the old
+// encoding a recompute replaces).
+func (o *Occupancy) leafFree(l topology.LeafID, bias int) bool {
+	return int(atomic.LoadInt64(&o.leaf[l]))-bias < o.capacity
+}
+
+// podFree reports whether every physical spine of pod p has room,
+// discounting bias entries per spine (the logical-spine rule is
+// replicated to each physical spine of the pod).
+func (o *Occupancy) podFree(p topology.PodID, bias int) bool {
+	for plane := 0; plane < o.topo.Config().SpinesPerPod; plane++ {
+		if int(atomic.LoadInt64(&o.spine[o.topo.SpineAt(p, plane)]))-bias >= o.capacity {
+			return false
+		}
+	}
+	return true
+}
+
+// CapacityFunc returns an unbiased capacity view over the live
+// counters, suitable for serial encoding at the commit point.
+func (o *Occupancy) CapacityFunc() CapacityFunc {
+	return CapacityFunc{
+		Leaf: func(l topology.LeafID) bool { return o.leafFree(l, 0) },
+		Pod:  func(p topology.PodID) bool { return o.podFree(p, 0) },
+	}
+}
+
+// Commit charges an encoding's s-rules to the counters.
+func (o *Occupancy) Commit(e *Encoding) {
+	if e == nil {
+		return
+	}
+	for l := range e.LeafSRules {
+		atomic.AddInt64(&o.leaf[l], 1)
+	}
+	for p := range e.SpineSRules {
+		for plane := 0; plane < o.topo.Config().SpinesPerPod; plane++ {
+			atomic.AddInt64(&o.spine[o.topo.SpineAt(p, plane)], 1)
+		}
+	}
+}
+
+// Release returns an encoding's s-rules to the counters.
+func (o *Occupancy) Release(e *Encoding) {
+	if e == nil {
+		return
+	}
+	for l := range e.LeafSRules {
+		atomic.AddInt64(&o.leaf[l], -1)
+	}
+	for p := range e.SpineSRules {
+		for plane := 0; plane < o.topo.Config().SpinesPerPod; plane++ {
+			atomic.AddInt64(&o.spine[o.topo.SpineAt(p, plane)], -1)
+		}
+	}
+}
+
+// capRecorder wraps an Occupancy for one speculative encoding run. It
+// memoizes every capacity answer handed to the encoder (so one run sees
+// a consistent view, exactly as a serial run over unchanging counters
+// would) and can later validate those answers against the live
+// counters. A bias derived from the encoding being replaced makes the
+// speculative view behave as if the old s-rules were already released,
+// mirroring the serial release-then-recompute order.
+type capRecorder struct {
+	occ      *Occupancy
+	leafBias map[topology.LeafID]int
+	podBias  map[topology.PodID]int
+	leafAns  map[topology.LeafID]bool
+	podAns   map[topology.PodID]bool
+}
+
+// newCapRecorder builds a recorder; oldEnc (may be nil) contributes the
+// release bias.
+func newCapRecorder(occ *Occupancy, oldEnc *Encoding) *capRecorder {
+	r := &capRecorder{
+		occ:     occ,
+		leafAns: make(map[topology.LeafID]bool),
+		podAns:  make(map[topology.PodID]bool),
+	}
+	if oldEnc != nil {
+		if len(oldEnc.LeafSRules) > 0 {
+			r.leafBias = make(map[topology.LeafID]int, len(oldEnc.LeafSRules))
+			for l := range oldEnc.LeafSRules {
+				r.leafBias[l]++
+			}
+		}
+		if len(oldEnc.SpineSRules) > 0 {
+			r.podBias = make(map[topology.PodID]int, len(oldEnc.SpineSRules))
+			for p := range oldEnc.SpineSRules {
+				r.podBias[p]++
+			}
+		}
+	}
+	return r
+}
+
+// capacity returns the recording capacity view for the encoder run.
+// Not safe for concurrent use — one recorder serves one encoding run on
+// one goroutine.
+func (r *capRecorder) capacity() CapacityFunc {
+	return CapacityFunc{
+		Leaf: func(l topology.LeafID) bool {
+			if ans, ok := r.leafAns[l]; ok {
+				return ans
+			}
+			ans := r.occ.leafFree(l, r.leafBias[l])
+			r.leafAns[l] = ans
+			return ans
+		},
+		Pod: func(p topology.PodID) bool {
+			if ans, ok := r.podAns[p]; ok {
+				return ans
+			}
+			ans := r.occ.podFree(p, r.podBias[p])
+			r.podAns[p] = ans
+			return ans
+		},
+	}
+}
+
+// valid re-evaluates every recorded answer against the live counters
+// (unbiased — the caller must have released the old encoding first). If
+// every answer still holds, the speculative encoding is exactly what a
+// serial run at the commit point would produce.
+func (r *capRecorder) valid() bool {
+	for l, ans := range r.leafAns {
+		if r.occ.leafFree(l, 0) != ans {
+			return false
+		}
+	}
+	for p, ans := range r.podAns {
+		if r.occ.podFree(p, 0) != ans {
+			return false
+		}
+	}
+	return true
+}

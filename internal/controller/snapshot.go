@@ -43,7 +43,19 @@ type MemberSnapshot struct {
 // deterministic (groups and members sorted).
 func (c *Controller) Snapshot() *Snapshot {
 	s := &Snapshot{Version: snapshotVersion}
-	for _, key := range c.GroupKeys() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	keys := make([]GroupKey, 0, len(c.groups))
+	for k := range c.groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Tenant != keys[j].Tenant {
+			return keys[i].Tenant < keys[j].Tenant
+		}
+		return keys[i].Group < keys[j].Group
+	})
+	for _, key := range keys {
 		g := c.groups[key]
 		gs := GroupSnapshot{Tenant: key.Tenant, Group: key.Group}
 		for h, r := range g.Members {
@@ -71,6 +83,8 @@ func (c *Controller) Restore(s *Snapshot) error {
 	if s.Version != snapshotVersion {
 		return fmt.Errorf("controller: snapshot version %d, want %d", s.Version, snapshotVersion)
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if len(c.groups) != 0 {
 		return fmt.Errorf("controller: restore into non-empty controller (%d groups)", len(c.groups))
 	}
@@ -83,12 +97,12 @@ func (c *Controller) Restore(s *Snapshot) error {
 			}
 			g.Members[m.Host] = m.Role
 		}
-		if err := c.recompute(g, nil); err != nil {
+		if err := c.installLocked(g); err != nil {
 			return fmt.Errorf("controller: restoring %v: %w", key, err)
 		}
 		c.groups[key] = g
 	}
-	c.ResetStats()
+	c.stats = newUpdateStats()
 	return nil
 }
 
@@ -107,12 +121,14 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 // CreateGroup with an explicit key coexists, and indices are scoped
 // per tenant — address-space isolation).
 func (c *Controller) AllocateGroup(tenant uint32, members map[topology.HostID]Role) (GroupKey, error) {
+	c.mu.RLock()
 	next := uint32(1)
 	for key := range c.groups {
 		if key.Tenant == tenant && key.Group >= next {
 			next = key.Group + 1
 		}
 	}
+	c.mu.RUnlock()
 	if next >= 1<<24 {
 		return GroupKey{}, fmt.Errorf("controller: tenant %d exhausted its group address space", tenant)
 	}

@@ -18,6 +18,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -47,6 +48,11 @@ type ScalabilityConfig struct {
 	BaselineSampleEvery int
 	// Seed drives sender selection.
 	Seed int64
+	// Workers shards the per-group encoding phase across that many
+	// goroutines (<=0 uses GOMAXPROCS); measurement and admission stay
+	// serialized in group order, so results are identical for every
+	// worker count.
+	Workers int
 }
 
 // PaperScalability returns the full paper-scale configuration for a
@@ -128,22 +134,10 @@ func RunScalability(cfg ScalabilityConfig) (*ScalabilityResult, error) {
 		OverlayOverhead: make(map[int]float64),
 	}
 
-	// Shared s-rule occupancy across all groups (streaming capacity).
-	leafUsed := make([]int, topo.NumLeaves())
-	spineUsed := make([]int, topo.NumSpines())
-	capFn := controller.CapacityFunc{
-		Leaf: func(l topology.LeafID) bool {
-			return leafUsed[l] < cfg.Controller.SRuleCapacity
-		},
-		Pod: func(p topology.PodID) bool {
-			for plane := 0; plane < topo.Config().SpinesPerPod; plane++ {
-				if spineUsed[topo.SpineAt(p, plane)] >= cfg.Controller.SRuleCapacity {
-					return false
-				}
-			}
-			return true
-		},
-	}
+	// Shared s-rule occupancy across all groups (streaming capacity),
+	// in the controller's atomic counters so the encoding phase can run
+	// on concurrent workers.
+	occ := controller.NewOccupancy(topo, cfg.Controller.SRuleCapacity)
 
 	fab := fabric.New(topo, cfg.Controller.SRuleCapacity)
 	li := baselines.NewLiState(topo)
@@ -160,21 +154,11 @@ func RunScalability(cfg ScalabilityConfig) (*ScalabilityResult, error) {
 		payloads[n] = make([]byte, n)
 	}
 
-	for gi := range groups {
+	// The encoder phase fans out across workers; this measurement
+	// callback runs serially in group order (the batch committer), so
+	// the rng draw sequence and all aggregates match a serial run.
+	measure := func(gi int, enc *controller.Encoding) error {
 		g := &groups[gi]
-		enc, err := controller.ComputeEncoding(topo, cfg.Controller, capFn, g.Hosts)
-		if err != nil {
-			return nil, fmt.Errorf("sim: group %d: %w", g.ID, err)
-		}
-		// Commit s-rule occupancy.
-		for l := range enc.LeafSRules {
-			leafUsed[l]++
-		}
-		for p := range enc.SpineSRules {
-			for plane := 0; plane < topo.Config().SpinesPerPod; plane++ {
-				spineUsed[topo.SpineAt(p, plane)]++
-			}
-		}
 		switch {
 		case !enc.Exact():
 			res.GroupsWithDefault++
@@ -193,22 +177,22 @@ func RunScalability(cfg ScalabilityConfig) (*ScalabilityResult, error) {
 		sender := g.Hosts[rng.Intn(len(g.Hosts))]
 		hdr, err := controller.SenderHeader(topo, cfg.Controller, enc, sender, nil)
 		if err != nil {
-			return nil, fmt.Errorf("sim: header for group %d: %w", g.ID, err)
+			return fmt.Errorf("sim: header for group %d: %w", g.ID, err)
 		}
 		res.HeaderBytes.Add(float64(header.EncodedSize(header.LayoutFor(topo), hdr)))
 
 		addr := dataplane.GroupAddr{VNI: uint32(g.Tenant), Group: g.ID}
 		if err := fab.InstallEncoding(addr, enc, g.Hosts); err != nil {
-			return nil, err
+			return err
 		}
 		if err := fab.InstallSenderHeader(addr, sender, hdr); err != nil {
-			return nil, err
+			return err
 		}
 		sampleBaselines := cfg.BaselineSampleEvery > 0 && gi%cfg.BaselineSampleEvery == 0
 		for _, n := range cfg.PacketSizes {
 			d, err := fab.Send(sender, addr, payloads[n])
 			if err != nil {
-				return nil, fmt.Errorf("sim: send group %d: %w", g.ID, err)
+				return fmt.Errorf("sim: send group %d: %w", g.ID, err)
 			}
 			if len(d.Received) != countOthers(g.Hosts, sender) || d.Lost != 0 {
 				res.DeliveryFailures++
@@ -219,11 +203,11 @@ func RunScalability(cfg ScalabilityConfig) (*ScalabilityResult, error) {
 			if sampleBaselines {
 				du, err := fab.SendUnicast(sender, g.Hosts, payloads[n])
 				if err != nil {
-					return nil, err
+					return err
 				}
 				do, _, err := fab.SendOverlay(sender, g.Hosts, payloads[n])
 				if err != nil {
-					return nil, err
+					return err
 				}
 				uniBytes[n] += float64(du.LinkBytes)
 				ovlBytes[n] += float64(do.LinkBytes)
@@ -232,6 +216,17 @@ func RunScalability(cfg ScalabilityConfig) (*ScalabilityResult, error) {
 		}
 		fab.RemoveSenderHeader(addr, sender)
 		fab.UninstallEncoding(addr, enc, g.Hosts)
+		return nil
+	}
+
+	receivers := func(gi int) []topology.HostID { return groups[gi].Hosts }
+	if _, err := controller.EncodeBatch(topo, cfg.Controller, occ,
+		len(groups), cfg.Workers, receivers, measure); err != nil {
+		var be *controller.BatchError
+		if errors.As(err, &be) {
+			return nil, fmt.Errorf("sim: group %d: %w", groups[be.Index].ID, be.Err)
+		}
+		return nil, fmt.Errorf("sim: %w", err)
 	}
 
 	for _, n := range cfg.PacketSizes {
@@ -243,11 +238,11 @@ func RunScalability(cfg ScalabilityConfig) (*ScalabilityResult, error) {
 			res.OverlayOverhead[n] = ovlBytes[n]/sampleIdeal[n] - 1
 		}
 	}
-	for _, v := range leafUsed {
-		res.LeafSRules.Add(float64(v))
+	for l := 0; l < topo.NumLeaves(); l++ {
+		res.LeafSRules.Add(float64(occ.LeafCount(topology.LeafID(l))))
 	}
-	for _, v := range spineUsed {
-		res.SpineSRules.Add(float64(v))
+	for s := 0; s < topo.NumSpines(); s++ {
+		res.SpineSRules.Add(float64(occ.SpineCount(topology.SpineID(s))))
 	}
 	for _, v := range li.LeafEntries {
 		res.LiLeafEntries.Add(float64(v))

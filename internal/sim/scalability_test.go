@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 
 	"elmo/internal/controller"
@@ -176,5 +177,32 @@ func TestScalabilityErrorsAndOptions(t *testing.T) {
 	// Leaf-layer coverage is at least the all-layer coverage.
 	if res.LeafPRulesOnly < res.GroupsPRulesOnly {
 		t.Fatalf("leaf-only %d < all-layer %d", res.LeafPRulesOnly, res.GroupsPRulesOnly)
+	}
+}
+
+// TestScalabilityParallelMatchesSerial pins the determinism guarantee
+// of the sharded encoding pipeline at the harness level: the full
+// experiment result — coverage counts, occupancy distributions,
+// traffic overheads, header stats — is identical for 1 and 4 workers.
+func TestScalabilityParallelMatchesSerial(t *testing.T) {
+	serialCfg := smallScalability(1, 1, 8) // tight capacity: forces commit-point recomputes
+	serialCfg.Workers = 1
+	parallelCfg := serialCfg
+	parallelCfg.Workers = 4
+
+	serial, err := RunScalability(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunScalability(parallelCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero the configs (they differ only in Workers) and compare the
+	// rest of the result wholesale.
+	serial.Config = ScalabilityConfig{}
+	parallel.Config = ScalabilityConfig{}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel run diverged from serial:\nserial   %+v\nparallel %+v", serial, parallel)
 	}
 }
