@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify race bench bench-all trace chaos
+.PHONY: all build test verify race lint bench bench-all trace chaos
 
 all: verify
 
@@ -24,6 +24,15 @@ verify:
 race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# lint runs the static checks: go vet plus gofmt, failing when any
+# file is not gofmt-clean.
+lint:
+	$(GO) vet ./...
+	@fmt_out="$$(gofmt -l .)"; \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
 
 # bench runs the controller-scale benchmarks and records the
 # machine-readable perf trajectory. It fails when elmo-bench measures a

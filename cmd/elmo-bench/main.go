@@ -24,6 +24,7 @@ import (
 	"elmo/internal/controller"
 	"elmo/internal/groupgen"
 	"elmo/internal/placement"
+	"elmo/internal/telemetry"
 	"elmo/internal/topology"
 )
 
@@ -48,15 +49,31 @@ type Report struct {
 
 func main() {
 	var (
-		groups    = flag.Int("groups", 100000, "groups to bulk-install")
-		events    = flag.Int("events", 20000, "churn events to replay")
-		workers   = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS, floored at 2)")
-		out       = flag.String("out", "BENCH_controller.json", "output JSON file (empty = stdout only)")
-		baseline  = flag.String("baseline", "", "baseline JSON to compare against (missing file = skip)")
-		tolerance = flag.Float64("tolerance", 0.2, "allowed fractional regression vs baseline")
-		verify    = flag.Bool("verify", true, "assert parallel install state is byte-identical to serial")
+		groups      = flag.Int("groups", 100000, "groups to bulk-install")
+		events      = flag.Int("events", 20000, "churn events to replay")
+		workers     = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS, floored at 2)")
+		out         = flag.String("out", "BENCH_controller.json", "output JSON file (empty = stdout only)")
+		baseline    = flag.String("baseline", "", "baseline JSON to compare against (missing file = skip)")
+		tolerance   = flag.Float64("tolerance", 0.2, "allowed fractional regression vs baseline")
+		verify      = flag.Bool("verify", true, "assert parallel install state is byte-identical to serial")
+		metricsAddr = flag.String("metrics", "", "listen address for the /metrics + pprof endpoint (e.g. :9090; empty = no listener)")
 	)
 	flag.Parse()
+
+	// The registry is shared across the benchmark phases; sequential
+	// controllers re-register their function gauges (replace contract),
+	// so a scrape always reads the live phase.
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+		telemetry.RegisterRuntime(reg)
+		srv, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("metrics listener: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("serving /metrics and /debug/pprof on http://%s\n", srv.Addr())
+	}
 
 	w := *workers
 	if w <= 0 {
@@ -91,10 +108,10 @@ func main() {
 	}
 
 	fmt.Printf("installing %d groups serially...\n", len(specs))
-	serialCtrl, _, secs := install(topo, specs, 1)
+	serialCtrl, _, secs := install(topo, specs, 1, reg)
 	rep.InstallSerialGroupsPerSec = float64(len(specs)) / secs
 	fmt.Printf("installing %d groups with %d workers...\n", len(specs), w)
-	parCtrl, pres, pcs := install(topo, specs, w)
+	parCtrl, pres, pcs := install(topo, specs, w, reg)
 	rep.InstallParallelGroupsPerSec = float64(len(specs)) / pcs
 	rep.InstallRecomputed = pres.Recomputed
 	rep.InstallSpeedup = rep.InstallParallelGroupsPerSec / rep.InstallSerialGroupsPerSec
@@ -113,9 +130,9 @@ func main() {
 	runtime.GC()
 
 	fmt.Printf("replaying %d churn events serially...\n", *events)
-	rep.ChurnSerialEventsPerSec = churnRate(topo, dep, gs, *events, 1)
+	rep.ChurnSerialEventsPerSec = churnRate(topo, dep, gs, *events, 1, reg)
 	fmt.Printf("replaying %d churn events with %d workers...\n", *events, w)
-	rep.ChurnParallelEventsPerSec = churnRate(topo, dep, gs, *events, w)
+	rep.ChurnParallelEventsPerSec = churnRate(topo, dep, gs, *events, w, reg)
 	rep.ChurnSpeedup = rep.ChurnParallelEventsPerSec / rep.ChurnSerialEventsPerSec
 
 	buf, err := json.MarshalIndent(rep, "", " ")
@@ -162,10 +179,13 @@ func buildSpecs(gs []groupgen.Group, seed int64) []controller.BatchSpec {
 	return specs
 }
 
-func install(topo *topology.Topology, specs []controller.BatchSpec, workers int) (*controller.Controller, *controller.BatchResult, float64) {
+func install(topo *topology.Topology, specs []controller.BatchSpec, workers int, reg *telemetry.Registry) (*controller.Controller, *controller.BatchResult, float64) {
 	ctrl, err := controller.New(topo, controller.PaperConfig(0))
 	if err != nil {
 		log.Fatal(err)
+	}
+	if reg != nil {
+		ctrl.EnableMetrics(reg)
 	}
 	runtime.GC() // level the playing field between phases
 	start := time.Now()
@@ -203,10 +223,15 @@ func compareState(a, b *controller.Controller, specs []controller.BatchSpec) err
 	return nil
 }
 
-func churnRate(topo *topology.Topology, dep *placement.Deployment, gs []groupgen.Group, events, workers int) float64 {
+func churnRate(topo *topology.Topology, dep *placement.Deployment, gs []groupgen.Group, events, workers int, reg *telemetry.Registry) float64 {
 	ctrl, err := controller.New(topo, controller.PaperConfig(0))
 	if err != nil {
 		log.Fatal(err)
+	}
+	var cm *churn.Metrics
+	if reg != nil {
+		ctrl.EnableMetrics(reg)
+		cm = churn.NewMetrics(reg)
 	}
 	if err := churn.Setup(ctrl, dep, gs, rand.New(rand.NewSource(7))); err != nil {
 		log.Fatal(err)
@@ -215,6 +240,7 @@ func churnRate(topo *topology.Topology, dep *placement.Deployment, gs []groupgen
 	start := time.Now()
 	res, err := churn.Run(ctrl, dep, gs, churn.Config{
 		Events: events, EventsPerSecond: 1000, Seed: 9, Workers: workers,
+		Metrics: cm,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"elmo/internal/churn"
@@ -32,34 +33,50 @@ import (
 	"elmo/internal/metrics"
 	"elmo/internal/placement"
 	"elmo/internal/sim"
+	"elmo/internal/telemetry"
 	"elmo/internal/topology"
 	"elmo/internal/trace"
 )
 
 func main() {
 	var (
-		pods     = flag.Int("pods", 4, "pods")
-		spines   = flag.Int("spines", 2, "spines per pod")
-		leaves   = flag.Int("leaves", 8, "leaves per pod")
-		hosts    = flag.Int("hosts", 8, "hosts per leaf")
-		cores    = flag.Int("cores", 2, "cores per plane")
-		tenants  = flag.Int("tenants", 80, "tenants")
-		groups   = flag.Int("groups", 2000, "total multicast groups")
-		srules   = flag.Int("srules", 10000, "s-rule capacity per switch (Fmax)")
-		dist     = flag.String("dist", "wve", "group-size distribution: wve or uniform")
-		rList    = flag.String("r", "0,6,12", "comma-separated redundancy limits")
-		doChurn  = flag.Bool("churn", false, "run the Table 2 churn experiment")
-		events   = flag.Int("events", 20000, "churn events (with -churn)")
-		doFail   = flag.Bool("failures", false, "run the failure-impact experiment")
-		csvDir   = flag.String("csv", "", "directory to write figure CSV series into (empty = none)")
-		doTrace  = flag.Bool("trace", false, "record a traced multicast scenario instead of the figure sweeps")
-		doChaos  = flag.Bool("chaos", false, "run the scripted fault-injection scenario (seeded faults, detection, repair, reconvergence) instead of the figure sweeps")
-		traceOut = flag.String("traceout", "", "file to write the Chrome trace_event JSON into (with -trace; empty = none)")
-		meanVMs  = flag.Float64("meanvms", 0, "mean tenant VMs (0 = auto: paper's 178.77 capped by fabric capacity)")
-		workers  = flag.Int("workers", 0, "encoder/apply workers for the controller pipeline (0 = GOMAXPROCS; results are identical for every value)")
-		seed     = flag.Int64("seed", 1, "random seed")
+		pods        = flag.Int("pods", 4, "pods")
+		spines      = flag.Int("spines", 2, "spines per pod")
+		leaves      = flag.Int("leaves", 8, "leaves per pod")
+		hosts       = flag.Int("hosts", 8, "hosts per leaf")
+		cores       = flag.Int("cores", 2, "cores per plane")
+		tenants     = flag.Int("tenants", 80, "tenants")
+		groups      = flag.Int("groups", 2000, "total multicast groups")
+		srules      = flag.Int("srules", 10000, "s-rule capacity per switch (Fmax)")
+		dist        = flag.String("dist", "wve", "group-size distribution: wve or uniform")
+		rList       = flag.String("r", "0,6,12", "comma-separated redundancy limits")
+		doChurn     = flag.Bool("churn", false, "run the Table 2 churn experiment")
+		events      = flag.Int("events", 20000, "churn events (with -churn)")
+		doFail      = flag.Bool("failures", false, "run the failure-impact experiment")
+		csvDir      = flag.String("csv", "", "directory to write figure CSV series into (empty = none)")
+		doTrace     = flag.Bool("trace", false, "record a traced multicast scenario instead of the figure sweeps")
+		doChaos     = flag.Bool("chaos", false, "run the scripted fault-injection scenario (seeded faults, detection, repair, reconvergence) instead of the figure sweeps")
+		traceOut    = flag.String("traceout", "", "file to write the Chrome trace_event JSON into (with -trace; empty = none)")
+		meanVMs     = flag.Float64("meanvms", 0, "mean tenant VMs (0 = auto: paper's 178.77 capped by fabric capacity)")
+		workers     = flag.Int("workers", 0, "encoder/apply workers for the controller pipeline (0 = GOMAXPROCS; results are identical for every value)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		metricsAddr = flag.String("metrics", "", "listen address for the /metrics + pprof endpoint (e.g. :9090; empty = no listener)")
 	)
 	flag.Parse()
+
+	// One process-wide registry: the experiment phases below attach to
+	// it, and the run ends with a telemetry summary table whether or not
+	// a listener was requested.
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterRuntime(reg)
+	if *metricsAddr != "" {
+		srv, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("metrics listener: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("serving /metrics and /debug/pprof on http://%s\n", srv.Addr())
+	}
 
 	topoCfg := topology.Config{
 		Pods: *pods, SpinesPerPod: *spines, LeavesPerPod: *leaves,
@@ -120,6 +137,7 @@ func main() {
 				BaselineSampleEvery: 101,
 				Seed:                *seed + 2,
 				Workers:             *workers,
+				Metrics:             reg,
 			}
 			start := time.Now()
 			res, err := sim.RunScalability(cfg)
@@ -164,8 +182,33 @@ func main() {
 		}
 	}
 	if *doChurn || *doFail {
-		runControlPlane(topoCfg, *tenants, *groups, *srules, distribution, *events, *meanVMs, *seed, *workers, *doChurn, *doFail)
+		runControlPlane(topoCfg, *tenants, *groups, *srules, distribution, *events, *meanVMs, *seed, *workers, *doChurn, *doFail, reg)
 	}
+	printTelemetrySummary(reg)
+}
+
+// printTelemetrySummary renders the run's accumulated elmo_* series as
+// a final table — the always-on view of what the instrumented layers
+// counted, listener or not. Histogram buckets are folded into their
+// _sum/_count series to keep the table readable.
+func printTelemetrySummary(reg *telemetry.Registry) {
+	snap := reg.Snapshot()
+	t := metrics.NewTable("Telemetry summary", "series", "value")
+	rows := 0
+	for _, k := range snap.Keys() {
+		if !strings.HasPrefix(k, "elmo_") || strings.Contains(k, "_bucket{") {
+			continue
+		}
+		if v := snap.Get(k); v != 0 {
+			t.AddRow(k, v)
+			rows++
+		}
+	}
+	if rows == 0 {
+		return
+	}
+	fmt.Println()
+	fmt.Print(t)
 }
 
 // runTrace records one multicast scenario with the flight recorder on:
@@ -343,7 +386,7 @@ func effectiveMeanVMs(flagVal float64, t topology.Config, tenants int) float64 {
 	return cap
 }
 
-func runControlPlane(topoCfg topology.Config, tenants, groups, srules int, dist groupgen.Distribution, events int, meanVMs float64, seed int64, workers int, doChurn, doFail bool) {
+func runControlPlane(topoCfg topology.Config, tenants, groups, srules int, dist groupgen.Distribution, events int, meanVMs float64, seed int64, workers int, doChurn, doFail bool, reg *telemetry.Registry) {
 	topo := topology.MustNew(topoCfg)
 	dep, err := placement.Place(topo, placement.Config{
 		Tenants: tenants, VMsPerHost: 20, MinVMs: 5,
@@ -362,6 +405,7 @@ func runControlPlane(topoCfg topology.Config, tenants, groups, srules int, dist 
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctrl.EnableMetrics(reg)
 	fmt.Printf("=== control plane: creating %d groups ===\n", len(gs))
 	if err := churn.Setup(ctrl, dep, gs, rand.New(rand.NewSource(seed+2))); err != nil {
 		log.Fatal(err)
@@ -370,6 +414,7 @@ func runControlPlane(topoCfg topology.Config, tenants, groups, srules int, dist 
 		start := time.Now()
 		res, err := churn.Run(ctrl, dep, gs, churn.Config{
 			Events: events, EventsPerSecond: 1000, Seed: seed + 3, Workers: workers,
+			Metrics: churn.NewMetrics(reg),
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -42,6 +42,9 @@ type Config struct {
 	// controller results match the serial run whenever s-rule capacity
 	// is uncontended.
 	Workers int
+	// Metrics, when non-nil, publishes live event counters and the final
+	// weight drift to a telemetry registry during the run.
+	Metrics *Metrics
 }
 
 // Result holds per-switch update rates (updates per second).
@@ -204,6 +207,9 @@ func Run(ctrl *controller.Controller, dep *placement.Deployment, groups []groupg
 		Duration: float64(cfg.Events) / cfg.EventsPerSecond,
 		Workers:  workers,
 	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.rate.Set(cfg.EventsPerSecond)
+	}
 
 	// Phase 1: serial generation. Identical for every worker count.
 	events := make([]event, 0, cfg.Events)
@@ -219,6 +225,7 @@ func Run(ctrl *controller.Controller, dep *placement.Deployment, groups []groupg
 			host, ok := pickNonMember(rng, dep, g, sh)
 			if !ok {
 				res.EventsSkipped++
+				cfg.Metrics.onSkipped()
 				continue
 			}
 			role := RoleFor(rng)
@@ -242,12 +249,15 @@ func Run(ctrl *controller.Controller, dep *placement.Deployment, groups []groupg
 			res.WeightDrift = -d
 		}
 	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.drift.Set(float64(res.WeightDrift))
+	}
 
 	// Phase 2: apply. Partitioning by group preserves per-group event
 	// order, so each group's membership trajectory — and with
 	// uncontended s-rule capacity, its encodings and update charges —
 	// matches the serial run.
-	if err := applyEvents(ctrl, groups, events, workers); err != nil {
+	if err := applyEvents(ctrl, groups, events, workers, cfg.Metrics); err != nil {
 		return nil, err
 	}
 
@@ -280,13 +290,19 @@ func Run(ctrl *controller.Controller, dep *placement.Deployment, groups []groupg
 // With one worker the events run in generation order; with more, each
 // worker owns the groups with gi % workers == its index and applies
 // their events in order.
-func applyEvents(ctrl *controller.Controller, groups []groupgen.Group, events []event, workers int) error {
+func applyEvents(ctrl *controller.Controller, groups []groupgen.Group, events []event, workers int, m *Metrics) error {
 	apply := func(ev event) error {
 		k := key(&groups[ev.gi])
+		var err error
 		if ev.join {
-			return ctrl.Join(k, ev.host, ev.role)
+			err = ctrl.Join(k, ev.host, ev.role)
+		} else {
+			err = ctrl.Leave(k, ev.host, ev.role)
 		}
-		return ctrl.Leave(k, ev.host, ev.role)
+		if err == nil {
+			m.onApplied()
+		}
+		return err
 	}
 	if workers <= 1 {
 		for i, ev := range events {

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"elmo/internal/topology"
 	"elmo/internal/trace"
@@ -201,6 +202,10 @@ func (c *Controller) InstallBatch(specs []BatchSpec, opts BatchOptions) (*BatchR
 		workers = runtime.GOMAXPROCS(0)
 	}
 	res := &BatchResult{Workers: workers}
+	m := c.getMetrics()
+	// The committer runs on this goroutine only, so a plain local carries
+	// the inter-commit latency baseline race-free.
+	last := m.now()
 	receivers := func(i int) []topology.HostID {
 		return receiversOf(specs[i].Members)
 	}
@@ -226,10 +231,19 @@ func (c *Controller) InstallBatch(specs []BatchSpec, opts BatchOptions) (*BatchR
 		c.traceEncode(spec.Key, enc)
 		c.traceControl(trace.KindCreateGroup, spec.Key, int64(len(g.Members)), "")
 		res.Installed++
+		if m != nil {
+			m.batchInstalled.Inc()
+			now := time.Now()
+			m.opLatency.install.Observe(now.Sub(last).Seconds())
+			last = now
+		}
 		return nil
 	}
 	recomputed, err := EncodeBatch(c.topo, c.cfg, c.occ, len(specs), workers, receivers, commit)
 	res.Recomputed = recomputed
+	if m != nil && recomputed > 0 {
+		m.batchRecompute.Add(int64(recomputed))
+	}
 	if err != nil {
 		return res, fmt.Errorf("controller: install %w", err)
 	}

@@ -144,7 +144,8 @@ type Controller struct {
 	occ    *Occupancy
 	stats  UpdateStats
 
-	tracer trace.Recorder
+	tracer  trace.Recorder
+	metrics *Metrics
 }
 
 // New creates a controller for a topology.
@@ -277,6 +278,8 @@ func (c *Controller) lookup(key GroupKey) *GroupState {
 // its encoding, installing any s-rules. Returns an error if the key
 // exists or a member host is repeated.
 func (c *Controller) CreateGroup(key GroupKey, members map[topology.HostID]Role) (*GroupState, error) {
+	m := c.getMetrics()
+	start := m.now()
 	if c.lookup(key) != nil {
 		return nil, fmt.Errorf("controller: group %v already exists", key)
 	}
@@ -302,6 +305,7 @@ func (c *Controller) CreateGroup(key GroupKey, members map[topology.HostID]Role)
 		var err error
 		enc, err = ComputeEncoding(c.topo, c.cfg, c.occ.CapacityFunc(), receivers)
 		if err != nil {
+			m.countRollback()
 			c.traceControl(trace.KindRollback, key, -1, err.Error())
 			return nil, err
 		}
@@ -316,6 +320,10 @@ func (c *Controller) CreateGroup(key GroupKey, members map[topology.HostID]Role)
 		c.stats.Hypervisor[h]++
 	}
 	c.traceControl(trace.KindCreateGroup, key, int64(len(g.Members)), "")
+	if m != nil {
+		m.ops.create.Inc()
+		m.observe(m.opLatency.create, start)
+	}
 	return g, nil
 }
 
@@ -339,6 +347,9 @@ func (c *Controller) RemoveGroup(key GroupKey) error {
 		c.stats.Hypervisor[h]++
 	}
 	c.traceControl(trace.KindRemoveGroup, key, int64(len(g.Members)), "")
+	if c.metrics != nil {
+		c.metrics.ops.remove.Inc()
+	}
 	return nil
 }
 
@@ -352,6 +363,8 @@ func (c *Controller) Join(key GroupKey, host topology.HostID, role Role) error {
 	if role == 0 {
 		return fmt.Errorf("controller: empty role")
 	}
+	m := c.getMetrics()
+	start := m.now()
 	g := c.lookup(key)
 	if g == nil {
 		return fmt.Errorf("controller: group %v not found", key)
@@ -384,6 +397,7 @@ func (c *Controller) Join(key GroupKey, host topology.HostID, role Role) error {
 			}
 			c.traceControl(trace.KindRollback, key, int64(host), err.Error())
 			c.mu.Unlock()
+			m.countRollback()
 			return err
 		}
 	}
@@ -391,6 +405,10 @@ func (c *Controller) Join(key GroupKey, host topology.HostID, role Role) error {
 	c.stats.Hypervisor[host]++ // the member's own hypervisor always updates
 	c.traceControl(trace.KindJoin, key, int64(host), "")
 	c.mu.Unlock()
+	if m != nil {
+		m.ops.join.Inc()
+		m.observe(m.opLatency.join, start)
+	}
 	return nil
 }
 
@@ -398,6 +416,8 @@ func (c *Controller) Join(key GroupKey, host topology.HostID, role Role) error {
 // when no role remains. As with Join, the hypervisor update and Leave
 // trace are charged only after a successful commit.
 func (c *Controller) Leave(key GroupKey, host topology.HostID, role Role) error {
+	m := c.getMetrics()
+	start := m.now()
 	g := c.lookup(key)
 	if g == nil {
 		return fmt.Errorf("controller: group %v not found", key)
@@ -426,6 +446,7 @@ func (c *Controller) Leave(key GroupKey, host topology.HostID, role Role) error 
 			g.Members[host] = old
 			c.traceControl(trace.KindRollback, key, int64(host), err.Error())
 			c.mu.Unlock()
+			m.countRollback()
 			return err
 		}
 	}
@@ -433,6 +454,10 @@ func (c *Controller) Leave(key GroupKey, host topology.HostID, role Role) error 
 	c.stats.Hypervisor[host]++
 	c.traceControl(trace.KindLeave, key, int64(host), "")
 	c.mu.Unlock()
+	if m != nil {
+		m.ops.leave.Inc()
+		m.observe(m.opLatency.leave, start)
+	}
 	return nil
 }
 
@@ -469,6 +494,9 @@ func (c *Controller) retree(g *GroupState, changed topology.HostID) error {
 	c.occ.Commit(enc)
 	c.traceEncode(g.Key, enc)
 	c.traceControl(trace.KindRecompute, g.Key, int64(changed), "")
+	if c.metrics != nil {
+		c.metrics.recomputes.Inc()
+	}
 	// Leaf s-rule diffs.
 	for l, bm := range encLeafSRules(oldEnc) {
 		nbm, ok := g.Enc.LeafSRules[l]
@@ -634,6 +662,7 @@ func (c *Controller) FailSpine(s topology.SpineID) int {
 		return c.groupTransitsSpine(g, pod, plane)
 	})
 	c.traceFailure(trace.KindFailSpine, int32(s), n)
+	c.countFailure("fail_spine", n)
 	return n
 }
 
@@ -700,6 +729,7 @@ func (c *Controller) FailCore(co topology.CoreID) int {
 		return false
 	})
 	c.traceFailure(trace.KindFailCore, int32(co), n)
+	c.countFailure("fail_core", n)
 	return n
 }
 
@@ -733,6 +763,7 @@ func (c *Controller) RepairSpine(s topology.SpineID) int {
 		return c.groupTransitsSpine(g, pod, plane)
 	})
 	c.traceFailure(trace.KindRepairSpine, int32(s), n)
+	c.countFailure("repair_spine", n)
 	return n
 }
 
@@ -758,5 +789,6 @@ func (c *Controller) RepairCore(co topology.CoreID) int {
 		return false
 	})
 	c.traceFailure(trace.KindRepairCore, int32(co), n)
+	c.countFailure("repair_core", n)
 	return n
 }

@@ -1,0 +1,180 @@
+package controller
+
+import (
+	"time"
+
+	"elmo/internal/telemetry"
+	"elmo/internal/topology"
+)
+
+// Metrics caches the controller's telemetry handles: membership
+// operation counters and latency histograms, rollback/recompute
+// counters, and batch-install accounting. Gauges (group count, s-rule
+// occupancy vs Fmax, cumulative update charges) are function-backed —
+// they read the controller's live state at scrape time instead of
+// being pushed.
+//
+// Control-plane operations are not the dataplane hot path, so the
+// latency probes may call time.Now; counters remain single atomic
+// adds, and a nil *Metrics costs each site one branch.
+type Metrics struct {
+	opLatency struct {
+		create, join, leave, install *telemetry.Histogram
+	}
+	ops struct {
+		create, remove, join, leave *telemetry.Counter
+	}
+	rollbacks      *telemetry.Counter
+	recomputes     *telemetry.Counter
+	batchInstalled *telemetry.Counter
+	batchRecompute *telemetry.Counter
+	failureEvents  *telemetry.CounterVec
+	impactedGroups *telemetry.Counter
+}
+
+func newControllerMetrics(reg *telemetry.Registry) *Metrics {
+	lat := reg.HistogramVec("elmo_controller_op_duration_seconds",
+		"Latency of committed control-plane operations.", telemetry.LatencyBuckets, "op")
+	ops := reg.CounterVec("elmo_controller_ops_total",
+		"Committed control-plane membership operations.", "op")
+	m := &Metrics{
+		rollbacks: reg.Counter("elmo_controller_rollbacks_total",
+			"Membership operations rolled back (capacity exhausted or encode failure)."),
+		recomputes: reg.Counter("elmo_controller_recomputes_total",
+			"Group encodings recomputed after receiver-set changes (retrees)."),
+		batchInstalled: reg.Counter("elmo_controller_batch_installed_total",
+			"Groups committed through the bulk-install pipeline."),
+		batchRecompute: reg.Counter("elmo_controller_batch_recomputed_total",
+			"Speculative batch encodings redone serially at the commit point."),
+		failureEvents: reg.CounterVec("elmo_controller_failure_events_total",
+			"Switch failure and repair events processed.", "kind"),
+		impactedGroups: reg.Counter("elmo_controller_failure_impacted_groups_total",
+			"Groups whose sender headers were refreshed by failure/repair events."),
+	}
+	m.opLatency.create = lat.With("create")
+	m.opLatency.join = lat.With("join")
+	m.opLatency.leave = lat.With("leave")
+	m.opLatency.install = lat.With("install")
+	m.ops.create = ops.With("create")
+	m.ops.remove = ops.With("remove")
+	m.ops.join = ops.With("join")
+	m.ops.leave = ops.With("leave")
+	return m
+}
+
+// now returns the wall clock only when latency probes are live, so the
+// disabled path never calls time.Now.
+func (m *Metrics) now() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (m *Metrics) observe(h *telemetry.Histogram, start time.Time) {
+	if m != nil {
+		h.Observe(time.Since(start).Seconds())
+	}
+}
+
+// countRollback reads the counter field inside the nil guard: an
+// argument expression like m.rollbacks would dereference a nil bundle
+// before a nil-safe method could intervene.
+func (m *Metrics) countRollback() {
+	if m != nil {
+		m.rollbacks.Inc()
+	}
+}
+
+// EnableMetrics registers the controller's metric families in reg and
+// attaches the operation probes. The function-backed gauges hold a
+// reference to this controller; re-registering the same names from a
+// newer controller re-points them (the GaugeFunc replace contract), so
+// sequential experiment phases can share one registry.
+func (c *Controller) EnableMetrics(reg *telemetry.Registry) {
+	m := newControllerMetrics(reg)
+	c.mu.Lock()
+	c.metrics = m
+	c.mu.Unlock()
+
+	reg.GaugeFunc("elmo_controller_groups",
+		"Live multicast groups.", func() float64 { return float64(c.NumGroups()) })
+	reg.GaugeFunc("elmo_controller_srule_capacity",
+		"Per-switch group-table capacity (Fmax).",
+		func() float64 { return float64(c.occ.Capacity()) })
+
+	occ := reg.GaugeVec("elmo_controller_srule_occupancy",
+		"Live s-rule group-table occupancy across a tier (sum/max over switches).",
+		"tier", "stat")
+	occ.Func(func() float64 { t, _ := c.leafOccupancy(); return t }, "leaf", "total")
+	occ.Func(func() float64 { _, mx := c.leafOccupancy(); return mx }, "leaf", "max")
+	occ.Func(func() float64 { t, _ := c.spineOccupancy(); return t }, "spine", "total")
+	occ.Func(func() float64 { _, mx := c.spineOccupancy(); return mx }, "spine", "max")
+
+	upd := reg.GaugeVec("elmo_controller_updates",
+		"Cumulative rule updates charged per switch class (Table 2 quantity).", "target")
+	upd.Func(func() float64 { h, _, _, _ := c.updateTotals(); return h }, "hypervisor")
+	upd.Func(func() float64 { _, l, _, _ := c.updateTotals(); return l }, "leaf")
+	upd.Func(func() float64 { _, _, s, _ := c.updateTotals(); return s }, "spine")
+	upd.Func(func() float64 { _, _, _, co := c.updateTotals(); return co }, "core")
+}
+
+// countFailure charges one failure/repair event and its impacted-group
+// total. Callers hold c.mu, so the handle is read directly.
+func (c *Controller) countFailure(kind string, impacted int) {
+	if c.metrics == nil {
+		return
+	}
+	c.metrics.failureEvents.With(kind).Inc()
+	c.metrics.impactedGroups.Add(int64(impacted))
+}
+
+// getMetrics reads the metrics handle under the read lock (operations
+// grab it once at entry, alongside their group lookup).
+func (c *Controller) getMetrics() *Metrics {
+	c.mu.RLock()
+	m := c.metrics
+	c.mu.RUnlock()
+	return m
+}
+
+// leafOccupancy sums and maxes the live leaf s-rule counters.
+func (c *Controller) leafOccupancy() (total, max float64) {
+	for l := 0; l < c.topo.NumLeaves(); l++ {
+		n := float64(c.occ.LeafCount(topology.LeafID(l)))
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	return total, max
+}
+
+// spineOccupancy sums and maxes the live spine s-rule counters.
+func (c *Controller) spineOccupancy() (total, max float64) {
+	for s := 0; s < c.topo.NumSpines(); s++ {
+		n := float64(c.occ.SpineCount(topology.SpineID(s)))
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	return total, max
+}
+
+// updateTotals sums the cumulative update charges per switch class
+// under the read lock (scrape-time only).
+func (c *Controller) updateTotals() (hyp, leaf, spine, core float64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, v := range c.stats.Hypervisor {
+		hyp += float64(v)
+	}
+	for _, v := range c.stats.Leaf {
+		leaf += float64(v)
+	}
+	for _, v := range c.stats.Spine {
+		spine += float64(v)
+	}
+	return hyp, leaf, spine, float64(c.stats.Core)
+}

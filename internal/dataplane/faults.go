@@ -53,9 +53,9 @@ type Link struct {
 // packet for that many fabric steps (sync fabric: forwarding-loop
 // iterations; live fabrics: milliseconds) before delivery.
 type FaultVerdict struct {
-	Drop      bool
-	Duplicate bool
-	Corrupt   bool
+	Drop       bool
+	Duplicate  bool
+	Corrupt    bool
 	DelaySteps int32
 }
 

@@ -55,6 +55,11 @@ type Hypervisor struct {
 	// the host category is enabled; nil or disabled costs one check per
 	// packet. Set while the fabric is quiet.
 	Tracer trace.Recorder
+
+	// Counters bumps live telemetry alongside the local counters when
+	// attached (typically the fabric-wide HostCounters); nil costs one
+	// branch per packet. Set while the fabric is quiet.
+	Counters *HostCounters
 }
 
 // NewHypervisor creates the hypervisor switch for a host.
@@ -119,6 +124,7 @@ func (hv *Hypervisor) Encap(addr GroupAddr, inner []byte) (Packet, error) {
 		return Packet{}, fmt.Errorf("host %d, group %+v: %w", hv.host, addr, ErrNoSenderFlow)
 	}
 	hv.encapsulated.Add(1)
+	hv.Counters.encap(len(f.stream))
 	if trace.On(hv.Tracer, trace.CatHost) {
 		hv.Tracer.Record(trace.Event{
 			Cat: trace.CatHost, Kind: trace.KindEncap, Tier: trace.TierHost,
@@ -153,6 +159,7 @@ func (hv *Hypervisor) DeliverFull(p Packet) ([]byte, []header.INTRecord, bool) {
 	}
 	if !ok {
 		hv.filtered.Add(1)
+		hv.Counters.filter()
 		if trace.On(hv.Tracer, trace.CatHost) {
 			hv.Tracer.Record(trace.Event{
 				Cat: trace.CatHost, Kind: trace.KindFilter, Tier: trace.TierHost,
@@ -162,6 +169,7 @@ func (hv *Hypervisor) DeliverFull(p Packet) ([]byte, []header.INTRecord, bool) {
 		return nil, nil, false
 	}
 	hv.delivered.Add(1)
+	hv.Counters.deliver()
 	if trace.On(hv.Tracer, trace.CatHost) {
 		hv.Tracer.Record(trace.Event{
 			Cat: trace.CatHost, Kind: trace.KindDeliver, Tier: trace.TierHost,

@@ -1,0 +1,170 @@
+package dataplane
+
+import (
+	"elmo/internal/telemetry"
+	"elmo/internal/trace"
+)
+
+// SwitchCounters caches the telemetry handles one switch tier bumps on
+// its packet path. Handles are interned once at construction; every
+// increment is a single atomic add. A nil *SwitchCounters (telemetry
+// off) costs each site one branch — the same contract as a nil Tracer,
+// and what the fabric alloc-parity test pins.
+type SwitchCounters struct {
+	packets     *telemetry.Counter
+	copies      *telemetry.Counter
+	ruleHits    [4]*telemetry.Counter // indexed by trace.RuleKind
+	drops       [4]*telemetry.Counter // indexed by DropReason
+	popped      *telemetry.Counter
+	headerBytes *telemetry.Counter
+}
+
+func (m *SwitchCounters) packet() {
+	if m != nil {
+		m.packets.Inc()
+	}
+}
+
+func (m *SwitchCounters) emitted(n int) {
+	if m != nil {
+		m.copies.Add(int64(n))
+	}
+}
+
+func (m *SwitchCounters) hit(r trace.RuleKind) {
+	if m != nil {
+		m.ruleHits[r].Inc()
+	}
+}
+
+func (m *SwitchCounters) drop(r DropReason) {
+	if m != nil {
+		m.drops[r].Inc()
+	}
+}
+
+// poppedBytes records one header section pop of n bytes (egress
+// stripping included — invalidated p-rules count as consumed header).
+func (m *SwitchCounters) poppedBytes(n int) {
+	if m != nil && n > 0 {
+		m.popped.Inc()
+		m.headerBytes.Add(int64(n))
+	}
+}
+
+// HostCounters caches the hypervisor-side telemetry handles.
+type HostCounters struct {
+	encapsulated *telemetry.Counter
+	delivered    *telemetry.Counter
+	filtered     *telemetry.Counter
+	headerBytes  *telemetry.Counter
+}
+
+func (m *HostCounters) encap(streamLen int) {
+	if m != nil {
+		m.encapsulated.Inc()
+		m.headerBytes.Add(int64(streamLen))
+	}
+}
+
+func (m *HostCounters) deliver() {
+	if m != nil {
+		m.delivered.Inc()
+	}
+}
+
+func (m *HostCounters) filter() {
+	if m != nil {
+		m.filtered.Inc()
+	}
+}
+
+// Metrics is the dataplane's handle bundle: one SwitchCounters per
+// Clos tier (shared by every switch of that tier — counters are
+// atomic, so concurrent switch goroutines may bump them) plus the
+// host-side hypervisor counters.
+type Metrics struct {
+	Leaf  *SwitchCounters
+	Spine *SwitchCounters
+	Core  *SwitchCounters
+	Host  *HostCounters
+}
+
+// NewMetrics registers (or re-attaches to) the dataplane metric
+// families in reg and returns the interned handles.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	packets := reg.CounterVec("elmo_dataplane_packets_total",
+		"Packets entering a switch pipeline, by Clos tier.", "tier")
+	copies := reg.CounterVec("elmo_dataplane_copies_total",
+		"Packet copies emitted by switch pipelines, by Clos tier.", "tier")
+	hits := reg.CounterVec("elmo_dataplane_rule_hits_total",
+		"Forwarding decisions by matching rule stage (p-rule, s-rule, default).", "tier", "rule")
+	drops := reg.CounterVec("elmo_dataplane_drops_total",
+		"Packets dropped in a switch pipeline, by reason.", "tier", "reason")
+	popped := reg.CounterVec("elmo_dataplane_prules_popped_total",
+		"Hops that consumed (popped or stripped) Elmo header sections.", "tier")
+	hdrBytes := reg.CounterVec("elmo_dataplane_header_bytes_popped_total",
+		"Elmo header bytes consumed by switch pipelines, by tier.", "tier")
+
+	tier := func(name string) *SwitchCounters {
+		sc := &SwitchCounters{
+			packets:     packets.With(name),
+			copies:      copies.With(name),
+			popped:      popped.With(name),
+			headerBytes: hdrBytes.With(name),
+		}
+		for r, label := range map[trace.RuleKind]string{
+			trace.RuleNone: "none", trace.RulePRule: "prule",
+			trace.RuleSRule: "srule", trace.RuleDefault: "default",
+		} {
+			sc.ruleHits[r] = hits.With(name, label)
+		}
+		for r, label := range map[DropReason]string{
+			DropNone: "none", DropNoRule: "no_rule",
+			DropTTL: "ttl", DropMalformed: "malformed",
+		} {
+			sc.drops[r] = drops.With(name, label)
+		}
+		return sc
+	}
+	return &Metrics{
+		Leaf:  tier("leaf"),
+		Spine: tier("spine"),
+		Core:  tier("core"),
+		Host: &HostCounters{
+			encapsulated: reg.Counter("elmo_host_encapsulated_total",
+				"Multicast packets encapsulated by hypervisors."),
+			delivered: reg.Counter("elmo_host_delivered_total",
+				"Packets accepted by hypervisors for local member VMs."),
+			filtered: reg.Counter("elmo_host_filtered_total",
+				"Spurious packets filtered by hypervisors on receive."),
+			headerBytes: reg.Counter("elmo_host_header_bytes_added_total",
+				"Elmo header bytes added at encapsulation."),
+		},
+	}
+}
+
+// For returns the tier's counter set (nil-safe on a nil Metrics).
+func (m *Metrics) For(k SwitchKind) *SwitchCounters {
+	if m == nil {
+		return nil
+	}
+	switch k {
+	case KindLeaf:
+		return m.Leaf
+	case KindSpine:
+		return m.Spine
+	case KindCore:
+		return m.Core
+	default:
+		return nil
+	}
+}
+
+// HostFor returns the hypervisor counter set (nil-safe).
+func (m *Metrics) HostFor() *HostCounters {
+	if m == nil {
+		return nil
+	}
+	return m.Host
+}

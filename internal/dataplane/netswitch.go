@@ -108,6 +108,11 @@ type NetworkSwitch struct {
 	// switch is quiet (same contract as the group table).
 	Tracer trace.Recorder
 
+	// Counters bumps live telemetry alongside stats when attached
+	// (typically the tier's shared SwitchCounters); nil costs one
+	// branch per site and allocates nothing. Set while quiet.
+	Counters *SwitchCounters
+
 	stats Stats
 }
 
@@ -168,8 +173,10 @@ func (sw *NetworkSwitch) SRuleCount() int { return len(sw.groupTable) }
 func (sw *NetworkSwitch) Process(p Packet) ([]Emission, error) {
 	st := sw.Stats()
 	st.Packets++
+	sw.Counters.packet()
 	if p.Outer.TTL <= 1 {
 		st.Drops[DropTTL]++
+		sw.Counters.drop(DropTTL)
 		sw.traceDrop(p, DropTTL)
 		return nil, nil
 	}
@@ -188,10 +195,12 @@ func (sw *NetworkSwitch) Process(p Packet) ([]Emission, error) {
 	}
 	if err != nil {
 		st.Drops[DropMalformed]++
+		sw.Counters.drop(DropMalformed)
 		sw.traceDrop(p, DropMalformed)
 		return nil, err
 	}
 	st.Copies += len(out)
+	sw.Counters.emitted(len(out))
 	return out, nil
 }
 
@@ -206,16 +215,19 @@ func (sw *NetworkSwitch) processLegacy(p Packet) ([]Emission, error) {
 	addr, ok := GroupAddrFromOuter(p.Outer)
 	if !ok {
 		sw.Stats().Drops[DropNoRule]++
+		sw.Counters.drop(DropNoRule)
 		sw.traceDrop(p, DropNoRule)
 		return nil, nil
 	}
 	ports, ok := sw.groupTable[addr]
 	if !ok {
 		sw.Stats().Drops[DropNoRule]++
+		sw.Counters.drop(DropNoRule)
 		sw.traceDrop(p, DropNoRule)
 		return nil, nil
 	}
 	sw.Stats().SRuleHits++
+	sw.Counters.hit(trace.RuleSRule)
 	var out []Emission
 	ports.ForEach(func(port int) {
 		out = append(out, Emission{Port: port, Packet: p})
@@ -245,6 +257,7 @@ func (sw *NetworkSwitch) processLeaf(p Packet) ([]Emission, error) {
 		})
 		out = append(out, sw.upstreamCopies(p, rest, rule, sw.topo.LeafUpWidth())...)
 		sw.Stats().PRuleHits++
+		sw.Counters.hit(trace.RulePRule)
 		sw.traceHop(p, trace.RulePRule, out)
 		return out, nil
 	}
@@ -266,6 +279,7 @@ func (sw *NetworkSwitch) processLeaf(p Packet) ([]Emission, error) {
 	ports, rule, ok := sw.resolve(m, p.Outer)
 	if !ok {
 		sw.Stats().Drops[DropNoRule]++
+		sw.Counters.drop(DropNoRule)
 		sw.traceDrop(p, DropNoRule)
 		return nil, nil
 	}
@@ -305,6 +319,7 @@ func (sw *NetworkSwitch) processSpine(p Packet) ([]Emission, error) {
 		}
 		out = append(out, sw.upstreamCopies(p, rest, rule, sw.topo.SpineUpWidth())...)
 		sw.Stats().PRuleHits++
+		sw.Counters.hit(trace.RulePRule)
 		sw.traceHop(p, trace.RulePRule, out)
 		return out, nil
 	}
@@ -326,6 +341,7 @@ func (sw *NetworkSwitch) processSpine(p Packet) ([]Emission, error) {
 	ports, rule, ok := sw.resolve(m, p.Outer)
 	if !ok {
 		sw.Stats().Drops[DropNoRule]++
+		sw.Counters.drop(DropNoRule)
 		sw.traceDrop(p, DropNoRule)
 		return nil, nil
 	}
@@ -351,6 +367,7 @@ func (sw *NetworkSwitch) processCore(p Packet) ([]Emission, error) {
 		out = append(out, Emission{Port: pod, Packet: Packet{Outer: p.Outer, Elmo: rest, Inner: p.Inner}})
 	})
 	sw.Stats().PRuleHits++
+	sw.Counters.hit(trace.RulePRule)
 	sw.traceHop(p, trace.RulePRule, out)
 	return out, nil
 }
@@ -422,16 +439,19 @@ func (sw *NetworkSwitch) resolve(m header.DownstreamMatch, outer header.OuterFie
 	st := sw.Stats()
 	if m.Matched {
 		st.PRuleHits++
+		sw.Counters.hit(trace.RulePRule)
 		return m.Bitmap, trace.RulePRule, true
 	}
 	if addr, ok := GroupAddrFromOuter(outer); ok {
 		if ports, ok := sw.groupTable[addr]; ok {
 			st.SRuleHits++
+			sw.Counters.hit(trace.RuleSRule)
 			return ports, trace.RuleSRule, true
 		}
 	}
 	if m.HasDefault {
 		st.Defaults++
+		sw.Counters.hit(trace.RuleDefault)
 		return m.Default, trace.RuleDefault, true
 	}
 	return bitmap.Bitmap{}, trace.RuleNone, false
@@ -511,6 +531,9 @@ func (sw *NetworkSwitch) traceIdentity(ev *trace.Event) {
 // where the copies went, and the header bytes this hop consumed. Fully
 // guarded — a nil or disabled tracer costs one check and no allocation.
 func (sw *NetworkSwitch) traceHop(p Packet, rule trace.RuleKind, out []Emission) {
+	if len(out) > 0 {
+		sw.Counters.poppedBytes(len(p.Elmo) - len(out[0].Packet.Elmo))
+	}
 	if !trace.On(sw.Tracer, trace.CatHop) {
 		return
 	}

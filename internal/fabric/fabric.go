@@ -32,6 +32,7 @@ type Fabric struct {
 	failures *topology.FailureSet
 	tracer   trace.Recorder
 	injector dataplane.FaultInjector
+	metrics  *Metrics
 }
 
 // New builds the fabric with the given per-switch s-rule capacity.
@@ -470,6 +471,7 @@ func (f *Fabric) forward(src topology.HostID, pkt dataplane.Packet) (*Delivery, 
 			}
 		}
 	}
+	f.metrics.observeDelivery(d)
 	return d, nil
 }
 

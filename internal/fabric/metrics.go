@@ -1,0 +1,105 @@
+package fabric
+
+import (
+	"elmo/internal/dataplane"
+	"elmo/internal/telemetry"
+)
+
+// Metrics is the fabric's telemetry bundle: the dataplane per-tier and
+// host counters plus the fabric-level delivery accounting (link bytes,
+// losses at failed switches, chaos verdicts). Handles are interned at
+// construction; attach with SetMetrics.
+type Metrics struct {
+	DP *dataplane.Metrics
+
+	linkBytes     *telemetry.Counter
+	links         *telemetry.Counter
+	hops          *telemetry.Counter
+	lost          *telemetry.Counter
+	spurious      *telemetry.Counter
+	duplicates    *telemetry.Counter
+	malformed     *telemetry.Counter
+	faultVerdicts [4]*telemetry.Counter // drop, dup, corrupt, delay
+}
+
+// NewMetrics registers the fabric and dataplane metric families in reg.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	verdicts := reg.CounterVec("elmo_fabric_fault_verdicts_total",
+		"Chaos-injector verdicts applied at link crossings.", "verdict")
+	m := &Metrics{
+		DP: dataplane.NewMetrics(reg),
+		linkBytes: reg.Counter("elmo_fabric_link_bytes_total",
+			"Bytes crossing fabric links (host NICs included)."),
+		links: reg.Counter("elmo_fabric_link_crossings_total",
+			"Link transmissions (one per copy per link)."),
+		hops: reg.Counter("elmo_fabric_hops_total",
+			"Switch traversals during forwarding."),
+		lost: reg.Counter("elmo_fabric_lost_total",
+			"Copies dropped at failed switches."),
+		spurious: reg.Counter("elmo_fabric_spurious_total",
+			"Host deliveries filtered by non-member hypervisors."),
+		duplicates: reg.Counter("elmo_fabric_duplicates_total",
+			"Member hosts that received more than one copy."),
+		malformed: reg.Counter("elmo_fabric_malformed_total",
+			"Copies dropped because a switch could not parse them."),
+	}
+	for i, v := range []string{"drop", "duplicate", "corrupt", "delay"} {
+		m.faultVerdicts[i] = verdicts.With(v)
+	}
+	return m
+}
+
+// SetMetrics attaches telemetry counters to every switch and
+// hypervisor of the fabric and to the fabric's own delivery
+// accounting. Call while the fabric is quiet (same contract as
+// SetTracer); nil detaches.
+func (f *Fabric) SetMetrics(m *Metrics) {
+	f.metrics = m
+	for _, hv := range f.Hypervisors {
+		hv.Counters = m.HostFor()
+	}
+	for _, sw := range f.Leaves {
+		sw.Counters = m.switchFor(dataplane.KindLeaf)
+	}
+	for _, sw := range f.Spines {
+		sw.Counters = m.switchFor(dataplane.KindSpine)
+	}
+	for _, sw := range f.Cores {
+		sw.Counters = m.switchFor(dataplane.KindCore)
+	}
+}
+
+func (m *Metrics) switchFor(k dataplane.SwitchKind) *dataplane.SwitchCounters {
+	if m == nil {
+		return nil
+	}
+	return m.DP.For(k)
+}
+
+// HostFor returns the hypervisor counter set (nil-safe).
+func (m *Metrics) HostFor() *dataplane.HostCounters {
+	if m == nil {
+		return nil
+	}
+	return m.DP.HostFor()
+}
+
+// observeDelivery folds one send's Delivery into the live counters —
+// a single site per send, so the forwarding loop itself stays
+// untouched and the disabled path costs one nil check per send.
+func (m *Metrics) observeDelivery(d *Delivery) {
+	if m == nil {
+		return
+	}
+	m.linkBytes.Add(int64(d.LinkBytes))
+	m.links.Add(int64(d.Links))
+	m.hops.Add(int64(d.Hops))
+	m.lost.Add(int64(d.Lost))
+	m.spurious.Add(int64(d.Spurious))
+	m.duplicates.Add(int64(d.Duplicates))
+	m.malformed.Add(int64(d.Malformed))
+	m.faultVerdicts[0].Add(int64(d.FaultDrops))
+	m.faultVerdicts[1].Add(int64(d.FaultDups))
+	m.faultVerdicts[2].Add(int64(d.FaultCorrupts))
+	m.faultVerdicts[3].Add(int64(d.FaultDelays))
+}

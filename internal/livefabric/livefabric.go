@@ -61,6 +61,7 @@ type LiveFabric struct {
 	started  bool
 	tracer   trace.Recorder
 	injector dataplane.FaultInjector
+	metrics  *Metrics
 
 	mu sync.Mutex
 	// HostDrops counts frames dropped at full host queues.
@@ -413,6 +414,7 @@ func (lf *LiveFabric) deliverHostDirect(h topology.HostID, pkt dataplane.Packet)
 		lf.mu.Lock()
 		lf.HostDrops++
 		lf.mu.Unlock()
+		lf.metrics.onHostDrop()
 		if trace.On(lf.tracer, trace.CatFabric) {
 			lf.tracer.Record(trace.Event{
 				Cat: trace.CatFabric, Kind: trace.KindHostDrop, Tier: trace.TierHost,
@@ -426,6 +428,7 @@ func (lf *LiveFabric) countMalformed() {
 	lf.mu.Lock()
 	lf.Malformed++
 	lf.mu.Unlock()
+	lf.metrics.onMalformed()
 	if trace.On(lf.tracer, trace.CatFabric) {
 		lf.tracer.Record(trace.Event{Cat: trace.CatFabric, Kind: trace.KindMalformed})
 	}

@@ -93,8 +93,13 @@ type Samples struct {
 	sorted bool
 }
 
-// Add appends a sample.
+// Add appends a sample. NaN samples are dropped: a NaN would poison
+// the sort order and make every later Percentile answer depend on
+// where it landed.
 func (p *Samples) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
 	p.xs = append(p.xs, x)
 	p.sorted = false
 }

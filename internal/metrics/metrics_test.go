@@ -87,6 +87,49 @@ func TestPercentiles(t *testing.T) {
 	}
 }
 
+// TestPercentileNaNAndEmpty is the regression guard for the NaN
+// poisoning bug: NaN samples sort first under sort.Float64s, shifting
+// every low percentile to NaN. Add must drop them, and every query on
+// an empty (or all-NaN) sample set must return 0, never NaN.
+func TestPercentileNaNAndEmpty(t *testing.T) {
+	var p Samples
+	for _, q := range []float64{0, 50, 100} {
+		if got := p.Percentile(q); got != 0 {
+			t.Fatalf("empty P%v = %v, want 0", q, got)
+		}
+	}
+	if p.Mean() != 0 || p.Max() != 0 {
+		t.Fatalf("empty mean/max = %v/%v", p.Mean(), p.Max())
+	}
+
+	p.Add(math.NaN())
+	if p.N() != 0 {
+		t.Fatalf("NaN was retained: N = %d", p.N())
+	}
+	for _, q := range []float64{0, 50, 100} {
+		if got := p.Percentile(q); got != 0 {
+			t.Fatalf("all-NaN P%v = %v, want 0", q, got)
+		}
+	}
+
+	// NaNs interleaved with real samples must not shift any percentile.
+	for _, x := range []float64{3, math.NaN(), 1, math.NaN(), 2} {
+		p.Add(x)
+	}
+	if p.N() != 3 {
+		t.Fatalf("N = %d, want 3", p.N())
+	}
+	for q, want := range map[float64]float64{0: 1, 50: 2, 100: 3} {
+		got := p.Percentile(q)
+		if math.IsNaN(got) || got != want {
+			t.Errorf("P%v = %v, want %v", q, got, want)
+		}
+	}
+	if math.IsNaN(p.Mean()) || p.Mean() != 2 {
+		t.Errorf("mean = %v, want 2", p.Mean())
+	}
+}
+
 func TestPercentileAfterInterleavedAdds(t *testing.T) {
 	var p Samples
 	p.Add(3)

@@ -1,0 +1,70 @@
+package reliable
+
+import "elmo/internal/telemetry"
+
+// Metrics mirrors the Session's repair-loop counters into a telemetry
+// registry so live runs can watch recovery behavior without polling the
+// session ints. Attach via Session.Metrics; nil costs one branch per
+// event.
+type Metrics struct {
+	naks             *telemetry.Counter
+	nakRetries       *telemetry.Counter
+	controlDrops     *telemetry.Counter
+	corruptFrames    *telemetry.Counter
+	unicastFallbacks *telemetry.Counter
+	retransmits      *telemetry.Counter
+}
+
+// NewMetrics registers the reliable-delivery metric families in reg.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		naks: reg.Counter("elmo_reliable_naks_total",
+			"NAK repair requests the sender processed."),
+		nakRetries: reg.Counter("elmo_reliable_nak_retries_total",
+			"Repair rounds retried after lost NAK or RDATA control frames."),
+		controlDrops: reg.Counter("elmo_reliable_control_drops_total",
+			"NAK/RDATA unicasts eaten by injected control loss."),
+		corruptFrames: reg.Counter("elmo_reliable_corrupt_frames_total",
+			"Undecodable frames treated as loss by receivers."),
+		unicastFallbacks: reg.Counter("elmo_reliable_unicast_fallbacks_total",
+			"Publishes degraded to per-receiver unicast (no multicast sender flow)."),
+		retransmits: reg.Counter("elmo_reliable_retransmits_total",
+			"RDATA repair frames retransmitted to receivers over unicast."),
+	}
+}
+
+func (m *Metrics) onNAK() {
+	if m != nil {
+		m.naks.Inc()
+	}
+}
+
+func (m *Metrics) onNAKRetry() {
+	if m != nil {
+		m.nakRetries.Inc()
+	}
+}
+
+func (m *Metrics) onControlDrop() {
+	if m != nil {
+		m.controlDrops.Inc()
+	}
+}
+
+func (m *Metrics) onCorrupt() {
+	if m != nil {
+		m.corruptFrames.Inc()
+	}
+}
+
+func (m *Metrics) onFallback() {
+	if m != nil {
+		m.unicastFallbacks.Inc()
+	}
+}
+
+func (m *Metrics) onRetransmit() {
+	if m != nil {
+		m.retransmits.Inc()
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"elmo/internal/header"
 	"elmo/internal/metrics"
 	"elmo/internal/placement"
+	"elmo/internal/telemetry"
 	"elmo/internal/topology"
 )
 
@@ -53,6 +54,10 @@ type ScalabilityConfig struct {
 	// serialized in group order, so results are identical for every
 	// worker count.
 	Workers int
+	// Metrics, when non-nil, attaches dataplane/fabric telemetry to the
+	// measurement fabric and publishes live run progress, so a /metrics
+	// scrape mid-run sees the experiment move.
+	Metrics *telemetry.Registry
 }
 
 // PaperScalability returns the full paper-scale configuration for a
@@ -143,6 +148,13 @@ func RunScalability(cfg ScalabilityConfig) (*ScalabilityResult, error) {
 	li := baselines.NewLiState(topo)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
+	var progress *telemetry.Gauge
+	if cfg.Metrics != nil {
+		fab.SetMetrics(fabric.NewMetrics(cfg.Metrics))
+		progress = cfg.Metrics.Gauge("elmo_sim_groups_measured",
+			"Groups measured so far in the scalability run.")
+	}
+
 	elmoBytes := make(map[int]float64, len(cfg.PacketSizes))
 	idealBytes := make(map[int]float64, len(cfg.PacketSizes))
 	uniBytes := make(map[int]float64, len(cfg.PacketSizes))
@@ -216,6 +228,9 @@ func RunScalability(cfg ScalabilityConfig) (*ScalabilityResult, error) {
 		}
 		fab.RemoveSenderHeader(addr, sender)
 		fab.UninstallEncoding(addr, enc, g.Hosts)
+		if progress != nil {
+			progress.Add(1)
+		}
 		return nil
 	}
 

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WriteText renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one # HELP and # TYPE line per family, then
+// every series. Histograms expand to cumulative `_bucket{le="..."}`
+// series plus `_sum` and `_count`. Families are emitted in name order
+// and series in creation order, so output is stable scrape to scrape.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families() {
+		f.mu.Lock()
+		ser := append([]*series(nil), f.order...)
+		f.mu.Unlock()
+		if len(ser) == 0 {
+			continue
+		}
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			writeEscapedHelp(bw, f.help)
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range ser {
+			switch f.kind {
+			case KindCounter:
+				writeSeries(bw, f.name, f.labels, s.labelVals, "", 0, float64(s.c.Value()))
+			case KindGauge:
+				v := 0.0
+				if s.fn != nil {
+					v = s.fn()
+				} else {
+					v = s.g.Value()
+				}
+				writeSeries(bw, f.name, f.labels, s.labelVals, "", 0, v)
+			case KindHistogram:
+				cum := make([]int64, len(s.h.buckets))
+				total := s.h.cumulative(cum)
+				for i, b := range s.h.bounds {
+					writeSeries(bw, f.name+"_bucket", f.labels, s.labelVals, "le", b, float64(cum[i]))
+				}
+				writeSeries(bw, f.name+"_bucket", f.labels, s.labelVals, "le", math.Inf(1), float64(total))
+				writeSeries(bw, f.name+"_sum", f.labels, s.labelVals, "", 0, s.h.Sum())
+				writeSeries(bw, f.name+"_count", f.labels, s.labelVals, "", 0, float64(total))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(bw *bufio.Writer, name string, labels, values []string, extraLabel string, extraVal, v float64) {
+	bw.WriteString(seriesKey(name, labels, values, extraLabel, extraVal))
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(v))
+	bw.WriteByte('\n')
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeEscapedHelp escapes backslash and newline per the exposition
+// format (quotes are legal in HELP text).
+func writeEscapedHelp(bw *bufio.Writer, s string) {
+	for _, r := range s {
+		switch r {
+		case '\\':
+			bw.WriteString(`\\`)
+		case '\n':
+			bw.WriteString(`\n`)
+		default:
+			bw.WriteRune(r)
+		}
+	}
+}

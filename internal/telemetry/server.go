@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// Server is a live observability endpoint: /metrics (Prometheus text),
+// /debug/pprof/* (CPU, heap, goroutine, trace), and a plain index at /.
+type Server struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability listener on addr (e.g. ":9090" or
+// "localhost:0") and serves until Close. It returns once the listener
+// is bound, so the caller can log the resolved address immediately.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "elmo telemetry\n\n/metrics\n/debug/pprof/\n")
+	})
+	s := &Server{reg: reg, ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// runtimeStats caches one runtime.ReadMemStats per refresh interval so
+// a burst of scrapes (or one scrape reading several gauges) triggers at
+// most one stop-the-world per interval.
+type runtimeStats struct {
+	mu      sync.Mutex
+	last    time.Time
+	ttl     time.Duration
+	ms      runtime.MemStats
+	prevGCs uint32
+}
+
+func (rs *runtimeStats) snapshot() *runtime.MemStats {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if time.Since(rs.last) >= rs.ttl {
+		runtime.ReadMemStats(&rs.ms)
+		rs.last = time.Now()
+	}
+	return &rs.ms
+}
+
+// RegisterRuntime wires Go runtime health gauges into reg:
+// goroutine count, heap in use, total allocated, GC cycle count and
+// cumulative pause time, and next-GC target. MemStats reads are cached
+// for one second across the gauge set.
+func RegisterRuntime(reg *Registry) {
+	rs := &runtimeStats{ttl: time.Second}
+	reg.GaugeFunc("go_goroutines", "Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_memstats_heap_inuse_bytes", "Heap bytes in in-use spans.",
+		func() float64 { return float64(rs.snapshot().HeapInuse) })
+	reg.GaugeFunc("go_memstats_heap_objects", "Number of allocated heap objects.",
+		func() float64 { return float64(rs.snapshot().HeapObjects) })
+	reg.GaugeFunc("go_memstats_alloc_bytes_total", "Cumulative bytes allocated for heap objects.",
+		func() float64 { return float64(rs.snapshot().TotalAlloc) })
+	reg.GaugeFunc("go_memstats_next_gc_bytes", "Heap size target of the next GC cycle.",
+		func() float64 { return float64(rs.snapshot().NextGC) })
+	reg.GaugeFunc("go_gc_cycles_total", "Completed GC cycles.",
+		func() float64 { return float64(rs.snapshot().NumGC) })
+	reg.GaugeFunc("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.",
+		func() float64 { return float64(rs.snapshot().PauseTotalNs) / 1e9 })
+}

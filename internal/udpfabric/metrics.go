@@ -1,0 +1,78 @@
+package udpfabric
+
+import (
+	"elmo/internal/fabric"
+	"elmo/internal/telemetry"
+)
+
+// Metrics is the UDP transport's telemetry bundle: socket-level
+// counters plus the wrapped fabric/dataplane set. Handles are interned
+// at construction; attach with SetMetrics before Start.
+type Metrics struct {
+	Fabric *fabric.Metrics
+
+	sent      *telemetry.Counter
+	recv      *telemetry.Counter
+	retries   *telemetry.Counter
+	malformed *telemetry.Counter
+	hostDrops *telemetry.Counter
+}
+
+// NewMetrics registers the udpfabric metric families in reg (and the
+// fabric/dataplane families underneath).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Fabric: fabric.NewMetrics(reg),
+		sent: reg.Counter("elmo_udp_datagrams_sent_total",
+			"Datagrams written to fabric UDP sockets."),
+		recv: reg.Counter("elmo_udp_datagrams_received_total",
+			"Datagrams read from fabric UDP sockets."),
+		retries: reg.Counter("elmo_udp_read_retries_total",
+			"Transient socket read errors retried with backoff."),
+		malformed: reg.Counter("elmo_udp_malformed_total",
+			"Undecodable datagrams discarded by switch or host readers."),
+		hostDrops: reg.Counter("elmo_udp_host_queue_drops_total",
+			"Frames discarded at full host delivery queues."),
+	}
+}
+
+func (m *Metrics) onSent() {
+	if m != nil {
+		m.sent.Inc()
+	}
+}
+
+func (m *Metrics) onRecv() {
+	if m != nil {
+		m.recv.Inc()
+	}
+}
+
+func (m *Metrics) onRetry() {
+	if m != nil {
+		m.retries.Inc()
+	}
+}
+
+func (m *Metrics) onMalformed() {
+	if m != nil {
+		m.malformed.Inc()
+	}
+}
+
+func (m *Metrics) onHostDrop() {
+	if m != nil {
+		m.hostDrops.Inc()
+	}
+}
+
+// SetMetrics attaches telemetry to the UDP transport and the wrapped
+// fabric's switches and hypervisors. Call before Start; nil detaches.
+func (u *UDPFabric) SetMetrics(m *Metrics) {
+	u.metrics = m
+	if m != nil {
+		u.base.SetMetrics(m.Fabric)
+	} else {
+		u.base.SetMetrics(nil)
+	}
+}

@@ -56,6 +56,7 @@ type UDPFabric struct {
 	started  bool
 	tracer   trace.Recorder
 	injector dataplane.FaultInjector
+	metrics  *Metrics
 
 	mu sync.Mutex
 	// Malformed counts undecodable datagrams; Dropped counts frames
@@ -180,6 +181,9 @@ func (u *UDPFabric) Send(sender topology.HostID, addr dataplane.GroupAddr, inner
 		return nil
 	}
 	_, err = u.hostConn[sender].WriteToUDP(wire, u.leafConn[leaf].LocalAddr().(*net.UDPAddr))
+	if err == nil {
+		u.metrics.onSent()
+	}
 	return err
 }
 
@@ -208,6 +212,7 @@ func (u *UDPFabric) countMalformed() {
 	u.mu.Lock()
 	u.Malformed++
 	u.mu.Unlock()
+	u.metrics.onMalformed()
 	if trace.On(u.tracer, trace.CatFabric) {
 		u.tracer.Record(trace.Event{Cat: trace.CatFabric, Kind: trace.KindMalformed})
 	}
@@ -235,6 +240,7 @@ func (u *UDPFabric) readLoop(conn *net.UDPConn, fn func(wire []byte)) {
 			u.mu.Lock()
 			u.ReadErrors++
 			u.mu.Unlock()
+			u.metrics.onRetry()
 			if backoff == 0 {
 				backoff = time.Millisecond
 			} else if backoff *= 2; backoff > readErrBackoffCap {
@@ -248,6 +254,7 @@ func (u *UDPFabric) readLoop(conn *net.UDPConn, fn func(wire []byte)) {
 			}
 		}
 		backoff = 0
+		u.metrics.onRecv()
 		wire := make([]byte, n)
 		copy(wire, buf[:n])
 		fn(wire)
@@ -280,6 +287,7 @@ func (u *UDPFabric) forward(l dataplane.Link, from *net.UDPConn, to *net.UDPConn
 		return
 	}
 	from.WriteToUDP(wire, to.LocalAddr().(*net.UDPAddr))
+	u.metrics.onSent()
 }
 
 // admitWire applies the injector verdict to a marshaled datagram and
@@ -295,6 +303,7 @@ func (u *UDPFabric) admitWire(l dataplane.Link, vni, group uint32, from, to *net
 	dst := to.LocalAddr().(*net.UDPAddr)
 	if v.Duplicate {
 		from.WriteToUDP(wire, dst)
+		u.metrics.onSent()
 	}
 	if v.DelaySteps > 0 {
 		delayed := append([]byte(nil), wire...)
@@ -307,10 +316,12 @@ func (u *UDPFabric) admitWire(l dataplane.Link, vni, group uint32, from, to *net
 				return
 			}
 			from.WriteToUDP(delayed, dst)
+			u.metrics.onSent()
 		}()
 		return
 	}
 	from.WriteToUDP(wire, dst)
+	u.metrics.onSent()
 }
 
 func (u *UDPFabric) runLeaf(id topology.LeafID) {
@@ -391,6 +402,7 @@ func (u *UDPFabric) runHost(h topology.HostID) {
 			u.mu.Lock()
 			u.Dropped++
 			u.mu.Unlock()
+			u.metrics.onHostDrop()
 			if trace.On(u.tracer, trace.CatFabric) {
 				u.tracer.Record(trace.Event{
 					Cat: trace.CatFabric, Kind: trace.KindHostDrop, Tier: trace.TierHost,
