@@ -4,7 +4,13 @@
 
 GO ?= go
 
-.PHONY: all build test verify race lint bench bench-all trace chaos
+.PHONY: all build test verify race lint bench bench-gate bench-all trace chaos
+
+# Allocation budget for the warm-scratch clustering kernel
+# (cluster.AssignInto with a reused Scratch). The hot path is designed
+# to be allocation-free; the budget is 0 and any regression fails
+# `make bench-gate`.
+ENCODE_ALLOC_BUDGET ?= 0
 
 all: verify
 
@@ -43,6 +49,17 @@ lint:
 bench:
 	$(GO) test -bench 'ControllerInstallBatch|ChurnPipeline|ControllerRuleGeneration' -benchmem -run '^$$' .
 	$(GO) run ./cmd/elmo-bench -groups 100000 -events 20000 -out BENCH_controller.json -baseline BENCH_baseline.json
+
+# bench-gate is the fast allocation gate on the encode hot path: it
+# runs the clustering-kernel alloc-parity tests with -benchmem-grade
+# accounting (testing.AllocsPerRun), then the elmo-bench encode stage,
+# failing when warm-scratch AssignInto allocates more per op than
+# ENCODE_ALLOC_BUDGET. It does not overwrite the checked-in
+# BENCH_encode.json.
+bench-gate:
+	$(GO) test -run 'TestAssignIntoWarmScratchZeroAlloc' -count=1 ./internal/cluster/
+	$(GO) test -bench 'BenchmarkAssignIntoWarmScratch$$' -benchmem -run '^$$' ./internal/cluster/
+	$(GO) run ./cmd/elmo-bench -encode-only -encode-sets 500 -encode-out '' -max-allocs $(ENCODE_ALLOC_BUDGET)
 
 # bench-all runs the full figure/table benchmark suite.
 bench-all:

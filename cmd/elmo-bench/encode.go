@@ -1,0 +1,244 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"elmo/internal/cluster"
+	"elmo/internal/controller"
+	"elmo/internal/topology"
+)
+
+// This file is the encode microbenchmark stage: it isolates the group
+// encode hot path (tree build + Algorithm 1 clustering) from the
+// controller admission machinery the install/churn phases measure, and
+// records the allocation profile of the scratch-buffer rewrite against
+// the frozen reference implementation (cluster.ReferenceAssign). The
+// result is persisted as BENCH_encode.json and doubles as the CI
+// bench gate: -max-allocs fails the run when the warm-scratch
+// clustering kernel allocates more per op than the checked-in budget.
+
+// BenchStat is one benchmark's per-operation cost triple.
+type BenchStat struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+func statOf(r testing.BenchmarkResult) BenchStat {
+	return BenchStat{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// EncodeReport is the persisted encode-benchmark record.
+type EncodeReport struct {
+	Timestamp  string `json:"timestamp"`
+	GoMaxProcs int    `json:"go_maxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Workers    int    `json:"workers"`
+	// Groups is the number of receiver sets the throughput phases
+	// encode; BenchGroupMembers is the leaf-layer member count of the
+	// group the clustering kernels are benchmarked on (the largest
+	// sampled group, so the kernel numbers reflect a hard instance).
+	Groups            int `json:"groups"`
+	BenchGroupMembers int `json:"bench_group_members"`
+
+	// Clustering kernel: frozen reference vs warm-scratch rewrite on
+	// the same member set and constraints.
+	ReferenceAssign BenchStat `json:"reference_assign"`
+	AssignInto      BenchStat `json:"assign_into_warm_scratch"`
+	// AllocsReductionFactor is reference allocs/op over rewrite
+	// allocs/op (capped at reference allocs/op when the rewrite hits
+	// zero).
+	AllocsReductionFactor float64 `json:"allocs_reduction_factor"`
+
+	// Full encode (ComputeEncodingInto: tree build + both layers),
+	// warm scratch, averaged over all sampled receiver sets.
+	Encode BenchStat `json:"encode_warm_scratch"`
+
+	EncodeSerialPerSec   float64 `json:"encode_serial_per_sec"`
+	EncodeParallelPerSec float64 `json:"encode_parallel_per_sec"`
+	EncodeSpeedup        float64 `json:"encode_speedup"`
+
+	SpeedupReliable bool   `json:"speedup_reliable"`
+	SpeedupNote     string `json:"speedup_note,omitempty"`
+}
+
+// encodeStage measures the encode hot path over the given specs and
+// writes the report to outPath (empty = stdout only). maxAllocs < 0
+// disables the gate; otherwise the process exits non-zero when the
+// warm-scratch clustering kernel exceeds it.
+func encodeStage(topo *topology.Topology, specs []controller.BatchSpec, workers int, outPath string, maxAllocs int64) {
+	cfg := controller.PaperConfig(0)
+	occ := controller.NewOccupancy(topo, cfg.SRuleCapacity)
+	reliable, note := speedupNote()
+
+	rep := &EncodeReport{
+		Timestamp:       time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
+		Workers:         workers,
+		Groups:          len(specs),
+		SpeedupReliable: reliable,
+		SpeedupNote:     note,
+	}
+
+	// Clustering kernel benchmark: the leaf-layer member set of the
+	// largest sampled group, the same instance the encoder hands to
+	// cluster.AssignInto.
+	members := largestLeafLayer(topo, cfg, specs)
+	rep.BenchGroupMembers = len(members)
+	cons := cluster.Constraints{
+		// R=12 is the paper's largest evaluated redundancy budget: it
+		// keeps the p-rule sharing loop (the hot part the rewrite
+		// targets) fully engaged instead of degenerating to the exact
+		// R=0 fast path.
+		R:                12,
+		HMax:             cfg.LeafRuleLimit,
+		KMax:             cfg.KMaxLeaf,
+		HasSRuleCapacity: func(uint16) bool { return true },
+	}
+	fmt.Printf("benchmarking clustering kernels on a %d-member leaf layer...\n", len(members))
+	rep.ReferenceAssign = statOf(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cluster.ReferenceAssign(members, cons)
+		}
+	}))
+	rep.AssignInto = statOf(testing.Benchmark(func(b *testing.B) {
+		var s cluster.Scratch
+		cluster.AssignInto(members, cons, &s) // warm the scratch
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cluster.AssignInto(members, cons, &s)
+		}
+	}))
+	if rep.AssignInto.AllocsPerOp > 0 {
+		rep.AllocsReductionFactor = float64(rep.ReferenceAssign.AllocsPerOp) / float64(rep.AssignInto.AllocsPerOp)
+	} else {
+		rep.AllocsReductionFactor = float64(rep.ReferenceAssign.AllocsPerOp)
+	}
+
+	// Full-encode benchmark: warm scratch, round-robin over the
+	// sampled receiver sets so the cost reflects the size mix.
+	receivers := make([][]topology.HostID, len(specs))
+	for i := range specs {
+		receivers[i] = receiversOfMembers(specs[i].Members)
+	}
+	fmt.Printf("benchmarking full encode over %d receiver sets...\n", len(receivers))
+	rep.Encode = statOf(testing.Benchmark(func(b *testing.B) {
+		var s controller.EncodeScratch
+		cap := occ.CapacityFunc()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := controller.ComputeEncodingInto(topo, cfg, cap, receivers[i%len(receivers)], &s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Serial vs parallel encode throughput through the batch pipeline
+	// (no-op commit: encode cost only, admission excluded).
+	noCommit := func(int, *controller.Encoding) error { return nil }
+	fmt.Printf("encoding %d receiver sets serially...\n", len(receivers))
+	start := time.Now()
+	if _, err := controller.EncodeBatch(topo, cfg, controller.NewOccupancy(topo, cfg.SRuleCapacity),
+		len(receivers), 1, func(i int) []topology.HostID { return receivers[i] }, noCommit); err != nil {
+		log.Fatal(err)
+	}
+	rep.EncodeSerialPerSec = float64(len(receivers)) / time.Since(start).Seconds()
+	fmt.Printf("encoding %d receiver sets with %d workers...\n", len(receivers), workers)
+	start = time.Now()
+	if _, err := controller.EncodeBatch(topo, cfg, controller.NewOccupancy(topo, cfg.SRuleCapacity),
+		len(receivers), workers, func(i int) []topology.HostID { return receivers[i] }, noCommit); err != nil {
+		log.Fatal(err)
+	}
+	rep.EncodeParallelPerSec = float64(len(receivers)) / time.Since(start).Seconds()
+	rep.EncodeSpeedup = rep.EncodeParallelPerSec / rep.EncodeSerialPerSec
+	if !reliable {
+		fmt.Printf("WARNING: %s\n", note)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", " ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(buf))
+	if outPath != "" {
+		if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+
+	if maxAllocs >= 0 {
+		if got := rep.AssignInto.AllocsPerOp; got > maxAllocs {
+			log.Fatalf("bench gate: warm-scratch AssignInto allocates %d/op, budget is %d/op", got, maxAllocs)
+		}
+		fmt.Printf("bench gate: warm-scratch AssignInto allocates %d/op (budget %d/op) ok\n",
+			rep.AssignInto.AllocsPerOp, maxAllocs)
+	}
+}
+
+// largestLeafLayer returns the leaf-layer clustering input (one member
+// per receiver leaf) of the spec with the most receiver leaves.
+func largestLeafLayer(topo *topology.Topology, cfg controller.Config, specs []controller.BatchSpec) []cluster.Member {
+	best := -1
+	var bestEnc *controller.Encoding
+	occ := controller.NewOccupancy(topo, cfg.SRuleCapacity)
+	for i := range specs {
+		enc, err := controller.ComputeEncoding(topo, cfg, occ.CapacityFunc(), receiversOfMembers(specs[i].Members))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(enc.LeafPorts) > best {
+			best = len(enc.LeafPorts)
+			bestEnc = enc
+		}
+	}
+	if bestEnc == nil {
+		log.Fatal("no specs to benchmark")
+	}
+	members := make([]cluster.Member, 0, len(bestEnc.LeafPorts))
+	for leaf, ports := range bestEnc.LeafPorts {
+		members = append(members, cluster.Member{Switch: uint16(leaf), Ports: ports})
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].Switch < members[j].Switch })
+	return members
+}
+
+// receiversOfMembers lists the receiving hosts of a member map in
+// ascending order (the order GroupState.Receivers produces).
+func receiversOfMembers(members map[topology.HostID]controller.Role) []topology.HostID {
+	hosts := make([]topology.HostID, 0, len(members))
+	for h, r := range members {
+		if r.CanReceive() {
+			hosts = append(hosts, h)
+		}
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	return hosts
+}
+
+// speedupNote reports whether parallel-vs-serial speedup figures are
+// meaningful in this environment. With GOMAXPROCS < 2 the "parallel"
+// phases time-slice one CPU, so a speedup below 1.0 measures pipeline
+// overhead, not parallel scaling — recording it unannotated would be
+// misleading (this is exactly how an earlier BENCH_controller.json
+// came to claim install_speedup 0.81 on a single-CPU container).
+func speedupNote() (reliable bool, note string) {
+	if p := runtime.GOMAXPROCS(0); p < 2 {
+		return false, fmt.Sprintf(
+			"GOMAXPROCS=%d: serial and parallel phases share one CPU; speedup figures measure pipeline overhead, not parallel scaling",
+			p)
+	}
+	return true, ""
+}

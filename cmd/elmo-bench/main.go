@@ -45,18 +45,29 @@ type Report struct {
 	ChurnSerialEventsPerSec   float64 `json:"churn_serial_events_per_sec"`
 	ChurnParallelEventsPerSec float64 `json:"churn_parallel_events_per_sec"`
 	ChurnSpeedup              float64 `json:"churn_speedup"`
+
+	// SpeedupReliable is false when GOMAXPROCS < 2: the serial and
+	// parallel phases then share one CPU and the speedup figures
+	// measure pipeline overhead, not parallel scaling. SpeedupNote
+	// carries the explanation into the record.
+	SpeedupReliable bool   `json:"speedup_reliable"`
+	SpeedupNote     string `json:"speedup_note,omitempty"`
 }
 
 func main() {
 	var (
 		groups      = flag.Int("groups", 100000, "groups to bulk-install")
 		events      = flag.Int("events", 20000, "churn events to replay")
-		workers     = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS, floored at 2)")
+		workers     = flag.Int("workers", 0, "parallel worker count (0 = NumCPU, floored at 2)")
 		out         = flag.String("out", "BENCH_controller.json", "output JSON file (empty = stdout only)")
 		baseline    = flag.String("baseline", "", "baseline JSON to compare against (missing file = skip)")
 		tolerance   = flag.Float64("tolerance", 0.2, "allowed fractional regression vs baseline")
 		verify      = flag.Bool("verify", true, "assert parallel install state is byte-identical to serial")
 		metricsAddr = flag.String("metrics", "", "listen address for the /metrics + pprof endpoint (e.g. :9090; empty = no listener)")
+		encodeOut   = flag.String("encode-out", "BENCH_encode.json", "encode-stage output JSON file (empty = skip the encode stage)")
+		encodeOnly  = flag.Bool("encode-only", false, "run only the encode microbenchmark stage")
+		encodeSets  = flag.Int("encode-sets", 2000, "receiver sets the encode stage benchmarks over")
+		maxAllocs   = flag.Int64("max-allocs", -1, "fail if warm-scratch AssignInto exceeds this allocs/op (<0 = no gate)")
 	)
 	flag.Parse()
 
@@ -75,9 +86,12 @@ func main() {
 		fmt.Printf("serving /metrics and /debug/pprof on http://%s\n", srv.Addr())
 	}
 
+	// Default the worker count to the machine's CPUs (floored at 2 so
+	// the parallel pipeline is always exercised); whether the resulting
+	// speedup figures mean anything is recorded by speedupNote.
 	w := *workers
 	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
+		w = runtime.NumCPU()
 		if w < 2 {
 			w = 2
 		}
@@ -98,13 +112,28 @@ func main() {
 	}
 	specs := buildSpecs(gs, 7)
 
+	encSpecs := specs
+	if len(encSpecs) > *encodeSets {
+		encSpecs = encSpecs[:*encodeSets]
+	}
+	if *encodeOnly {
+		encodeStage(topo, encSpecs, w, *encodeOut, *maxAllocs)
+		return
+	}
+
+	reliable, note := speedupNote()
 	rep := &Report{
-		Timestamp:   time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		NumCPU:      runtime.NumCPU(),
-		Workers:     w,
-		Groups:      len(specs),
-		ChurnEvents: *events,
+		Timestamp:       time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
+		Workers:         w,
+		Groups:          len(specs),
+		ChurnEvents:     *events,
+		SpeedupReliable: reliable,
+		SpeedupNote:     note,
+	}
+	if !reliable {
+		fmt.Printf("WARNING: %s\n", note)
 	}
 
 	fmt.Printf("installing %d groups serially...\n", len(specs))
@@ -151,6 +180,10 @@ func main() {
 		if err := checkBaseline(rep, *baseline, *tolerance); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *encodeOut != "" {
+		encodeStage(topo, encSpecs, w, *encodeOut, *maxAllocs)
 	}
 }
 

@@ -92,6 +92,64 @@ func (b Bitmap) Or(other Bitmap) Bitmap {
 	return c
 }
 
+// OrWithGrowth sets b = b | other and returns the number of bits the
+// union grew by (bits set in other but not previously in b). It is the
+// fused form of AndNotCount + OrInPlace the clustering hot loop uses to
+// maintain a running union and its popcount without temporaries.
+// Widths must match.
+func (b Bitmap) OrWithGrowth(other Bitmap) (growth int) {
+	b.mustMatch(other)
+	for i, w := range other.words {
+		growth += bits.OnesCount64(w &^ b.words[i])
+		b.words[i] |= w
+	}
+	return growth
+}
+
+// AndNotCount returns PopCount(b &^ other) without materializing the
+// difference bitmap. Widths must match.
+func (b Bitmap) AndNotCount(other Bitmap) int {
+	b.mustMatch(other)
+	n := 0
+	for i, w := range b.words {
+		n += bits.OnesCount64(w &^ other.words[i])
+	}
+	return n
+}
+
+// Reset re-shapes b in place to an empty bitmap of the given width,
+// reusing the existing word storage when it is large enough. It panics
+// if width is negative.
+func (b *Bitmap) Reset(width int) {
+	if width < 0 {
+		panic("bitmap: negative width")
+	}
+	n := (width + 63) / 64
+	if cap(b.words) < n {
+		b.words = make([]uint64, n)
+	} else {
+		b.words = b.words[:n]
+		for i := range b.words {
+			b.words[i] = 0
+		}
+	}
+	b.width = width
+}
+
+// CopyFrom sets *b to an independent copy of src, reusing b's word
+// storage when possible. After CopyFrom, b has src's width and bits but
+// shares no memory with it.
+func (b *Bitmap) CopyFrom(src Bitmap) {
+	n := len(src.words)
+	if cap(b.words) < n {
+		b.words = make([]uint64, n)
+	} else {
+		b.words = b.words[:n]
+	}
+	copy(b.words, src.words)
+	b.width = src.width
+}
+
 // AndNot returns b &^ other as a new bitmap. Widths must match.
 func (b Bitmap) AndNot(other Bitmap) Bitmap {
 	b.mustMatch(other)
@@ -117,6 +175,12 @@ func (b Bitmap) mustMatch(other Bitmap) {
 		panic(fmt.Sprintf("bitmap: width mismatch %d != %d", b.width, other.width))
 	}
 }
+
+// Words exposes the backing word slice (bit i is bit i%64 of word
+// i/64; bits beyond Width are zero). It is a read-only view for
+// word-level consumers such as comparison and hashing — mutating it
+// breaks the width invariant.
+func (b Bitmap) Words() []uint64 { return b.words }
 
 // PopCount returns the number of set bits.
 func (b Bitmap) PopCount() int {
@@ -210,21 +274,22 @@ func ByteLen(width int) int { return (width + 7) / 8 }
 // AppendWire appends the big-endian wire encoding of b to dst and
 // returns the extended slice. Bit i is the (i%8)'th least significant
 // bit of byte i/8, so the encoding is independent of word size.
+//
+// Because byte i of the encoding is exactly byte i%8 (little-endian) of
+// word i/8 — bits beyond width are zero by invariant — the encoding is
+// emitted a word at a time instead of a bit at a time.
 func (b Bitmap) AppendWire(dst []byte) []byte {
 	n := b.ByteLen()
-	for i := 0; i < n; i++ {
-		var by byte
-		base := i * 8
-		for j := 0; j < 8; j++ {
-			bit := base + j
-			if bit >= b.width {
-				break
-			}
-			if b.words[bit/64]&(1<<(uint(bit)%64)) != 0 {
-				by |= 1 << uint(j)
-			}
+	for wi := 0; n > 0; wi++ {
+		w := b.words[wi]
+		k := n
+		if k > 8 {
+			k = 8
 		}
-		dst = append(dst, by)
+		for j := 0; j < k; j++ {
+			dst = append(dst, byte(w>>(8*uint(j))))
+		}
+		n -= k
 	}
 	return dst
 }

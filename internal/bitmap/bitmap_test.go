@@ -286,3 +286,111 @@ func BenchmarkAppendWire48(b *testing.B) {
 		buf = x.AppendWire(buf[:0])
 	}
 }
+
+// randBits returns a bitmap of the given width with each bit set with
+// probability 1/2.
+func randBits(rng *rand.Rand, width int) Bitmap {
+	b := New(width)
+	for i := 0; i < width; i++ {
+		if rng.Intn(2) == 0 {
+			b.Set(i)
+		}
+	}
+	return b
+}
+
+// The fused kernels must agree with the compositional operations they
+// replace, across widths straddling word boundaries.
+func TestFusedKernelsMatchCompositional(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, w := range []int{0, 1, 7, 8, 63, 64, 65, 127, 128, 200, 576} {
+		for trial := 0; trial < 20; trial++ {
+			a := randBits(rng, w)
+			b := randBits(rng, w)
+
+			if got, want := a.AndNotCount(b), a.AndNot(b).PopCount(); got != want {
+				t.Fatalf("width %d: AndNotCount = %d, want %d", w, got, want)
+			}
+
+			u := a.Clone()
+			wantGrowth := b.AndNot(a).PopCount()
+			wantUnion := a.Or(b)
+			if got := u.OrWithGrowth(b); got != wantGrowth {
+				t.Fatalf("width %d: OrWithGrowth = %d, want %d", w, got, wantGrowth)
+			}
+			if !u.Equal(wantUnion) {
+				t.Fatalf("width %d: OrWithGrowth union = %s, want %s", w, u, wantUnion)
+			}
+		}
+	}
+}
+
+func TestResetAndCopyFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	var b Bitmap
+	for _, w := range []int{64, 5, 200, 0, 128, 65} {
+		src := randBits(rng, w)
+		b.CopyFrom(src)
+		if !b.Equal(src) {
+			t.Fatalf("width %d: CopyFrom mismatch", w)
+		}
+		// Mutating the copy must not touch the source.
+		if w > 0 {
+			before := src.Test(0)
+			if before {
+				b.Clear(0)
+			} else {
+				b.Set(0)
+			}
+			if src.Test(0) != before {
+				t.Fatal("CopyFrom aliased the source")
+			}
+		}
+		b.Reset(w)
+		if b.Width() != w || !b.IsEmpty() {
+			t.Fatalf("Reset(%d): width=%d empty=%t", w, b.Width(), b.IsEmpty())
+		}
+	}
+}
+
+// Reset and CopyFrom must reuse storage: a warm bitmap cycled through
+// same-or-smaller widths performs no allocations.
+func TestResetCopyFromNoAlloc(t *testing.T) {
+	src := randBits(rand.New(rand.NewSource(13)), 192)
+	var b Bitmap
+	b.Reset(192) // warm to max width
+	allocs := testing.AllocsPerRun(100, func() {
+		b.CopyFrom(src)
+		b.Reset(64)
+		b.Reset(192)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Reset/CopyFrom allocated %.1f per run", allocs)
+	}
+}
+
+// The word-level AppendWire must round-trip through FromWire and match
+// the bit-order contract at every width.
+func TestAppendWireWordLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, w := range []int{0, 1, 3, 8, 9, 16, 63, 64, 65, 71, 72, 128, 129, 576} {
+		b := randBits(rng, w)
+		wire := b.AppendWire(nil)
+		if len(wire) != b.ByteLen() {
+			t.Fatalf("width %d: wire length %d, want %d", w, len(wire), b.ByteLen())
+		}
+		for i := 0; i < w; i++ {
+			got := wire[i/8]&(1<<uint(i%8)) != 0
+			if got != b.Test(i) {
+				t.Fatalf("width %d: wire bit %d = %t, want %t", w, i, got, b.Test(i))
+			}
+		}
+		back, n, err := FromWire(w, wire)
+		if err != nil || n != len(wire) {
+			t.Fatalf("width %d: FromWire n=%d err=%v", w, n, err)
+		}
+		if !back.Equal(b) {
+			t.Fatalf("width %d: round trip mismatch", w)
+		}
+	}
+}

@@ -15,15 +15,29 @@
 // (NP-hard); ApproxMinKUnion is the standard greedy approximation:
 // start from the smallest set and repeatedly add the set that grows
 // the union least.
+//
+// This is the controller's encode hot path: it runs once per layer per
+// group install and once per layer per churn re-encode, so at paper
+// scale (a million groups, thousands of events per second) its constant
+// factors decide controller throughput. AssignInto is the
+// allocation-free core: all working state lives in a caller-provided
+// Scratch, the greedy loop maintains its union and redundancy sums
+// incrementally (O(1) per candidate instead of O(picked) bitmap
+// temporaries), and the returned Assignment aliases scratch memory.
+// Assign wraps it with a private scratch and deep-copied results for
+// callers that want owned data.
 package cluster
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"elmo/internal/bitmap"
 )
 
 // Member is one switch at a layer with its required output ports.
+// Switch IDs must be unique within one Assign call (a switch appears at
+// most once on a group's tree at a layer).
 type Member struct {
 	// Switch is the logical switch identifier (pod ID for the spine
 	// layer, global leaf ID for the leaf layer).
@@ -85,9 +99,70 @@ type Assignment struct {
 // layers are all covered by p-rules and s-rules only.
 func (a *Assignment) CoveredExactly() bool { return a.Default == nil }
 
+// Clone returns a deep copy of the assignment owning all of its memory:
+// fresh rule slices, bitmap clones, and a fresh SRules map. Use it to
+// persist an AssignInto result beyond the scratch's next use.
+func (a Assignment) Clone() Assignment {
+	out := Assignment{
+		SRules:     make(map[uint16]bitmap.Bitmap, len(a.SRules)),
+		Redundancy: a.Redundancy,
+	}
+	if len(a.PRules) > 0 {
+		out.PRules = make([]Rule, len(a.PRules))
+		for i, r := range a.PRules {
+			out.PRules[i] = Rule{Switches: slices.Clone(r.Switches), Bitmap: r.Bitmap.Clone()}
+		}
+	}
+	for sw, bm := range a.SRules {
+		out.SRules[sw] = bm.Clone()
+	}
+	if a.Default != nil {
+		d := a.Default.Clone()
+		out.Default = &d
+	}
+	out.DefaultSwitches = slices.Clone(a.DefaultSwitches)
+	return out
+}
+
+// classRec groups members sharing an identical bitmap. ports aliases
+// the first member's (read-only) bitmap; switches is a sub-slice of the
+// scratch switch buffer.
+type classRec struct {
+	ports    bitmap.Bitmap
+	switches []uint16
+	pop      int
+}
+
+// Scratch holds all working and output state of one AssignInto run, so
+// a warm scratch executes a full layer assignment with zero heap
+// allocations. A Scratch is single-goroutine state: give each encoder
+// worker its own. The zero value is ready to use.
+type Scratch struct {
+	// class building
+	idx     []int32    // member indices, sorted by bitmap content
+	swBuf   []uint16   // switches in grouped order; classes sub-slice it
+	classes []classRec // grouped classes before KMax splitting
+	work    []classRec // post-split working set, compacted as rules emit
+
+	// greedy state
+	union      bitmap.Bitmap // running union of the rule being built
+	picked     []int         // indices into work picked for the rule
+	pickedMark []bool        // membership bitset over work
+
+	// outputs (aliased by the returned Assignment)
+	prules      []Rule
+	ruleSw      []uint16        // backing array for all rules' Switches
+	ruleBMs     []bitmap.Bitmap // reusable storage for rule bitmaps
+	srules      map[uint16]bitmap.Bitmap
+	defaultBM   bitmap.Bitmap
+	defSwitches []uint16
+	defPops     []int
+}
+
 // Assign runs Algorithm 1 over the members of one layer.
-// Members must have bitmaps of equal width; the slice may be in any
-// order, and is not modified. The result is deterministic.
+// Members must have bitmaps of equal width and unique Switch IDs; the
+// slice may be in any order, and is not modified. The result is
+// deterministic and owns all of its memory.
 //
 // Assign is safe for concurrent use: it reads its inputs (including
 // the member bitmaps, which it never mutates) and builds fresh output
@@ -96,7 +171,24 @@ func (a *Assignment) CoveredExactly() bool { return a.Default == nil }
 // must itself be safe to call concurrently (the controller passes
 // closures over atomic occupancy counters).
 func Assign(members []Member, c Constraints) Assignment {
-	out := Assignment{SRules: make(map[uint16]bitmap.Bitmap)}
+	var s Scratch
+	return AssignInto(members, c, &s).Clone()
+}
+
+// AssignInto is the allocation-free core of Assign: identical output,
+// but every temporary lives in s and the returned Assignment's slices,
+// bitmaps, and SRules map alias scratch memory (SRules values and the
+// Default bitmap may also alias input member bitmaps). The result is
+// valid only until the next AssignInto call with the same scratch;
+// callers that persist it must Clone. Like Assign it never mutates the
+// member bitmaps, but the scratch itself is not safe for concurrent
+// use.
+func AssignInto(members []Member, c Constraints, s *Scratch) Assignment {
+	if s.srules == nil {
+		s.srules = make(map[uint16]bitmap.Bitmap)
+	}
+	clear(s.srules)
+	out := Assignment{SRules: s.srules}
 	if len(members) == 0 {
 		return out
 	}
@@ -109,146 +201,204 @@ func Assign(members []Member, c Constraints) Assignment {
 	// always share (distance 0), and classes shrink the MIN-K-UNION
 	// candidate set dramatically for clustered placements. Classes
 	// larger than KMax are split so every emitted rule honors KMax.
-	classes := splitClasses(buildClasses(members), kmax)
+	work := s.buildClasses(members, kmax)
 
-	for len(classes) > 0 && len(out.PRules) < c.HMax {
-		group, union := pickGroup(classes, kmax, c.R)
-		rule := Rule{Bitmap: union}
-		for _, ci := range group {
-			cl := classes[ci]
-			rule.Switches = append(rule.Switches, cl.switches...)
-			out.Redundancy += union.AndNot(cl.ports).PopCount() * len(cl.switches)
+	// Rule emission. The switch backing buffer is pre-sized to the
+	// worst case (every member lands in a p-rule) so emitted sub-slices
+	// are never invalidated by growth.
+	s.prules = s.prules[:0]
+	if cap(s.ruleSw) < len(members) {
+		s.ruleSw = make([]uint16, 0, len(members))
+	}
+	s.ruleSw = s.ruleSw[:0]
+
+	for len(work) > 0 && len(s.prules) < c.HMax {
+		popUnion := s.pickGroup(work, kmax, c.R)
+		swStart := len(s.ruleSw)
+		for _, ci := range s.picked {
+			cl := &work[ci]
+			// cl.ports ⊆ union, so the redundancy the rule inflicts on
+			// this class is (|union| − |ports|) spurious ports per switch.
+			out.Redundancy += (popUnion - cl.pop) * len(cl.switches)
+			s.ruleSw = append(s.ruleSw, cl.switches...)
 		}
-		sort.Slice(rule.Switches, func(i, j int) bool { return rule.Switches[i] < rule.Switches[j] })
-		out.PRules = append(out.PRules, rule)
-		classes = removeClasses(classes, group)
+		sws := s.ruleSw[swStart:len(s.ruleSw):len(s.ruleSw)]
+		slices.Sort(sws)
+		s.prules = append(s.prules, Rule{Switches: sws, Bitmap: s.ruleBitmap(len(s.prules))})
+		work = s.removePicked(work)
+	}
+	if len(s.prules) > 0 {
+		out.PRules = s.prules
 	}
 
 	// Spill: s-rules where capacity remains, default p-rule otherwise.
-	for _, cl := range classes {
+	s.defSwitches = s.defSwitches[:0]
+	s.defPops = s.defPops[:0]
+	haveDefault := false
+	for i := range work {
+		cl := &work[i]
 		for _, sw := range cl.switches {
 			if c.HasSRuleCapacity != nil && c.HasSRuleCapacity(sw) {
-				out.SRules[sw] = cl.ports.Clone()
+				out.SRules[sw] = cl.ports
 				continue
 			}
-			if out.Default == nil {
-				d := cl.ports.Clone()
-				out.Default = &d
+			if !haveDefault {
+				s.defaultBM.CopyFrom(cl.ports)
+				haveDefault = true
 			} else {
-				out.Default.OrInPlace(cl.ports)
+				s.defaultBM.OrInPlace(cl.ports)
 			}
-			out.DefaultSwitches = append(out.DefaultSwitches, sw)
+			s.defSwitches = append(s.defSwitches, sw)
+			s.defPops = append(s.defPops, cl.pop)
 		}
 	}
-	// Account default-rule redundancy after the final OR is known.
-	if out.Default != nil {
-		for _, sw := range out.DefaultSwitches {
-			out.Redundancy += out.Default.AndNot(portsOf(members, sw)).PopCount()
+	// Account default-rule redundancy after the final OR is known: each
+	// default switch's ports ⊆ default, so its spurious ports are
+	// |default| − |ports| — no per-switch member scan needed.
+	if haveDefault {
+		dp := s.defaultBM.PopCount()
+		for _, p := range s.defPops {
+			out.Redundancy += dp - p
 		}
-		sort.Slice(out.DefaultSwitches, func(i, j int) bool {
-			return out.DefaultSwitches[i] < out.DefaultSwitches[j]
-		})
+		slices.Sort(s.defSwitches)
+		out.Default = &s.defaultBM
+		out.DefaultSwitches = s.defSwitches
 	}
 	return out
 }
 
-func portsOf(members []Member, sw uint16) bitmap.Bitmap {
-	for _, m := range members {
-		if m.Switch == sw {
-			return m.Ports
-		}
+// buildClasses groups members with identical bitmaps, orders classes
+// deterministically (ascending popcount, then lowest switch ID), and
+// splits classes larger than kmax. The returned slice and everything it
+// references live in the scratch.
+func (s *Scratch) buildClasses(members []Member, kmax int) []classRec {
+	n := len(members)
+	if cap(s.idx) < n {
+		s.idx = make([]int32, n)
 	}
-	panic("cluster: unknown switch")
-}
-
-// class groups members sharing an identical bitmap.
-type class struct {
-	ports    bitmap.Bitmap
-	switches []uint16
-	pop      int
-}
-
-func buildClasses(members []Member) []*class {
-	byKey := make(map[string]*class, len(members))
-	order := make([]*class, 0, len(members))
-	keyBuf := make([]byte, 0, 64)
-	for _, m := range members {
-		keyBuf = m.Ports.AppendWire(keyBuf[:0])
-		k := string(keyBuf)
-		cl, ok := byKey[k]
-		if !ok {
-			cl = &class{ports: m.Ports.Clone(), pop: m.Ports.PopCount()}
-			byKey[k] = cl
-			order = append(order, cl)
-		}
-		cl.switches = append(cl.switches, m.Switch)
+	s.idx = s.idx[:n]
+	for i := range s.idx {
+		s.idx[i] = int32(i)
 	}
-	for _, cl := range order {
-		sort.Slice(cl.switches, func(i, j int) bool { return cl.switches[i] < cl.switches[j] })
-	}
-	// Deterministic order: by ascending popcount, then wire key.
-	sort.SliceStable(order, func(i, j int) bool {
-		if order[i].pop != order[j].pop {
-			return order[i].pop < order[j].pop
+	// Sorting by bitmap content makes identical bitmaps adjacent; the
+	// switch-ID tie-break leaves each run's switches already ascending.
+	slices.SortFunc(s.idx, func(a, b int32) int {
+		if c := compareBits(members[a].Ports, members[b].Ports); c != 0 {
+			return c
 		}
-		return order[i].switches[0] < order[j].switches[0]
+		return cmp.Compare(members[a].Switch, members[b].Switch)
 	})
-	return order
+
+	if cap(s.swBuf) < n {
+		s.swBuf = make([]uint16, 0, n)
+	}
+	s.swBuf = s.swBuf[:0]
+	for _, mi := range s.idx {
+		s.swBuf = append(s.swBuf, members[mi].Switch)
+	}
+
+	s.classes = s.classes[:0]
+	for start := 0; start < n; {
+		end := start + 1
+		for end < n && members[s.idx[start]].Ports.Equal(members[s.idx[end]].Ports) {
+			end++
+		}
+		p := members[s.idx[start]].Ports
+		s.classes = append(s.classes, classRec{
+			ports:    p,
+			pop:      p.PopCount(),
+			switches: s.swBuf[start:end:end],
+		})
+		start = end
+	}
+	// Deterministic order: ascending popcount, then lowest switch ID.
+	// Classes partition the (unique) switches, so switches[0] breaks
+	// every tie; the bit-content comparison only defends determinism if
+	// a caller ever violates the uniqueness contract.
+	slices.SortFunc(s.classes, func(a, b classRec) int {
+		if a.pop != b.pop {
+			return cmp.Compare(a.pop, b.pop)
+		}
+		if a.switches[0] != b.switches[0] {
+			return cmp.Compare(a.switches[0], b.switches[0])
+		}
+		return compareBits(a.ports, b.ports)
+	})
+
+	// Split oversized classes into KMax-sized chunks, preserving order.
+	s.work = s.work[:0]
+	for _, cl := range s.classes {
+		for len(cl.switches) > kmax {
+			s.work = append(s.work, classRec{ports: cl.ports, pop: cl.pop, switches: cl.switches[:kmax]})
+			cl.switches = cl.switches[kmax:]
+		}
+		s.work = append(s.work, cl)
+	}
+	if len(s.pickedMark) < len(s.work) {
+		s.pickedMark = make([]bool, len(s.work))
+	}
+	return s.work
 }
 
-// splitClasses chops any class with more than kmax switches into
-// chunks of at most kmax, preserving deterministic order.
-func splitClasses(classes []*class, kmax int) []*class {
-	out := make([]*class, 0, len(classes))
-	for _, cl := range classes {
-		for len(cl.switches) > kmax {
-			out = append(out, &class{ports: cl.ports, pop: cl.pop, switches: cl.switches[:kmax]})
-			cl = &class{ports: cl.ports, pop: cl.pop, switches: cl.switches[kmax:]}
+// compareBits orders equal-width bitmaps by content (word-lexicographic).
+func compareBits(a, b bitmap.Bitmap) int {
+	aw, bw := a.Words(), b.Words()
+	for i := range aw {
+		if aw[i] != bw[i] {
+			return cmp.Compare(aw[i], bw[i])
 		}
-		out = append(out, cl)
 	}
-	return out
+	return 0
 }
 
 // pickGroup selects the next shared p-rule: the greedy MIN-K-UNION
 // approximation, constrained to keep the rule's total redundancy — the
 // sum over members of their Hamming distance to the (growing) union,
 // weighted by class multiplicity — at most r. The seed is the class
-// covering the most switches (ties: fewest ports, then lowest switch
-// ID), so a rule covers as many tree switches as possible before the
-// HMax budget runs out; the growth step then adds, while the K budget
-// lasts, the class with the smallest union growth that keeps the sum
-// within r. Returns the picked class indices (ascending) and their
-// union bitmap.
-func pickGroup(classes []*class, k, r int) ([]int, bitmap.Bitmap) {
+// covering the most switches (ties: fewest ports), so a rule covers as
+// many tree switches as possible before the HMax budget runs out; the
+// growth step then adds, while the K budget lasts, the class with the
+// smallest union growth that keeps the sum within r.
+//
+// Every picked class's ports are a subset of the union, so each
+// member's Hamming distance to a prospective union is |union∪cand| −
+// |member|. That collapses the R check to arithmetic over three
+// incrementally-maintained sums — no temporary bitmaps and no O(picked)
+// rescan per candidate. The picked indices (ascending) land in
+// s.picked, the union in s.union; the return value is the union's
+// popcount.
+func (s *Scratch) pickGroup(work []classRec, k, r int) (popUnion int) {
 	seed := 0
-	for i, cl := range classes[1:] {
-		s := classes[seed]
-		if len(cl.switches) > len(s.switches) ||
-			(len(cl.switches) == len(s.switches) && cl.pop < s.pop) {
-			seed = i + 1
+	for i := 1; i < len(work); i++ {
+		cl, sd := &work[i], &work[seed]
+		if len(cl.switches) > len(sd.switches) ||
+			(len(cl.switches) == len(sd.switches) && cl.pop < sd.pop) {
+			seed = i
 		}
 	}
-	picked := []int{seed}
-	budget := k - len(classes[seed].switches)
-	union := classes[seed].ports.Clone()
+	s.picked = append(s.picked[:0], seed)
+	s.pickedMark[seed] = true
+	budget := k - len(work[seed].switches)
+	s.union.CopyFrom(work[seed].ports)
+	popUnion = work[seed].pop
+	pickedSwitches := len(work[seed].switches)     // Σ class sizes picked
+	weightedPop := work[seed].pop * pickedSwitches // Σ size·|ports| picked
 	for budget > 0 {
 		best, bestGrowth := -1, -1
-		for i, cl := range classes {
-			if i == seed || contains(picked, i) || len(cl.switches) > budget {
+		for i := range work {
+			cl := &work[i]
+			if s.pickedMark[i] || len(cl.switches) > budget {
 				continue
 			}
-			growth := cl.ports.AndNot(union).PopCount()
+			growth := cl.ports.AndNotCount(s.union)
 			if best != -1 && growth >= bestGrowth {
 				continue
 			}
 			// R check against the prospective union: total redundant
 			// transmissions across all members of the rule.
-			newUnion := union.Or(cl.ports)
-			sum := len(cl.switches) * cl.ports.HammingDistance(newUnion)
-			for _, pi := range picked {
-				sum += len(classes[pi].switches) * classes[pi].ports.HammingDistance(newUnion)
-			}
+			popNew := popUnion + growth
+			sum := popNew*(pickedSwitches+len(cl.switches)) -
+				(weightedPop + len(cl.switches)*cl.pop)
 			if sum > r {
 				continue
 			}
@@ -257,33 +407,40 @@ func pickGroup(classes []*class, k, r int) ([]int, bitmap.Bitmap) {
 		if best == -1 {
 			break
 		}
-		picked = append(picked, best)
-		union.OrInPlace(classes[best].ports)
-		budget -= len(classes[best].switches)
+		cl := &work[best]
+		s.picked = append(s.picked, best)
+		s.pickedMark[best] = true
+		s.union.OrInPlace(cl.ports)
+		popUnion += bestGrowth
+		budget -= len(cl.switches)
+		pickedSwitches += len(cl.switches)
+		weightedPop += len(cl.switches) * cl.pop
 	}
-	sort.Ints(picked)
-	return picked, union
+	slices.Sort(s.picked)
+	return popUnion
 }
 
-func contains(xs []int, x int) bool {
-	for _, v := range xs {
-		if v == x {
-			return true
-		}
+// ruleBitmap hands out reusable storage for emitted rule bitmaps,
+// loaded with the current union.
+func (s *Scratch) ruleBitmap(i int) bitmap.Bitmap {
+	if i == len(s.ruleBMs) {
+		s.ruleBMs = append(s.ruleBMs, bitmap.Bitmap{})
 	}
-	return false
+	s.ruleBMs[i].CopyFrom(s.union)
+	return s.ruleBMs[i]
 }
 
-func removeClasses(classes []*class, idxs []int) []*class {
-	drop := make(map[int]bool, len(idxs))
-	for _, i := range idxs {
-		drop[i] = true
-	}
-	out := classes[:0]
-	for i, cl := range classes {
-		if !drop[i] {
-			out = append(out, cl)
+// removePicked compacts work in place, dropping the classes picked for
+// the just-emitted rule and clearing their marks.
+func (s *Scratch) removePicked(work []classRec) []classRec {
+	out := work[:0]
+	for i := range work {
+		if !s.pickedMark[i] {
+			out = append(out, work[i])
 		}
+	}
+	for _, i := range s.picked {
+		s.pickedMark[i] = false
 	}
 	return out
 }

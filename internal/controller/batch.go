@@ -71,8 +71,9 @@ func EncodeBatch(topo *topology.Topology, cfg Config, occ *Occupancy, n, workers
 		workers = n
 	}
 	if workers == 1 {
+		var s EncodeScratch
 		for i := 0; i < n; i++ {
-			enc, cerr := ComputeEncoding(topo, cfg, occ.CapacityFunc(), receivers(i))
+			enc, cerr := ComputeEncodingInto(topo, cfg, occ.CapacityFunc(), receivers(i), &s)
 			if cerr != nil {
 				return recomputed, &BatchError{Index: i, Err: cerr}
 			}
@@ -102,6 +103,9 @@ func EncodeBatch(topo *topology.Topology, cfg Config, occ *Occupancy, n, workers
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One scratch per worker: encodings never alias it, so it
+			// is reused across every element this worker encodes.
+			var s EncodeScratch
 			for !stop.Load() {
 				ci := int(next.Add(1)) - 1
 				if ci >= chunks {
@@ -114,7 +118,7 @@ func EncodeBatch(topo *topology.Topology, cfg Config, occ *Occupancy, n, workers
 				}
 				for i := lo; i < hi; i++ {
 					rec := newCapRecorder(occ, nil)
-					enc, cerr := ComputeEncoding(topo, cfg, rec.capacity(), receivers(i))
+					enc, cerr := ComputeEncodingInto(topo, cfg, rec.capacity(), receivers(i), &s)
 					results[i] = result{enc: enc, rec: rec, err: cerr}
 				}
 				close(ready[ci])
@@ -129,6 +133,7 @@ func EncodeBatch(topo *topology.Topology, cfg Config, occ *Occupancy, n, workers
 	// Deterministic commit order: admit element i only after 0..i-1,
 	// validating the speculative capacity answers against the live
 	// counters (which only this goroutine mutates during the batch).
+	var commitScratch EncodeScratch
 	for ci := 0; ci < chunks; ci++ {
 		<-ready[ci]
 		lo := ci * batchChunkSize
@@ -145,7 +150,7 @@ func EncodeBatch(topo *topology.Topology, cfg Config, occ *Occupancy, n, workers
 				// commit point — exactly what a serial loop would see.
 				recomputed++
 				var cerr error
-				enc, cerr = ComputeEncoding(topo, cfg, occ.CapacityFunc(), receivers(i))
+				enc, cerr = ComputeEncodingInto(topo, cfg, occ.CapacityFunc(), receivers(i), &commitScratch)
 				if cerr != nil {
 					return recomputed, &BatchError{Index: i, Err: cerr}
 				}

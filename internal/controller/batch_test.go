@@ -8,6 +8,7 @@ import (
 	"sync"
 	"testing"
 
+	"elmo/internal/bitmap"
 	"elmo/internal/topology"
 	"elmo/internal/trace"
 )
@@ -311,7 +312,11 @@ func TestJoinRollbackAccounting(t *testing.T) {
 // TestLeaveRollbackAccounting exercises the symmetric Leave rollback.
 // A shrinking receiver set normally never needs new s-rules, so the
 // test plants an extra legacy-leaf receiver behind the encoder's back
-// (white-box, in-package) to make the recompute fail.
+// (white-box, in-package) to make the re-encode fail. The incremental
+// churn path re-encodes from the cached tree rather than the member
+// list, so the plant goes into both: the tree entry trips the legacy
+// capacity check in the incremental leaf re-encode, and the member
+// keeps any full-recompute fallback failing identically.
 func TestLeaveRollbackAccounting(t *testing.T) {
 	topo := paperTopo()
 	cfg := testConfig(0)
@@ -334,9 +339,10 @@ func TestLeaveRollbackAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Plant a leaf-0 receiver without retreeing: the next recompute will
+	// Plant a leaf-0 receiver without retreeing: the next re-encode will
 	// demand leaf 0's (full) legacy table.
 	gb.Members[1] = RoleReceiver
+	gb.Enc.LeafPorts[topo.HostLeaf(1)] = bitmap.FromPorts(topo.LeafDownWidth(), topo.HostPort(1))
 	oldEnc := gb.Enc
 	hypBefore := c.Stats().Hypervisor[17]
 

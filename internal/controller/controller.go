@@ -144,9 +144,23 @@ type Controller struct {
 	occ    *Occupancy
 	stats  UpdateStats
 
+	// scratch pools encoder working memory across membership
+	// operations: Join/Leave may run concurrently (per-group locking),
+	// so a pool rather than a single per-controller scratch.
+	scratch sync.Pool
+
 	tracer  trace.Recorder
 	metrics *Metrics
 }
+
+func (c *Controller) getScratch() *EncodeScratch {
+	if s, ok := c.scratch.Get().(*EncodeScratch); ok {
+		return s
+	}
+	return new(EncodeScratch)
+}
+
+func (c *Controller) putScratch(s *EncodeScratch) { c.scratch.Put(s) }
 
 // New creates a controller for a topology.
 func New(topo *topology.Topology, cfg Config) (*Controller, error) {
@@ -294,22 +308,26 @@ func (c *Controller) CreateGroup(key GroupKey, members map[topology.HostID]Role)
 	// Speculative encode outside the lock; validated at admission.
 	receivers := g.Receivers()
 	rec := newCapRecorder(c.occ, nil)
-	enc, cerr := ComputeEncoding(c.topo, c.cfg, rec.capacity(), receivers)
+	s := c.getScratch()
+	enc, cerr := ComputeEncodingInto(c.topo, c.cfg, rec.capacity(), receivers, s)
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.groups[key]; ok {
+		c.putScratch(s)
 		return nil, fmt.Errorf("controller: group %v already exists", key)
 	}
 	if cerr != nil || !rec.valid() {
 		var err error
-		enc, err = ComputeEncoding(c.topo, c.cfg, c.occ.CapacityFunc(), receivers)
+		enc, err = ComputeEncodingInto(c.topo, c.cfg, c.occ.CapacityFunc(), receivers, s)
 		if err != nil {
+			c.putScratch(s)
 			m.countRollback()
 			c.traceControl(trace.KindRollback, key, -1, err.Error())
 			return nil, err
 		}
 	}
+	c.putScratch(s)
 	g.Enc = enc
 	c.occ.Commit(enc)
 	c.groups[key] = g
@@ -385,7 +403,7 @@ func (c *Controller) Join(key GroupKey, host topology.HostID, role Role) error {
 	// hypervisor is updated (§5.1.3a).
 	receiverChanged := role.CanReceive() && (!present || !old.CanReceive())
 	if receiverChanged {
-		if err := c.retree(g, host); err != nil {
+		if err := c.retree(g, host, true); err != nil {
 			// Revert the membership so state matches the (rolled back)
 			// encoding; the hypervisor counter was never charged and
 			// no Join event was emitted.
@@ -441,7 +459,7 @@ func (c *Controller) Leave(key GroupKey, host topology.HostID, role Role) error 
 	c.mu.Unlock()
 	receiverChanged := role.CanReceive() && old.CanReceive()
 	if receiverChanged {
-		if err := c.retree(g, host); err != nil {
+		if err := c.retree(g, host, false); err != nil {
 			c.mu.Lock()
 			g.Members[host] = old
 			c.traceControl(trace.KindRollback, key, int64(host), err.Error())
@@ -461,34 +479,48 @@ func (c *Controller) Leave(key GroupKey, host topology.HostID, role Role) error 
 	return nil
 }
 
-// retree recomputes a group's encoding after a receiver-set change and
-// charges the resulting switch updates: s-rule diffs to leaf/spine
-// switches, and header refreshes to every sender hypervisor when the
-// shared downstream sections changed.
+// retree re-encodes a group after a single-receiver change (changed
+// joined when joined, left otherwise) and charges the resulting switch
+// updates: s-rule diffs to leaf/spine switches, and header refreshes
+// to every sender hypervisor when the shared downstream sections
+// changed.
 //
 // The encoder phase runs outside the controller lock against a
 // speculative capacity view (the old encoding's s-rules count as
-// released); admission re-validates that view and falls back to a
-// serial recompute under the lock when a capacity answer changed.
-// Callers hold g.mu.
-func (c *Controller) retree(g *GroupState, changed topology.HostID) error {
+// released) and is incremental: it delta-patches the old encoding's
+// cached tree and re-runs clustering only for layers whose membership
+// changed (see incremental.go). Admission re-validates the capacity
+// view and falls back to a full serial recompute under the lock when a
+// capacity answer changed. Callers hold g.mu.
+func (c *Controller) retree(g *GroupState, changed topology.HostID, joined bool) error {
 	oldEnc := g.Enc
-	receivers := g.Receivers()
 	rec := newCapRecorder(c.occ, oldEnc)
-	enc, cerr := ComputeEncoding(c.topo, c.cfg, rec.capacity(), receivers)
+	s := c.getScratch()
+	var enc *Encoding
+	var cerr error
+	if oldEnc != nil {
+		enc, cerr = incrementalEncoding(c.topo, c.cfg, rec.capacity(), oldEnc, changed, joined, s)
+	} else {
+		enc, cerr = ComputeEncodingInto(c.topo, c.cfg, rec.capacity(), g.Receivers(), s)
+	}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.occ.Release(oldEnc)
 	if cerr != nil || !rec.valid() {
 		var err error
-		enc, err = ComputeEncoding(c.topo, c.cfg, c.occ.CapacityFunc(), receivers)
+		enc, err = ComputeEncodingInto(c.topo, c.cfg, c.occ.CapacityFunc(), g.Receivers(), s)
+		c.putScratch(s)
+		s = nil
 		if err != nil {
 			// Roll the old s-rules back so state stays consistent.
 			c.occ.Commit(oldEnc)
 			c.traceControl(trace.KindRollback, g.Key, -1, err.Error())
 			return err
 		}
+	}
+	if s != nil {
+		c.putScratch(s)
 	}
 	g.Enc = enc
 	c.occ.Commit(enc)
@@ -555,7 +587,9 @@ func encSpineSRules(e *Encoding) map[topology.PodID]bitmap.Bitmap {
 // installLocked computes and commits an encoding for a group under
 // c.mu (serial path: Restore).
 func (c *Controller) installLocked(g *GroupState) error {
-	enc, err := ComputeEncoding(c.topo, c.cfg, c.occ.CapacityFunc(), g.Receivers())
+	s := c.getScratch()
+	enc, err := ComputeEncodingInto(c.topo, c.cfg, c.occ.CapacityFunc(), g.Receivers(), s)
+	c.putScratch(s)
 	if err != nil {
 		c.traceControl(trace.KindRollback, g.Key, -1, err.Error())
 		return err

@@ -10,6 +10,7 @@ package controller
 
 import (
 	"fmt"
+	"slices"
 
 	"elmo/internal/bitmap"
 	"elmo/internal/cluster"
@@ -137,8 +138,14 @@ type Encoding struct {
 	LeafSRules map[topology.LeafID]bitmap.Bitmap
 
 	// Redundancy is the total spurious transmissions introduced by
-	// p-rule sharing and default rules across both layers.
+	// p-rule sharing and default rules across both layers. It is the
+	// sum of the per-layer splits below, which the incremental churn
+	// path needs to recombine a fresh leaf layer with a reused spine
+	// section.
 	Redundancy int
+	// LeafRedundancy / SpineRedundancy split Redundancy by layer.
+	LeafRedundancy  int
+	SpineRedundancy int
 }
 
 // Exact reports whether the encoding needs no default p-rule at either
@@ -166,64 +173,145 @@ func NoCapacity() CapacityFunc {
 	}
 }
 
+// EncodeScratch owns the reusable working memory of one encoder: the
+// clustering scratch plus the per-layer member slices. One scratch
+// serves one goroutine; the batch pipeline gives each worker its own
+// and the controller pools them for the serial Join/Leave/Create
+// paths. The zero value is ready to use.
+type EncodeScratch struct {
+	cluster      cluster.Scratch
+	leafMembers  []cluster.Member
+	spineMembers []cluster.Member
+}
+
 // ComputeEncoding builds the sender-independent encoding for the given
 // receiver hosts. It is deterministic and does not mutate any state:
 // capacity checks go through cap, and the caller is responsible for
 // committing the returned s-rule installations. An empty receiver set
 // yields an empty encoding.
 func ComputeEncoding(topo *topology.Topology, cfg Config, cap CapacityFunc, receivers []topology.HostID) (*Encoding, error) {
+	var s EncodeScratch
+	return ComputeEncodingInto(topo, cfg, cap, receivers, &s)
+}
+
+// ComputeEncodingInto is ComputeEncoding with caller-provided scratch
+// memory: all clustering temporaries are reused across calls, so a warm
+// scratch allocates only the returned Encoding itself. The result owns
+// all of its memory (nothing aliases the scratch).
+func ComputeEncodingInto(topo *topology.Topology, cfg Config, cap CapacityFunc, receivers []topology.HostID, s *EncodeScratch) (*Encoding, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Encoding{
-		Pods:      bitmap.New(topo.CoreDownWidth()),
-		LeafPorts: make(map[topology.LeafID]bitmap.Bitmap),
-		PodLeaves: make(map[topology.PodID]bitmap.Bitmap),
-	}
+	e := newTreeEncoding(topo)
 	for _, h := range receivers {
-		leaf := topo.HostLeaf(h)
-		pod := topo.LeafPod(leaf)
-		lp, ok := e.LeafPorts[leaf]
-		if !ok {
-			lp = bitmap.New(topo.LeafDownWidth())
-			e.LeafPorts[leaf] = lp
-		}
-		lp.Set(topo.HostPort(h))
-		pl, ok := e.PodLeaves[pod]
-		if !ok {
-			pl = bitmap.New(topo.SpineDownWidth())
-			e.PodLeaves[pod] = pl
-		}
-		pl.Set(topo.LeafIndexInPod(leaf))
-		e.Pods.Set(int(pod))
+		addReceiver(topo, e, h)
 	}
 	if len(receivers) == 0 {
 		return e, nil
 	}
+	if err := encodeLeafLayer(topo, cfg, cap, e, s); err != nil {
+		return nil, err
+	}
+	if err := encodeSpineLayer(topo, cfg, cap, e, s); err != nil {
+		return nil, err
+	}
+	e.Redundancy = e.LeafRedundancy + e.SpineRedundancy
+	return e, nil
+}
 
+// newTreeEncoding returns an encoding with empty tree maps.
+func newTreeEncoding(topo *topology.Topology) *Encoding {
+	return &Encoding{
+		Pods:      bitmap.New(topo.CoreDownWidth()),
+		LeafPorts: make(map[topology.LeafID]bitmap.Bitmap),
+		PodLeaves: make(map[topology.PodID]bitmap.Bitmap),
+	}
+}
+
+// addReceiver folds one receiver host into the tree maps.
+func addReceiver(topo *topology.Topology, e *Encoding, h topology.HostID) {
+	leaf := topo.HostLeaf(h)
+	pod := topo.LeafPod(leaf)
+	lp, ok := e.LeafPorts[leaf]
+	if !ok {
+		lp = bitmap.New(topo.LeafDownWidth())
+		e.LeafPorts[leaf] = lp
+	}
+	lp.Set(topo.HostPort(h))
+	pl, ok := e.PodLeaves[pod]
+	if !ok {
+		pl = bitmap.New(topo.SpineDownWidth())
+		e.PodLeaves[pod] = pl
+	}
+	pl.Set(topo.LeafIndexInPod(leaf))
+	e.Pods.Set(int(pod))
+}
+
+// encodeLeafLayer runs Algorithm 1 over the leaf layer of e's tree,
+// filling DLeaf, DLeafDefault, LeafSRules, and LeafRedundancy. Legacy
+// leaves can only forward from their group tables, so they are forced
+// onto s-rules before the modern leaves are clustered.
+func encodeLeafLayer(topo *topology.Topology, cfg Config, cap CapacityFunc, e *Encoding, s *EncodeScratch) error {
 	legacyLeaves := cfg.legacyLeafSet()
-	legacyPods := cfg.legacyPodSet()
-
-	// Legacy switches can only forward from their group tables: force
-	// s-rules for them before clustering the modern switches.
 	for leaf, ports := range e.LeafPorts {
 		if !legacyLeaves[leaf] {
 			continue
 		}
 		if cap.Leaf == nil || !cap.Leaf(leaf) {
-			return nil, fmt.Errorf("controller: %w (leaf %d)", ErrLegacyTableFull, leaf)
+			return fmt.Errorf("controller: %w (leaf %d)", ErrLegacyTableFull, leaf)
 		}
 		if e.LeafSRules == nil {
 			e.LeafSRules = make(map[topology.LeafID]bitmap.Bitmap)
 		}
 		e.LeafSRules[leaf] = ports.Clone()
 	}
+
+	// Leaf layer (Algorithm 1). Leaves reachable entirely through the
+	// sender's own u-leaf rule still need downstream rules because any
+	// member may send; the encoding is shared across senders (D2c).
+	s.leafMembers = s.leafMembers[:0]
+	for leaf, ports := range e.LeafPorts {
+		if legacyLeaves[leaf] {
+			continue
+		}
+		s.leafMembers = append(s.leafMembers, cluster.Member{Switch: uint16(leaf), Ports: ports})
+	}
+	leafAssign := assignLayer(s.leafMembers, cluster.Constraints{
+		R:    cfg.R,
+		HMax: effectiveLeafLimit(topo, cfg),
+		KMax: cfg.KMaxLeaf,
+		HasSRuleCapacity: func(sw uint16) bool {
+			return cap.Leaf != nil && cap.Leaf(topology.LeafID(sw))
+		},
+	}, &s.cluster)
+	e.DLeaf = rulesFrom(leafAssign.PRules)
+	if leafAssign.Default != nil {
+		d := leafAssign.Default.Clone()
+		e.DLeafDefault = &d
+	}
+	if len(leafAssign.SRules) > 0 {
+		if e.LeafSRules == nil {
+			e.LeafSRules = make(map[topology.LeafID]bitmap.Bitmap, len(leafAssign.SRules))
+		}
+		for sw, bm := range leafAssign.SRules {
+			e.LeafSRules[topology.LeafID(sw)] = bm.Clone()
+		}
+	}
+	e.LeafRedundancy = leafAssign.Redundancy * 1 // leaf ports are host deliveries
+	return nil
+}
+
+// encodeSpineLayer runs Algorithm 1 over the spine layer (one member
+// per pod with receivers), filling DSpine, DSpineDefault, SpineSRules,
+// and SpineRedundancy.
+func encodeSpineLayer(topo *topology.Topology, cfg Config, cap CapacityFunc, e *Encoding, s *EncodeScratch) error {
+	legacyPods := cfg.legacyPodSet()
 	for pod, leaves := range e.PodLeaves {
 		if !legacyPods[pod] {
 			continue
 		}
 		if cap.Pod == nil || !cap.Pod(pod) {
-			return nil, fmt.Errorf("controller: %w (pod %d)", ErrLegacyTableFull, pod)
+			return fmt.Errorf("controller: %w (pod %d)", ErrLegacyTableFull, pod)
 		}
 		if e.SpineSRules == nil {
 			e.SpineSRules = make(map[topology.PodID]bitmap.Bitmap)
@@ -231,65 +319,36 @@ func ComputeEncoding(topo *topology.Topology, cfg Config, cap CapacityFunc, rece
 		e.SpineSRules[pod] = leaves.Clone()
 	}
 
-	// Leaf layer (Algorithm 1). Leaves reachable entirely through the
-	// sender's own u-leaf rule still need downstream rules because any
-	// member may send; the encoding is shared across senders (D2c).
-	leafMembers := make([]cluster.Member, 0, len(e.LeafPorts))
-	for leaf, ports := range e.LeafPorts {
-		if legacyLeaves[leaf] {
-			continue
-		}
-		leafMembers = append(leafMembers, cluster.Member{Switch: uint16(leaf), Ports: ports})
-	}
-	leafAssign := assignLayer(leafMembers, cluster.Constraints{
-		R:    cfg.R,
-		HMax: effectiveLeafLimit(topo, cfg),
-		KMax: cfg.KMaxLeaf,
-		HasSRuleCapacity: func(sw uint16) bool {
-			return cap.Leaf != nil && cap.Leaf(topology.LeafID(sw))
-		},
-	})
-	e.DLeaf = rulesFrom(leafAssign.PRules)
-	e.DLeafDefault = leafAssign.Default
-	if len(leafAssign.SRules) > 0 {
-		if e.LeafSRules == nil {
-			e.LeafSRules = make(map[topology.LeafID]bitmap.Bitmap, len(leafAssign.SRules))
-		}
-		for sw, bm := range leafAssign.SRules {
-			e.LeafSRules[topology.LeafID(sw)] = bm
-		}
-	}
-	e.Redundancy += leafAssign.Redundancy * 1 // leaf ports are host deliveries
-
-	// Spine layer. Only pods with receivers participate.
-	spineMembers := make([]cluster.Member, 0, len(e.PodLeaves))
+	s.spineMembers = s.spineMembers[:0]
 	for pod, leaves := range e.PodLeaves {
 		if legacyPods[pod] {
 			continue
 		}
-		spineMembers = append(spineMembers, cluster.Member{Switch: uint16(pod), Ports: leaves})
+		s.spineMembers = append(s.spineMembers, cluster.Member{Switch: uint16(pod), Ports: leaves})
 	}
-	spineAssign := assignLayer(spineMembers, cluster.Constraints{
+	spineAssign := assignLayer(s.spineMembers, cluster.Constraints{
 		R:    cfg.R,
 		HMax: cfg.SpineRuleLimit,
 		KMax: cfg.KMaxSpine,
 		HasSRuleCapacity: func(sw uint16) bool {
 			return cap.Pod != nil && cap.Pod(topology.PodID(sw))
 		},
-	})
+	}, &s.cluster)
 	e.DSpine = rulesFrom(spineAssign.PRules)
-	e.DSpineDefault = spineAssign.Default
+	if spineAssign.Default != nil {
+		d := spineAssign.Default.Clone()
+		e.DSpineDefault = &d
+	}
 	if len(spineAssign.SRules) > 0 {
 		if e.SpineSRules == nil {
 			e.SpineSRules = make(map[topology.PodID]bitmap.Bitmap, len(spineAssign.SRules))
 		}
 		for sw, bm := range spineAssign.SRules {
-			e.SpineSRules[topology.PodID(sw)] = bm
+			e.SpineSRules[topology.PodID(sw)] = bm.Clone()
 		}
 	}
-	e.Redundancy += spineAssign.Redundancy
-
-	return e, nil
+	e.SpineRedundancy = spineAssign.Redundancy
+	return nil
 }
 
 // effectiveLeafLimit derives the leaf-section rule budget from the
@@ -331,23 +390,30 @@ func repeatInt(v, n int) []int {
 // pull switches back off s-rules and default rules (the Figure 4/5
 // left-panel effect), which keeps the traffic overhead of raising R
 // bounded by the overflow groups instead of taxing every group.
-func assignLayer(members []cluster.Member, c cluster.Constraints) cluster.Assignment {
+// The returned assignment aliases the scratch (and possibly the input
+// member bitmaps) and is valid only until the scratch's next use; the
+// encode layer deep-copies what it keeps via rulesFrom and Clone.
+func assignLayer(members []cluster.Member, c cluster.Constraints, s *cluster.Scratch) cluster.Assignment {
 	exactC := c
 	exactC.R = 0
-	exact := cluster.Assign(members, exactC)
+	exact := cluster.AssignInto(members, exactC, s)
 	if c.R == 0 || (exact.CoveredExactly() && len(exact.SRules) == 0) {
 		return exact
 	}
-	return cluster.Assign(members, c)
+	// The exact attempt is discarded, so reusing the scratch (which
+	// invalidates it) is safe.
+	return cluster.AssignInto(members, c, s)
 }
 
+// rulesFrom deep-copies clustering rules into owned header p-rules:
+// the inputs alias the encode scratch, the outputs must outlive it.
 func rulesFrom(rules []cluster.Rule) []header.PRule {
 	if len(rules) == 0 {
 		return nil
 	}
 	out := make([]header.PRule, len(rules))
 	for i, r := range rules {
-		out[i] = header.PRule{Switches: r.Switches, Bitmap: r.Bitmap}
+		out[i] = header.PRule{Switches: slices.Clone(r.Switches), Bitmap: r.Bitmap.Clone()}
 	}
 	return out
 }
