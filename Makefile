@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify race lint bench bench-gate bench-all trace chaos
+.PHONY: all build test verify race lint bench bench-gate bench-all bench-multicore bench-durability fuzz trace chaos durable
 
 # Allocation budget for the warm-scratch clustering kernel
 # (cluster.AssignInto with a reused Scratch). The hot path is designed
@@ -65,6 +65,28 @@ bench-gate:
 bench-all:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
 
+# bench-multicore re-runs the controller-scale benchmarks with
+# GOMAXPROCS=4 so the parallel install/churn paths are exercised with
+# real parallelism even on developer laptops where the default would
+# be higher or CI runners where it would be 1. It does not gate.
+bench-multicore:
+	GOMAXPROCS=4 $(GO) test -bench 'ControllerInstallBatch|ChurnPipeline' -benchmem -run '^$$' .
+	GOMAXPROCS=4 $(GO) run ./cmd/elmo-bench -groups 100000 -events 20000 -out '' -baseline ''
+
+# bench-durability measures the durable-controller trio: group-commit
+# throughput under real fsync, full-scale (1M-group) crash recovery,
+# and chaos-injected failover. Writes BENCH_durability.json.
+bench-durability:
+	$(GO) run ./cmd/elmo-bench -durability-only -durability-out BENCH_durability.json
+
+# fuzz gives each fuzz target a short budget; the checked-in seed
+# corpora run as regression tests on every plain `go test` already,
+# so this target only explores beyond them.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzReplay' -fuzztime $(FUZZTIME) ./internal/wal/
+	$(GO) test -run '^$$' -fuzz 'FuzzUnmarshalCommand' -fuzztime $(FUZZTIME) ./internal/rsm/
+
 # trace records the flight-recorder demo scenario and writes a Chrome
 # trace_event JSON for chrome://tracing / Perfetto.
 trace:
@@ -77,3 +99,8 @@ trace:
 chaos:
 	$(GO) test -race -run 'Chaos|Monitor|Injector|FaultPlan' -count=1 ./internal/chaos/
 	$(GO) run ./cmd/elmo-sim -chaos -seed 7
+
+# durable runs the narrated WAL/snapshot/crash-recovery/failover
+# scenario.
+durable:
+	$(GO) run ./cmd/elmo-sim -durable

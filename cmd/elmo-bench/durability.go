@@ -1,0 +1,288 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"elmo/internal/chaos"
+	"elmo/internal/controller"
+	"elmo/internal/durable"
+	"elmo/internal/fabric"
+	"elmo/internal/telemetry"
+	"elmo/internal/topology"
+)
+
+// DurabilityReport is the persisted record of the durability stage:
+// group-commit throughput under real fsync, recovery time for a
+// full-scale controller, and failover time under chaos.
+type DurabilityReport struct {
+	Timestamp  string `json:"timestamp"`
+	GoMaxProcs int    `json:"go_maxprocs"`
+
+	// Group commit (real fsync).
+	CommitWriters       int     `json:"commit_writers"`
+	CommitRecords       int     `json:"commit_records"`
+	CommitRecordsPerSec float64 `json:"commit_records_per_sec"`
+	CommitBatches       int64   `json:"commit_batches"`
+	CommitFsyncs        int64   `json:"commit_fsyncs"`
+	CommitMeanBatch     float64 `json:"commit_mean_batch_records"`
+	CommitP50Micros     float64 `json:"commit_p50_micros"`
+	CommitP99Micros     float64 `json:"commit_p99_micros"`
+
+	// Recovery (snapshot + log tail).
+	RecoveryGroups       int     `json:"recovery_groups"`
+	SnapshotBytes        int64   `json:"snapshot_bytes"`
+	SnapshotWriteSecs    float64 `json:"snapshot_write_secs"`
+	RecoveryTailRecords  int     `json:"recovery_tail_records"`
+	RecoverySecs         float64 `json:"recovery_secs"`
+	RecoveryGroupsPerSec float64 `json:"recovery_groups_per_sec"`
+
+	// Failover (leader killed by chaos injector).
+	FailoverGroups       int     `json:"failover_groups"`
+	FailoverDetectRounds int     `json:"failover_detect_rounds"`
+	FailoverSecs         float64 `json:"failover_secs"`
+}
+
+func durabilityStage(topo *topology.Topology, specs []controller.BatchSpec, writers, commitOps, failoverGroups int, out string) {
+	rep := &DurabilityReport{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	benchGroupCommit(topo, rep, writers, commitOps)
+	benchRecovery(topo, specs, rep)
+	benchFailover(topo, specs, rep, failoverGroups)
+
+	buf, err := json.MarshalIndent(rep, "", " ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(buf))
+	if out != "" {
+		if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+}
+
+// benchGroupCommit measures durable op throughput with real fsync:
+// concurrent writers toggle memberships, the WAL batcher coalesces
+// their records into shared fsyncs.
+func benchGroupCommit(topo *topology.Topology, rep *DurabilityReport, writers, ops int) {
+	dir, err := os.MkdirTemp("", "elmo-durability-commit-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	reg := telemetry.NewRegistry()
+	d, _, err := durable.Open(topo, controller.PaperConfig(0), durable.Options{
+		Dir: dir, Registry: reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	// One group per writer; each writer toggles its own extra member so
+	// every op succeeds and changes the tree.
+	for w := 0; w < writers; w++ {
+		key := controller.GroupKey{Tenant: 1000, Group: uint32(w + 1)}
+		members := map[topology.HostID]controller.Role{
+			topology.HostID(w % topo.NumHosts()):       controller.RoleBoth,
+			topology.HostID((w + 7) % topo.NumHosts()): controller.RoleReceiver,
+		}
+		if err := d.CreateGroup(key, members); err != nil {
+			log.Fatal(err)
+		}
+	}
+	before := reg.Snapshot()
+
+	fmt.Printf("group commit: %d writers x %d ops with fsync...\n", writers, ops/writers)
+	perWriter := ops / writers
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := controller.GroupKey{Tenant: 1000, Group: uint32(w + 1)}
+			host := topology.HostID((w + 101) % topo.NumHosts())
+			for i := 0; i < perWriter; i++ {
+				var err error
+				if i%2 == 0 {
+					err = d.Join(key, host, controller.RoleReceiver)
+				} else {
+					err = d.Leave(key, host, controller.RoleReceiver)
+				}
+				if err != nil {
+					log.Fatalf("writer %d op %d: %v", w, i, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	secs := time.Since(start).Seconds()
+	delta := reg.Snapshot().Delta(before)
+
+	records := writers * perWriter
+	rep.CommitWriters = writers
+	rep.CommitRecords = records
+	rep.CommitRecordsPerSec = float64(records) / secs
+	rep.CommitBatches = int64(delta.Get("elmo_wal_batches_total"))
+	rep.CommitFsyncs = int64(delta.Get("elmo_wal_fsyncs_total"))
+	if rep.CommitBatches > 0 {
+		rep.CommitMeanBatch = float64(records) / float64(rep.CommitBatches)
+	}
+	lat := d.WALMetrics().CommitLatency()
+	rep.CommitP50Micros = lat.Quantile(0.5) * 1e6
+	rep.CommitP99Micros = lat.Quantile(0.99) * 1e6
+}
+
+// benchRecovery builds a full-scale durable controller, snapshots it,
+// applies a churn tail, crashes, and measures the restart.
+func benchRecovery(topo *topology.Topology, specs []controller.BatchSpec, rep *DurabilityReport) {
+	dir, err := os.MkdirTemp("", "elmo-durability-recovery-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	cfg := controller.PaperConfig(0)
+	// NoSync: this phase measures recovery, not commit latency.
+	d, _, err := durable.Open(topo, cfg, durable.Options{Dir: dir, NoSync: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("recovery: installing %d groups durably...\n", len(specs))
+	if _, err := d.InstallBatch(specs, controller.BatchOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := d.Snapshot(); err != nil {
+		log.Fatal(err)
+	}
+	rep.SnapshotWriteSecs = time.Since(start).Seconds()
+
+	// A churn tail past the snapshot so recovery replays log records
+	// too, not just the snapshot.
+	tail := 1000
+	if tail > len(specs) {
+		tail = len(specs)
+	}
+	for i := 0; i < tail; i++ {
+		key := specs[i].Key
+		host := topology.HostID(i % topo.NumHosts())
+		if err := d.Join(key, host, controller.RoleReceiver); err != nil {
+			// Host may already be a member; deterministic either way.
+			continue
+		}
+	}
+	rep.RecoveryTailRecords = tail
+	rep.RecoveryGroups = len(specs)
+
+	// Crash: drop the instance without Close, free its memory, restart.
+	d = nil
+	runtime.GC()
+	fmt.Printf("recovery: restarting from snapshot + %d-record tail...\n", tail)
+	start = time.Now()
+	d2, stats, err := durable.Open(topo, cfg, durable.Options{Dir: dir, NoSync: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.RecoverySecs = time.Since(start).Seconds()
+	rep.RecoveryGroupsPerSec = float64(stats.Groups) / rep.RecoverySecs
+	rep.SnapshotBytes = stats.SnapshotBytes
+	if stats.Groups != len(specs) {
+		log.Fatalf("recovered %d groups, want %d", stats.Groups, len(specs))
+	}
+	d2.Close()
+}
+
+// benchFailover kills the leader host with the chaos injector and
+// times the detect-and-promote sequence for a warm follower.
+func benchFailover(topo *topology.Topology, specs []controller.BatchSpec, rep *DurabilityReport, groups int) {
+	if groups > len(specs) {
+		groups = len(specs)
+	}
+	dir, err := os.MkdirTemp("", "elmo-durability-failover-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	cfg := controller.PaperConfig(0)
+	netCtrl, err := controller.New(topo, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fab := fabric.New(topo, cfg.SRuleCapacity)
+	fab.SetFailures(netCtrl.Failures())
+	inj := chaos.New(chaos.Config{Seed: 1})
+	fab.SetInjector(inj)
+
+	leader := topology.HostID(0)
+	follower := topology.HostID(topo.NumHosts() / 2)
+	rs, err := durable.NewReplicaSet(durable.ReplicaSetConfig{
+		Net:       durable.Net(netCtrl, fab),
+		Key:       controller.GroupKey{Tenant: 2000, Group: 1},
+		Leader:    leader,
+		Followers: []topology.HostID{follower},
+		Window:    64,
+		Topo:      topo,
+		Cfg:       cfg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, _, err := durable.Open(topo, cfg, durable.Options{
+		Dir: dir, NoSync: true, Replicate: rs.Replicator(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	fmt.Printf("failover: replicating %d groups to a warm follower...\n", groups)
+	if _, err := d.InstallBatch(specs[:groups], controller.BatchOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	if err := rs.Sync(); err != nil {
+		log.Fatal(err)
+	}
+	if err := d.ReplicationErr(); err != nil {
+		log.Fatalf("replication: %v", err)
+	}
+
+	det := &durable.Detector{DeadAfter: 3}
+	f := rs.Follower(follower)
+
+	fmt.Println("failover: crashing the leader host...")
+	start := time.Now()
+	inj.CrashHost(leader)
+	rounds := 0
+	for !det.Observe(f.Records()) {
+		_ = d.Heartbeat() // lost in the fabric: leader host is dead
+		rounds++
+		if rounds > 100 {
+			log.Fatal("failover: dead leader never detected")
+		}
+	}
+	promoted, pstats, err := durable.Promote(f, durable.Options{
+		Dir: dir + "-promoted", NoSync: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.FailoverSecs = time.Since(start).Seconds()
+	rep.FailoverDetectRounds = rounds
+	rep.FailoverGroups = pstats.Groups
+	defer os.RemoveAll(dir + "-promoted")
+	promoted.Close()
+	if pstats.Groups != groups {
+		log.Fatalf("failover: promoted %d groups, want %d", pstats.Groups, groups)
+	}
+}

@@ -68,6 +68,13 @@ func main() {
 		encodeOnly  = flag.Bool("encode-only", false, "run only the encode microbenchmark stage")
 		encodeSets  = flag.Int("encode-sets", 2000, "receiver sets the encode stage benchmarks over")
 		maxAllocs   = flag.Int64("max-allocs", -1, "fail if warm-scratch AssignInto exceeds this allocs/op (<0 = no gate)")
+
+		durabilityOut    = flag.String("durability-out", "", "durability-stage output JSON file (empty = skip the stage; see -durability-only)")
+		durabilityOnly   = flag.Bool("durability-only", false, "run only the durability stage (default output BENCH_durability.json)")
+		durabilityGroups = flag.Int("durability-groups", 1000000, "groups for the recovery measurement")
+		commitOps        = flag.Int("commit-ops", 20000, "durable ops for the group-commit throughput measurement")
+		commitWriters    = flag.Int("commit-writers", 4, "concurrent writers for the group-commit measurement")
+		failoverGroups   = flag.Int("failover-groups", 20000, "groups replicated to the warm follower in the failover measurement")
 	)
 	flag.Parse()
 
@@ -119,6 +126,25 @@ func main() {
 	if *encodeOnly {
 		encodeStage(topo, encSpecs, w, *encodeOut, *maxAllocs)
 		return
+	}
+
+	if *durabilityOnly || *durabilityOut != "" {
+		dout := *durabilityOut
+		if dout == "" {
+			dout = "BENCH_durability.json"
+		}
+		dspecs := specs
+		if *durabilityGroups != len(specs) {
+			dgs, err := groupgen.Generate(dep, groupgen.Config{TotalGroups: *durabilityGroups, MinSize: 5, Dist: groupgen.WVE, Seed: 5})
+			if err != nil {
+				log.Fatal(err)
+			}
+			dspecs = buildSpecs(dgs, 7)
+		}
+		durabilityStage(topo, dspecs, *commitWriters, *commitOps, *failoverGroups, dout)
+		if *durabilityOnly {
+			return
+		}
 	}
 
 	reliable, note := speedupNote()

@@ -56,6 +56,7 @@ func main() {
 		csvDir      = flag.String("csv", "", "directory to write figure CSV series into (empty = none)")
 		doTrace     = flag.Bool("trace", false, "record a traced multicast scenario instead of the figure sweeps")
 		doChaos     = flag.Bool("chaos", false, "run the scripted fault-injection scenario (seeded faults, detection, repair, reconvergence) instead of the figure sweeps")
+		doDurable   = flag.Bool("durable", false, "run the durable-controller scenario (WAL, snapshot, crash recovery, replicated failover) instead of the figure sweeps")
 		traceOut    = flag.String("traceout", "", "file to write the Chrome trace_event JSON into (with -trace; empty = none)")
 		meanVMs     = flag.Float64("meanvms", 0, "mean tenant VMs (0 = auto: paper's 178.77 capped by fabric capacity)")
 		workers     = flag.Int("workers", 0, "encoder/apply workers for the controller pipeline (0 = GOMAXPROCS; results are identical for every value)")
@@ -88,6 +89,10 @@ func main() {
 	}
 	if *doChaos {
 		runChaos(topoCfg, *srules, *seed)
+		return
+	}
+	if *doDurable {
+		runDurable(topoCfg, *tenants, *groups, *srules, *meanVMs, *seed)
 		return
 	}
 	distribution := groupgen.WVE

@@ -79,38 +79,74 @@ func (c *Controller) WriteSnapshot(w io.Writer) error {
 // encoding and the s-rule occupancy are recomputed; update counters are
 // not charged (reinstallation after failover is a bulk push, not
 // incremental updates).
+//
+// Restore is all-or-nothing: it validates the whole snapshot before
+// touching controller state, and if any group's encoding fails (e.g.
+// the snapshot does not fit this fabric's tables) it unwinds every
+// group already installed, leaving the controller empty rather than
+// half-restored.
 func (c *Controller) Restore(s *Snapshot) error {
 	if s.Version != snapshotVersion {
 		return fmt.Errorf("controller: snapshot version %d, want %d", s.Version, snapshotVersion)
+	}
+	// Validate before mutating anything.
+	numHosts := c.topo.NumHosts()
+	built := make([]*GroupState, 0, len(s.Groups))
+	seen := make(map[GroupKey]bool, len(s.Groups))
+	for _, gs := range s.Groups {
+		key := GroupKey{Tenant: gs.Tenant, Group: gs.Group}
+		if seen[key] {
+			return fmt.Errorf("controller: snapshot repeats group %v", key)
+		}
+		seen[key] = true
+		g := &GroupState{Key: key, Members: make(map[topology.HostID]Role, len(gs.Members))}
+		for _, m := range gs.Members {
+			if m.Role == 0 || m.Role&^RoleBoth != 0 {
+				return fmt.Errorf("controller: snapshot group %v host %d has invalid role %d", key, m.Host, m.Role)
+			}
+			if m.Host < 0 || int(m.Host) >= numHosts {
+				return fmt.Errorf("controller: snapshot group %v host %d outside topology", key, m.Host)
+			}
+			if _, dup := g.Members[m.Host]; dup {
+				return fmt.Errorf("controller: snapshot group %v repeats host %d", key, m.Host)
+			}
+			g.Members[m.Host] = m.Role
+		}
+		built = append(built, g)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(c.groups) != 0 {
 		return fmt.Errorf("controller: restore into non-empty controller (%d groups)", len(c.groups))
 	}
-	for _, gs := range s.Groups {
-		key := GroupKey{Tenant: gs.Tenant, Group: gs.Group}
-		g := &GroupState{Key: key, Members: make(map[topology.HostID]Role, len(gs.Members))}
-		for _, m := range gs.Members {
-			if m.Role == 0 {
-				return fmt.Errorf("controller: snapshot group %v host %d has empty role", key, m.Host)
-			}
-			g.Members[m.Host] = m.Role
-		}
+	for i, g := range built {
 		if err := c.installLocked(g); err != nil {
-			return fmt.Errorf("controller: restoring %v: %w", key, err)
+			// Unwind: release everything already committed so the
+			// controller is exactly as empty as it started.
+			for _, done := range built[:i] {
+				c.occ.Release(done.Enc)
+			}
+			c.groups = make(map[GroupKey]*GroupState)
+			return fmt.Errorf("controller: restoring %v: %w", g.Key, err)
 		}
-		c.groups[key] = g
+		c.groups[g.Key] = g
 	}
 	c.stats = newUpdateStats()
 	return nil
 }
 
-// ReadSnapshot parses a snapshot written by WriteSnapshot.
+// ReadSnapshot parses a snapshot written by WriteSnapshot. Truncated
+// streams, garbage bytes, and unknown versions all surface as errors;
+// the returned snapshot, when non-nil, is structurally a snapshot this
+// package could have written (Restore still validates its contents).
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	var s Snapshot
-	if err := json.NewDecoder(r).Decode(&s); err != nil {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("controller: reading snapshot: %w", err)
+	}
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("controller: snapshot version %d, want %d", s.Version, snapshotVersion)
 	}
 	return &s, nil
 }

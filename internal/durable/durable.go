@@ -1,0 +1,499 @@
+// Package durable adds crash durability and replicated failover to the
+// Elmo controller. The controller's own state is soft in the paper's
+// sense (recomputable from membership), but a provider restarting a
+// controller for 1M groups cannot afford to lose the membership map or
+// re-learn it from hypervisors — so the control plane logs every
+// state-mutating op to a write-ahead log before applying it, compacts
+// the log with periodic full-state snapshots, and streams the same log
+// through the RSM multicast layer so warm followers can take over when
+// the leader dies.
+//
+// Invariants:
+//   - WAL order == apply order (both happen under one mutex), so
+//     replaying the log against a fresh controller reproduces the
+//     crashed instance exactly.
+//   - Durability is prefix-closed: a record is durable only if all
+//     records before it are (single flusher commits in order).
+//   - A snapshot at LSN n plus the log after n is equivalent to the
+//     full log; TruncateThrough(n) is safe the moment the snapshot
+//     file is atomically in place.
+package durable
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"elmo/internal/controller"
+	"elmo/internal/telemetry"
+	"elmo/internal/topology"
+	"elmo/internal/wal"
+)
+
+const (
+	snapshotFile    = "snapshot.bin"
+	snapshotMagic   = "ELMOSNAP"
+	snapshotVersion = 1
+	// envelope: magic(8) | version(2) | lsn(8) | payloadLen(8) | sha256(32)
+	envelopeBytes = 8 + 2 + 8 + 8 + 32
+)
+
+// Options configures a DurableController.
+type Options struct {
+	// Dir is the durability root; the WAL lives in Dir/wal and the
+	// snapshot in Dir/snapshot.bin.
+	Dir string
+	// SegmentBytes overrides the WAL segment size (0 = default).
+	SegmentBytes int
+	// NoSync skips fsync (tests and benchmarks that measure CPU cost).
+	NoSync bool
+	// BatchWorkers is the worker count for replayed InstallBatch calls
+	// (<=0 = GOMAXPROCS).
+	BatchWorkers int
+	// Registry, when set, registers WAL telemetry.
+	Registry *telemetry.Registry
+	// Replicate, when set, receives every logged payload in LSN order
+	// after it is applied locally (still under the op mutex, so stream
+	// order == log order). Used to feed warm followers via the RSM
+	// layer.
+	Replicate func(lsn uint64, payload []byte) error
+}
+
+// RecoveryStats reports what Open did to rebuild state.
+type RecoveryStats struct {
+	// SnapshotLSN is the LSN the loaded snapshot covered (0 = none).
+	SnapshotLSN uint64
+	// SnapshotBytes is the snapshot payload size.
+	SnapshotBytes int64
+	// SnapshotElapsed is the time spent restoring the snapshot.
+	SnapshotElapsed time.Duration
+	// Replayed counts WAL records applied after the snapshot.
+	Replayed int
+	// DroppedTail counts trailing records of an incomplete batch that
+	// were discarded (the batch was never acked, so dropping is
+	// correct).
+	DroppedTail int
+	// ReplayElapsed is the time spent replaying the log.
+	ReplayElapsed time.Duration
+	// LastLSN is the highest LSN recovered.
+	LastLSN uint64
+	// Groups is the group count after recovery.
+	Groups int
+}
+
+// DurableController wraps a controller with write-ahead logging,
+// snapshot/restore, and an optional replication tap.
+type DurableController struct {
+	mu      sync.Mutex
+	ctrl    *controller.Controller
+	log     *wal.Log
+	opts    Options
+	walMet  *wal.Metrics
+	snapLSN uint64
+	closed  bool
+	// replErr latches the first replication failure; the leader keeps
+	// serving (followers are warm spares, not a quorum).
+	replErr error
+}
+
+// Open recovers (or initializes) a durable controller in opts.Dir:
+// load the snapshot if present, replay the log after it, then open the
+// WAL for appending.
+func Open(topo *topology.Topology, cfg controller.Config, opts Options) (*DurableController, *RecoveryStats, error) {
+	ctrl, err := controller.New(topo, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	walDir := filepath.Join(opts.Dir, "wal")
+	if err := os.MkdirAll(walDir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	stats := &RecoveryStats{}
+
+	// 1. Snapshot.
+	from := uint64(1)
+	payload, snapLSN, err := readSnapshotFile(filepath.Join(opts.Dir, snapshotFile))
+	switch {
+	case err == nil:
+		start := time.Now()
+		if err := ctrl.ReadState(bytes.NewReader(payload)); err != nil {
+			return nil, nil, fmt.Errorf("durable: snapshot state: %w", err)
+		}
+		stats.SnapshotLSN = snapLSN
+		stats.SnapshotBytes = int64(len(payload))
+		stats.SnapshotElapsed = time.Since(start)
+		from = snapLSN + 1
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh start (or log-only recovery).
+	default:
+		return nil, nil, err
+	}
+
+	// 2. Replay the log after the snapshot.
+	start := time.Now()
+	var pending []controller.BatchSpec
+	pendingRecs := 0
+	last, err := wal.Replay(walDir, from, func(rec wal.Record) error {
+		op, err := DecodeRecord(rec.Data)
+		if err != nil {
+			return fmt.Errorf("lsn %d: %w", rec.LSN, err)
+		}
+		if op.Type != RecBatch && len(pending) > 0 {
+			return fmt.Errorf("lsn %d: %s interleaved with batch chunks", rec.LSN, recName(op.Type))
+		}
+		switch op.Type {
+		case RecCreate:
+			_, _ = ctrl.CreateGroup(op.Key, op.Members)
+		case RecJoin:
+			_ = ctrl.Join(op.Key, op.Host, op.Role)
+		case RecLeave:
+			_ = ctrl.Leave(op.Key, op.Host, op.Role)
+		case RecRemove:
+			_ = ctrl.RemoveGroup(op.Key)
+		case RecBatch:
+			pending = append(pending, op.Specs...)
+			pendingRecs++
+			if !op.More {
+				_, _ = ctrl.InstallBatch(pending, controller.BatchOptions{Workers: opts.BatchWorkers})
+				pending, pendingRecs = nil, 0
+			}
+		case RecHeartbeat:
+			// Liveness only; no state.
+		}
+		stats.Replayed++
+		return nil
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: replay: %w", err)
+	}
+	if len(pending) > 0 {
+		// The log ends inside a chunked batch: the final chunk never
+		// became durable, so the batch was never acked nor (on the
+		// crashed instance's durable prefix) applied. Drop it.
+		stats.Replayed -= pendingRecs
+		stats.DroppedTail = pendingRecs
+	}
+	stats.ReplayElapsed = time.Since(start)
+	stats.LastLSN = last
+	stats.Groups = ctrl.NumGroups()
+
+	// 3. Open the WAL for appending (truncates any torn tail).
+	var met *wal.Metrics
+	if opts.Registry != nil {
+		met = wal.NewMetrics(opts.Registry)
+	}
+	log, err := wal.Open(wal.Options{
+		Dir:          walDir,
+		SegmentBytes: opts.SegmentBytes,
+		NoSync:       opts.NoSync,
+		Metrics:      met,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	d := &DurableController{ctrl: ctrl, log: log, opts: opts, walMet: met, snapLSN: stats.SnapshotLSN}
+	return d, stats, nil
+}
+
+// Controller exposes the wrapped controller for reads (headers,
+// counts, fingerprints). Mutations MUST go through the durable
+// wrappers or they will be lost on restart.
+func (d *DurableController) Controller() *controller.Controller { return d.ctrl }
+
+// WALMetrics returns the WAL telemetry bundle (nil without a Registry).
+func (d *DurableController) WALMetrics() *wal.Metrics { return d.walMet }
+
+// LastLSN reports the highest assigned LSN.
+func (d *DurableController) LastLSN() uint64 { return d.log.LastLSN() }
+
+// ReplicationErr reports the first replication failure, if any.
+func (d *DurableController) ReplicationErr() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.replErr
+}
+
+// mutate is the log-before-apply spine: append the record, apply the
+// op, and stream to followers — all under d.mu so WAL order, apply
+// order, and stream order coincide — then wait for durability OUTSIDE
+// the lock, which lets concurrent ops share one fsync (group commit).
+func (d *DurableController) mutate(payload []byte, apply func() error) error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return fmt.Errorf("durable: controller closed")
+	}
+	ack, err := d.log.Append(payload[0], payload)
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	applyErr := apply()
+	d.streamLocked(ack.LSN(), payload)
+	d.mu.Unlock()
+	if err := ack.Wait(); err != nil {
+		return fmt.Errorf("durable: commit lsn %d: %w", ack.LSN(), err)
+	}
+	return applyErr
+}
+
+func (d *DurableController) streamLocked(lsn uint64, payload []byte) {
+	if d.opts.Replicate == nil || d.replErr != nil {
+		return
+	}
+	if err := d.opts.Replicate(lsn, payload); err != nil {
+		d.replErr = err
+	}
+}
+
+// CreateGroup durably creates a group.
+func (d *DurableController) CreateGroup(key controller.GroupKey, members map[topology.HostID]controller.Role) error {
+	return d.mutate(EncodeCreate(key, members), func() error {
+		_, err := d.ctrl.CreateGroup(key, members)
+		return err
+	})
+}
+
+// Join durably adds (or upgrades) a member.
+func (d *DurableController) Join(key controller.GroupKey, host topology.HostID, role controller.Role) error {
+	return d.mutate(EncodeMembership(RecJoin, key, host, role), func() error {
+		return d.ctrl.Join(key, host, role)
+	})
+}
+
+// Leave durably removes a member role.
+func (d *DurableController) Leave(key controller.GroupKey, host topology.HostID, role controller.Role) error {
+	return d.mutate(EncodeMembership(RecLeave, key, host, role), func() error {
+		return d.ctrl.Leave(key, host, role)
+	})
+}
+
+// RemoveGroup durably deletes a group.
+func (d *DurableController) RemoveGroup(key controller.GroupKey) error {
+	return d.mutate(EncodeRemove(key), func() error {
+		return d.ctrl.RemoveGroup(key)
+	})
+}
+
+// InstallBatch durably bulk-creates groups. The specs are chunked
+// across WAL records; the op is applied (and acked) only after every
+// chunk is enqueued, and replay drops a trailing incomplete batch, so
+// a crash mid-batch can never surface a half-applied batch.
+func (d *DurableController) InstallBatch(specs []controller.BatchSpec, opts controller.BatchOptions) (*controller.BatchResult, error) {
+	chunks := EncodeBatchChunks(specs)
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("durable: controller closed")
+	}
+	acks := make([]*wal.Ack, 0, len(chunks))
+	for _, c := range chunks {
+		ack, err := d.log.Append(RecBatch, c)
+		if err != nil {
+			d.mu.Unlock()
+			return nil, err
+		}
+		acks = append(acks, ack)
+	}
+	res, applyErr := d.ctrl.InstallBatch(specs, opts)
+	for i, c := range chunks {
+		d.streamLocked(acks[i].LSN(), c)
+	}
+	d.mu.Unlock()
+	// Durability is prefix-closed, so the last chunk's ack covers all.
+	if err := acks[len(acks)-1].Wait(); err != nil {
+		return nil, fmt.Errorf("durable: commit batch: %w", err)
+	}
+	return res, applyErr
+}
+
+// Heartbeat appends a liveness record (no state change) so followers
+// see a moving stream even when the control plane is idle.
+func (d *DurableController) Heartbeat() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return fmt.Errorf("durable: controller closed")
+	}
+	ack, err := d.log.Append(RecHeartbeat, EncodeHeartbeat(d.log.LastLSN()))
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	d.streamLocked(ack.LSN(), EncodeHeartbeat(ack.LSN()-1))
+	d.mu.Unlock()
+	return ack.Wait()
+}
+
+// Snapshot writes the full controller state to an atomically-replaced
+// snapshot file and truncates WAL segments wholly covered by it.
+// Returns the LSN the snapshot covers.
+func (d *DurableController) Snapshot() (uint64, error) {
+	// Quiesce mutations so the state matches an exact LSN boundary.
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return 0, fmt.Errorf("durable: controller closed")
+	}
+	if err := d.log.Sync(); err != nil {
+		d.mu.Unlock()
+		return 0, err
+	}
+	lsn := d.log.LastLSN()
+	var buf bytes.Buffer
+	err := d.ctrl.WriteState(&buf)
+	d.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if err := writeSnapshotFile(filepath.Join(d.opts.Dir, snapshotFile), lsn, buf.Bytes(), d.opts.NoSync); err != nil {
+		return 0, err
+	}
+	d.mu.Lock()
+	d.snapLSN = lsn
+	d.mu.Unlock()
+	if _, err := d.log.TruncateThrough(lsn); err != nil {
+		return lsn, err
+	}
+	return lsn, nil
+}
+
+// SnapshotLSN reports the LSN covered by the latest snapshot.
+func (d *DurableController) SnapshotLSN() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.snapLSN
+}
+
+// Close flushes and closes the WAL.
+func (d *DurableController) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	return d.log.Close()
+}
+
+func recName(t byte) string {
+	switch t {
+	case RecCreate:
+		return "create"
+	case RecJoin:
+		return "join"
+	case RecLeave:
+		return "leave"
+	case RecRemove:
+		return "remove"
+	case RecBatch:
+		return "batch"
+	case RecHeartbeat:
+		return "heartbeat"
+	}
+	return fmt.Sprintf("type%d", t)
+}
+
+// writeSnapshotFile writes envelope+payload to a temp file and renames
+// it into place, so a crash mid-write leaves the previous snapshot
+// intact.
+func writeSnapshotFile(path string, lsn uint64, payload []byte, noSync bool) error {
+	var hdr [envelopeBytes]byte
+	copy(hdr[:8], snapshotMagic)
+	hdr[8] = 0
+	hdr[9] = snapshotVersion
+	putU64(hdr[10:], lsn)
+	putU64(hdr[18:], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(hdr[26:], sum[:])
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if !noSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if !noSync {
+		if dir, err := os.Open(filepath.Dir(path)); err == nil {
+			_ = dir.Sync()
+			dir.Close()
+		}
+	}
+	return nil
+}
+
+// readSnapshotFile validates the envelope and returns the payload and
+// covered LSN. A missing file returns os.ErrNotExist; any corruption
+// (bad magic, version, length, or checksum) is an explicit error —
+// never a silent partial restore.
+func readSnapshotFile(path string) ([]byte, uint64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(b) < envelopeBytes {
+		return nil, 0, fmt.Errorf("durable: snapshot %s: short envelope (%d bytes)", path, len(b))
+	}
+	if string(b[:8]) != snapshotMagic {
+		return nil, 0, fmt.Errorf("durable: snapshot %s: bad magic", path)
+	}
+	ver := int(b[8])<<8 | int(b[9])
+	if ver != snapshotVersion {
+		return nil, 0, fmt.Errorf("durable: snapshot %s: version %d, want %d", path, ver, snapshotVersion)
+	}
+	lsn := getU64(b[10:])
+	plen := getU64(b[18:])
+	payload := b[envelopeBytes:]
+	if uint64(len(payload)) != plen {
+		return nil, 0, fmt.Errorf("durable: snapshot %s: payload %d bytes, envelope says %d", path, len(payload), plen)
+	}
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], b[26:26+32]) {
+		return nil, 0, fmt.Errorf("durable: snapshot %s: checksum mismatch", path)
+	}
+	return payload, lsn, nil
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+func getU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}

@@ -1,0 +1,277 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"elmo/internal/controller"
+	"elmo/internal/topology"
+)
+
+// WAL record types. Every state-mutating controller op has one; the
+// payload carries exactly the op's arguments, so replaying the log
+// against a deterministic controller reproduces the crashed instance.
+const (
+	// RecCreate: key | members.
+	RecCreate byte = 1
+	// RecJoin: key | host | role.
+	RecJoin byte = 2
+	// RecLeave: key | host | role.
+	RecLeave byte = 3
+	// RecRemove: key.
+	RecRemove byte = 4
+	// RecBatch: more(1) | spec count | specs. A large InstallBatch is
+	// chunked across consecutive records; every chunk except the last
+	// sets more=1. Replay accumulates chunks and applies them as ONE
+	// InstallBatch, preserving the all-at-once admission order that
+	// produced the logged outcome.
+	RecBatch byte = 5
+	// RecHeartbeat: leader liveness beacon for the replication stream;
+	// carries no controller mutation and is skipped on replay.
+	RecHeartbeat byte = 6
+)
+
+// batchChunkSpecs bounds the specs per RecBatch record so records stay
+// well under the rsm command size limit when streamed to followers.
+const batchChunkSpecs = 256
+
+// OpRecord is a decoded WAL record.
+type OpRecord struct {
+	Type    byte
+	Key     controller.GroupKey
+	Host    topology.HostID
+	Role    controller.Role
+	Members map[topology.HostID]controller.Role // RecCreate
+	Specs   []controller.BatchSpec              // RecBatch
+	More    bool                                // RecBatch: further chunks follow
+}
+
+func appendKey(b []byte, key controller.GroupKey) []byte {
+	b = binary.BigEndian.AppendUint32(b, key.Tenant)
+	return binary.BigEndian.AppendUint32(b, key.Group)
+}
+
+func appendMembers(b []byte, members map[topology.HostID]controller.Role) []byte {
+	hosts := make([]topology.HostID, 0, len(members))
+	for h := range members {
+		hosts = append(hosts, h)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	b = binary.AppendUvarint(b, uint64(len(hosts)))
+	for _, h := range hosts {
+		b = binary.AppendUvarint(b, uint64(h))
+		b = append(b, byte(members[h]))
+	}
+	return b
+}
+
+// EncodeCreate builds a RecCreate payload.
+func EncodeCreate(key controller.GroupKey, members map[topology.HostID]controller.Role) []byte {
+	b := make([]byte, 0, 16+3*len(members))
+	b = append(b, RecCreate)
+	b = appendKey(b, key)
+	return appendMembers(b, members)
+}
+
+// EncodeMembership builds a RecJoin or RecLeave payload.
+func EncodeMembership(typ byte, key controller.GroupKey, host topology.HostID, role controller.Role) []byte {
+	b := make([]byte, 0, 16)
+	b = append(b, typ)
+	b = appendKey(b, key)
+	b = binary.AppendUvarint(b, uint64(host))
+	return append(b, byte(role))
+}
+
+// EncodeRemove builds a RecRemove payload.
+func EncodeRemove(key controller.GroupKey) []byte {
+	b := make([]byte, 0, 9)
+	b = append(b, RecRemove)
+	return appendKey(b, key)
+}
+
+// EncodeBatchChunks splits an InstallBatch's specs into RecBatch
+// payloads, all but the last flagged "more".
+func EncodeBatchChunks(specs []controller.BatchSpec) [][]byte {
+	if len(specs) == 0 {
+		return [][]byte{encodeBatchChunk(nil, false)}
+	}
+	var out [][]byte
+	for off := 0; off < len(specs); off += batchChunkSpecs {
+		end := off + batchChunkSpecs
+		if end > len(specs) {
+			end = len(specs)
+		}
+		out = append(out, encodeBatchChunk(specs[off:end], end < len(specs)))
+	}
+	return out
+}
+
+func encodeBatchChunk(specs []controller.BatchSpec, more bool) []byte {
+	b := make([]byte, 0, 2+16*len(specs))
+	b = append(b, RecBatch)
+	if more {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.AppendUvarint(b, uint64(len(specs)))
+	for _, s := range specs {
+		b = appendKey(b, s.Key)
+		b = appendMembers(b, s.Members)
+	}
+	return b
+}
+
+// EncodeHeartbeat builds a RecHeartbeat payload carrying the leader's
+// committed LSN.
+func EncodeHeartbeat(lsn uint64) []byte {
+	b := make([]byte, 0, 10)
+	b = append(b, RecHeartbeat)
+	return binary.AppendUvarint(b, lsn)
+}
+
+type recReader struct {
+	b   []byte
+	off int
+}
+
+func (r *recReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("durable: truncated varint at %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *recReader) byte() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, fmt.Errorf("durable: truncated record at %d", r.off)
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *recReader) u32() (uint32, error) {
+	if r.off+4 > len(r.b) {
+		return 0, fmt.Errorf("durable: truncated u32 at %d", r.off)
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *recReader) key() (controller.GroupKey, error) {
+	t, err := r.u32()
+	if err != nil {
+		return controller.GroupKey{}, err
+	}
+	g, err := r.u32()
+	if err != nil {
+		return controller.GroupKey{}, err
+	}
+	return controller.GroupKey{Tenant: t, Group: g}, nil
+}
+
+func (r *recReader) members() (map[topology.HostID]controller.Role, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)-r.off) {
+		return nil, fmt.Errorf("durable: member count %d exceeds record", n)
+	}
+	m := make(map[topology.HostID]controller.Role, n)
+	for i := uint64(0); i < n; i++ {
+		h, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		role, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		m[topology.HostID(h)] = controller.Role(role)
+	}
+	return m, nil
+}
+
+// DecodeRecord parses a WAL record payload. It is strict: unknown
+// types and trailing bytes are errors, so a corrupted-but-CRC-valid
+// record (software bug, not media fault) cannot be half-applied.
+func DecodeRecord(b []byte) (OpRecord, error) {
+	var rec OpRecord
+	r := &recReader{b: b}
+	typ, err := r.byte()
+	if err != nil {
+		return rec, err
+	}
+	rec.Type = typ
+	switch typ {
+	case RecCreate:
+		if rec.Key, err = r.key(); err != nil {
+			return rec, err
+		}
+		if rec.Members, err = r.members(); err != nil {
+			return rec, err
+		}
+	case RecJoin, RecLeave:
+		if rec.Key, err = r.key(); err != nil {
+			return rec, err
+		}
+		h, err := r.uvarint()
+		if err != nil {
+			return rec, err
+		}
+		rec.Host = topology.HostID(h)
+		role, err := r.byte()
+		if err != nil {
+			return rec, err
+		}
+		rec.Role = controller.Role(role)
+	case RecRemove:
+		if rec.Key, err = r.key(); err != nil {
+			return rec, err
+		}
+	case RecBatch:
+		more, err := r.byte()
+		if err != nil {
+			return rec, err
+		}
+		if more > 1 {
+			return rec, fmt.Errorf("durable: bad more flag %d", more)
+		}
+		rec.More = more == 1
+		n, err := r.uvarint()
+		if err != nil {
+			return rec, err
+		}
+		if n > uint64(len(r.b)-r.off) {
+			return rec, fmt.Errorf("durable: spec count %d exceeds record", n)
+		}
+		rec.Specs = make([]controller.BatchSpec, 0, n)
+		for i := uint64(0); i < n; i++ {
+			key, err := r.key()
+			if err != nil {
+				return rec, err
+			}
+			m, err := r.members()
+			if err != nil {
+				return rec, err
+			}
+			rec.Specs = append(rec.Specs, controller.BatchSpec{Key: key, Members: m})
+		}
+	case RecHeartbeat:
+		if _, err := r.uvarint(); err != nil {
+			return rec, err
+		}
+	default:
+		return rec, fmt.Errorf("durable: unknown record type %d", typ)
+	}
+	if r.off != len(b) {
+		return rec, fmt.Errorf("durable: %d trailing bytes in record", len(b)-r.off)
+	}
+	return rec, nil
+}

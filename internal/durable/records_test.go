@@ -1,0 +1,114 @@
+package durable
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"elmo/internal/controller"
+	"elmo/internal/topology"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	key := controller.GroupKey{Tenant: 7, Group: 42}
+	members := map[topology.HostID]controller.Role{
+		0: controller.RoleBoth, 17: controller.RoleReceiver, 63: controller.RoleSender,
+	}
+
+	cases := []struct {
+		name string
+		b    []byte
+		want OpRecord
+	}{
+		{"create", EncodeCreate(key, members),
+			OpRecord{Type: RecCreate, Key: key, Members: members}},
+		{"join", EncodeMembership(RecJoin, key, 5, controller.RoleReceiver),
+			OpRecord{Type: RecJoin, Key: key, Host: 5, Role: controller.RoleReceiver}},
+		{"leave", EncodeMembership(RecLeave, key, 5, controller.RoleBoth),
+			OpRecord{Type: RecLeave, Key: key, Host: 5, Role: controller.RoleBoth}},
+		{"remove", EncodeRemove(key),
+			OpRecord{Type: RecRemove, Key: key}},
+	}
+	for _, tc := range cases {
+		got, err := DecodeRecord(tc.b)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("%s: %+v != %+v", tc.name, got, tc.want)
+		}
+	}
+
+	hb := EncodeHeartbeat(12345)
+	got, err := DecodeRecord(hb)
+	if err != nil || got.Type != RecHeartbeat {
+		t.Fatalf("heartbeat: %+v, %v", got, err)
+	}
+}
+
+func TestBatchChunking(t *testing.T) {
+	n := batchChunkSpecs*2 + 10
+	specs := make([]controller.BatchSpec, 0, n)
+	for i := 0; i < n; i++ {
+		specs = append(specs, controller.BatchSpec{
+			Key: controller.GroupKey{Tenant: 1, Group: uint32(i + 1)},
+			Members: map[topology.HostID]controller.Role{
+				topology.HostID(i % 64): controller.RoleBoth,
+			},
+		})
+	}
+	chunks := EncodeBatchChunks(specs)
+	if len(chunks) != 3 {
+		t.Fatalf("%d chunks for %d specs", len(chunks), len(specs))
+	}
+	var joined []controller.BatchSpec
+	for i, c := range chunks {
+		rec, err := DecodeRecord(c)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		wantMore := i < len(chunks)-1
+		if rec.More != wantMore {
+			t.Fatalf("chunk %d more=%v, want %v", i, rec.More, wantMore)
+		}
+		joined = append(joined, rec.Specs...)
+	}
+	if !reflect.DeepEqual(joined, specs) {
+		t.Fatal("reassembled specs differ")
+	}
+
+	// Empty batch still encodes one terminal chunk.
+	chunks = EncodeBatchChunks(nil)
+	if len(chunks) != 1 {
+		t.Fatalf("empty batch encoded as %d chunks", len(chunks))
+	}
+	rec, err := DecodeRecord(chunks[0])
+	if err != nil || rec.More || len(rec.Specs) != 0 {
+		t.Fatalf("empty chunk decoded as %+v, %v", rec, err)
+	}
+}
+
+func TestDecodeRecordRejectsCorruptInput(t *testing.T) {
+	valid := EncodeCreate(controller.GroupKey{Tenant: 1, Group: 2},
+		map[topology.HostID]controller.Role{3: controller.RoleBoth})
+	bad := map[string][]byte{
+		"empty":        {},
+		"unknown type": {0x7f, 0, 0, 0},
+		"truncated":    valid[:len(valid)-1],
+		"trailing":     append(append([]byte{}, valid...), 0xcc),
+		"huge count":   {RecCreate, 0, 0, 0, 1, 0, 0, 0, 2, 0xff, 0xff, 0xff, 0xff, 0x0f},
+		"bad more":     {RecBatch, 7, 0},
+	}
+	for name, b := range bad {
+		if _, err := DecodeRecord(b); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+
+	// Single-byte mutations never panic.
+	for off := 0; off < len(valid); off++ {
+		mut := bytes.Clone(valid)
+		mut[off] ^= 0xff
+		_, _ = DecodeRecord(mut)
+	}
+}

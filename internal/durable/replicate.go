@@ -1,0 +1,209 @@
+package durable
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"elmo/internal/controller"
+	"elmo/internal/fabric"
+	"elmo/internal/rsm"
+	"elmo/internal/topology"
+)
+
+// This file wires the durable controller's WAL stream through the RSM
+// multicast layer: the leader's Replicate hook proposes every logged
+// record as an OpApply command, the network fans it out (one copy per
+// link, the paper's whole point), and each follower host applies it to
+// a warm standby controller. When the leader is declared dead the
+// standby promotes: its in-memory state becomes the snapshot seed of a
+// fresh durable controller, so failover cost is a state serialization,
+// not a full log replay.
+
+// Follower maintains a warm standby controller by applying streamed
+// WAL records in order.
+type Follower struct {
+	ctrl         *controller.Controller
+	batchWorkers int
+	pending      []controller.BatchSpec
+	records      int
+	hbLSN        uint64
+}
+
+// NewFollower builds an empty standby for the given fabric shape.
+func NewFollower(topo *topology.Topology, cfg controller.Config, batchWorkers int) (*Follower, error) {
+	ctrl, err := controller.New(topo, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Follower{ctrl: ctrl, batchWorkers: batchWorkers}, nil
+}
+
+// Apply consumes one replicated WAL record payload. Op-level apply
+// errors are ignored (they failed identically on the leader); decode
+// and stream-order violations are fatal.
+func (f *Follower) Apply(payload []byte) error {
+	op, err := DecodeRecord(payload)
+	if err != nil {
+		return err
+	}
+	if op.Type != RecBatch && len(f.pending) > 0 {
+		return fmt.Errorf("durable: %s interleaved with batch chunks in replica stream", recName(op.Type))
+	}
+	switch op.Type {
+	case RecCreate:
+		_, _ = f.ctrl.CreateGroup(op.Key, op.Members)
+	case RecJoin:
+		_ = f.ctrl.Join(op.Key, op.Host, op.Role)
+	case RecLeave:
+		_ = f.ctrl.Leave(op.Key, op.Host, op.Role)
+	case RecRemove:
+		_ = f.ctrl.RemoveGroup(op.Key)
+	case RecBatch:
+		f.pending = append(f.pending, op.Specs...)
+		if !op.More {
+			_, _ = f.ctrl.InstallBatch(f.pending, controller.BatchOptions{Workers: f.batchWorkers})
+			f.pending = nil
+		}
+	case RecHeartbeat:
+		// Liveness marker; Records still advances below.
+	}
+	f.records++
+	return nil
+}
+
+// Controller exposes the standby state (for fingerprint checks and
+// promotion).
+func (f *Follower) Controller() *controller.Controller { return f.ctrl }
+
+// Records reports how many stream records this follower has applied.
+func (f *Follower) Records() int { return f.records }
+
+// ReplicaSetConfig wires a replication group onto a fabric.
+type ReplicaSetConfig struct {
+	// Net is the controller that routes the replication multicast
+	// group itself (the network control plane — usually distinct from
+	// the controller state being replicated).
+	Net *fabricNet
+	// Key identifies the replication group.
+	Key controller.GroupKey
+	// Leader is the durable controller's host; Followers run standbys.
+	Leader    topology.HostID
+	Followers []topology.HostID
+	// Window is the reliable session's retransmit window.
+	Window int
+	// Topo/Cfg describe the fabric the REPLICATED controller manages
+	// (standbys are built with the same shape as the leader).
+	Topo *topology.Topology
+	Cfg  controller.Config
+	// BatchWorkers for standby InstallBatch replays.
+	BatchWorkers int
+}
+
+// fabricNet bundles the network control plane and data plane a
+// replica set multicasts over.
+type fabricNet struct {
+	Ctrl *controller.Controller
+	Fab  *fabric.Fabric
+}
+
+// Net pairs the controller and fabric carrying the replication group.
+func Net(ctrl *controller.Controller, fab *fabric.Fabric) *fabricNet {
+	return &fabricNet{Ctrl: ctrl, Fab: fab}
+}
+
+// ReplicaSet is a leader's view of its warm standbys.
+type ReplicaSet struct {
+	cluster   *rsm.Cluster
+	followers map[topology.HostID]*Follower
+	leader    topology.HostID
+}
+
+// NewReplicaSet creates the replication multicast group and a warm
+// standby per follower host.
+func NewReplicaSet(rc ReplicaSetConfig) (*ReplicaSet, error) {
+	cluster, err := rsm.NewCluster(rc.Net.Ctrl, rc.Net.Fab, rc.Key, rc.Leader, rc.Followers, rc.Window)
+	if err != nil {
+		return nil, err
+	}
+	rs := &ReplicaSet{cluster: cluster, followers: make(map[topology.HostID]*Follower, len(rc.Followers)), leader: rc.Leader}
+	for _, h := range rc.Followers {
+		f, err := NewFollower(rc.Topo, rc.Cfg, rc.BatchWorkers)
+		if err != nil {
+			return nil, err
+		}
+		rs.followers[h] = f
+		rs.cluster.Replica(h).SetApplier(f.Apply)
+	}
+	return rs, nil
+}
+
+// Replicator returns the hook to plug into Options.Replicate.
+func (rs *ReplicaSet) Replicator() func(lsn uint64, payload []byte) error {
+	return func(lsn uint64, payload []byte) error {
+		return rs.cluster.ProposeApply(payload)
+	}
+}
+
+// Sync forces a repair round so every follower catches up (tail-loss
+// recovery before a fingerprint check or a promotion).
+func (rs *ReplicaSet) Sync() error { return rs.cluster.Sync() }
+
+// Cluster exposes the underlying RSM cluster (loss injection, session).
+func (rs *ReplicaSet) Cluster() *rsm.Cluster { return rs.cluster }
+
+// Follower returns a host's standby.
+func (rs *ReplicaSet) Follower(h topology.HostID) *Follower { return rs.followers[h] }
+
+// Detector declares a leader dead after DeadAfter consecutive probe
+// rounds in which a follower's applied-record count fails to advance.
+// The leader keeps the stream moving with Heartbeat() even when idle,
+// so "no new records" genuinely means "leader silent", not "no load".
+type Detector struct {
+	// DeadAfter is the miss budget (probe rounds without progress).
+	DeadAfter int
+	misses    int
+	last      int
+	dead      bool
+}
+
+// Observe feeds one probe round's applied-record count; it returns
+// true once the leader has been declared dead (latched).
+func (d *Detector) Observe(records int) bool {
+	if d.dead {
+		return true
+	}
+	if records > d.last {
+		d.last = records
+		d.misses = 0
+		return false
+	}
+	d.misses++
+	if d.misses >= d.DeadAfter {
+		d.dead = true
+	}
+	return d.dead
+}
+
+// Misses reports the current consecutive-miss count.
+func (d *Detector) Misses() int { return d.misses }
+
+// Promote turns a warm standby into a new durable controller rooted at
+// opts.Dir: the standby's state is written as the initial snapshot and
+// a fresh WAL epoch starts after it. A trailing incomplete batch in
+// the stream is discarded (it was never acked by the old leader).
+func Promote(f *Follower, opts Options) (*DurableController, *RecoveryStats, error) {
+	f.pending = nil
+	var buf bytes.Buffer
+	if err := f.ctrl.WriteState(&buf); err != nil {
+		return nil, nil, err
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	if err := writeSnapshotFile(filepath.Join(opts.Dir, snapshotFile), 0, buf.Bytes(), opts.NoSync); err != nil {
+		return nil, nil, err
+	}
+	return Open(f.ctrl.Topology(), f.ctrl.Config(), opts)
+}

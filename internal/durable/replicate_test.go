@@ -1,0 +1,160 @@
+package durable
+
+import (
+	"math/rand"
+	"testing"
+
+	"elmo/internal/chaos"
+	"elmo/internal/controller"
+	"elmo/internal/fabric"
+	"elmo/internal/topology"
+)
+
+type replicaFixture struct {
+	dc  *DurableController
+	rs  *ReplicaSet
+	inj *chaos.Injector
+}
+
+const (
+	replLeader    = topology.HostID(0)
+	replFollowerA = topology.HostID(8)
+	replFollowerB = topology.HostID(17)
+)
+
+func newReplicaFixture(t *testing.T, dir string) *replicaFixture {
+	t.Helper()
+	topo := durableTopo()
+	netCfg := controller.PaperConfig(0)
+	netCtrl, err := controller.New(topo, netCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := fabric.New(topo, netCfg.SRuleCapacity)
+	fab.SetFailures(netCtrl.Failures())
+	inj := chaos.New(chaos.Config{Seed: 1})
+	fab.SetInjector(inj)
+
+	rs, err := NewReplicaSet(ReplicaSetConfig{
+		Net:          Net(netCtrl, fab),
+		Key:          controller.GroupKey{Tenant: 200, Group: 1},
+		Leader:       replLeader,
+		Followers:    []topology.HostID{replFollowerA, replFollowerB},
+		Window:       64,
+		Topo:         topo,
+		Cfg:          durableCfg(),
+		BatchWorkers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, _, err := Open(topo, durableCfg(), Options{
+		Dir:          dir,
+		NoSync:       true,
+		BatchWorkers: 1,
+		Replicate:    rs.Replicator(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &replicaFixture{dc: dc, rs: rs, inj: inj}
+}
+
+func TestReplicaSetMirrorsLeader(t *testing.T) {
+	fx := newReplicaFixture(t, t.TempDir())
+	defer fx.dc.Close()
+	rng := rand.New(rand.NewSource(5))
+	for _, o := range churnScript(rng, 150, durableTopo().NumHosts()) {
+		o.applyDurable(fx.dc)
+	}
+	if err := fx.rs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.dc.ReplicationErr(); err != nil {
+		t.Fatalf("replication error: %v", err)
+	}
+	want := fx.dc.Controller().Fingerprint()
+	for _, h := range []topology.HostID{replFollowerA, replFollowerB} {
+		f := fx.rs.Follower(h)
+		if f.Records() == 0 {
+			t.Fatalf("follower %d saw no records", h)
+		}
+		if got := f.Controller().Fingerprint(); got != want {
+			t.Fatalf("follower %d fingerprint %s != leader %s", h, got, want)
+		}
+	}
+}
+
+// TestFailoverUnderChaos crashes the leader host with the chaos
+// injector and walks the full failover sequence: heartbeats stop
+// arriving, the detector declares the leader dead after DeadAfter
+// silent probe rounds, and a warm follower promotes into a new durable
+// controller whose state matches the leader's last replicated state.
+func TestFailoverUnderChaos(t *testing.T) {
+	fx := newReplicaFixture(t, t.TempDir())
+	defer fx.dc.Close()
+	rng := rand.New(rand.NewSource(9))
+	for _, o := range churnScript(rng, 100, durableTopo().NumHosts()) {
+		o.applyDurable(fx.dc)
+	}
+	if err := fx.rs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	preCrash := fx.dc.Controller().Fingerprint()
+
+	// Heartbeats flow while the leader is alive: no false positive.
+	det := &Detector{DeadAfter: 3}
+	follower := fx.rs.Follower(replFollowerA)
+	for i := 0; i < 5; i++ {
+		if err := fx.dc.Heartbeat(); err != nil {
+			t.Fatal(err)
+		}
+		if det.Observe(follower.Records()) {
+			t.Fatal("live leader declared dead")
+		}
+	}
+
+	// Kill the leader's host. Its local WAL keeps working, but nothing
+	// reaches the followers any more.
+	fx.inj.CrashHost(replLeader)
+	if !fx.inj.HostDown(replLeader) {
+		t.Fatal("CrashHost did not register")
+	}
+	_ = fx.dc.Heartbeat() // lost in the fabric
+
+	rounds := 0
+	for !det.Observe(follower.Records()) {
+		rounds++
+		if rounds > 10 {
+			t.Fatal("dead leader never detected")
+		}
+	}
+	if rounds < det.DeadAfter-1 {
+		t.Fatalf("declared dead after %d rounds, budget %d", rounds, det.DeadAfter)
+	}
+
+	// Promote the warm standby.
+	promoted, stats, err := Promote(follower, Options{Dir: t.TempDir(), NoSync: true, BatchWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer promoted.Close()
+	if got := promoted.Controller().Fingerprint(); got != preCrash {
+		t.Fatalf("promoted fingerprint %s != leader pre-crash %s", got, preCrash)
+	}
+	if stats.Groups != fx.dc.Controller().NumGroups() {
+		t.Fatalf("promoted %d groups, leader had %d", stats.Groups, fx.dc.Controller().NumGroups())
+	}
+
+	// The promoted controller accepts new durable ops immediately.
+	if err := promoted.CreateGroup(controller.GroupKey{Tenant: 77, Group: 1},
+		map[topology.HostID]controller.Role{1: controller.RoleBoth, 40: controller.RoleReceiver}); err != nil {
+		t.Fatal(err)
+	}
+
+	// And the host coming back does not resurrect the old overrides.
+	fx.inj.RestoreHost(replLeader)
+	if fx.inj.HostDown(replLeader) {
+		t.Fatal("RestoreHost did not clear the crash")
+	}
+}

@@ -1,0 +1,161 @@
+package rsm
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"elmo/internal/topology"
+)
+
+// TestCommandRoundTripProperty checks Marshal∘UnmarshalCommand is the
+// identity over randomly generated valid commands.
+func TestCommandRoundTripProperty(t *testing.T) {
+	gen := func(r *rand.Rand) Command {
+		c := Command{Op: Op(1 + r.Intn(3))}
+		k := make([]byte, r.Intn(64))
+		v := make([]byte, r.Intn(256))
+		r.Read(k)
+		r.Read(v)
+		c.Key, c.Value = string(k), string(v)
+		return c
+	}
+	cfg := &quick.Config{
+		MaxCount: 2000,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(gen(r))
+		},
+	}
+	prop := func(c Command) bool {
+		b, err := c.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalCommand(b)
+		if err != nil {
+			return false
+		}
+		if got != c {
+			return false
+		}
+		// Re-encoding is byte-stable.
+		b2, err := got.Marshal()
+		return err == nil && bytes.Equal(b, b2)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalCommandStrict(t *testing.T) {
+	valid, err := Command{Op: OpSet, Key: "k", Value: "v"}.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := map[string][]byte{
+		"empty":       {},
+		"short":       {byte(OpSet), 0, 0},
+		"unknown op":  {0, 0, 0, 0, 0},
+		"op too high": {4, 0, 0, 0, 0},
+		"key overrun": {byte(OpSet), 0xff, 0xff, 'k'},
+		"val overrun": {byte(OpSet), 0, 1, 'k', 0xff, 0xff},
+		"trailing":    append(append([]byte{}, valid...), 0xaa),
+	}
+	for name, b := range bad {
+		if _, err := UnmarshalCommand(b); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestMarshalRejectsOversize(t *testing.T) {
+	big := string(make([]byte, 0x10000))
+	if _, err := (Command{Op: OpSet, Key: big}).Marshal(); err == nil {
+		t.Fatal("oversize key accepted")
+	}
+	if _, err := (Command{Op: OpSet, Value: big}).Marshal(); err == nil {
+		t.Fatal("oversize value accepted")
+	}
+	if _, err := (Command{Op: 9}).Marshal(); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+// TestProposeApplyStreamsToAppliers replicates opaque payloads
+// through a cluster and checks every follower's applier hook sees them
+// in order.
+func TestProposeApplyStreamsToAppliers(t *testing.T) {
+	c := rsmFixture(t, 8)
+	got := map[int][][]byte{}
+	i := 0
+	for _, h := range []int{8, 17, 40, 56} {
+		idx := i
+		c.Replica(topology.HostID(h)).SetApplier(func(p []byte) error {
+			got[idx] = append(got[idx], append([]byte(nil), p...))
+			return nil
+		})
+		i++
+	}
+	want := [][]byte{[]byte("one"), {0x00, 0xff, 0x00}, []byte("three")}
+	for _, p := range want {
+		if err := c.ProposeApply(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Interleave a KV command: appliers must not see it.
+	if err := c.Propose(Command{Op: OpSet, Key: "k", Value: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for idx, stream := range got {
+		if len(stream) != len(want) {
+			t.Fatalf("follower %d saw %d payloads, want %d", idx, len(stream), len(want))
+		}
+		for j := range want {
+			if !bytes.Equal(stream[j], want[j]) {
+				t.Fatalf("follower %d payload %d = %x, want %x", idx, j, stream[j], want[j])
+			}
+		}
+	}
+	if ok, why := c.Converged(); !ok {
+		t.Fatalf("not converged: %s", why)
+	}
+}
+
+// FuzzUnmarshalCommand asserts the decoder never panics and that any
+// input it accepts re-encodes to exactly the input bytes (a decoded
+// command is always canonical under the strict format).
+func FuzzUnmarshalCommand(f *testing.F) {
+	seeds := []Command{
+		{Op: OpSet, Key: "k", Value: "v"},
+		{Op: OpDelete, Key: "gone"},
+		{Op: OpApply, Value: "\x00\x01\x02opaque wal record"},
+		{Op: OpSet},
+	}
+	for _, c := range seeds {
+		b, err := c.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(OpSet), 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		c, err := UnmarshalCommand(b)
+		if err != nil {
+			return
+		}
+		out, err := c.Marshal()
+		if err != nil {
+			t.Fatalf("decoded command fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, b) {
+			t.Fatalf("not canonical: in=%x out=%x", b, out)
+		}
+	})
+}

@@ -31,7 +31,14 @@ const (
 	OpSet Op = 1
 	// OpDelete removes Key.
 	OpDelete Op = 2
+	// OpApply carries an opaque payload in Value for the replica's
+	// applier hook (SetApplier). This is how the durable controller
+	// streams WAL records to warm followers: the RSM provides ordered
+	// reliable fan-out, the applier interprets the bytes.
+	OpApply Op = 3
 )
+
+func validOp(op Op) bool { return op == OpSet || op == OpDelete || op == OpApply }
 
 // Command is one replicated state-machine command.
 type Command struct {
@@ -42,7 +49,7 @@ type Command struct {
 
 // Marshal encodes the command (length-prefixed strings).
 func (c Command) Marshal() ([]byte, error) {
-	if c.Op != OpSet && c.Op != OpDelete {
+	if !validOp(c.Op) {
 		return nil, fmt.Errorf("rsm: unknown op %d", c.Op)
 	}
 	if len(c.Key) > 0xffff || len(c.Value) > 0xffff {
@@ -57,14 +64,17 @@ func (c Command) Marshal() ([]byte, error) {
 	return b, nil
 }
 
-// UnmarshalCommand decodes a command.
+// UnmarshalCommand decodes a command. It is strict: every byte of b
+// must be consumed, so Marshal∘UnmarshalCommand is the identity on
+// valid commands and any framing slip (trailing garbage, truncation)
+// surfaces as an error instead of silent data loss.
 func UnmarshalCommand(b []byte) (Command, error) {
 	var c Command
 	if len(b) < 5 {
 		return c, fmt.Errorf("rsm: short command")
 	}
 	c.Op = Op(b[0])
-	if c.Op != OpSet && c.Op != OpDelete {
+	if !validOp(c.Op) {
 		return c, fmt.Errorf("rsm: unknown op %d", c.Op)
 	}
 	kl := int(binary.BigEndian.Uint16(b[1:]))
@@ -76,22 +86,33 @@ func UnmarshalCommand(b []byte) (Command, error) {
 	if 5+kl+vl > len(b) {
 		return c, fmt.Errorf("rsm: truncated value")
 	}
+	if 5+kl+vl != len(b) {
+		return c, fmt.Errorf("rsm: %d trailing bytes after command", len(b)-(5+kl+vl))
+	}
 	c.Value = string(b[5+kl : 5+kl+vl])
 	return c, nil
 }
 
 // Replica is one state machine instance: a key-value store built by
-// applying the leader's command log in order.
+// applying the leader's command log in order, plus an optional applier
+// hook that receives OpApply payloads.
 type Replica struct {
 	host    topology.HostID
 	store   map[string]string
 	applied int
+	applier func([]byte) error
 }
 
 // NewReplica creates an empty replica for a host.
 func NewReplica(host topology.HostID) *Replica {
 	return &Replica{host: host, store: make(map[string]string)}
 }
+
+// SetApplier installs the hook invoked (in log order) for every
+// OpApply command's payload. Without a hook, OpApply commands advance
+// the log position but are otherwise ignored — a replica that only
+// cares about the KV portion of a mixed stream stays consistent.
+func (r *Replica) SetApplier(fn func([]byte) error) { r.applier = fn }
 
 // Apply executes one command payload (called in log order).
 func (r *Replica) Apply(payload []byte) error {
@@ -104,6 +125,12 @@ func (r *Replica) Apply(payload []byte) error {
 		r.store[c.Key] = c.Value
 	case OpDelete:
 		delete(r.store, c.Key)
+	case OpApply:
+		if r.applier != nil {
+			if err := r.applier([]byte(c.Value)); err != nil {
+				return fmt.Errorf("rsm: applier: %w", err)
+			}
+		}
 	}
 	r.applied++
 	return nil
@@ -186,6 +213,12 @@ func (c *Cluster) Propose(cmd Command) error {
 	}
 	c.Proposed++
 	return c.drain()
+}
+
+// ProposeApply replicates an opaque payload as an OpApply command.
+// Followers hand it to their applier hook (SetApplier) in log order.
+func (c *Cluster) ProposeApply(payload []byte) error {
+	return c.Propose(Command{Op: OpApply, Value: string(payload)})
 }
 
 // Sync forces a final repair round (tail-loss recovery) and applies

@@ -137,6 +137,46 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()
 // Bounds returns the bucket upper bounds (excluding +Inf).
 func (h *Histogram) Bounds() []float64 { return h.bounds }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket
+// counts, interpolating linearly inside the target bucket the way
+// Prometheus' histogram_quantile does. With no observations, or q
+// landing in the +Inf bucket, it returns the largest finite bound (the
+// estimate is a floor, not an exact order statistic). Returns NaN for
+// q outside [0, 1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	cum := make([]int64, len(h.buckets))
+	total := h.cumulative(cum)
+	if total == 0 || len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	for i, c := range cum {
+		if float64(c) < rank {
+			continue
+		}
+		if i >= len(h.bounds) {
+			// +Inf bucket: best effort is the largest finite bound.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lower := 0.0
+		var below int64
+		if i > 0 {
+			lower = h.bounds[i-1]
+			below = cum[i-1]
+		}
+		width := h.bounds[i] - lower
+		inBucket := c - below
+		if inBucket == 0 {
+			return h.bounds[i]
+		}
+		return lower + width*(rank-float64(below))/float64(inBucket)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // cumulative fills out with the cumulative bucket counts (le
 // semantics), returning the total.
 func (h *Histogram) cumulative(out []int64) int64 {

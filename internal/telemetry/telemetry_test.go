@@ -318,3 +318,35 @@ func BenchmarkVecWithCached(b *testing.B) {
 		c.Inc()
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("elmo_test_quantile", "q", LinearBuckets(10, 10, 10)) // 10..100
+	// Empty histogram has no answer.
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram produced a quantile")
+	}
+	// 100 uniform samples 1..100: median should interpolate near 50.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if q := h.Quantile(0.5); q < 40 || q > 60 {
+		t.Fatalf("p50 = %v, want ~50", q)
+	}
+	if q := h.Quantile(0.99); q < 90 || q > 100 {
+		t.Fatalf("p99 = %v, want ~99", q)
+	}
+	if q := h.Quantile(0); q > 10 {
+		t.Fatalf("p0 = %v, want <= first bound", q)
+	}
+	// Everything in the overflow bucket degrades to the last bound.
+	h2 := r.Histogram("elmo_test_quantile_inf", "q", []float64{1, 2})
+	h2.Observe(50)
+	if q := h2.Quantile(0.9); q != 2 {
+		t.Fatalf("overflow quantile = %v, want 2", q)
+	}
+	// Out-of-range q.
+	if !math.IsNaN(h.Quantile(-0.1)) || !math.IsNaN(h.Quantile(1.1)) {
+		t.Fatal("out-of-range q accepted")
+	}
+}

@@ -1,0 +1,192 @@
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Ack is one caller's handle on an in-flight append. Wait blocks until
+// the record's batch has been fsynced (or failed); the latency
+// accessors then report where the time went: queued behind the
+// previous batch, written+synced with its own batch, and the total
+// enqueue-to-durable commit latency.
+type Ack struct {
+	lsn     uint64
+	typ     uint8
+	data    []byte
+	barrier bool
+
+	enqueued time.Time
+	queue    time.Duration
+	flush    time.Duration
+	commit   time.Duration
+
+	err  error
+	done chan struct{}
+}
+
+func newAck(typ uint8, data []byte) *Ack {
+	return &Ack{typ: typ, data: data, enqueued: time.Now(), done: make(chan struct{})}
+}
+
+// LSN returns the record's log sequence number (assigned at Append).
+func (a *Ack) LSN() uint64 { return a.lsn }
+
+// Wait blocks until the record is durable and returns the batch's
+// write/sync error, if any.
+func (a *Ack) Wait() error {
+	<-a.done
+	return a.err
+}
+
+// Latencies returns the queue, flush, and total commit durations.
+// Valid only after Wait returns.
+func (a *Ack) Latencies() (queue, flush, commit time.Duration) {
+	return a.queue, a.flush, a.commit
+}
+
+// flusher is the single goroutine that owns the segment files: it
+// blocks for the first pending record, opportunistically drains
+// everything else already queued (up to the batch bounds), writes the
+// whole batch, fsyncs once, and releases every Ack with its timings.
+func (l *Log) flusher() {
+	defer close(l.done)
+	batch := make([]*Ack, 0, l.opts.BatchRecords)
+	for {
+		a, ok := <-l.queue
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], a)
+		bytes := frameHeader + 1 + len(a.data)
+	drain:
+		for len(batch) < l.opts.BatchRecords && bytes < l.opts.BatchBytes {
+			select {
+			case b, ok := <-l.queue:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, b)
+				bytes += frameHeader + 1 + len(b.data)
+			default:
+				break drain
+			}
+		}
+		l.commitBatch(batch)
+	}
+}
+
+// commitBatch writes and syncs one batch, then releases its Acks.
+func (l *Log) commitBatch(batch []*Ack) {
+	start := time.Now()
+	err := l.flushErr
+	records := 0
+	if err == nil {
+		for _, a := range batch {
+			if a.barrier {
+				continue
+			}
+			if err = l.writeFrame(a); err != nil {
+				break
+			}
+			records++
+		}
+	}
+	if err == nil && records > 0 {
+		err = l.syncFile()
+	}
+	if err != nil {
+		// A write/sync failure poisons the log: later batches would
+		// otherwise silently skip the hole.
+		l.flushErr = err
+	}
+	end := time.Now()
+	m := l.opts.Metrics
+	for _, a := range batch {
+		a.err = err
+		a.queue = start.Sub(a.enqueued)
+		a.flush = end.Sub(start)
+		a.commit = end.Sub(a.enqueued)
+		close(a.done)
+		if m != nil && !a.barrier {
+			m.queueLat.Observe(a.queue.Seconds())
+			m.flushLat.Observe(a.flush.Seconds())
+			m.commitLat.Observe(a.commit.Seconds())
+		}
+	}
+	if m != nil && records > 0 {
+		m.batches.Inc()
+		m.batchRecords.Observe(float64(records))
+	}
+}
+
+// writeFrame appends one record frame to the current segment, rotating
+// first when the segment is full.
+func (l *Log) writeFrame(a *Ack) error {
+	if l.cur == nil || (l.curSize > 0 && l.curSize >= int64(l.opts.SegmentBytes)) {
+		if err := l.rotate(a.lsn); err != nil {
+			return err
+		}
+	}
+	var hdr [frameHeader + 1]byte
+	size := uint32(1 + len(a.data))
+	binary.BigEndian.PutUint32(hdr[4:8], size)
+	binary.BigEndian.PutUint64(hdr[8:16], a.lsn)
+	hdr[16] = a.typ
+	crc := crc32.Checksum(hdr[4:], castagnoli)
+	crc = crc32.Update(crc, castagnoli, a.data)
+	binary.BigEndian.PutUint32(hdr[0:4], crc)
+	if _, err := l.cur.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := l.cur.Write(a.data); err != nil {
+		return err
+	}
+	n := int64(frameHeader) + int64(size)
+	l.curSize += n
+	if m := l.opts.Metrics; m != nil {
+		m.bytes.Add(n)
+	}
+	return nil
+}
+
+// rotate syncs and closes the current segment and opens a new one
+// whose name records its first LSN.
+func (l *Log) rotate(firstLSN uint64) error {
+	if l.cur != nil {
+		if err := l.syncFile(); err != nil {
+			return err
+		}
+		if err := l.cur.Close(); err != nil {
+			return err
+		}
+		l.cur = nil
+	}
+	f, err := os.OpenFile(filepath.Join(l.opts.Dir, segmentName(firstLSN)),
+		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	l.cur, l.curSize, l.curFirst = f, 0, firstLSN
+	if m := l.opts.Metrics; m != nil {
+		m.segments.Inc()
+	}
+	return nil
+}
+
+// syncFile fsyncs the current segment (unless NoSync).
+func (l *Log) syncFile() error {
+	if l.cur == nil || l.opts.NoSync {
+		return nil
+	}
+	if err := l.cur.Sync(); err != nil {
+		return err
+	}
+	if m := l.opts.Metrics; m != nil {
+		m.fsyncs.Inc()
+	}
+	return nil
+}

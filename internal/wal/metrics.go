@@ -1,0 +1,54 @@
+package wal
+
+import "elmo/internal/telemetry"
+
+// Metrics bundles the log's telemetry handles. The latency histograms
+// reuse the control-plane bucket layout (1µs..5s), which brackets both
+// an in-page-cache flush and a slow platter fsync.
+type Metrics struct {
+	appends   *telemetry.Counter
+	batches   *telemetry.Counter
+	fsyncs    *telemetry.Counter
+	segments  *telemetry.Counter
+	truncated *telemetry.Counter
+	bytes     *telemetry.Counter
+
+	batchRecords *telemetry.Histogram
+	queueLat     *telemetry.Histogram
+	flushLat     *telemetry.Histogram
+	commitLat    *telemetry.Histogram
+}
+
+// NewMetrics registers the WAL metric families in reg.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	lat := reg.HistogramVec("elmo_wal_latency_seconds",
+		"Group-commit latency by stage: queue (behind the previous batch), flush (write+fsync of own batch), commit (enqueue to durable).",
+		telemetry.LatencyBuckets, "stage")
+	return &Metrics{
+		appends: reg.Counter("elmo_wal_appends_total",
+			"Records enqueued for group commit."),
+		batches: reg.Counter("elmo_wal_batches_total",
+			"Group-commit batches flushed."),
+		fsyncs: reg.Counter("elmo_wal_fsyncs_total",
+			"fsync calls issued (one per batch plus segment rotations)."),
+		segments: reg.Counter("elmo_wal_segments_created_total",
+			"Segment files created."),
+		truncated: reg.Counter("elmo_wal_segments_truncated_total",
+			"Segment files removed by snapshot truncation."),
+		bytes: reg.Counter("elmo_wal_bytes_total",
+			"Frame bytes written to segments."),
+		batchRecords: reg.Histogram("elmo_wal_batch_records",
+			"Records coalesced per group-commit batch.",
+			telemetry.ExponentialBuckets(1, 2, 13)),
+		queueLat:  lat.With("queue"),
+		flushLat:  lat.With("flush"),
+		commitLat: lat.With("commit"),
+	}
+}
+
+// CommitLatency exposes the commit-stage histogram (for benchmark
+// reporting).
+func (m *Metrics) CommitLatency() *telemetry.Histogram { return m.commitLat }
+
+// BatchRecords exposes the per-batch record-count histogram.
+func (m *Metrics) BatchRecords() *telemetry.Histogram { return m.batchRecords }

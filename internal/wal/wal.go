@@ -1,0 +1,413 @@
+// Package wal implements the controller's write-ahead log: a
+// segmented, CRC-checksummed, append-only record log with a
+// channel-based group-commit batcher. Callers enqueue records and get
+// back an Ack; a single flusher goroutine drains the queue, writes a
+// whole batch, fsyncs once, and then releases every Ack in the batch
+// with its queue/flush/commit latencies. Batching amortizes the fsync —
+// the dominant cost of durability — across every record that arrived
+// while the previous batch was on the platter, which is what lets the
+// control plane sustain high op rates while still acking only after
+// the bytes are durable.
+//
+// On-disk layout: the log directory holds segment files named by the
+// LSN of their first record (0000000000000001.wal). Each record is
+// framed as
+//
+//	crc32c(4) | size(4) | lsn(8) | type(1) | data
+//
+// with the checksum covering size..data. Replay validates every frame
+// and requires LSNs to be contiguous; a torn frame at the very tail of
+// the last segment (the crash window of an in-flight batch) terminates
+// replay cleanly, while corruption anywhere else is an error.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+const (
+	// frameHeader is crc(4) + size(4) + lsn(8).
+	frameHeader = 16
+	// segmentSuffix names segment files.
+	segmentSuffix = ".wal"
+
+	// DefaultSegmentBytes rotates segments at 16 MiB.
+	DefaultSegmentBytes = 16 << 20
+	// DefaultBatchRecords caps records coalesced into one fsync.
+	DefaultBatchRecords = 4096
+	// DefaultBatchBytes caps the byte size of one batch.
+	DefaultBatchBytes = 4 << 20
+)
+
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures a Log.
+type Options struct {
+	// Dir is the segment directory (created if missing).
+	Dir string
+	// SegmentBytes rotates to a new segment once the current one
+	// reaches this size (0 = DefaultSegmentBytes).
+	SegmentBytes int
+	// BatchRecords / BatchBytes bound one group-commit batch
+	// (0 = defaults).
+	BatchRecords int
+	BatchBytes   int
+	// NoSync skips fsync (tests and benchmarks that measure the
+	// batching pipeline rather than the disk).
+	NoSync bool
+	// Metrics, when non-nil, receives append/batch/fsync counters and
+	// the queue/flush/commit latency histograms.
+	Metrics *Metrics
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.BatchRecords <= 0 {
+		o.BatchRecords = DefaultBatchRecords
+	}
+	if o.BatchBytes <= 0 {
+		o.BatchBytes = DefaultBatchBytes
+	}
+	return o
+}
+
+// Record is one replayed log entry. Data aliases the replay buffer and
+// is valid only for the duration of the callback; copy it to retain.
+type Record struct {
+	LSN  uint64
+	Type uint8
+	Data []byte
+}
+
+// Log is an append-only segmented record log. Append may be called
+// concurrently; one flusher goroutine owns the files.
+type Log struct {
+	opts Options
+
+	mu      sync.Mutex // serializes LSN assignment + enqueue order
+	nextLSN uint64
+	closed  bool
+
+	queue chan *Ack
+	done  chan struct{}
+
+	// flusher-owned state (no locking: single goroutine).
+	cur      *os.File
+	curSize  int64
+	curFirst uint64
+	flushErr error
+}
+
+// Open opens (or creates) the log in opts.Dir, scanning existing
+// segments to find the next LSN. A torn frame at the tail of the last
+// segment — the signature of a crash mid-batch — is truncated away so
+// appends resume cleanly; the records before it were never acked.
+func Open(opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("wal: empty dir")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	segs, err := listSegments(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{
+		opts:    opts,
+		nextLSN: 1,
+		queue:   make(chan *Ack, opts.BatchRecords),
+		done:    make(chan struct{}),
+	}
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
+		lastLSN, validLen, err := scanSegment(filepath.Join(opts.Dir, last.name), last.first, true)
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.Join(opts.Dir, last.name)
+		if fi, err := os.Stat(path); err == nil && fi.Size() > validLen {
+			if err := os.Truncate(path, validLen); err != nil {
+				return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", last.name, err)
+			}
+		}
+		if lastLSN > 0 {
+			l.nextLSN = lastLSN + 1
+		} else {
+			l.nextLSN = last.first
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		l.cur, l.curSize, l.curFirst = f, validLen, last.first
+	}
+	go l.flusher()
+	return l, nil
+}
+
+// Dir returns the segment directory.
+func (l *Log) Dir() string { return l.opts.Dir }
+
+// NextLSN returns the LSN the next appended record will receive.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// LastLSN returns the LSN of the most recently enqueued record (0 when
+// the log is empty).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// Append enqueues one record for group commit and returns its Ack. The
+// record's LSN is assigned in enqueue order — callers that need the
+// log order to match an apply order hold their own mutex across
+// Append and the apply. Wait for durability with Ack.Wait.
+func (l *Log) Append(typ uint8, data []byte) (*Ack, error) {
+	a := newAck(typ, data)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("wal: log closed")
+	}
+	a.lsn = l.nextLSN
+	l.nextLSN++
+	l.queue <- a
+	l.mu.Unlock()
+	if m := l.opts.Metrics; m != nil {
+		m.appends.Inc()
+	}
+	return a, nil
+}
+
+// AppendSync appends one record and blocks until it is durable,
+// returning its LSN.
+func (l *Log) AppendSync(typ uint8, data []byte) (uint64, error) {
+	a, err := l.Append(typ, data)
+	if err != nil {
+		return 0, err
+	}
+	if err := a.Wait(); err != nil {
+		return 0, err
+	}
+	return a.LSN(), nil
+}
+
+// Sync enqueues a barrier and waits for every record enqueued before
+// it to be durable.
+func (l *Log) Sync() error {
+	a := newAck(0, nil)
+	a.barrier = true
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: log closed")
+	}
+	l.queue <- a
+	l.mu.Unlock()
+	return a.Wait()
+}
+
+// Close drains the queue, syncs, and releases the files. Appends after
+// Close fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	close(l.queue)
+	l.mu.Unlock()
+	<-l.done
+	if l.cur != nil {
+		if err := l.syncFile(); err != nil {
+			l.cur.Close()
+			return err
+		}
+		err := l.cur.Close()
+		l.cur = nil
+		return err
+	}
+	return l.flushErr
+}
+
+// TruncateThrough removes whole segments whose records all have
+// LSN <= lsn (snapshot-covered prefix). The active segment is never
+// removed. Returns the number of segments deleted.
+func (l *Log) TruncateThrough(lsn uint64) (int, error) {
+	segs, err := listSegments(l.opts.Dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i := 0; i+1 < len(segs); i++ {
+		// Segment i spans [segs[i].first, segs[i+1].first-1].
+		if segs[i+1].first-1 > lsn {
+			break
+		}
+		if err := os.Remove(filepath.Join(l.opts.Dir, segs[i].name)); err != nil {
+			return removed, fmt.Errorf("wal: %w", err)
+		}
+		removed++
+	}
+	if m := l.opts.Metrics; m != nil && removed > 0 {
+		m.truncated.Add(int64(removed))
+	}
+	return removed, nil
+}
+
+// segment is one discovered segment file.
+type segment struct {
+	name  string
+	first uint64
+}
+
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		first, err := strconv.ParseUint(strings.TrimSuffix(name, segmentSuffix), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("wal: unrecognized segment name %q", name)
+		}
+		segs = append(segs, segment{name: name, first: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	for i := 1; i < len(segs); i++ {
+		if segs[i].first <= segs[i-1].first {
+			return nil, fmt.Errorf("wal: overlapping segments %s and %s", segs[i-1].name, segs[i].name)
+		}
+	}
+	return segs, nil
+}
+
+func segmentName(first uint64) string {
+	return fmt.Sprintf("%016d%s", first, segmentSuffix)
+}
+
+// scanSegment walks one segment validating frames. It returns the last
+// valid LSN (0 if the segment holds no valid record) and the byte
+// offset where valid data ends. With tolerateTail, an invalid frame
+// ends the scan cleanly (crash tail); otherwise it is an error.
+func scanSegment(path string, first uint64, tolerateTail bool) (lastLSN uint64, validLen int64, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	want := first
+	off := int64(0)
+	for int64(len(buf))-off >= frameHeader {
+		rest := buf[off:]
+		size := binary.BigEndian.Uint32(rest[4:8])
+		lsn := binary.BigEndian.Uint64(rest[8:16])
+		frameLen := int64(frameHeader) + int64(size)
+		ok := size >= 1 && int64(len(rest)) >= frameLen && lsn == want &&
+			binary.BigEndian.Uint32(rest[0:4]) == crc32.Checksum(rest[4:frameLen], castagnoli)
+		if !ok {
+			if tolerateTail {
+				return lastLSN, off, nil
+			}
+			return 0, 0, fmt.Errorf("wal: corrupt frame at %s+%d (lsn %d expected)", filepath.Base(path), off, want)
+		}
+		lastLSN = lsn
+		want = lsn + 1
+		off += frameLen
+	}
+	if off < int64(len(buf)) && !tolerateTail {
+		return 0, 0, fmt.Errorf("wal: trailing garbage at %s+%d", filepath.Base(path), off)
+	}
+	if tolerateTail {
+		return lastLSN, off, nil
+	}
+	return lastLSN, off, nil
+}
+
+// Replay streams every record with LSN >= from, in order, to fn. A torn
+// tail in the final segment ends replay cleanly (those records were
+// never acked); corruption anywhere else, or a gap in the LSN
+// sequence, is an error. fn's Record.Data aliases an internal buffer.
+func Replay(dir string, from uint64, fn func(Record) error) (last uint64, err error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	var want uint64 // next expected LSN; 0 until the first record
+	for si, seg := range segs {
+		// Skip segments that end before from: segment i ends at
+		// segs[i+1].first-1.
+		if si+1 < len(segs) && segs[si+1].first <= from {
+			want = segs[si+1].first
+			last = segs[si+1].first - 1
+			continue
+		}
+		final := si == len(segs)-1
+		buf, err := os.ReadFile(filepath.Join(dir, seg.name))
+		if err != nil {
+			return last, fmt.Errorf("wal: %w", err)
+		}
+		if want != 0 && seg.first != want {
+			return last, fmt.Errorf("wal: gap before %s: expected lsn %d", seg.name, want)
+		}
+		want = seg.first
+		off := int64(0)
+		for int64(len(buf))-off >= frameHeader {
+			rest := buf[off:]
+			size := binary.BigEndian.Uint32(rest[4:8])
+			lsn := binary.BigEndian.Uint64(rest[8:16])
+			frameLen := int64(frameHeader) + int64(size)
+			ok := size >= 1 && int64(len(rest)) >= frameLen && lsn == want &&
+				binary.BigEndian.Uint32(rest[0:4]) == crc32.Checksum(rest[4:frameLen], castagnoli)
+			if !ok {
+				if final {
+					return last, nil // torn tail: clean end of log
+				}
+				return last, fmt.Errorf("wal: corrupt frame at %s+%d", seg.name, off)
+			}
+			if lsn >= from {
+				if err := fn(Record{LSN: lsn, Type: rest[16], Data: rest[17:frameLen]}); err != nil {
+					return last, err
+				}
+			}
+			last = lsn
+			want = lsn + 1
+			off += frameLen
+		}
+		if off < int64(len(buf)) && !final {
+			return last, fmt.Errorf("wal: trailing garbage at %s+%d", seg.name, off)
+		}
+	}
+	return last, nil
+}
