@@ -96,9 +96,18 @@ type DurableController struct {
 	walMet  *wal.Metrics
 	snapLSN uint64
 	closed  bool
+	// snapMu serializes the whole snapshot path (state write + rename +
+	// log truncation): two racing snapshots could otherwise rename an
+	// older state over a newer one while the newer LSN drives
+	// truncation, deleting segments the surviving snapshot needs.
+	snapMu sync.Mutex
 	// replErr latches the first replication failure; the leader keeps
-	// serving (followers are warm spares, not a quorum).
-	replErr error
+	// serving (followers are warm spares, not a quorum), but the stall
+	// is an alarm: replSkipped counts every record followers missed,
+	// Heartbeat returns the latched error so the probe machinery sees
+	// it, and ReplicationErr exposes it directly.
+	replErr     error
+	replSkipped *telemetry.Counter
 }
 
 // Open recovers (or initializes) a durable controller in opts.Dir:
@@ -136,14 +145,14 @@ func Open(topo *topology.Topology, cfg controller.Config, opts Options) (*Durabl
 
 	// 2. Replay the log after the snapshot.
 	start := time.Now()
-	var pending []controller.BatchSpec
-	pendingRecs := 0
+	var asm batchAssembler
+	var pendingFirst uint64
 	last, err := wal.Replay(walDir, from, func(rec wal.Record) error {
 		op, err := DecodeRecord(rec.Data)
 		if err != nil {
 			return fmt.Errorf("lsn %d: %w", rec.LSN, err)
 		}
-		if op.Type != RecBatch && len(pending) > 0 {
+		if op.Type != RecBatch && asm.pending() {
 			return fmt.Errorf("lsn %d: %s interleaved with batch chunks", rec.LSN, recName(op.Type))
 		}
 		switch op.Type {
@@ -156,11 +165,15 @@ func Open(topo *topology.Topology, cfg controller.Config, opts Options) (*Durabl
 		case RecRemove:
 			_ = ctrl.RemoveGroup(op.Key)
 		case RecBatch:
-			pending = append(pending, op.Specs...)
-			pendingRecs++
+			if !asm.pending() {
+				pendingFirst = rec.LSN
+			}
+			if err := asm.add(op); err != nil {
+				return fmt.Errorf("lsn %d: %w", rec.LSN, err)
+			}
 			if !op.More {
-				_, _ = ctrl.InstallBatch(pending, controller.BatchOptions{Workers: opts.BatchWorkers})
-				pending, pendingRecs = nil, 0
+				_, _ = ctrl.InstallBatch(asm.specs, controller.BatchOptions{Workers: opts.BatchWorkers})
+				asm.reset()
 			}
 		case RecHeartbeat:
 			// Liveness only; no state.
@@ -171,12 +184,20 @@ func Open(topo *topology.Topology, cfg controller.Config, opts Options) (*Durabl
 	if err != nil {
 		return nil, nil, fmt.Errorf("durable: replay: %w", err)
 	}
-	if len(pending) > 0 {
+	if asm.pending() {
 		// The log ends inside a chunked batch: the final chunk never
 		// became durable, so the batch was never acked nor (on the
-		// crashed instance's durable prefix) applied. Drop it.
-		stats.Replayed -= pendingRecs
-		stats.DroppedTail = pendingRecs
+		// crashed instance's durable prefix) applied. Dropping it
+		// logically is not enough — the surviving chunks are durable
+		// frames, and a later recovery would replay them into an error
+		// or merge them into an unrelated batch — so truncate them off
+		// the log before reopening it for append.
+		stats.Replayed -= asm.recs
+		stats.DroppedTail = asm.recs
+		if err := wal.TruncateFrom(walDir, pendingFirst); err != nil {
+			return nil, nil, fmt.Errorf("durable: dropping batch tail: %w", err)
+		}
+		last = pendingFirst - 1
 	}
 	stats.ReplayElapsed = time.Since(start)
 	stats.LastLSN = last
@@ -184,8 +205,11 @@ func Open(topo *topology.Topology, cfg controller.Config, opts Options) (*Durabl
 
 	// 3. Open the WAL for appending (truncates any torn tail).
 	var met *wal.Metrics
+	var replSkipped *telemetry.Counter
 	if opts.Registry != nil {
 		met = wal.NewMetrics(opts.Registry)
+		replSkipped = opts.Registry.Counter("elmo_durable_repl_skipped_total",
+			"Records not replicated because the replication stream stalled (followers are stale until resynced).")
 	}
 	log, err := wal.Open(wal.Options{
 		Dir:          walDir,
@@ -196,7 +220,7 @@ func Open(topo *topology.Topology, cfg controller.Config, opts Options) (*Durabl
 	if err != nil {
 		return nil, nil, err
 	}
-	d := &DurableController{ctrl: ctrl, log: log, opts: opts, walMet: met, snapLSN: stats.SnapshotLSN}
+	d := &DurableController{ctrl: ctrl, log: log, opts: opts, walMet: met, snapLSN: stats.SnapshotLSN, replSkipped: replSkipped}
 	return d, stats, nil
 }
 
@@ -243,20 +267,42 @@ func (d *DurableController) mutate(payload []byte, apply func() error) error {
 }
 
 func (d *DurableController) streamLocked(lsn uint64, payload []byte) {
-	if d.opts.Replicate == nil || d.replErr != nil {
+	if d.opts.Replicate == nil {
+		return
+	}
+	if d.replErr != nil {
+		if d.replSkipped != nil {
+			d.replSkipped.Inc()
+		}
 		return
 	}
 	if err := d.opts.Replicate(lsn, payload); err != nil {
-		d.replErr = err
+		d.replErr = fmt.Errorf("durable: replication stalled at lsn %d: %w", lsn, err)
+		if d.replSkipped != nil {
+			d.replSkipped.Inc()
+		}
 	}
 }
 
-// CreateGroup durably creates a group.
+// CreateGroup durably creates a group. A membership too large to fit
+// one streamable record is logged through the chunked batch path
+// instead (InstallBatch replay is byte-identical to CreateGroup), so
+// no single create can exceed the replication layer's record size
+// limit.
 func (d *DurableController) CreateGroup(key controller.GroupKey, members map[topology.HostID]controller.Role) error {
-	return d.mutate(EncodeCreate(key, members), func() error {
+	payload := EncodeCreate(key, members)
+	if len(payload) <= maxChunkBytes {
+		return d.mutate(payload, func() error {
+			_, err := d.ctrl.CreateGroup(key, members)
+			return err
+		})
+	}
+	chunks := EncodeBatchChunks([]controller.BatchSpec{{Key: key, Members: members}})
+	_, err := d.mutateChunks(chunks, func() (*controller.BatchResult, error) {
 		_, err := d.ctrl.CreateGroup(key, members)
-		return err
+		return nil, err
 	})
+	return err
 }
 
 // Join durably adds (or upgrades) a member.
@@ -285,7 +331,14 @@ func (d *DurableController) RemoveGroup(key controller.GroupKey) error {
 // chunk is enqueued, and replay drops a trailing incomplete batch, so
 // a crash mid-batch can never surface a half-applied batch.
 func (d *DurableController) InstallBatch(specs []controller.BatchSpec, opts controller.BatchOptions) (*controller.BatchResult, error) {
-	chunks := EncodeBatchChunks(specs)
+	return d.mutateChunks(EncodeBatchChunks(specs), func() (*controller.BatchResult, error) {
+		return d.ctrl.InstallBatch(specs, opts)
+	})
+}
+
+// mutateChunks is the chunked variant of mutate: append every chunk,
+// apply, stream, all under d.mu; wait only on the last chunk's ack.
+func (d *DurableController) mutateChunks(chunks [][]byte, apply func() (*controller.BatchResult, error)) (*controller.BatchResult, error) {
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -300,7 +353,7 @@ func (d *DurableController) InstallBatch(specs []controller.BatchSpec, opts cont
 		}
 		acks = append(acks, ack)
 	}
-	res, applyErr := d.ctrl.InstallBatch(specs, opts)
+	res, applyErr := apply()
 	for i, c := range chunks {
 		d.streamLocked(acks[i].LSN(), c)
 	}
@@ -313,7 +366,10 @@ func (d *DurableController) InstallBatch(specs []controller.BatchSpec, opts cont
 }
 
 // Heartbeat appends a liveness record (no state change) so followers
-// see a moving stream even when the control plane is idle.
+// see a moving stream even when the control plane is idle. A latched
+// replication failure is returned here — the heartbeat is the probe
+// path, so a stalled stream surfaces as an unhealthy leader instead
+// of a silent follower divergence.
 func (d *DurableController) Heartbeat() error {
 	d.mu.Lock()
 	if d.closed {
@@ -326,14 +382,22 @@ func (d *DurableController) Heartbeat() error {
 		return err
 	}
 	d.streamLocked(ack.LSN(), EncodeHeartbeat(ack.LSN()-1))
+	replErr := d.replErr
 	d.mu.Unlock()
-	return ack.Wait()
+	if err := ack.Wait(); err != nil {
+		return err
+	}
+	return replErr
 }
 
 // Snapshot writes the full controller state to an atomically-replaced
 // snapshot file and truncates WAL segments wholly covered by it.
-// Returns the LSN the snapshot covers.
+// Returns the LSN the snapshot covers. Concurrent Snapshot calls are
+// serialized end to end (snapMu), so the file on disk always covers
+// the highest LSN any truncation was driven by.
 func (d *DurableController) Snapshot() (uint64, error) {
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
 	// Quiesce mutations so the state matches an exact LSN boundary.
 	d.mu.Lock()
 	if d.closed {

@@ -4,10 +4,12 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"elmo/internal/controller"
 	"elmo/internal/topology"
+	"elmo/internal/wal"
 )
 
 func durableTopo() *topology.Topology { return topology.MustNew(topology.PaperExample()) }
@@ -292,5 +294,168 @@ func TestDurableBatchChunkReplay(t *testing.T) {
 	}
 	if got := d2.Controller().Fingerprint(); got != want {
 		t.Fatal("batch replay diverged")
+	}
+}
+
+// TestDurableDroppedBatchTailTruncated is the regression for the
+// stale-chunk bug: a crash mid-batch leaves durable RecBatch chunks
+// with no terminal chunk. Recovery must not only drop the batch
+// logically but remove the chunks from the log — otherwise the NEXT
+// recovery either fails ("interleaved with batch chunks") or merges
+// the dead chunks into a later batch, resurrecting groups that were
+// reported lost.
+func TestDurableDroppedBatchTailTruncated(t *testing.T) {
+	specsFor := func(tenant uint32, n int) []controller.BatchSpec {
+		specs := make([]controller.BatchSpec, 0, n)
+		for i := 0; i < n; i++ {
+			specs = append(specs, controller.BatchSpec{
+				Key:     controller.GroupKey{Tenant: tenant, Group: uint32(i + 1)},
+				Members: map[topology.HostID]controller.Role{topology.HostID(i % 64): controller.RoleBoth},
+			})
+		}
+		return specs
+	}
+	crashMidBatch := func(t *testing.T, dir string) {
+		// Simulate the crash window: every chunk except the terminal one
+		// became durable.
+		chunks := EncodeBatchChunks(specsFor(9, batchChunkSpecs+50))
+		if len(chunks) < 2 {
+			t.Fatalf("batch encoded as %d chunks", len(chunks))
+		}
+		l, err := wal.Open(wal.Options{Dir: filepath.Join(dir, "wal"), NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range chunks[:len(chunks)-1] {
+			if _, err := l.AppendSync(RecBatch, c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keyA := controller.GroupKey{Tenant: 1, Group: 1}
+	keyB := controller.GroupKey{Tenant: 1, Group: 2}
+	members := map[topology.HostID]controller.Role{0: controller.RoleBoth, 40: controller.RoleReceiver}
+
+	t.Run("followed-by-single-op", func(t *testing.T) {
+		dir := t.TempDir()
+		d1, _ := openTest(t, dir)
+		if err := d1.CreateGroup(keyA, members); err != nil {
+			t.Fatal(err)
+		}
+		if err := d1.Close(); err != nil {
+			t.Fatal(err)
+		}
+		crashMidBatch(t, dir)
+
+		d2, stats := openTest(t, dir)
+		if stats.DroppedTail == 0 {
+			t.Fatal("incomplete batch tail not detected")
+		}
+		// The op that used to blow up the NEXT recovery.
+		if err := d2.CreateGroup(keyB, members); err != nil {
+			t.Fatal(err)
+		}
+		want := d2.Controller().Fingerprint()
+		if err := d2.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		d3, stats := openTest(t, dir)
+		defer d3.Close()
+		if stats.DroppedTail != 0 {
+			t.Fatalf("second recovery still drops %d records", stats.DroppedTail)
+		}
+		if got := d3.Controller().Fingerprint(); got != want {
+			t.Fatalf("fingerprint %s != %s", got, want)
+		}
+		if n := d3.Controller().NumGroups(); n != 2 {
+			t.Fatalf("recovered %d groups, want 2", n)
+		}
+	})
+
+	t.Run("followed-by-batch", func(t *testing.T) {
+		dir := t.TempDir()
+		d1, _ := openTest(t, dir)
+		if err := d1.CreateGroup(keyA, members); err != nil {
+			t.Fatal(err)
+		}
+		if err := d1.Close(); err != nil {
+			t.Fatal(err)
+		}
+		crashMidBatch(t, dir)
+
+		d2, _ := openTest(t, dir)
+		fresh := specsFor(5, 10)
+		if _, err := d2.InstallBatch(fresh, controller.BatchOptions{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+		want := d2.Controller().Fingerprint()
+		if err := d2.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		d3, _ := openTest(t, dir)
+		defer d3.Close()
+		if got := d3.Controller().Fingerprint(); got != want {
+			t.Fatal("recovery merged dead chunks into the new batch")
+		}
+		// None of the dropped batch's tenant-9 groups may exist.
+		for _, k := range d3.Controller().GroupKeys() {
+			if k.Tenant == 9 {
+				t.Fatalf("dropped group %v resurrected", k)
+			}
+		}
+		if n := d3.Controller().NumGroups(); n != 1+len(fresh) {
+			t.Fatalf("recovered %d groups, want %d", n, 1+len(fresh))
+		}
+	})
+}
+
+// TestDurableConcurrentSnapshots races Snapshot calls against live
+// mutations: serialization must guarantee the snapshot on disk always
+// covers every segment any snapshot's truncation removed, so recovery
+// never hits an LSN gap.
+func TestDurableConcurrentSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	d1, _, err := Open(durableTopo(), durableCfg(), Options{Dir: dir, NoSync: true, BatchWorkers: 1, SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := d1.Snapshot(); err != nil {
+					t.Errorf("snapshot: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 300; i++ {
+		_ = d1.CreateGroup(controller.GroupKey{Tenant: 4, Group: uint32(i + 1)},
+			map[topology.HostID]controller.Role{topology.HostID(i % 64): controller.RoleBoth, topology.HostID((i + 7) % 64): controller.RoleReceiver})
+	}
+	close(stop)
+	wg.Wait()
+	want := d1.Controller().Fingerprint()
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := openTest(t, dir)
+	defer d2.Close()
+	if got := d2.Controller().Fingerprint(); got != want {
+		t.Fatalf("recovery after racing snapshots: %s != %s", got, want)
 	}
 }

@@ -21,9 +21,12 @@ const (
 	RecLeave byte = 3
 	// RecRemove: key.
 	RecRemove byte = 4
-	// RecBatch: more(1) | spec count | specs. A large InstallBatch is
+	// RecBatch: flags(1) | spec count | specs. A large InstallBatch is
 	// chunked across consecutive records; every chunk except the last
-	// sets more=1. Replay accumulates chunks and applies them as ONE
+	// sets the "more" flag bit. A chunk whose first spec continues the
+	// previous chunk's last spec (a single membership too large for one
+	// chunk) sets the "cont" flag bit; reassembly merges the two specs'
+	// members. Replay accumulates chunks and applies them as ONE
 	// InstallBatch, preserving the all-at-once admission order that
 	// produced the logged outcome.
 	RecBatch byte = 5
@@ -32,9 +35,22 @@ const (
 	RecHeartbeat byte = 6
 )
 
-// batchChunkSpecs bounds the specs per RecBatch record so records stay
-// well under the rsm command size limit when streamed to followers.
+// RecBatch flag bits.
+const (
+	batchFlagMore byte = 1 << 0
+	batchFlagCont byte = 1 << 1
+)
+
+// batchChunkSpecs bounds the specs per RecBatch record, keeping replay
+// accumulation incremental.
 const batchChunkSpecs = 256
+
+// maxChunkBytes bounds one chunk's encoded spec bytes. The whole
+// record payload doubles as an rsm command value when streamed to
+// followers, and rsm.Command.Marshal rejects values over 0xffff — the
+// bound leaves ample headroom for the record header, so a chunk can
+// never fail replication on size alone.
+const maxChunkBytes = 56 << 10
 
 // OpRecord is a decoded WAL record.
 type OpRecord struct {
@@ -45,6 +61,7 @@ type OpRecord struct {
 	Members map[topology.HostID]controller.Role // RecCreate
 	Specs   []controller.BatchSpec              // RecBatch
 	More    bool                                // RecBatch: further chunks follow
+	Cont    bool                                // RecBatch: first spec continues the previous chunk's last spec
 }
 
 func appendKey(b []byte, key controller.GroupKey) []byte {
@@ -91,36 +108,114 @@ func EncodeRemove(key controller.GroupKey) []byte {
 }
 
 // EncodeBatchChunks splits an InstallBatch's specs into RecBatch
-// payloads, all but the last flagged "more".
+// payloads, all but the last flagged "more". Chunks are bounded by
+// both spec count (batchChunkSpecs) and encoded size (maxChunkBytes):
+// a spec whose membership alone exceeds the byte bound is split at a
+// member boundary, with the follow-on pieces repeating the key in a
+// fresh chunk flagged "cont" so reassembly merges them back into one
+// spec.
 func EncodeBatchChunks(specs []controller.BatchSpec) [][]byte {
-	if len(specs) == 0 {
-		return [][]byte{encodeBatchChunk(nil, false)}
+	type rawChunk struct {
+		body  []byte
+		count int
+		cont  bool
 	}
-	var out [][]byte
-	for off := 0; off < len(specs); off += batchChunkSpecs {
-		end := off + batchChunkSpecs
-		if end > len(specs) {
-			end = len(specs)
+	var chunks []rawChunk
+	var cur rawChunk
+	flush := func() {
+		chunks = append(chunks, cur)
+		cur = rawChunk{}
+	}
+	for _, s := range specs {
+		hosts := sortedHosts(s.Members)
+		start := 0
+		first := true
+		for {
+			if cur.count >= batchChunkSpecs {
+				flush()
+			}
+			rem := maxChunkBytes - len(cur.body)
+			end := pieceEnd(hosts, start, rem)
+			if end == start && len(hosts) > 0 {
+				// Not even one member fits; an empty chunk always fits
+				// at least one, so this chunk just needs flushing.
+				flush()
+				continue
+			}
+			if !first && cur.count == 0 {
+				cur.cont = true
+			}
+			cur.body = appendKey(cur.body, s.Key)
+			cur.body = binary.AppendUvarint(cur.body, uint64(end-start))
+			for _, h := range hosts[start:end] {
+				cur.body = binary.AppendUvarint(cur.body, uint64(h))
+				cur.body = append(cur.body, byte(s.Members[h]))
+			}
+			cur.count++
+			first = false
+			start = end
+			if start >= len(hosts) {
+				break
+			}
 		}
-		out = append(out, encodeBatchChunk(specs[off:end], end < len(specs)))
+	}
+	if len(chunks) == 0 && cur.count == 0 {
+		// Empty batch still encodes one terminal chunk.
+		flush()
+	} else if cur.count > 0 {
+		flush()
+	}
+	out := make([][]byte, len(chunks))
+	for i, c := range chunks {
+		var flags byte
+		if i < len(chunks)-1 {
+			flags |= batchFlagMore
+		}
+		if c.cont {
+			flags |= batchFlagCont
+		}
+		p := make([]byte, 0, 2+binary.MaxVarintLen64+len(c.body))
+		p = append(p, RecBatch, flags)
+		p = binary.AppendUvarint(p, uint64(c.count))
+		p = append(p, c.body...)
+		out[i] = p
 	}
 	return out
 }
 
-func encodeBatchChunk(specs []controller.BatchSpec, more bool) []byte {
-	b := make([]byte, 0, 2+16*len(specs))
-	b = append(b, RecBatch)
-	if more {
-		b = append(b, 1)
-	} else {
-		b = append(b, 0)
+func sortedHosts(members map[topology.HostID]controller.Role) []topology.HostID {
+	hosts := make([]topology.HostID, 0, len(members))
+	for h := range members {
+		hosts = append(hosts, h)
 	}
-	b = binary.AppendUvarint(b, uint64(len(specs)))
-	for _, s := range specs {
-		b = appendKey(b, s.Key)
-		b = appendMembers(b, s.Members)
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	return hosts
+}
+
+// pieceEnd returns the largest end such that hosts[start:end] encodes
+// (with key and count prefix) in at most rem bytes.
+func pieceEnd(hosts []topology.HostID, start, rem int) int {
+	end := start
+	memBytes := 0
+	for end < len(hosts) {
+		mb := uvarintLen(uint64(hosts[end])) + 1
+		n := end - start + 1
+		if 8+uvarintLen(uint64(n))+memBytes+mb > rem {
+			break
+		}
+		memBytes += mb
+		end++
 	}
-	return b
+	return end
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 // EncodeHeartbeat builds a RecHeartbeat payload carrying the leader's
@@ -236,20 +331,24 @@ func DecodeRecord(b []byte) (OpRecord, error) {
 			return rec, err
 		}
 	case RecBatch:
-		more, err := r.byte()
+		flags, err := r.byte()
 		if err != nil {
 			return rec, err
 		}
-		if more > 1 {
-			return rec, fmt.Errorf("durable: bad more flag %d", more)
+		if flags&^(batchFlagMore|batchFlagCont) != 0 {
+			return rec, fmt.Errorf("durable: bad batch flags %#x", flags)
 		}
-		rec.More = more == 1
+		rec.More = flags&batchFlagMore != 0
+		rec.Cont = flags&batchFlagCont != 0
 		n, err := r.uvarint()
 		if err != nil {
 			return rec, err
 		}
 		if n > uint64(len(r.b)-r.off) {
 			return rec, fmt.Errorf("durable: spec count %d exceeds record", n)
+		}
+		if rec.Cont && n == 0 {
+			return rec, fmt.Errorf("durable: continuation chunk with no specs")
 		}
 		rec.Specs = make([]controller.BatchSpec, 0, n)
 		for i := uint64(0); i < n; i++ {
@@ -275,3 +374,39 @@ func DecodeRecord(b []byte) (OpRecord, error) {
 	}
 	return rec, nil
 }
+
+// batchAssembler reassembles a chunked InstallBatch from consecutive
+// RecBatch records, merging a spec split across a continuation
+// boundary back into one membership. Replay and followers share it so
+// both sides reconstruct the exact batch the leader admitted.
+type batchAssembler struct {
+	specs []controller.BatchSpec
+	recs  int
+}
+
+// pending reports whether a batch is mid-assembly.
+func (a *batchAssembler) pending() bool { return a.recs > 0 }
+
+// add folds one decoded RecBatch chunk in.
+func (a *batchAssembler) add(op OpRecord) error {
+	specs := op.Specs
+	if op.Cont {
+		if len(a.specs) == 0 || len(specs) == 0 {
+			return fmt.Errorf("durable: continuation chunk without a spec to continue")
+		}
+		last := &a.specs[len(a.specs)-1]
+		if specs[0].Key != last.Key {
+			return fmt.Errorf("durable: continuation key %v does not match %v", specs[0].Key, last.Key)
+		}
+		for h, r := range specs[0].Members {
+			last.Members[h] = r
+		}
+		specs = specs[1:]
+	}
+	a.specs = append(a.specs, specs...)
+	a.recs++
+	return nil
+}
+
+// reset clears the assembler after the batch is applied (or dropped).
+func (a *batchAssembler) reset() { a.specs, a.recs = nil, 0 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"elmo/internal/controller"
+	"elmo/internal/rsm"
 	"elmo/internal/topology"
 )
 
@@ -110,5 +111,115 @@ func TestDecodeRecordRejectsCorruptInput(t *testing.T) {
 		mut := bytes.Clone(valid)
 		mut[off] ^= 0xff
 		_, _ = DecodeRecord(mut)
+	}
+}
+
+// TestBatchChunkingByteBound drives memberships large enough that the
+// spec-count cap alone would overflow the replication layer's record
+// size limit: every chunk must stay streamable as an rsm command, and
+// a single spec larger than one chunk must split across continuation
+// chunks and reassemble to the exact original membership.
+func TestBatchChunkingByteBound(t *testing.T) {
+	bigMembers := func(n, base int) map[topology.HostID]controller.Role {
+		m := make(map[topology.HostID]controller.Role, n)
+		for i := 0; i < n; i++ {
+			m[topology.HostID(base+i)] = controller.Role(1 + i%3)
+		}
+		return m
+	}
+	cases := []struct {
+		name  string
+		specs []controller.BatchSpec
+	}{
+		{"many-medium-specs", func() []controller.BatchSpec {
+			// 200 specs x ~2000 bytes: fits the count cap, busts the old
+			// single-chunk byte budget many times over.
+			var specs []controller.BatchSpec
+			for i := 0; i < 200; i++ {
+				specs = append(specs, controller.BatchSpec{
+					Key:     controller.GroupKey{Tenant: 1, Group: uint32(i + 1)},
+					Members: bigMembers(500, i),
+				})
+			}
+			return specs
+		}()},
+		{"one-giant-spec", []controller.BatchSpec{{
+			Key:     controller.GroupKey{Tenant: 2, Group: 7},
+			Members: bigMembers(20000, 0),
+		}}},
+		{"giant-between-small", []controller.BatchSpec{
+			{Key: controller.GroupKey{Tenant: 3, Group: 1}, Members: bigMembers(3, 0)},
+			{Key: controller.GroupKey{Tenant: 3, Group: 2}, Members: bigMembers(30000, 0)},
+			{Key: controller.GroupKey{Tenant: 3, Group: 3}, Members: bigMembers(2, 9)},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			chunks := EncodeBatchChunks(tc.specs)
+			var asm batchAssembler
+			for i, c := range chunks {
+				if len(c) > maxChunkBytes+64 {
+					t.Fatalf("chunk %d is %d bytes, bound %d", i, len(c), maxChunkBytes)
+				}
+				// The payload must survive the replication layer verbatim.
+				if _, err := (rsm.Command{Op: rsm.OpApply, Value: string(c)}).Marshal(); err != nil {
+					t.Fatalf("chunk %d not streamable: %v", i, err)
+				}
+				rec, err := DecodeRecord(c)
+				if err != nil {
+					t.Fatalf("chunk %d: %v", i, err)
+				}
+				if wantMore := i < len(chunks)-1; rec.More != wantMore {
+					t.Fatalf("chunk %d more=%v, want %v", i, rec.More, wantMore)
+				}
+				if err := asm.add(rec); err != nil {
+					t.Fatalf("chunk %d: %v", i, err)
+				}
+			}
+			if !reflect.DeepEqual(asm.specs, tc.specs) {
+				t.Fatalf("reassembled %d specs differ from %d input specs", len(asm.specs), len(tc.specs))
+			}
+		})
+	}
+}
+
+// TestBatchAssemblerRejectsBadContinuation covers the stream-corruption
+// guards: a continuation with nothing before it, and one whose key
+// does not match the spec it claims to continue.
+func TestBatchAssemblerRejectsBadContinuation(t *testing.T) {
+	split := EncodeBatchChunks([]controller.BatchSpec{{
+		Key: controller.GroupKey{Tenant: 1, Group: 1},
+		Members: func() map[topology.HostID]controller.Role {
+			m := make(map[topology.HostID]controller.Role)
+			for i := 0; i < 30000; i++ {
+				m[topology.HostID(i)] = controller.RoleReceiver
+			}
+			return m
+		}(),
+	}})
+	if len(split) < 2 {
+		t.Fatalf("giant spec encoded as %d chunks", len(split))
+	}
+	cont, err := DecodeRecord(split[1])
+	if err != nil || !cont.Cont {
+		t.Fatalf("second chunk not a continuation: %+v, %v", cont, err)
+	}
+
+	var orphan batchAssembler
+	if err := orphan.add(cont); err == nil {
+		t.Fatal("continuation without predecessor accepted")
+	}
+
+	var wrongKey batchAssembler
+	first, err := DecodeRecord(split[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Specs[len(first.Specs)-1].Key = controller.GroupKey{Tenant: 9, Group: 9}
+	if err := wrongKey.add(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := wrongKey.add(cont); err == nil {
+		t.Fatal("continuation with mismatched key accepted")
 	}
 }

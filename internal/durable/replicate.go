@@ -26,7 +26,7 @@ import (
 type Follower struct {
 	ctrl         *controller.Controller
 	batchWorkers int
-	pending      []controller.BatchSpec
+	asm          batchAssembler
 	records      int
 	hbLSN        uint64
 }
@@ -48,7 +48,7 @@ func (f *Follower) Apply(payload []byte) error {
 	if err != nil {
 		return err
 	}
-	if op.Type != RecBatch && len(f.pending) > 0 {
+	if op.Type != RecBatch && f.asm.pending() {
 		return fmt.Errorf("durable: %s interleaved with batch chunks in replica stream", recName(op.Type))
 	}
 	switch op.Type {
@@ -61,10 +61,12 @@ func (f *Follower) Apply(payload []byte) error {
 	case RecRemove:
 		_ = f.ctrl.RemoveGroup(op.Key)
 	case RecBatch:
-		f.pending = append(f.pending, op.Specs...)
+		if err := f.asm.add(op); err != nil {
+			return err
+		}
 		if !op.More {
-			_, _ = f.ctrl.InstallBatch(f.pending, controller.BatchOptions{Workers: f.batchWorkers})
-			f.pending = nil
+			_, _ = f.ctrl.InstallBatch(f.asm.specs, controller.BatchOptions{Workers: f.batchWorkers})
+			f.asm.reset()
 		}
 	case RecHeartbeat:
 		// Liveness marker; Records still advances below.
@@ -193,8 +195,22 @@ func (d *Detector) Misses() int { return d.misses }
 // opts.Dir: the standby's state is written as the initial snapshot and
 // a fresh WAL epoch starts after it. A trailing incomplete batch in
 // the stream is discarded (it was never acked by the old leader).
+// opts.Dir must be a fresh epoch: the snapshot is written at LSN 0, so
+// a directory already holding WAL segments (e.g. the dead leader's)
+// would replay stale records from LSN 1 on top of the standby state —
+// Promote refuses such a directory instead of corrupting itself.
 func Promote(f *Follower, opts Options) (*DurableController, *RecoveryStats, error) {
-	f.pending = nil
+	if segs, err := filepath.Glob(filepath.Join(opts.Dir, "wal", "*.wal")); err != nil {
+		return nil, nil, err
+	} else if len(segs) > 0 {
+		return nil, nil, fmt.Errorf("durable: promote into %s: wal already holds %d segments (needs a fresh directory)", opts.Dir, len(segs))
+	}
+	if _, err := os.Stat(filepath.Join(opts.Dir, snapshotFile)); err == nil {
+		return nil, nil, fmt.Errorf("durable: promote into %s: snapshot already exists (needs a fresh directory)", opts.Dir)
+	} else if !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	f.asm.reset()
 	var buf bytes.Buffer
 	if err := f.ctrl.WriteState(&buf); err != nil {
 		return nil, nil, err

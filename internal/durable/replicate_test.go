@@ -2,6 +2,8 @@ package durable
 
 import (
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"elmo/internal/chaos"
@@ -156,5 +158,133 @@ func TestFailoverUnderChaos(t *testing.T) {
 	fx.inj.RestoreHost(replLeader)
 	if fx.inj.HostDown(replLeader) {
 		t.Fatal("RestoreHost did not clear the crash")
+	}
+}
+
+// TestPromoteRefusesDirtyDir: promoting into a directory that already
+// holds a WAL (e.g. reusing the dead leader's) would replay stale
+// records from LSN 1 on top of the standby snapshot. Promote must
+// refuse rather than assume a fresh epoch.
+func TestPromoteRefusesDirtyDir(t *testing.T) {
+	dir := t.TempDir()
+	d1, _ := openTest(t, dir)
+	if err := d1.CreateGroup(controller.GroupKey{Tenant: 1, Group: 1},
+		map[topology.HostID]controller.Role{0: controller.RoleBoth, 8: controller.RoleReceiver}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := NewFollower(durableTopo(), durableCfg(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Promote(f, Options{Dir: dir, NoSync: true}); err == nil {
+		t.Fatal("promote into a directory with an existing WAL accepted")
+	}
+
+	// A snapshot alone (no WAL) is also a stale epoch: refuse.
+	snapOnly := t.TempDir()
+	d2, _ := openTest(t, snapOnly)
+	if err := d2.CreateGroup(controller.GroupKey{Tenant: 1, Group: 2},
+		map[topology.HostID]controller.Role{0: controller.RoleBoth, 8: controller.RoleReceiver}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(filepath.Join(snapOnly, "wal")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Promote(f, Options{Dir: snapOnly, NoSync: true}); err == nil {
+		t.Fatal("promote over an existing snapshot accepted")
+	}
+
+	// A genuinely fresh directory still works.
+	promoted, _, err := Promote(f, Options{Dir: t.TempDir(), NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	promoted.Close()
+}
+
+// TestReplicateOversizedCreate is the regression for the record-size
+// divergence: one CreateGroup whose membership encodes past the rsm
+// command limit used to fail ProposeApply, silently latch the stream
+// off, and leave followers permanently stale. It must now be chunked,
+// replicate cleanly, and recover to the same fingerprint after a
+// crash.
+func TestReplicateOversizedCreate(t *testing.T) {
+	bigTopo := topology.MustNew(topology.TwoTierLeafSpine(4, 96, 256)) // 24576 hosts
+	bigCfg := controller.PaperConfig(0)
+
+	netTopo := durableTopo()
+	netCtrl, err := controller.New(netTopo, controller.PaperConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := fabric.New(netTopo, controller.PaperConfig(0).SRuleCapacity)
+	fab.SetFailures(netCtrl.Failures())
+	rs, err := NewReplicaSet(ReplicaSetConfig{
+		Net:          Net(netCtrl, fab),
+		Key:          controller.GroupKey{Tenant: 200, Group: 2},
+		Leader:       replLeader,
+		Followers:    []topology.HostID{replFollowerA},
+		Window:       64,
+		Topo:         bigTopo,
+		Cfg:          bigCfg,
+		BatchWorkers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	dc, _, err := Open(bigTopo, bigCfg, Options{Dir: dir, NoSync: true, BatchWorkers: 1, Replicate: rs.Replicator()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dc.Close()
+
+	members := make(map[topology.HostID]controller.Role, bigTopo.NumHosts())
+	members[0] = controller.RoleBoth
+	for h := 1; h < bigTopo.NumHosts(); h++ {
+		members[topology.HostID(h)] = controller.RoleReceiver
+	}
+	if n := len(EncodeCreate(controller.GroupKey{Tenant: 1, Group: 1}, members)); n <= maxChunkBytes {
+		t.Fatalf("test membership encodes to %d bytes; not oversized", n)
+	}
+	if err := dc.CreateGroup(controller.GroupKey{Tenant: 1, Group: 1}, members); err != nil {
+		t.Fatal(err)
+	}
+	// A normal op after the big one: the stream must still be alive.
+	if err := dc.Join(controller.GroupKey{Tenant: 1, Group: 1}, 0, controller.RoleBoth); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.ReplicationErr(); err != nil {
+		t.Fatalf("replication stalled: %v", err)
+	}
+	if err := dc.Heartbeat(); err != nil {
+		t.Fatalf("heartbeat reports unhealthy leader: %v", err)
+	}
+	want := dc.Controller().Fingerprint()
+	if got := rs.Follower(replFollowerA).Controller().Fingerprint(); got != want {
+		t.Fatalf("follower fingerprint %s != leader %s", got, want)
+	}
+
+	// And the WAL round-trips the chunked create on recovery.
+	d2, _, err := Open(bigTopo, bigCfg, Options{Dir: dir, NoSync: true, BatchWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got := d2.Controller().Fingerprint(); got != want {
+		t.Fatalf("recovered fingerprint %s != %s", got, want)
 	}
 }

@@ -279,6 +279,80 @@ func (l *Log) TruncateThrough(lsn uint64) (int, error) {
 	return removed, nil
 }
 
+// TruncateFrom physically removes every record with LSN >= lsn from
+// the log directory: segments starting at or after lsn are deleted,
+// and the segment containing lsn is cut at lsn's frame boundary. The
+// segment whose first LSN equals lsn is truncated to zero length
+// rather than removed, so a subsequent Open resumes assigning LSNs at
+// lsn instead of restarting from 1. Recovery uses this to drop a
+// trailing incomplete batch whose chunks are durable but were never
+// acked — leaving them on disk would let a later replay merge them
+// into unrelated records. Must be called while no Log owns the
+// directory (i.e. before Open).
+func TruncateFrom(dir string, lsn uint64) error {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return err
+	}
+	for i := len(segs) - 1; i >= 0; i-- {
+		seg := segs[i]
+		path := filepath.Join(dir, seg.name)
+		switch {
+		case seg.first > lsn:
+			if err := os.Remove(path); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+		case seg.first == lsn:
+			if err := os.Truncate(path, 0); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+			return nil
+		default:
+			off, err := frameOffset(path, seg.first, lsn)
+			if err != nil {
+				return err
+			}
+			if err := os.Truncate(path, off); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("wal: truncate from lsn %d: no segment contains it", lsn)
+}
+
+// frameOffset scans a segment for the byte offset where lsn's frame
+// begins (== where valid earlier frames end). lsn one past the last
+// frame is accepted and returns the end of valid data.
+func frameOffset(path string, first, lsn uint64) (int64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	want := first
+	off := int64(0)
+	for int64(len(buf))-off >= frameHeader {
+		if want == lsn {
+			return off, nil
+		}
+		rest := buf[off:]
+		size := binary.BigEndian.Uint32(rest[4:8])
+		got := binary.BigEndian.Uint64(rest[8:16])
+		frameLen := int64(frameHeader) + int64(size)
+		ok := size >= 1 && int64(len(rest)) >= frameLen && got == want &&
+			binary.BigEndian.Uint32(rest[0:4]) == crc32.Checksum(rest[4:frameLen], castagnoli)
+		if !ok {
+			break
+		}
+		want = got + 1
+		off += frameLen
+	}
+	if want == lsn {
+		return off, nil
+	}
+	return 0, fmt.Errorf("wal: lsn %d not found in %s", lsn, filepath.Base(path))
+}
+
 // segment is one discovered segment file.
 type segment struct {
 	name  string

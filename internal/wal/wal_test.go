@@ -359,3 +359,82 @@ func TestMetricsCounters(t *testing.T) {
 		}
 	}
 }
+
+// TestTruncateFrom cuts the log at several positions — mid-segment, at
+// a segment's first LSN, and at the live tail — and checks replay
+// stops exactly before the cut while appends resume at the cut LSN.
+func TestTruncateFrom(t *testing.T) {
+	build := func(t *testing.T) string {
+		dir := t.TempDir()
+		l := openTest(t, dir, Options{SegmentBytes: 256}) // force several segments
+		appendN(t, l, 0, 40)
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		segs, err := listSegments(dir)
+		if err != nil || len(segs) < 3 {
+			t.Fatalf("want >=3 segments, got %d (%v)", len(segs), err)
+		}
+		return dir
+	}
+
+	t.Run("mid-segment", func(t *testing.T) {
+		dir := build(t)
+		if err := TruncateFrom(dir, 25); err != nil {
+			t.Fatal(err)
+		}
+		recs := collect(t, dir, 1)
+		if len(recs) != 24 || recs[len(recs)-1].LSN != 24 {
+			t.Fatalf("replay after cut: %d records, last %d", len(recs), recs[len(recs)-1].LSN)
+		}
+		l := openTest(t, dir, Options{SegmentBytes: 256})
+		defer l.Close()
+		if got := l.NextLSN(); got != 25 {
+			t.Fatalf("NextLSN = %d, want 25", got)
+		}
+		appendN(t, l, 100, 3)
+		if got := l.LastLSN(); got != 27 {
+			t.Fatalf("LastLSN after re-append = %d, want 27", got)
+		}
+	})
+
+	t.Run("segment-first", func(t *testing.T) {
+		dir := build(t)
+		segs, err := listSegments(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut := segs[len(segs)-1].first
+		if err := TruncateFrom(dir, cut); err != nil {
+			t.Fatal(err)
+		}
+		recs := collect(t, dir, 1)
+		if uint64(len(recs)) != cut-1 {
+			t.Fatalf("replay after cut at %d: %d records", cut, len(recs))
+		}
+		l := openTest(t, dir, Options{SegmentBytes: 256})
+		defer l.Close()
+		// The emptied segment keeps the LSN base: appends resume at cut,
+		// not at 1.
+		if got := l.NextLSN(); got != cut {
+			t.Fatalf("NextLSN = %d, want %d", got, cut)
+		}
+	})
+
+	t.Run("one-past-tail-is-noop", func(t *testing.T) {
+		dir := build(t)
+		if err := TruncateFrom(dir, 41); err != nil {
+			t.Fatal(err)
+		}
+		if recs := collect(t, dir, 1); len(recs) != 40 {
+			t.Fatalf("no-op cut lost records: %d", len(recs))
+		}
+	})
+
+	t.Run("missing-lsn-is-error", func(t *testing.T) {
+		dir := build(t)
+		if err := TruncateFrom(dir, 99); err == nil {
+			t.Fatal("cut past the log accepted")
+		}
+	})
+}
