@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify race lint bench bench-gate bench-all bench-multicore bench-durability fuzz trace chaos durable
+.PHONY: all build test verify race lint bench bench-gate bench-all bench-multicore bench-durability fuzz trace chaos durable partition
 
 # Allocation budget for the warm-scratch clustering kernel
 # (cluster.AssignInto with a reused Scratch). The hot path is designed
@@ -104,3 +104,12 @@ chaos:
 # scenario.
 durable:
 	$(GO) run ./cmd/elmo-sim -durable
+
+# partition runs the leadership-fencing soaks under the race detector
+# — the split-brain partition soak, the fencing-rejection demotion
+# path, and the chaos partition primitives — then the narrated
+# partition/epoch-takeover scenario.
+partition:
+	$(GO) test -race -run 'TestPartitionSoakSplitBrain|TestDeposedByFencingRejection' -count=1 ./internal/durable/
+	$(GO) test -race -run 'TestPartition|TestHeal|TestPlanPartition' -count=1 ./internal/chaos/
+	$(GO) run ./cmd/elmo-sim -partition

@@ -42,10 +42,28 @@ type DurabilityReport struct {
 	RecoverySecs         float64 `json:"recovery_secs"`
 	RecoveryGroupsPerSec float64 `json:"recovery_groups_per_sec"`
 
-	// Failover (leader killed by chaos injector).
+	// Failover (leader killed by chaos injector). Detection (probe
+	// rounds until the Detector declares death) and promotion (standby
+	// state -> new durable controller) are reported separately; the
+	// total is their sum.
 	FailoverGroups       int     `json:"failover_groups"`
 	FailoverDetectRounds int     `json:"failover_detect_rounds"`
+	FailoverDetectSecs   float64 `json:"failover_detect_secs"`
+	FailoverPromoteSecs  float64 `json:"failover_promote_secs"`
 	FailoverSecs         float64 `json:"failover_secs"`
+
+	// Failover under partition (leader isolated, NOT crashed: it stays
+	// alive on the minority side). Adds the epoch announcement that
+	// fences the data plane against the deposed leader, whose stale
+	// install attempts are counted in partition_stale_rejected.
+	PartitionGroups        int     `json:"partition_groups"`
+	PartitionDetectRounds  int     `json:"partition_detect_rounds"`
+	PartitionDetectSecs    float64 `json:"partition_detect_secs"`
+	PartitionPromoteSecs   float64 `json:"partition_promote_secs"`
+	PartitionAnnounceSecs  float64 `json:"partition_announce_secs"`
+	PartitionFailoverSecs  float64 `json:"partition_failover_secs"`
+	PartitionEpoch         uint64  `json:"partition_epoch"`
+	PartitionStaleRejected int64   `json:"partition_stale_rejected"`
 }
 
 func durabilityStage(topo *topology.Topology, specs []controller.BatchSpec, writers, commitOps, failoverGroups int, out string) {
@@ -56,6 +74,7 @@ func durabilityStage(topo *topology.Topology, specs []controller.BatchSpec, writ
 	benchGroupCommit(topo, rep, writers, commitOps)
 	benchRecovery(topo, specs, rep)
 	benchFailover(topo, specs, rep, failoverGroups)
+	benchPartitionFailover(topo, specs, rep, failoverGroups)
 
 	buf, err := json.MarshalIndent(rep, "", " ")
 	if err != nil {
@@ -271,12 +290,15 @@ func benchFailover(topo *topology.Topology, specs []controller.BatchSpec, rep *D
 			log.Fatal("failover: dead leader never detected")
 		}
 	}
+	rep.FailoverDetectSecs = time.Since(start).Seconds()
+	promoteStart := time.Now()
 	promoted, pstats, err := durable.Promote(f, durable.Options{
 		Dir: dir + "-promoted", NoSync: true,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	rep.FailoverPromoteSecs = time.Since(promoteStart).Seconds()
 	rep.FailoverSecs = time.Since(start).Seconds()
 	rep.FailoverDetectRounds = rounds
 	rep.FailoverGroups = pstats.Groups
@@ -285,4 +307,120 @@ func benchFailover(topo *topology.Topology, specs []controller.BatchSpec, rep *D
 	if pstats.Groups != groups {
 		log.Fatalf("failover: promoted %d groups, want %d", pstats.Groups, groups)
 	}
+}
+
+// benchPartitionFailover times the split-brain variant: the leader is
+// partitioned (alive, isolated) instead of crashed, its lease expires,
+// a follower detects and promotes at the next epoch, and the new term
+// is announced across the data plane. The deposed leader's stale
+// install attempt must be fenced — its rejections are reported.
+func benchPartitionFailover(topo *topology.Topology, specs []controller.BatchSpec, rep *DurabilityReport, groups int) {
+	if groups > len(specs) {
+		groups = len(specs)
+	}
+	dir, err := os.MkdirTemp("", "elmo-durability-partition-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	cfg := controller.PaperConfig(0)
+	netCtrl, err := controller.New(topo, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fab := fabric.New(topo, cfg.SRuleCapacity)
+	fab.SetFailures(netCtrl.Failures())
+	inj := chaos.New(chaos.Config{Seed: 1})
+	fab.SetInjector(inj)
+
+	leader := topology.HostID(0)
+	follower := topology.HostID(topo.NumHosts() / 2)
+	rs, err := durable.NewReplicaSet(durable.ReplicaSetConfig{
+		Net:       durable.Net(netCtrl, fab),
+		Key:       controller.GroupKey{Tenant: 2000, Group: 2},
+		Leader:    leader,
+		Followers: []topology.HostID{follower},
+		Window:    64,
+		Topo:      topo,
+		Cfg:       cfg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, _, err := durable.Open(topo, cfg, durable.Options{
+		Dir: dir, NoSync: true, Replicate: rs.Replicator(),
+		Lease: durable.Lease{MissBudget: 3}, FollowerAcks: rs.FollowerAcks,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	fmt.Printf("partition: replicating %d groups to a warm follower...\n", groups)
+	if _, err := d.InstallBatch(specs[:groups], controller.BatchOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	if err := rs.Sync(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The data plane the leadership epochs protect: a handful of groups
+	// installed at epoch 1 (install cost is not what this stage
+	// measures; the fence is).
+	dp := fabric.New(topo, cfg.SRuleCapacity)
+	dpGroups := 50
+	if dpGroups > groups {
+		dpGroups = groups
+	}
+	for _, s := range specs[:dpGroups] {
+		if _, err := dp.InstallGroupAt(d.Epoch(), d.Controller(), s.Key); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	det := &durable.Detector{DeadAfter: 3}
+	f := rs.Follower(follower)
+
+	fmt.Println("partition: isolating the leader host (still alive)...")
+	start := time.Now()
+	inj.Partition(leader)
+	rounds := 0
+	for !det.Observe(f.Records()) {
+		_ = d.Heartbeat() // leader is alive; the fabric eats the stream
+		rounds++
+		if rounds > 100 {
+			log.Fatal("partition: isolated leader never detected")
+		}
+	}
+	rep.PartitionDetectSecs = time.Since(start).Seconds()
+
+	promoteStart := time.Now()
+	promoted, pstats, err := durable.Promote(f, durable.Options{
+		Dir: dir + "-promoted", NoSync: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.PartitionPromoteSecs = time.Since(promoteStart).Seconds()
+	defer os.RemoveAll(dir + "-promoted")
+	defer promoted.Close()
+
+	announceStart := time.Now()
+	dp.AnnounceEpoch(promoted.Epoch())
+	rep.PartitionAnnounceSecs = time.Since(announceStart).Seconds()
+	rep.PartitionFailoverSecs = time.Since(start).Seconds()
+	rep.PartitionDetectRounds = rounds
+	rep.PartitionGroups = pstats.Groups
+	rep.PartitionEpoch = promoted.Epoch()
+
+	// The deposed leader — alive on the minority side — pushes its
+	// stale view; the fence must reject it.
+	if _, err := dp.InstallGroupAt(d.Epoch(), d.Controller(), specs[0].Key); err == nil {
+		log.Fatal("partition: stale-epoch install was accepted")
+	}
+	rep.PartitionStaleRejected = dp.FencingRejections()
+	if rep.PartitionStaleRejected == 0 {
+		log.Fatal("partition: no fencing rejections recorded")
+	}
+	inj.Heal()
 }

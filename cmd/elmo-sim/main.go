@@ -57,6 +57,7 @@ func main() {
 		doTrace     = flag.Bool("trace", false, "record a traced multicast scenario instead of the figure sweeps")
 		doChaos     = flag.Bool("chaos", false, "run the scripted fault-injection scenario (seeded faults, detection, repair, reconvergence) instead of the figure sweeps")
 		doDurable   = flag.Bool("durable", false, "run the durable-controller scenario (WAL, snapshot, crash recovery, replicated failover) instead of the figure sweeps")
+		doPartition = flag.Bool("partition", false, "run the fenced-leadership scenario (network partition, lease expiry, epoch takeover, stale-install fencing, rejoin) instead of the figure sweeps")
 		traceOut    = flag.String("traceout", "", "file to write the Chrome trace_event JSON into (with -trace; empty = none)")
 		meanVMs     = flag.Float64("meanvms", 0, "mean tenant VMs (0 = auto: paper's 178.77 capped by fabric capacity)")
 		workers     = flag.Int("workers", 0, "encoder/apply workers for the controller pipeline (0 = GOMAXPROCS; results are identical for every value)")
@@ -93,6 +94,10 @@ func main() {
 	}
 	if *doDurable {
 		runDurable(topoCfg, *tenants, *groups, *srules, *meanVMs, *seed)
+		return
+	}
+	if *doPartition {
+		runPartition(topoCfg, *tenants, *groups, *srules, *meanVMs, *seed)
 		return
 	}
 	distribution := groupgen.WVE

@@ -72,12 +72,16 @@ type Injector struct {
 	enabled atomic.Bool
 	state   atomic.Uint64 // splitmix64 position
 
-	// overrides is set when any switch/link loss override exists, so
-	// the common path skips the lock entirely.
+	// overrides is set when any switch/link loss override or partition
+	// exists, so the common path skips the lock entirely.
 	overrides  atomic.Bool
 	mu         sync.RWMutex
 	switchLoss map[endpoint]float64
 	linkLoss   map[dataplane.Link]float64
+	// partitioned holds hosts currently cut off from the rest of the
+	// fabric (see partition.go). Kept separate from switchLoss so Heal
+	// restores exactly the partition without clearing crash overrides.
+	partitioned map[int32]bool
 
 	crossings atomic.Int64
 	drops     atomic.Int64
@@ -96,10 +100,11 @@ type Injector struct {
 // New creates an Injector in the disabled state.
 func New(cfg Config) *Injector {
 	inj := &Injector{
-		cfg:        cfg,
-		maxDelay:   int32(cfg.MaxDelay),
-		switchLoss: make(map[endpoint]float64),
-		linkLoss:   make(map[dataplane.Link]float64),
+		cfg:         cfg,
+		maxDelay:    int32(cfg.MaxDelay),
+		switchLoss:  make(map[endpoint]float64),
+		linkLoss:    make(map[dataplane.Link]float64),
+		partitioned: make(map[int32]bool),
 	}
 	if inj.maxDelay <= 0 {
 		inj.maxDelay = DefaultMaxDelay
@@ -154,8 +159,14 @@ func (inj *Injector) SetSwitchLoss(tier dataplane.LinkTier, id int32, loss float
 	} else {
 		inj.switchLoss[endpoint{tier, id}] = loss
 	}
-	inj.overrides.Store(len(inj.switchLoss)+len(inj.linkLoss) > 0)
+	inj.refreshOverridesLocked()
 	inj.mu.Unlock()
+}
+
+// refreshOverridesLocked recomputes the overrides fast-path flag; the
+// caller holds mu.
+func (inj *Injector) refreshOverridesLocked() {
+	inj.overrides.Store(len(inj.switchLoss)+len(inj.linkLoss)+len(inj.partitioned) > 0)
 }
 
 // SetLinkLoss sets (or clears) a loss override on one directed link.
@@ -166,7 +177,7 @@ func (inj *Injector) SetLinkLoss(l dataplane.Link, loss float64) {
 	} else {
 		inj.linkLoss[l] = loss
 	}
-	inj.overrides.Store(len(inj.switchLoss)+len(inj.linkLoss) > 0)
+	inj.refreshOverridesLocked()
 	inj.mu.Unlock()
 }
 
@@ -177,12 +188,14 @@ func (inj *Injector) SwitchLoss(tier dataplane.LinkTier, id int32) float64 {
 	return inj.switchLoss[endpoint{tier, id}]
 }
 
-// ClearOverrides removes every switch and link loss override.
+// ClearOverrides removes every switch and link loss override. Active
+// partitions are NOT cleared — they are a distinct fault class, undone
+// only by Heal.
 func (inj *Injector) ClearOverrides() {
 	inj.mu.Lock()
 	inj.switchLoss = make(map[endpoint]float64)
 	inj.linkLoss = make(map[dataplane.Link]float64)
-	inj.overrides.Store(false)
+	inj.refreshOverridesLocked()
 	inj.mu.Unlock()
 }
 
@@ -198,6 +211,13 @@ func (inj *Injector) overrideLoss(l dataplane.Link) float64 {
 	}
 	if o := inj.linkLoss[l]; o > loss {
 		loss = o
+	}
+	// A partitioned host drops everything entering or leaving it: the
+	// symmetric cut that makes split brain possible (the host is alive,
+	// just unreachable — and it can't reach anyone either).
+	if (l.FromTier == dataplane.LinkHost && inj.partitioned[l.From]) ||
+		(l.ToTier == dataplane.LinkHost && inj.partitioned[l.To]) {
+		loss = 1
 	}
 	inj.mu.RUnlock()
 	return loss

@@ -1,18 +1,28 @@
 package chaos
 
-import "elmo/internal/dataplane"
+import (
+	"elmo/internal/dataplane"
+	"elmo/internal/topology"
+)
 
 // PlanEvent is one scripted fault transition: at logical step Step,
 // set the loss override of a switch (or, when Link is non-nil, of one
 // directed link) to Loss. Loss = 1 kills the device, a fraction grays
 // it, and 0 repairs it — so a link flap is a pair of events (fail at
-// step N, repair at step M).
+// step N, repair at step M). When PartitionHosts is non-empty the
+// event instead cuts those hosts off bidirectionally (see
+// partition.go); when HealPartition is set it reconnects them all.
 type PlanEvent struct {
 	Step   int
 	Tier   dataplane.LinkTier
 	Switch int32
 	Loss   float64
 	Link   *dataplane.Link
+	// PartitionHosts, when non-empty, makes this event a symmetric
+	// partition of the named hosts instead of a loss transition.
+	PartitionHosts []topology.HostID
+	// HealPartition, when set, makes this event heal every partition.
+	HealPartition bool
 }
 
 // FaultPlan is a schedule of fault transitions against the injector's
@@ -44,9 +54,14 @@ func (inj *Injector) Step() []PlanEvent {
 	}
 	inj.mu.Unlock()
 	for _, ev := range due {
-		if ev.Link != nil {
+		switch {
+		case ev.HealPartition:
+			inj.Heal()
+		case len(ev.PartitionHosts) > 0:
+			inj.Partition(ev.PartitionHosts...)
+		case ev.Link != nil:
 			inj.SetLinkLoss(*ev.Link, ev.Loss)
-		} else {
+		default:
 			inj.SetSwitchLoss(ev.Tier, ev.Switch, ev.Loss)
 		}
 	}

@@ -1,0 +1,161 @@
+package dataplane
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"elmo/internal/bitmap"
+	"elmo/internal/header"
+)
+
+// Leadership fencing at the device level (switches and hypervisors).
+//
+// The durable controller stamps every install/update message with its
+// leadership epoch. Each device remembers the highest epoch it has
+// accepted a message from; a message from a lower epoch is a deposed
+// leader still talking on the losing side of a partition, and the
+// device rejects it — the table entry is untouched, a counter bumps,
+// and the caller gets a StaleEpochError carrying the device's current
+// floor so the stale controller can learn it was superseded and step
+// down. Epoch 0 is the unfenced bootstrap value: it is always
+// accepted and never raises the floor, so single-controller
+// deployments (and every pre-fencing code path) behave exactly as
+// before.
+
+// ErrStaleEpoch is the class of all fencing rejections; match with
+// errors.Is, or errors.As a *StaleEpochError for the observed floor.
+var ErrStaleEpoch = errors.New("dataplane: install from stale epoch rejected")
+
+// StaleEpochError reports a fenced install: a device at floor Current
+// rejected a message stamped Epoch.
+type StaleEpochError struct {
+	// Device names the rejecting device (e.g. "leaf 3", "host 17").
+	Device string
+	// Epoch is the stale epoch the message carried.
+	Epoch uint64
+	// Current is the device's epoch floor — the successor's term. A
+	// deposed leader should feed it to ObserveEpoch and demote.
+	Current uint64
+}
+
+func (e *StaleEpochError) Error() string {
+	return fmt.Sprintf("dataplane: %s fenced install from epoch %d (current epoch %d)", e.Device, e.Epoch, e.Current)
+}
+
+// Is makes errors.Is(err, ErrStaleEpoch) match.
+func (e *StaleEpochError) Unwrap() error { return ErrStaleEpoch }
+
+// EpochFence is a device's monotonic leadership floor. Admit is safe
+// for concurrent use (the live fabrics install from the controller
+// goroutine while switch goroutines read).
+type EpochFence struct {
+	cur      atomic.Uint64
+	rejected atomic.Int64
+}
+
+// Admit reports whether a message stamped with epoch may be applied,
+// raising the floor when the epoch is new. Epoch 0 (unfenced) is
+// always admitted and never raises the floor.
+func (f *EpochFence) Admit(epoch uint64) bool {
+	if epoch == 0 {
+		return true
+	}
+	for {
+		cur := f.cur.Load()
+		if epoch < cur {
+			f.rejected.Add(1)
+			return false
+		}
+		if epoch == cur || f.cur.CompareAndSwap(cur, epoch) {
+			return true
+		}
+	}
+}
+
+// Observe raises the floor to epoch without carrying an install — the
+// "epoch announcement" a freshly promoted controller broadcasts so
+// every device fences its predecessor before any new state flows.
+func (f *EpochFence) Observe(epoch uint64) {
+	f.Admit(epoch)
+}
+
+// Current returns the device's epoch floor.
+func (f *EpochFence) Current() uint64 { return f.cur.Load() }
+
+// Rejected returns how many messages this fence has rejected.
+func (f *EpochFence) Rejected() int64 { return f.rejected.Load() }
+
+// deviceName renders the switch identity for StaleEpochError.
+func (sw *NetworkSwitch) deviceName() string {
+	switch sw.kind {
+	case KindLeaf:
+		return fmt.Sprintf("leaf %d", sw.leaf)
+	case KindSpine:
+		return fmt.Sprintf("spine %d", sw.spine)
+	default:
+		return fmt.Sprintf("core %d", sw.core)
+	}
+}
+
+// Fence exposes the switch's epoch floor (telemetry, tests).
+func (sw *NetworkSwitch) Fence() *EpochFence { return &sw.fence }
+
+// InstallSRuleAt is InstallSRule with the controller's leadership
+// epoch stamped on the message. A stale epoch leaves the group table
+// untouched, bumps elmo_fencing_rejected_total, and returns a
+// *StaleEpochError carrying the device's floor.
+func (sw *NetworkSwitch) InstallSRuleAt(epoch uint64, addr GroupAddr, ports bitmap.Bitmap) error {
+	if !sw.fence.Admit(epoch) {
+		sw.Counters.fencingRejected()
+		return &StaleEpochError{Device: sw.deviceName(), Epoch: epoch, Current: sw.fence.Current()}
+	}
+	return sw.InstallSRule(addr, ports)
+}
+
+// RemoveSRuleAt is RemoveSRule behind the epoch fence: a deposed
+// leader must not be able to delete the successor's rules either.
+func (sw *NetworkSwitch) RemoveSRuleAt(epoch uint64, addr GroupAddr) error {
+	if !sw.fence.Admit(epoch) {
+		sw.Counters.fencingRejected()
+		return &StaleEpochError{Device: sw.deviceName(), Epoch: epoch, Current: sw.fence.Current()}
+	}
+	sw.RemoveSRule(addr)
+	return nil
+}
+
+// Fence exposes the hypervisor's epoch floor (telemetry, tests).
+func (hv *Hypervisor) Fence() *EpochFence { return &hv.fence }
+
+func (hv *Hypervisor) deviceName() string {
+	return fmt.Sprintf("host %d", hv.host)
+}
+
+// InstallSenderFlowAt is InstallSenderFlow behind the epoch fence.
+func (hv *Hypervisor) InstallSenderFlowAt(epoch uint64, addr GroupAddr, h *header.Header) error {
+	if !hv.fence.Admit(epoch) {
+		hv.Counters.fencingRejected()
+		return &StaleEpochError{Device: hv.deviceName(), Epoch: epoch, Current: hv.fence.Current()}
+	}
+	return hv.InstallSenderFlow(addr, h)
+}
+
+// RemoveSenderFlowAt is RemoveSenderFlow behind the epoch fence.
+func (hv *Hypervisor) RemoveSenderFlowAt(epoch uint64, addr GroupAddr) error {
+	if !hv.fence.Admit(epoch) {
+		hv.Counters.fencingRejected()
+		return &StaleEpochError{Device: hv.deviceName(), Epoch: epoch, Current: hv.fence.Current()}
+	}
+	hv.RemoveSenderFlow(addr)
+	return nil
+}
+
+// SetReceivingAt is SetReceiving behind the epoch fence.
+func (hv *Hypervisor) SetReceivingAt(epoch uint64, addr GroupAddr, on bool) error {
+	if !hv.fence.Admit(epoch) {
+		hv.Counters.fencingRejected()
+		return &StaleEpochError{Device: hv.deviceName(), Epoch: epoch, Current: hv.fence.Current()}
+	}
+	hv.SetReceiving(addr, on)
+	return nil
+}

@@ -60,6 +60,10 @@ type Hypervisor struct {
 	// attached (typically the fabric-wide HostCounters); nil costs one
 	// branch per packet. Set while the fabric is quiet.
 	Counters *HostCounters
+
+	// fence is the leadership epoch floor: installs stamped with a
+	// lower epoch are rejected (see fence.go).
+	fence EpochFence
 }
 
 // NewHypervisor creates the hypervisor switch for a host.

@@ -17,6 +17,7 @@ type SwitchCounters struct {
 	drops       [4]*telemetry.Counter // indexed by DropReason
 	popped      *telemetry.Counter
 	headerBytes *telemetry.Counter
+	fenced      *telemetry.Counter
 }
 
 func (m *SwitchCounters) packet() {
@@ -52,12 +53,20 @@ func (m *SwitchCounters) poppedBytes(n int) {
 	}
 }
 
+// fencingRejected records one install rejected by the epoch fence.
+func (m *SwitchCounters) fencingRejected() {
+	if m != nil {
+		m.fenced.Inc()
+	}
+}
+
 // HostCounters caches the hypervisor-side telemetry handles.
 type HostCounters struct {
 	encapsulated *telemetry.Counter
 	delivered    *telemetry.Counter
 	filtered     *telemetry.Counter
 	headerBytes  *telemetry.Counter
+	fenced       *telemetry.Counter
 }
 
 func (m *HostCounters) encap(streamLen int) {
@@ -76,6 +85,13 @@ func (m *HostCounters) deliver() {
 func (m *HostCounters) filter() {
 	if m != nil {
 		m.filtered.Inc()
+	}
+}
+
+// fencingRejected records one install rejected by the epoch fence.
+func (m *HostCounters) fencingRejected() {
+	if m != nil {
+		m.fenced.Inc()
 	}
 }
 
@@ -105,6 +121,8 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		"Hops that consumed (popped or stripped) Elmo header sections.", "tier")
 	hdrBytes := reg.CounterVec("elmo_dataplane_header_bytes_popped_total",
 		"Elmo header bytes consumed by switch pipelines, by tier.", "tier")
+	fenced := reg.CounterVec("elmo_fencing_rejected_total",
+		"Install/update messages rejected because they carried a stale leadership epoch, by tier.", "tier")
 
 	tier := func(name string) *SwitchCounters {
 		sc := &SwitchCounters{
@@ -112,6 +130,7 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			copies:      copies.With(name),
 			popped:      popped.With(name),
 			headerBytes: hdrBytes.With(name),
+			fenced:      fenced.With(name),
 		}
 		for r, label := range map[trace.RuleKind]string{
 			trace.RuleNone: "none", trace.RulePRule: "prule",
@@ -140,6 +159,7 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 				"Spurious packets filtered by hypervisors on receive."),
 			headerBytes: reg.Counter("elmo_host_header_bytes_added_total",
 				"Elmo header bytes added at encapsulation."),
+			fenced: fenced.With("host"),
 		},
 	}
 }

@@ -113,6 +113,10 @@ type NetworkSwitch struct {
 	// branch per site and allocates nothing. Set while quiet.
 	Counters *SwitchCounters
 
+	// fence is the leadership epoch floor: installs stamped with a
+	// lower epoch are rejected (see fence.go).
+	fence EpochFence
+
 	stats Stats
 }
 

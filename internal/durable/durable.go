@@ -38,10 +38,42 @@ import (
 const (
 	snapshotFile    = "snapshot.bin"
 	snapshotMagic   = "ELMOSNAP"
-	snapshotVersion = 1
-	// envelope: magic(8) | version(2) | lsn(8) | payloadLen(8) | sha256(32)
-	envelopeBytes = 8 + 2 + 8 + 8 + 32
+	snapshotVersion = 2
+	// envelope: magic(8) | version(2) | lsn(8) | epoch(8) | payloadLen(8) | sha256(32)
+	envelopeBytes = 8 + 2 + 8 + 8 + 8 + 32
 )
+
+// Leadership errors. Every mutating entry point fails fast with an
+// error satisfying errors.Is(err, ErrNotLeader) once the controller
+// has lost (or given up) leadership, so callers can redirect to the
+// new leader with bounded backoff instead of blocking.
+var (
+	// ErrNotLeader is the base class: this controller no longer accepts
+	// mutations.
+	ErrNotLeader = errors.New("durable: not leader (read-only)")
+	// ErrLeaseExpired means the leader self-demoted: it failed to
+	// observe any follower ack within its lease budget and can no
+	// longer rule out that a partition has elected a successor.
+	ErrLeaseExpired = fmt.Errorf("durable: leader lease expired: %w", ErrNotLeader)
+	// ErrDeposed means the leader observed a higher epoch — a successor
+	// was promoted — and stepped down immediately.
+	ErrDeposed = fmt.Errorf("durable: deposed by a higher epoch: %w", ErrNotLeader)
+)
+
+// Lease ties the leader's right to mutate to observed follower
+// progress, in the same deterministic currency as the failure
+// Detector: heartbeat rounds. Each Heartbeat that streams a record but
+// observes zero follower acks burns one unit of budget; any ack
+// refills it. When the budget is gone the leader cannot rule out that
+// a partition has separated it from a quorum of followers (who may by
+// now have promoted a successor), so it self-demotes to read-only
+// rather than keep writing on the losing side of a split brain.
+type Lease struct {
+	// MissBudget is the number of consecutive heartbeat rounds with
+	// zero follower acks tolerated before self-demotion. <= 0 disables
+	// the lease.
+	MissBudget int
+}
 
 // Options configures a DurableController.
 type Options struct {
@@ -59,9 +91,20 @@ type Options struct {
 	Registry *telemetry.Registry
 	// Replicate, when set, receives every logged payload in LSN order
 	// after it is applied locally (still under the op mutex, so stream
-	// order == log order). Used to feed warm followers via the RSM
-	// layer.
-	Replicate func(lsn uint64, payload []byte) error
+	// order == log order), stamped with the leader's epoch. Used to
+	// feed warm followers via the RSM layer.
+	Replicate func(lsn, epoch uint64, payload []byte) error
+	// Epoch overrides the starting leadership epoch. The effective
+	// epoch is the maximum of this, the snapshot's epoch, the WAL
+	// tail's epoch, and 1 — a durable controller always runs fenced.
+	Epoch uint64
+	// Lease, when enabled, self-demotes the leader after
+	// Lease.MissBudget heartbeat rounds without a follower ack.
+	Lease Lease
+	// FollowerAcks reports (acked, total) follower counts for the
+	// lease: how many followers have applied everything streamed so
+	// far. Typically ReplicaSet.FollowerAcks.
+	FollowerAcks func() (acked, total int)
 }
 
 // RecoveryStats reports what Open did to rebuild state.
@@ -84,6 +127,8 @@ type RecoveryStats struct {
 	LastLSN uint64
 	// Groups is the group count after recovery.
 	Groups int
+	// Epoch is the leadership epoch the controller runs at.
+	Epoch uint64
 }
 
 // DurableController wraps a controller with write-ahead logging,
@@ -96,6 +141,14 @@ type DurableController struct {
 	walMet  *wal.Metrics
 	snapLSN uint64
 	closed  bool
+	// epoch is the leadership term every WAL frame, streamed record,
+	// and data-plane install is stamped with. Immutable after Open.
+	epoch uint64
+	// notLeader latches the demotion reason (ErrLeaseExpired or
+	// ErrDeposed); once set, every mutating op fails fast with it.
+	// Demotion is one-way: a demoted leader rejoins as a Follower.
+	notLeader   error
+	leaseMisses int
 	// snapMu serializes the whole snapshot path (state write + rename +
 	// log truncation): two racing snapshots could otherwise rename an
 	// older state over a newer one while the newer LSN drives
@@ -126,7 +179,8 @@ func Open(topo *topology.Topology, cfg controller.Config, opts Options) (*Durabl
 
 	// 1. Snapshot.
 	from := uint64(1)
-	payload, snapLSN, err := readSnapshotFile(filepath.Join(opts.Dir, snapshotFile))
+	epoch := opts.Epoch
+	payload, snapLSN, snapEpoch, err := readSnapshotFile(filepath.Join(opts.Dir, snapshotFile))
 	switch {
 	case err == nil:
 		start := time.Now()
@@ -137,6 +191,9 @@ func Open(topo *topology.Topology, cfg controller.Config, opts Options) (*Durabl
 		stats.SnapshotBytes = int64(len(payload))
 		stats.SnapshotElapsed = time.Since(start)
 		from = snapLSN + 1
+		if snapEpoch > epoch {
+			epoch = snapEpoch
+		}
 	case errors.Is(err, os.ErrNotExist):
 		// Fresh start (or log-only recovery).
 	default:
@@ -211,16 +268,24 @@ func Open(topo *topology.Topology, cfg controller.Config, opts Options) (*Durabl
 		replSkipped = opts.Registry.Counter("elmo_durable_repl_skipped_total",
 			"Records not replicated because the replication stream stalled (followers are stale until resynced).")
 	}
+	if epoch == 0 {
+		epoch = 1 // a durable controller always runs fenced
+	}
 	log, err := wal.Open(wal.Options{
 		Dir:          walDir,
 		SegmentBytes: opts.SegmentBytes,
 		NoSync:       opts.NoSync,
 		Metrics:      met,
+		Epoch:        epoch,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	d := &DurableController{ctrl: ctrl, log: log, opts: opts, walMet: met, snapLSN: stats.SnapshotLSN, replSkipped: replSkipped}
+	// The WAL tail may carry a higher epoch than the snapshot or the
+	// caller asked for; the log's resolved epoch is authoritative.
+	stats.Epoch = log.Epoch()
+	d := &DurableController{ctrl: ctrl, log: log, opts: opts, walMet: met,
+		snapLSN: stats.SnapshotLSN, epoch: log.Epoch(), replSkipped: replSkipped}
 	return d, stats, nil
 }
 
@@ -242,6 +307,54 @@ func (d *DurableController) ReplicationErr() error {
 	return d.replErr
 }
 
+// Epoch reports the leadership term this controller stamps on every
+// WAL frame, streamed record, and data-plane install.
+func (d *DurableController) Epoch() uint64 { return d.epoch }
+
+// NotLeaderErr reports why this controller is read-only (nil while it
+// still holds leadership).
+func (d *DurableController) NotLeaderErr() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.notLeader
+}
+
+// LeaseMisses reports the consecutive heartbeat rounds without a
+// follower ack (0 when the lease is healthy or disabled).
+func (d *DurableController) LeaseMisses() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.leaseMisses
+}
+
+// ObserveEpoch tells the controller another leadership term exists. A
+// higher epoch — learned from a fencing rejection, a follower, or the
+// replication stream — deposes this leader immediately: the successor
+// was promoted from replicated state, so continuing to mutate here
+// would fork history. Returns the (possibly just-latched) demotion
+// error, nil if still leading.
+func (d *DurableController) ObserveEpoch(epoch uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if epoch > d.epoch && d.notLeader == nil {
+		d.notLeader = fmt.Errorf("durable: saw epoch %d above own %d: %w", epoch, d.epoch, ErrDeposed)
+	}
+	return d.notLeader
+}
+
+// ResyncState serializes the controller's full state together with its
+// epoch — the seed a deposed leader ships to NewFollowerFromState so
+// it can rejoin a successor's replica set as a warm standby.
+func (d *DurableController) ResyncState() (epoch uint64, state []byte, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var buf bytes.Buffer
+	if err := d.ctrl.WriteState(&buf); err != nil {
+		return 0, nil, err
+	}
+	return d.epoch, buf.Bytes(), nil
+}
+
 // mutate is the log-before-apply spine: append the record, apply the
 // op, and stream to followers — all under d.mu so WAL order, apply
 // order, and stream order coincide — then wait for durability OUTSIDE
@@ -251,6 +364,11 @@ func (d *DurableController) mutate(payload []byte, apply func() error) error {
 	if d.closed {
 		d.mu.Unlock()
 		return fmt.Errorf("durable: controller closed")
+	}
+	if d.notLeader != nil {
+		err := d.notLeader
+		d.mu.Unlock()
+		return err
 	}
 	ack, err := d.log.Append(payload[0], payload)
 	if err != nil {
@@ -276,7 +394,7 @@ func (d *DurableController) streamLocked(lsn uint64, payload []byte) {
 		}
 		return
 	}
-	if err := d.opts.Replicate(lsn, payload); err != nil {
+	if err := d.opts.Replicate(lsn, d.epoch, payload); err != nil {
 		d.replErr = fmt.Errorf("durable: replication stalled at lsn %d: %w", lsn, err)
 		if d.replSkipped != nil {
 			d.replSkipped.Inc()
@@ -344,6 +462,11 @@ func (d *DurableController) mutateChunks(chunks [][]byte, apply func() (*control
 		d.mu.Unlock()
 		return nil, fmt.Errorf("durable: controller closed")
 	}
+	if d.notLeader != nil {
+		err := d.notLeader
+		d.mu.Unlock()
+		return nil, err
+	}
 	acks := make([]*wal.Ack, 0, len(chunks))
 	for _, c := range chunks {
 		ack, err := d.log.Append(RecBatch, c)
@@ -369,12 +492,22 @@ func (d *DurableController) mutateChunks(chunks [][]byte, apply func() (*control
 // see a moving stream even when the control plane is idle. A latched
 // replication failure is returned here — the heartbeat is the probe
 // path, so a stalled stream surfaces as an unhealthy leader instead
-// of a silent follower divergence.
+// of a silent follower divergence. With a Lease configured, each
+// heartbeat round also audits follower acks: MissBudget consecutive
+// rounds without one and the leader self-demotes (ErrLeaseExpired) —
+// on the losing side of a partition this fires in the same round
+// currency as the followers' Detector, bounding the split-brain
+// window to the lease budget.
 func (d *DurableController) Heartbeat() error {
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
 		return fmt.Errorf("durable: controller closed")
+	}
+	if d.notLeader != nil {
+		err := d.notLeader
+		d.mu.Unlock()
+		return err
 	}
 	ack, err := d.log.Append(RecHeartbeat, EncodeHeartbeat(d.log.LastLSN()))
 	if err != nil {
@@ -387,7 +520,31 @@ func (d *DurableController) Heartbeat() error {
 	if err := ack.Wait(); err != nil {
 		return err
 	}
+	if err := d.auditLease(); err != nil {
+		return err
+	}
 	return replErr
+}
+
+// auditLease burns or refills the lease budget based on follower acks
+// observed this round, self-demoting when the budget runs out.
+func (d *DurableController) auditLease() error {
+	if d.opts.Lease.MissBudget <= 0 || d.opts.FollowerAcks == nil {
+		return nil
+	}
+	acked, _ := d.opts.FollowerAcks()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if acked > 0 {
+		d.leaseMisses = 0
+		return nil
+	}
+	d.leaseMisses++
+	if d.leaseMisses >= d.opts.Lease.MissBudget && d.notLeader == nil {
+		d.notLeader = fmt.Errorf("durable: no follower ack for %d heartbeat rounds: %w",
+			d.leaseMisses, ErrLeaseExpired)
+	}
+	return d.notLeader
 }
 
 // Snapshot writes the full controller state to an atomically-replaced
@@ -415,7 +572,7 @@ func (d *DurableController) Snapshot() (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := writeSnapshotFile(filepath.Join(d.opts.Dir, snapshotFile), lsn, buf.Bytes(), d.opts.NoSync); err != nil {
+	if err := writeSnapshotFile(filepath.Join(d.opts.Dir, snapshotFile), lsn, d.epoch, buf.Bytes(), d.opts.NoSync); err != nil {
 		return 0, err
 	}
 	d.mu.Lock()
@@ -467,15 +624,16 @@ func recName(t byte) string {
 // writeSnapshotFile writes envelope+payload to a temp file and renames
 // it into place, so a crash mid-write leaves the previous snapshot
 // intact.
-func writeSnapshotFile(path string, lsn uint64, payload []byte, noSync bool) error {
+func writeSnapshotFile(path string, lsn, epoch uint64, payload []byte, noSync bool) error {
 	var hdr [envelopeBytes]byte
 	copy(hdr[:8], snapshotMagic)
 	hdr[8] = 0
 	hdr[9] = snapshotVersion
 	putU64(hdr[10:], lsn)
-	putU64(hdr[18:], uint64(len(payload)))
+	putU64(hdr[18:], epoch)
+	putU64(hdr[26:], uint64(len(payload)))
 	sum := sha256.Sum256(payload)
-	copy(hdr[26:], sum[:])
+	copy(hdr[34:], sum[:])
 
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
@@ -516,36 +674,37 @@ func writeSnapshotFile(path string, lsn uint64, payload []byte, noSync bool) err
 	return nil
 }
 
-// readSnapshotFile validates the envelope and returns the payload and
-// covered LSN. A missing file returns os.ErrNotExist; any corruption
-// (bad magic, version, length, or checksum) is an explicit error —
-// never a silent partial restore.
-func readSnapshotFile(path string) ([]byte, uint64, error) {
+// readSnapshotFile validates the envelope and returns the payload, the
+// covered LSN, and the writing leader's epoch. A missing file returns
+// os.ErrNotExist; any corruption (bad magic, version, length, or
+// checksum) is an explicit error — never a silent partial restore.
+func readSnapshotFile(path string) ([]byte, uint64, uint64, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	if len(b) < envelopeBytes {
-		return nil, 0, fmt.Errorf("durable: snapshot %s: short envelope (%d bytes)", path, len(b))
+		return nil, 0, 0, fmt.Errorf("durable: snapshot %s: short envelope (%d bytes)", path, len(b))
 	}
 	if string(b[:8]) != snapshotMagic {
-		return nil, 0, fmt.Errorf("durable: snapshot %s: bad magic", path)
+		return nil, 0, 0, fmt.Errorf("durable: snapshot %s: bad magic", path)
 	}
 	ver := int(b[8])<<8 | int(b[9])
 	if ver != snapshotVersion {
-		return nil, 0, fmt.Errorf("durable: snapshot %s: version %d, want %d", path, ver, snapshotVersion)
+		return nil, 0, 0, fmt.Errorf("durable: snapshot %s: version %d, want %d", path, ver, snapshotVersion)
 	}
 	lsn := getU64(b[10:])
-	plen := getU64(b[18:])
+	epoch := getU64(b[18:])
+	plen := getU64(b[26:])
 	payload := b[envelopeBytes:]
 	if uint64(len(payload)) != plen {
-		return nil, 0, fmt.Errorf("durable: snapshot %s: payload %d bytes, envelope says %d", path, len(payload), plen)
+		return nil, 0, 0, fmt.Errorf("durable: snapshot %s: payload %d bytes, envelope says %d", path, len(payload), plen)
 	}
 	sum := sha256.Sum256(payload)
-	if !bytes.Equal(sum[:], b[26:26+32]) {
-		return nil, 0, fmt.Errorf("durable: snapshot %s: checksum mismatch", path)
+	if !bytes.Equal(sum[:], b[34:34+32]) {
+		return nil, 0, 0, fmt.Errorf("durable: snapshot %s: checksum mismatch", path)
 	}
-	return payload, lsn, nil
+	return payload, lsn, epoch, nil
 }
 
 func putU64(b []byte, v uint64) {

@@ -29,6 +29,7 @@ type Follower struct {
 	asm          batchAssembler
 	records      int
 	hbLSN        uint64
+	epoch        uint64 // highest leadership epoch seen in the stream
 }
 
 // NewFollower builds an empty standby for the given fabric shape.
@@ -40,10 +41,32 @@ func NewFollower(topo *topology.Topology, cfg controller.Config, batchWorkers in
 	return &Follower{ctrl: ctrl, batchWorkers: batchWorkers}, nil
 }
 
-// Apply consumes one replicated WAL record payload. Op-level apply
-// errors are ignored (they failed identically on the leader); decode
-// and stream-order violations are fatal.
-func (f *Follower) Apply(payload []byte) error {
+// NewFollowerFromState builds a warm standby pre-seeded with a
+// leader's serialized state and epoch (ResyncState on the leader).
+// This is the rejoin path: a healed, deposed leader resyncs from the
+// successor's snapshot and re-enters the cluster as a follower
+// instead of replaying a log it can no longer extend.
+func NewFollowerFromState(topo *topology.Topology, cfg controller.Config, batchWorkers int, epoch uint64, state []byte) (*Follower, error) {
+	f, err := NewFollower(topo, cfg, batchWorkers)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.ctrl.ReadState(bytes.NewReader(state)); err != nil {
+		return nil, fmt.Errorf("durable: resync state: %w", err)
+	}
+	f.epoch = epoch
+	return f, nil
+}
+
+// Apply consumes one replicated WAL record payload stamped with the
+// proposing leader's epoch. Op-level apply errors are ignored (they
+// failed identically on the leader); decode and stream-order
+// violations are fatal. Stale-epoch records never reach this hook —
+// the rsm replica fences them first.
+func (f *Follower) Apply(epoch uint64, payload []byte) error {
+	if epoch > f.epoch {
+		f.epoch = epoch
+	}
 	op, err := DecodeRecord(payload)
 	if err != nil {
 		return err
@@ -81,6 +104,10 @@ func (f *Follower) Controller() *controller.Controller { return f.ctrl }
 
 // Records reports how many stream records this follower has applied.
 func (f *Follower) Records() int { return f.records }
+
+// Epoch reports the highest leadership epoch this follower has seen
+// in the stream (or was seeded with). Promote mints its successor.
+func (f *Follower) Epoch() uint64 { return f.epoch }
 
 // ReplicaSetConfig wires a replication group onto a fabric.
 type ReplicaSetConfig struct {
@@ -120,6 +147,7 @@ type ReplicaSet struct {
 	cluster   *rsm.Cluster
 	followers map[topology.HostID]*Follower
 	leader    topology.HostID
+	streamed  int // records handed to the stream by the Replicator
 }
 
 // NewReplicaSet creates the replication multicast group and a warm
@@ -141,11 +169,48 @@ func NewReplicaSet(rc ReplicaSetConfig) (*ReplicaSet, error) {
 	return rs, nil
 }
 
-// Replicator returns the hook to plug into Options.Replicate.
-func (rs *ReplicaSet) Replicator() func(lsn uint64, payload []byte) error {
-	return func(lsn uint64, payload []byte) error {
-		return rs.cluster.ProposeApply(payload)
+// Replicator returns the hook to plug into Options.Replicate. Every
+// record is proposed with the leader's epoch stamped on it, arming
+// the replicas' fencing against a deposed leader's residue.
+func (rs *ReplicaSet) Replicator() func(lsn, epoch uint64, payload []byte) error {
+	return func(lsn, epoch uint64, payload []byte) error {
+		if err := rs.cluster.ProposeApplyAt(epoch, payload); err != nil {
+			return err
+		}
+		rs.streamed++
+		return nil
 	}
+}
+
+// FollowerAcks reports how many followers have applied every record
+// streamed so far (the lease's currency) and the follower total. The
+// multicast fabric delivers synchronously, so a reachable follower is
+// always caught up by the time the propose returns; one that is not
+// is on the far side of a loss or partition.
+func (rs *ReplicaSet) FollowerAcks() (acked, total int) {
+	for _, f := range rs.followers {
+		if f.Records() >= rs.streamed {
+			acked++
+		}
+	}
+	return acked, len(rs.followers)
+}
+
+// AdoptFollower replaces the standby for host h with f — the rejoin
+// path. A healed, deposed leader resyncs from the successor's state
+// (ResyncState + NewFollowerFromState) and is adopted into the
+// successor's replica set; session repair then replays anything
+// proposed between the resync and the adoption. Replays of ops the
+// resync already covered are no-ops on controller state (the op-level
+// errors are ignored, same as any follower apply).
+func (rs *ReplicaSet) AdoptFollower(h topology.HostID, f *Follower) error {
+	r := rs.cluster.Replica(h)
+	if r == nil {
+		return fmt.Errorf("durable: host %d is not in the replica set", h)
+	}
+	rs.followers[h] = f
+	r.SetApplier(f.Apply)
+	return nil
 }
 
 // Sync forces a repair round so every follower catches up (tail-loss
@@ -193,13 +258,20 @@ func (d *Detector) Misses() int { return d.misses }
 
 // Promote turns a warm standby into a new durable controller rooted at
 // opts.Dir: the standby's state is written as the initial snapshot and
-// a fresh WAL epoch starts after it. A trailing incomplete batch in
-// the stream is discarded (it was never acked by the old leader).
-// opts.Dir must be a fresh epoch: the snapshot is written at LSN 0, so
-// a directory already holding WAL segments (e.g. the dead leader's)
+// a fresh WAL starts after it. Promotion mints the next leadership
+// epoch — one above the highest the standby saw in the old leader's
+// stream — and records it durably in the snapshot envelope and every
+// subsequent WAL frame, so the new leader's installs fence the old
+// one's everywhere they meet. A trailing incomplete batch in the
+// stream is discarded (it was never acked by the old leader).
+// opts.Dir must be a fresh directory: the snapshot is written at LSN
+// 0, so one already holding WAL segments (e.g. the dead leader's)
 // would replay stale records from LSN 1 on top of the standby state —
 // Promote refuses such a directory instead of corrupting itself.
 func Promote(f *Follower, opts Options) (*DurableController, *RecoveryStats, error) {
+	if minted := f.Epoch() + 1; minted > opts.Epoch {
+		opts.Epoch = minted
+	}
 	if segs, err := filepath.Glob(filepath.Join(opts.Dir, "wal", "*.wal")); err != nil {
 		return nil, nil, err
 	} else if len(segs) > 0 {
@@ -218,7 +290,7 @@ func Promote(f *Follower, opts Options) (*DurableController, *RecoveryStats, err
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, nil, err
 	}
-	if err := writeSnapshotFile(filepath.Join(opts.Dir, snapshotFile), 0, buf.Bytes(), opts.NoSync); err != nil {
+	if err := writeSnapshotFile(filepath.Join(opts.Dir, snapshotFile), 0, opts.Epoch, buf.Bytes(), opts.NoSync); err != nil {
 		return nil, nil, err
 	}
 	return Open(f.ctrl.Topology(), f.ctrl.Config(), opts)

@@ -148,63 +148,15 @@ func addr(key controller.GroupKey) dataplane.GroupAddr {
 // hypervisors, and receive filters to receiver hypervisors. Senders
 // disconnected by failures (controller.ErrNoPath) are skipped and
 // returned; their hypervisors degrade to unicast until repair (§3.3).
+// Installs are unfenced (epoch 0); a durable controller uses
+// InstallGroupAt with its leadership epoch instead.
 func (f *Fabric) InstallGroup(ctrl *controller.Controller, key controller.GroupKey) (noPath []topology.HostID, err error) {
-	g := ctrl.Group(key)
-	if g == nil {
-		return nil, fmt.Errorf("fabric: group %v not found", key)
-	}
-	a := addr(key)
-	for leaf, bm := range g.Enc.LeafSRules {
-		if err := f.Leaves[leaf].InstallSRule(a, bm); err != nil {
-			return nil, err
-		}
-	}
-	for pod, bm := range g.Enc.SpineSRules {
-		for plane := 0; plane < f.topo.Config().SpinesPerPod; plane++ {
-			if err := f.Spines[f.topo.SpineAt(pod, plane)].InstallSRule(a, bm); err != nil {
-				return nil, err
-			}
-		}
-	}
-	for _, h := range g.Receivers() {
-		f.Hypervisors[h].SetReceiving(a, true)
-	}
-	for _, h := range g.Senders() {
-		hdr, err := ctrl.HeaderFor(key, h)
-		if err == controller.ErrNoPath || err == controller.ErrLegacyPath {
-			noPath = append(noPath, h)
-			continue
-		}
-		if err != nil {
-			return nil, err
-		}
-		if err := f.Hypervisors[h].InstallSenderFlow(a, hdr); err != nil {
-			return nil, err
-		}
-	}
-	return noPath, nil
+	return f.InstallGroupAt(0, ctrl, key)
 }
 
-// UninstallGroup removes a group's data-plane state.
+// UninstallGroup removes a group's data-plane state (unfenced).
 func (f *Fabric) UninstallGroup(ctrl *controller.Controller, key controller.GroupKey) error {
-	g := ctrl.Group(key)
-	if g == nil {
-		return fmt.Errorf("fabric: group %v not found", key)
-	}
-	a := addr(key)
-	for leaf := range g.Enc.LeafSRules {
-		f.Leaves[leaf].RemoveSRule(a)
-	}
-	for pod := range g.Enc.SpineSRules {
-		for plane := 0; plane < f.topo.Config().SpinesPerPod; plane++ {
-			f.Spines[f.topo.SpineAt(pod, plane)].RemoveSRule(a)
-		}
-	}
-	for h := range g.Members {
-		f.Hypervisors[h].SetReceiving(a, false)
-		f.Hypervisors[h].RemoveSenderFlow(a)
-	}
-	return nil
+	return f.UninstallGroupAt(0, ctrl, key)
 }
 
 // Delivery is the outcome of one multicast send.

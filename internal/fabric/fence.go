@@ -1,0 +1,160 @@
+package fabric
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"elmo/internal/controller"
+	"elmo/internal/dataplane"
+	"elmo/internal/topology"
+)
+
+// Fabric-level leadership fencing. The durable controller stamps every
+// data-plane install with its epoch; each device fences lower epochs
+// (see dataplane/fence.go). The fabric adds two pieces: epoch-stamped
+// variants of the group install/uninstall walks, and AnnounceEpoch —
+// the takeover broadcast a freshly promoted leader sends so EVERY
+// device fences its predecessor immediately, not just the devices the
+// new leader happens to touch first. Without the announcement a
+// deposed leader could still slip installs onto devices the successor
+// had not yet written to.
+
+// InstallGroupAt is InstallGroup with the controller's leadership
+// epoch stamped on every device message. The first device that fences
+// the epoch aborts the walk with its *dataplane.StaleEpochError — the
+// caller is a deposed leader and should stand down, not keep writing.
+func (f *Fabric) InstallGroupAt(epoch uint64, ctrl *controller.Controller, key controller.GroupKey) (noPath []topology.HostID, err error) {
+	g := ctrl.Group(key)
+	if g == nil {
+		return nil, fmt.Errorf("fabric: group %v not found", key)
+	}
+	a := addr(key)
+	for leaf, bm := range g.Enc.LeafSRules {
+		if err := f.Leaves[leaf].InstallSRuleAt(epoch, a, bm); err != nil {
+			return nil, err
+		}
+	}
+	for pod, bm := range g.Enc.SpineSRules {
+		for plane := 0; plane < f.topo.Config().SpinesPerPod; plane++ {
+			if err := f.Spines[f.topo.SpineAt(pod, plane)].InstallSRuleAt(epoch, a, bm); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, h := range g.Receivers() {
+		if err := f.Hypervisors[h].SetReceivingAt(epoch, a, true); err != nil {
+			return nil, err
+		}
+	}
+	for _, h := range g.Senders() {
+		hdr, err := ctrl.HeaderFor(key, h)
+		if err == controller.ErrNoPath || err == controller.ErrLegacyPath {
+			noPath = append(noPath, h)
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := f.Hypervisors[h].InstallSenderFlowAt(epoch, a, hdr); err != nil {
+			return nil, err
+		}
+	}
+	return noPath, nil
+}
+
+// UninstallGroupAt is UninstallGroup behind the epoch fence.
+func (f *Fabric) UninstallGroupAt(epoch uint64, ctrl *controller.Controller, key controller.GroupKey) error {
+	g := ctrl.Group(key)
+	if g == nil {
+		return fmt.Errorf("fabric: group %v not found", key)
+	}
+	a := addr(key)
+	for leaf := range g.Enc.LeafSRules {
+		if err := f.Leaves[leaf].RemoveSRuleAt(epoch, a); err != nil {
+			return err
+		}
+	}
+	for pod := range g.Enc.SpineSRules {
+		for plane := 0; plane < f.topo.Config().SpinesPerPod; plane++ {
+			if err := f.Spines[f.topo.SpineAt(pod, plane)].RemoveSRuleAt(epoch, a); err != nil {
+				return err
+			}
+		}
+	}
+	for h := range g.Members {
+		if err := f.Hypervisors[h].SetReceivingAt(epoch, a, false); err != nil {
+			return err
+		}
+		if err := f.Hypervisors[h].RemoveSenderFlowAt(epoch, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AnnounceEpoch raises every device's epoch floor to epoch — the first
+// thing a freshly promoted controller does, before reinstalling any
+// state, so a deposed leader's in-flight writes are rejected fabric-
+// wide from this point on.
+func (f *Fabric) AnnounceEpoch(epoch uint64) {
+	for _, sw := range f.Leaves {
+		sw.Fence().Observe(epoch)
+	}
+	for _, sw := range f.Spines {
+		sw.Fence().Observe(epoch)
+	}
+	for _, sw := range f.Cores {
+		sw.Fence().Observe(epoch)
+	}
+	for _, hv := range f.Hypervisors {
+		hv.Fence().Observe(epoch)
+	}
+}
+
+// FencingRejections sums the stale-epoch rejections across every
+// device (the in-process view of elmo_fencing_rejected_total).
+func (f *Fabric) FencingRejections() int64 {
+	var n int64
+	for _, sw := range f.Leaves {
+		n += sw.Fence().Rejected()
+	}
+	for _, sw := range f.Spines {
+		n += sw.Fence().Rejected()
+	}
+	for _, sw := range f.Cores {
+		n += sw.Fence().Rejected()
+	}
+	for _, hv := range f.Hypervisors {
+		n += hv.Fence().Rejected()
+	}
+	return n
+}
+
+// Fingerprint hashes the complete data-plane forwarding state — every
+// switch group table and every hypervisor flow/filter table, in
+// deterministic device order. Two fabrics with equal fingerprints
+// forward identically; the partition soak compares this against the
+// controllers' state fingerprints after heal.
+func (f *Fabric) Fingerprint() [32]byte {
+	h := sha256.New()
+	stamp := func(tier byte, id int, sw *dataplane.NetworkSwitch) {
+		h.Write([]byte{tier, byte(id >> 8), byte(id)})
+		sw.WriteStateDigest(h)
+	}
+	for i, sw := range f.Leaves {
+		stamp('l', i, sw)
+	}
+	for i, sw := range f.Spines {
+		stamp('s', i, sw)
+	}
+	for i, sw := range f.Cores {
+		stamp('c', i, sw)
+	}
+	for i, hv := range f.Hypervisors {
+		h.Write([]byte{'h', byte(i >> 8), byte(i)})
+		hv.WriteStateDigest(h)
+	}
+	var sum [32]byte
+	copy(sum[:], h.Sum(nil))
+	return sum
+}

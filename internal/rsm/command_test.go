@@ -15,6 +15,9 @@ import (
 func TestCommandRoundTripProperty(t *testing.T) {
 	gen := func(r *rand.Rand) Command {
 		c := Command{Op: Op(1 + r.Intn(3))}
+		if r.Intn(2) == 0 {
+			c.Epoch = r.Uint64()
+		}
 		k := make([]byte, r.Intn(64))
 		v := make([]byte, r.Intn(256))
 		r.Read(k)
@@ -57,10 +60,10 @@ func TestUnmarshalCommandStrict(t *testing.T) {
 	bad := map[string][]byte{
 		"empty":       {},
 		"short":       {byte(OpSet), 0, 0},
-		"unknown op":  {0, 0, 0, 0, 0},
-		"op too high": {4, 0, 0, 0, 0},
-		"key overrun": {byte(OpSet), 0xff, 0xff, 'k'},
-		"val overrun": {byte(OpSet), 0, 1, 'k', 0xff, 0xff},
+		"unknown op":  {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		"op too high": {4, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		"key overrun": {byte(OpSet), 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 'k'},
+		"val overrun": {byte(OpSet), 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 'k', 0xff, 0xff},
 		"trailing":    append(append([]byte{}, valid...), 0xaa),
 	}
 	for name, b := range bad {
@@ -92,7 +95,7 @@ func TestProposeApplyStreamsToAppliers(t *testing.T) {
 	i := 0
 	for _, h := range []int{8, 17, 40, 56} {
 		idx := i
-		c.Replica(topology.HostID(h)).SetApplier(func(p []byte) error {
+		c.Replica(topology.HostID(h)).SetApplier(func(_ uint64, p []byte) error {
 			got[idx] = append(got[idx], append([]byte(nil), p...))
 			return nil
 		})
@@ -126,6 +129,56 @@ func TestProposeApplyStreamsToAppliers(t *testing.T) {
 	}
 }
 
+// TestReplicaFencesStaleEpoch: once a replica has applied a command
+// from epoch N, commands stamped with a lower epoch advance the log
+// position but never mutate state or reach the applier — a deposed
+// leader's residue is discarded, not interleaved. Epoch-0 (unfenced)
+// commands stay accepted for legacy single-leader streams.
+func TestReplicaFencesStaleEpoch(t *testing.T) {
+	r := NewReplica(1)
+	var applied [][]byte
+	r.SetApplier(func(_ uint64, p []byte) error {
+		applied = append(applied, append([]byte(nil), p...))
+		return nil
+	})
+	apply := func(c Command) {
+		t.Helper()
+		b, err := c.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	apply(Command{Op: OpSet, Epoch: 2, Key: "k", Value: "new-leader"})
+	apply(Command{Op: OpApply, Epoch: 2, Value: "payload-2"})
+	// Stale term: discarded but the log position still advances.
+	apply(Command{Op: OpSet, Epoch: 1, Key: "k", Value: "old-leader"})
+	apply(Command{Op: OpApply, Epoch: 1, Value: "stale-payload"})
+	// Unfenced legacy command: accepted.
+	apply(Command{Op: OpSet, Key: "legacy", Value: "ok"})
+
+	if v, _ := r.Get("k"); v != "new-leader" {
+		t.Fatalf("k = %q, stale write applied", v)
+	}
+	if v, _ := r.Get("legacy"); v != "ok" {
+		t.Fatalf("legacy = %q", v)
+	}
+	if len(applied) != 1 || string(applied[0]) != "payload-2" {
+		t.Fatalf("applier saw %q, want only payload-2", applied)
+	}
+	if r.Fenced() != 2 {
+		t.Fatalf("Fenced = %d, want 2", r.Fenced())
+	}
+	if r.Applied() != 5 {
+		t.Fatalf("Applied = %d, want 5 (fenced commands advance the log)", r.Applied())
+	}
+	if r.Epoch() != 2 {
+		t.Fatalf("Epoch = %d, want 2", r.Epoch())
+	}
+}
+
 // FuzzUnmarshalCommand asserts the decoder never panics and that any
 // input it accepts re-encodes to exactly the input bytes (a decoded
 // command is always canonical under the strict format).
@@ -135,6 +188,8 @@ func FuzzUnmarshalCommand(f *testing.F) {
 		{Op: OpDelete, Key: "gone"},
 		{Op: OpApply, Value: "\x00\x01\x02opaque wal record"},
 		{Op: OpSet},
+		{Op: OpApply, Epoch: 7, Value: "fenced wal record"},
+		{Op: OpSet, Epoch: 1<<64 - 1, Key: "max-term", Value: "v"},
 	}
 	for _, c := range seeds {
 		b, err := c.Marshal()

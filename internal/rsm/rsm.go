@@ -40,14 +40,20 @@ const (
 
 func validOp(op Op) bool { return op == OpSet || op == OpDelete || op == OpApply }
 
-// Command is one replicated state-machine command.
+// Command is one replicated state-machine command. Epoch is the
+// leadership term of the proposer: replicas remember the highest epoch
+// they have applied and silently discard commands from a lower one, so
+// a deposed leader's in-flight stream cannot be interleaved with the
+// new leader's. Epoch 0 is unfenced (legacy / single-leader use).
 type Command struct {
 	Op    Op
+	Epoch uint64
 	Key   string
 	Value string
 }
 
-// Marshal encodes the command (length-prefixed strings).
+// Marshal encodes the command: op(1) | epoch(8) | length-prefixed
+// key and value.
 func (c Command) Marshal() ([]byte, error) {
 	if !validOp(c.Op) {
 		return nil, fmt.Errorf("rsm: unknown op %d", c.Op)
@@ -55,8 +61,9 @@ func (c Command) Marshal() ([]byte, error) {
 	if len(c.Key) > 0xffff || len(c.Value) > 0xffff {
 		return nil, fmt.Errorf("rsm: key/value too long")
 	}
-	b := make([]byte, 0, 5+len(c.Key)+len(c.Value))
+	b := make([]byte, 0, 13+len(c.Key)+len(c.Value))
 	b = append(b, byte(c.Op))
+	b = binary.BigEndian.AppendUint64(b, c.Epoch)
 	b = binary.BigEndian.AppendUint16(b, uint16(len(c.Key)))
 	b = append(b, c.Key...)
 	b = binary.BigEndian.AppendUint16(b, uint16(len(c.Value)))
@@ -70,26 +77,27 @@ func (c Command) Marshal() ([]byte, error) {
 // surfaces as an error instead of silent data loss.
 func UnmarshalCommand(b []byte) (Command, error) {
 	var c Command
-	if len(b) < 5 {
+	if len(b) < 13 {
 		return c, fmt.Errorf("rsm: short command")
 	}
 	c.Op = Op(b[0])
 	if !validOp(c.Op) {
 		return c, fmt.Errorf("rsm: unknown op %d", c.Op)
 	}
-	kl := int(binary.BigEndian.Uint16(b[1:]))
-	if 3+kl+2 > len(b) {
+	c.Epoch = binary.BigEndian.Uint64(b[1:])
+	kl := int(binary.BigEndian.Uint16(b[9:]))
+	if 11+kl+2 > len(b) {
 		return c, fmt.Errorf("rsm: truncated key")
 	}
-	c.Key = string(b[3 : 3+kl])
-	vl := int(binary.BigEndian.Uint16(b[3+kl:]))
-	if 5+kl+vl > len(b) {
+	c.Key = string(b[11 : 11+kl])
+	vl := int(binary.BigEndian.Uint16(b[11+kl:]))
+	if 13+kl+vl > len(b) {
 		return c, fmt.Errorf("rsm: truncated value")
 	}
-	if 5+kl+vl != len(b) {
-		return c, fmt.Errorf("rsm: %d trailing bytes after command", len(b)-(5+kl+vl))
+	if 13+kl+vl != len(b) {
+		return c, fmt.Errorf("rsm: %d trailing bytes after command", len(b)-(13+kl+vl))
 	}
-	c.Value = string(b[5+kl : 5+kl+vl])
+	c.Value = string(b[13+kl : 13+kl+vl])
 	return c, nil
 }
 
@@ -100,7 +108,9 @@ type Replica struct {
 	host    topology.HostID
 	store   map[string]string
 	applied int
-	applier func([]byte) error
+	epoch   uint64 // highest epoch applied; lower-epoch commands are fenced
+	fenced  int
+	applier func(epoch uint64, payload []byte) error
 }
 
 // NewReplica creates an empty replica for a host.
@@ -109,16 +119,28 @@ func NewReplica(host topology.HostID) *Replica {
 }
 
 // SetApplier installs the hook invoked (in log order) for every
-// OpApply command's payload. Without a hook, OpApply commands advance
-// the log position but are otherwise ignored — a replica that only
-// cares about the KV portion of a mixed stream stays consistent.
-func (r *Replica) SetApplier(fn func([]byte) error) { r.applier = fn }
+// OpApply command's payload, along with the proposer's epoch. Without
+// a hook, OpApply commands advance the log position but are otherwise
+// ignored — a replica that only cares about the KV portion of a mixed
+// stream stays consistent.
+func (r *Replica) SetApplier(fn func(epoch uint64, payload []byte) error) { r.applier = fn }
 
-// Apply executes one command payload (called in log order).
+// Apply executes one command payload (called in log order). A command
+// stamped with a lower epoch than the highest this replica has seen is
+// a deposed leader's residue: it advances the log position but is
+// never applied (counted in Fenced).
 func (r *Replica) Apply(payload []byte) error {
 	c, err := UnmarshalCommand(payload)
 	if err != nil {
 		return err
+	}
+	if c.Epoch != 0 {
+		if c.Epoch < r.epoch {
+			r.fenced++
+			r.applied++
+			return nil
+		}
+		r.epoch = c.Epoch
 	}
 	switch c.Op {
 	case OpSet:
@@ -127,7 +149,7 @@ func (r *Replica) Apply(payload []byte) error {
 		delete(r.store, c.Key)
 	case OpApply:
 		if r.applier != nil {
-			if err := r.applier([]byte(c.Value)); err != nil {
+			if err := r.applier(c.Epoch, []byte(c.Value)); err != nil {
 				return fmt.Errorf("rsm: applier: %w", err)
 			}
 		}
@@ -135,6 +157,13 @@ func (r *Replica) Apply(payload []byte) error {
 	r.applied++
 	return nil
 }
+
+// Epoch reports the highest leadership epoch this replica has applied
+// a command from (0 if only unfenced commands were seen).
+func (r *Replica) Epoch() uint64 { return r.epoch }
+
+// Fenced reports how many stale-epoch commands were discarded.
+func (r *Replica) Fenced() int { return r.fenced }
 
 // Get reads a key.
 func (r *Replica) Get(key string) (string, bool) {
@@ -219,6 +248,12 @@ func (c *Cluster) Propose(cmd Command) error {
 // Followers hand it to their applier hook (SetApplier) in log order.
 func (c *Cluster) ProposeApply(payload []byte) error {
 	return c.Propose(Command{Op: OpApply, Value: string(payload)})
+}
+
+// ProposeApplyAt is ProposeApply with the proposer's leadership epoch
+// stamped on the command, arming the replicas' fencing.
+func (c *Cluster) ProposeApplyAt(epoch uint64, payload []byte) error {
+	return c.Propose(Command{Op: OpApply, Epoch: epoch, Value: string(payload)})
 }
 
 // Sync forces a final repair round (tail-loss recovery) and applies

@@ -15,6 +15,7 @@ import (
 // enqueue-to-durable commit latency.
 type Ack struct {
 	lsn     uint64
+	epoch   uint64
 	typ     uint8
 	data    []byte
 	barrier bool
@@ -135,7 +136,8 @@ func (l *Log) writeFrame(a *Ack) error {
 	size := uint32(1 + len(a.data))
 	binary.BigEndian.PutUint32(hdr[4:8], size)
 	binary.BigEndian.PutUint64(hdr[8:16], a.lsn)
-	hdr[16] = a.typ
+	binary.BigEndian.PutUint64(hdr[16:24], a.epoch)
+	hdr[24] = a.typ
 	crc := crc32.Checksum(hdr[4:], castagnoli)
 	crc = crc32.Update(crc, castagnoli, a.data)
 	binary.BigEndian.PutUint32(hdr[0:4], crc)

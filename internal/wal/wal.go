@@ -13,12 +13,16 @@
 // LSN of their first record (0000000000000001.wal). Each record is
 // framed as
 //
-//	crc32c(4) | size(4) | lsn(8) | type(1) | data
+//	crc32c(4) | size(4) | lsn(8) | epoch(8) | type(1) | data
 //
-// with the checksum covering size..data. Replay validates every frame
-// and requires LSNs to be contiguous; a torn frame at the very tail of
-// the last segment (the crash window of an in-flight batch) terminates
-// replay cleanly, while corruption anywhere else is an error.
+// with the checksum covering size..data. The epoch is the leadership
+// term of the controller that wrote the record: minted at promotion,
+// stamped on every frame, and required to be non-decreasing across the
+// log — a regression is corruption, not a torn tail. Replay validates
+// every frame and requires LSNs to be contiguous; a torn frame at the
+// very tail of the last segment (the crash window of an in-flight
+// batch) terminates replay cleanly, while corruption anywhere else is
+// an error.
 package wal
 
 import (
@@ -35,8 +39,8 @@ import (
 )
 
 const (
-	// frameHeader is crc(4) + size(4) + lsn(8).
-	frameHeader = 16
+	// frameHeader is crc(4) + size(4) + lsn(8) + epoch(8).
+	frameHeader = 24
 	// segmentSuffix names segment files.
 	segmentSuffix = ".wal"
 
@@ -68,6 +72,11 @@ type Options struct {
 	// Metrics, when non-nil, receives append/batch/fsync counters and
 	// the queue/flush/commit latency histograms.
 	Metrics *Metrics
+	// Epoch is the leadership term stamped on every appended frame.
+	// The effective epoch is the maximum of this and the last epoch
+	// already in the log (epochs never regress within one directory);
+	// 0 leaves legacy logs unfenced.
+	Epoch uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -86,15 +95,17 @@ func (o Options) withDefaults() Options {
 // Record is one replayed log entry. Data aliases the replay buffer and
 // is valid only for the duration of the callback; copy it to retain.
 type Record struct {
-	LSN  uint64
-	Type uint8
-	Data []byte
+	LSN   uint64
+	Epoch uint64
+	Type  uint8
+	Data  []byte
 }
 
 // Log is an append-only segmented record log. Append may be called
 // concurrently; one flusher goroutine owns the files.
 type Log struct {
-	opts Options
+	opts  Options
+	epoch uint64 // immutable after Open
 
 	mu      sync.Mutex // serializes LSN assignment + enqueue order
 	nextLSN uint64
@@ -128,15 +139,34 @@ func Open(opts Options) (*Log, error) {
 	}
 	l := &Log{
 		opts:    opts,
+		epoch:   opts.Epoch,
 		nextLSN: 1,
 		queue:   make(chan *Ack, opts.BatchRecords),
 		done:    make(chan struct{}),
 	}
 	if len(segs) > 0 {
 		last := segs[len(segs)-1]
-		lastLSN, validLen, err := scanSegment(filepath.Join(opts.Dir, last.name), last.first, true)
+		lastLSN, lastEpoch, validLen, err := scanSegment(filepath.Join(opts.Dir, last.name), last.first, true)
 		if err != nil {
 			return nil, err
+		}
+		if lastLSN == 0 {
+			// An emptied tail segment (TruncateFrom) holds no frames and
+			// therefore no epoch; walk earlier segments so a reopen can
+			// never stamp a lower epoch than what is already durable.
+			for i := len(segs) - 2; i >= 0; i-- {
+				pLSN, pEpoch, _, err := scanSegment(filepath.Join(opts.Dir, segs[i].name), segs[i].first, false)
+				if err != nil {
+					return nil, err
+				}
+				if pLSN > 0 {
+					lastEpoch = pEpoch
+					break
+				}
+			}
+		}
+		if lastEpoch > l.epoch {
+			l.epoch = lastEpoch
 		}
 		path := filepath.Join(opts.Dir, last.name)
 		if fi, err := os.Stat(path); err == nil && fi.Size() > validLen {
@@ -166,6 +196,10 @@ func Open(opts Options) (*Log, error) {
 // Dir returns the segment directory.
 func (l *Log) Dir() string { return l.opts.Dir }
 
+// Epoch returns the leadership term stamped on appended frames: the
+// maximum of Options.Epoch and the last epoch found in the log at Open.
+func (l *Log) Epoch() uint64 { return l.epoch }
+
 // NextLSN returns the LSN the next appended record will receive.
 func (l *Log) NextLSN() uint64 {
 	l.mu.Lock()
@@ -187,6 +221,7 @@ func (l *Log) LastLSN() uint64 {
 // Append and the apply. Wait for durability with Ack.Wait.
 func (l *Log) Append(typ uint8, data []byte) (*Ack, error) {
 	a := newAck(typ, data)
+	a.epoch = l.epoch
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -390,13 +425,16 @@ func segmentName(first uint64) string {
 }
 
 // scanSegment walks one segment validating frames. It returns the last
-// valid LSN (0 if the segment holds no valid record) and the byte
-// offset where valid data ends. With tolerateTail, an invalid frame
-// ends the scan cleanly (crash tail); otherwise it is an error.
-func scanSegment(path string, first uint64, tolerateTail bool) (lastLSN uint64, validLen int64, err error) {
+// valid LSN (0 if the segment holds no valid record), the last epoch
+// seen, and the byte offset where valid data ends. With tolerateTail,
+// an invalid frame ends the scan cleanly (crash tail); otherwise it is
+// an error. An epoch regression between valid frames is always an
+// error: writers stamp a fixed epoch per log lifetime, so a decrease
+// means the directory was shared by two leaders out of order.
+func scanSegment(path string, first uint64, tolerateTail bool) (lastLSN, lastEpoch uint64, validLen int64, err error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		return 0, 0, fmt.Errorf("wal: %w", err)
+		return 0, 0, 0, fmt.Errorf("wal: %w", err)
 	}
 	want := first
 	off := int64(0)
@@ -404,26 +442,28 @@ func scanSegment(path string, first uint64, tolerateTail bool) (lastLSN uint64, 
 		rest := buf[off:]
 		size := binary.BigEndian.Uint32(rest[4:8])
 		lsn := binary.BigEndian.Uint64(rest[8:16])
+		epoch := binary.BigEndian.Uint64(rest[16:24])
 		frameLen := int64(frameHeader) + int64(size)
 		ok := size >= 1 && int64(len(rest)) >= frameLen && lsn == want &&
 			binary.BigEndian.Uint32(rest[0:4]) == crc32.Checksum(rest[4:frameLen], castagnoli)
 		if !ok {
 			if tolerateTail {
-				return lastLSN, off, nil
+				return lastLSN, lastEpoch, off, nil
 			}
-			return 0, 0, fmt.Errorf("wal: corrupt frame at %s+%d (lsn %d expected)", filepath.Base(path), off, want)
+			return 0, 0, 0, fmt.Errorf("wal: corrupt frame at %s+%d (lsn %d expected)", filepath.Base(path), off, want)
+		}
+		if epoch < lastEpoch {
+			return 0, 0, 0, fmt.Errorf("wal: epoch regression %d -> %d at %s+%d", lastEpoch, epoch, filepath.Base(path), off)
 		}
 		lastLSN = lsn
+		lastEpoch = epoch
 		want = lsn + 1
 		off += frameLen
 	}
 	if off < int64(len(buf)) && !tolerateTail {
-		return 0, 0, fmt.Errorf("wal: trailing garbage at %s+%d", filepath.Base(path), off)
+		return 0, 0, 0, fmt.Errorf("wal: trailing garbage at %s+%d", filepath.Base(path), off)
 	}
-	if tolerateTail {
-		return lastLSN, off, nil
-	}
-	return lastLSN, off, nil
+	return lastLSN, lastEpoch, off, nil
 }
 
 // Replay streams every record with LSN >= from, in order, to fn. A torn
@@ -438,7 +478,8 @@ func Replay(dir string, from uint64, fn func(Record) error) (last uint64, err er
 		}
 		return 0, err
 	}
-	var want uint64 // next expected LSN; 0 until the first record
+	var want uint64      // next expected LSN; 0 until the first record
+	var prevEpoch uint64 // epochs must be non-decreasing across the log
 	for si, seg := range segs {
 		// Skip segments that end before from: segment i ends at
 		// segs[i+1].first-1.
@@ -461,6 +502,7 @@ func Replay(dir string, from uint64, fn func(Record) error) (last uint64, err er
 			rest := buf[off:]
 			size := binary.BigEndian.Uint32(rest[4:8])
 			lsn := binary.BigEndian.Uint64(rest[8:16])
+			epoch := binary.BigEndian.Uint64(rest[16:24])
 			frameLen := int64(frameHeader) + int64(size)
 			ok := size >= 1 && int64(len(rest)) >= frameLen && lsn == want &&
 				binary.BigEndian.Uint32(rest[0:4]) == crc32.Checksum(rest[4:frameLen], castagnoli)
@@ -470,8 +512,14 @@ func Replay(dir string, from uint64, fn func(Record) error) (last uint64, err er
 				}
 				return last, fmt.Errorf("wal: corrupt frame at %s+%d", seg.name, off)
 			}
+			if epoch < prevEpoch {
+				// A checksummed frame from an older leadership term after
+				// a newer one is split-brain residue, never a torn tail.
+				return last, fmt.Errorf("wal: epoch regression %d -> %d at %s+%d", prevEpoch, epoch, seg.name, off)
+			}
+			prevEpoch = epoch
 			if lsn >= from {
-				if err := fn(Record{LSN: lsn, Type: rest[16], Data: rest[17:frameLen]}); err != nil {
+				if err := fn(Record{LSN: lsn, Epoch: epoch, Type: rest[24], Data: rest[25:frameLen]}); err != nil {
 					return last, err
 				}
 			}

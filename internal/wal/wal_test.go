@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
@@ -44,7 +45,7 @@ func collect(t *testing.T, dir string, from uint64) []Record {
 	t.Helper()
 	var recs []Record
 	if _, err := Replay(dir, from, func(r Record) error {
-		recs = append(recs, Record{LSN: r.LSN, Type: r.Type, Data: bytes.Clone(r.Data)})
+		recs = append(recs, Record{LSN: r.LSN, Epoch: r.Epoch, Type: r.Type, Data: bytes.Clone(r.Data)})
 		return nil
 	}); err != nil {
 		t.Fatalf("Replay: %v", err)
@@ -313,6 +314,10 @@ func FuzzReplay(f *testing.F) {
 	f.Add(buf)
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0}, 64))
+	// Epoch-bearing frames: a clean two-term segment and one with an
+	// epoch regression (must error, never yield the stale record).
+	f.Add(append(craftFrame(1, 3, 1, []byte("term-3")), craftFrame(2, 7, 1, []byte("term-7"))...))
+	f.Add(append(craftFrame(1, 7, 1, []byte("term-7")), craftFrame(2, 3, 1, []byte("stale"))...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()
@@ -437,4 +442,186 @@ func TestTruncateFrom(t *testing.T) {
 			t.Fatal("cut past the log accepted")
 		}
 	})
+
+	// Cut exactly at a middle segment's first LSN: that segment is
+	// emptied (keeping the LSN base), every later segment is deleted.
+	t.Run("middle-segment-boundary", func(t *testing.T) {
+		dir := build(t)
+		segs, err := listSegments(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut := segs[1].first
+		if err := TruncateFrom(dir, cut); err != nil {
+			t.Fatal(err)
+		}
+		after, err := listSegments(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(after) != 2 {
+			t.Fatalf("segments after boundary cut = %d, want 2 (head + emptied base)", len(after))
+		}
+		recs := collect(t, dir, 1)
+		if uint64(len(recs)) != cut-1 {
+			t.Fatalf("replay after cut at %d: %d records", cut, len(recs))
+		}
+		l := openTest(t, dir, Options{SegmentBytes: 256})
+		defer l.Close()
+		if got := l.NextLSN(); got != cut {
+			t.Fatalf("NextLSN = %d, want %d", got, cut)
+		}
+	})
+
+	// Cut at LSN 1: the whole log is erased but the directory still
+	// resumes at LSN 1, not at some invented base.
+	t.Run("lsn-1", func(t *testing.T) {
+		dir := build(t)
+		if err := TruncateFrom(dir, 1); err != nil {
+			t.Fatal(err)
+		}
+		if recs := collect(t, dir, 1); len(recs) != 0 {
+			t.Fatalf("replay after full cut: %d records, want 0", len(recs))
+		}
+		l := openTest(t, dir, Options{SegmentBytes: 256})
+		defer l.Close()
+		if got := l.NextLSN(); got != 1 {
+			t.Fatalf("NextLSN = %d, want 1", got)
+		}
+		appendN(t, l, 0, 3)
+		if got := l.LastLSN(); got != 3 {
+			t.Fatalf("LastLSN after re-append = %d, want 3", got)
+		}
+	})
+
+	// Cutting again at the base of an already-emptied tail segment is
+	// idempotent; cutting past its (nonexistent) records is an error.
+	t.Run("already-empty-tail", func(t *testing.T) {
+		dir := build(t)
+		segs, err := listSegments(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut := segs[len(segs)-1].first
+		if err := TruncateFrom(dir, cut); err != nil {
+			t.Fatal(err)
+		}
+		// Tail segment is now zero-length. Same cut again: no-op.
+		if err := TruncateFrom(dir, cut); err != nil {
+			t.Fatal(err)
+		}
+		recs := collect(t, dir, 1)
+		if uint64(len(recs)) != cut-1 {
+			t.Fatalf("idempotent cut changed replay: %d records", len(recs))
+		}
+		// An LSN inside the emptied segment's range holds no frame.
+		if err := TruncateFrom(dir, cut+1); err == nil {
+			t.Fatal("cut inside an empty tail segment accepted")
+		}
+		l := openTest(t, dir, Options{SegmentBytes: 256})
+		defer l.Close()
+		if got := l.NextLSN(); got != cut {
+			t.Fatalf("NextLSN = %d, want %d", got, cut)
+		}
+	})
+}
+
+// craftFrame builds one valid frame by hand (CRC included) so tests
+// can write epochs the Log API would refuse to regress to.
+func craftFrame(lsn, epoch uint64, typ byte, data []byte) []byte {
+	b := make([]byte, frameHeader+1+len(data))
+	binary.BigEndian.PutUint32(b[4:8], uint32(1+len(data)))
+	binary.BigEndian.PutUint64(b[8:16], lsn)
+	binary.BigEndian.PutUint64(b[16:24], epoch)
+	b[24] = typ
+	copy(b[25:], data)
+	binary.BigEndian.PutUint32(b[0:4], crc32.Checksum(b[4:], castagnoli))
+	return b
+}
+
+// TestEpochStampedFrames: frames carry the log's epoch, replay returns
+// it, and a reopen can only keep or raise the epoch — never lower it.
+func TestEpochStampedFrames(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, Options{Epoch: 3})
+	if got := l.Epoch(); got != 3 {
+		t.Fatalf("Epoch = %d, want 3", got)
+	}
+	appendN(t, l, 0, 5)
+	l.Close()
+	for _, r := range collect(t, dir, 1) {
+		if r.Epoch != 3 {
+			t.Fatalf("record %d epoch %d, want 3", r.LSN, r.Epoch)
+		}
+	}
+
+	// Reopen without an epoch: the log's durable epoch wins.
+	l2 := openTest(t, dir, Options{})
+	if got := l2.Epoch(); got != 3 {
+		t.Fatalf("reopened Epoch = %d, want 3", got)
+	}
+	appendN(t, l2, 5, 2)
+	l2.Close()
+
+	// Reopen with a lower epoch: still 3. With a higher: raised.
+	l3 := openTest(t, dir, Options{Epoch: 2})
+	if got := l3.Epoch(); got != 3 {
+		t.Fatalf("Epoch after lower reopen = %d, want 3", got)
+	}
+	l3.Close()
+	l4 := openTest(t, dir, Options{Epoch: 5})
+	appendN(t, l4, 7, 2)
+	l4.Close()
+	recs := collect(t, dir, 1)
+	if recs[len(recs)-1].Epoch != 5 || recs[0].Epoch != 3 {
+		t.Fatalf("epoch range [%d..%d], want [3..5]", recs[0].Epoch, recs[len(recs)-1].Epoch)
+	}
+}
+
+// TestEpochSurvivesEmptiedTail: TruncateFrom at a segment boundary
+// leaves a zero-length tail; a reopen must recover the epoch from the
+// earlier segments instead of regressing to 0.
+func TestEpochSurvivesEmptiedTail(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, Options{SegmentBytes: 256, Epoch: 4})
+	appendN(t, l, 0, 40)
+	l.Close()
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("need >=2 segments (%v)", err)
+	}
+	if err := TruncateFrom(dir, segs[len(segs)-1].first); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openTest(t, dir, Options{})
+	defer l2.Close()
+	if got := l2.Epoch(); got != 4 {
+		t.Fatalf("Epoch after emptied-tail reopen = %d, want 4", got)
+	}
+}
+
+// TestEpochRegressionIsCorruption: a CRC-valid frame stamped with a
+// lower epoch than its predecessor is split-brain residue. Both Replay
+// and Open must reject it rather than treat it as a torn tail.
+func TestEpochRegressionIsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, Options{Epoch: 5})
+	appendN(t, l, 0, 3)
+	l.Close()
+	segs, _ := listSegments(dir)
+	path := filepath.Join(dir, segs[len(segs)-1].name)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(craftFrame(4, 2, 1, []byte("stale-term"))); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Replay(dir, 1, func(Record) error { return nil }); err == nil {
+		t.Fatal("Replay accepted an epoch regression")
+	}
+	if _, err := Open(Options{Dir: dir, NoSync: true}); err == nil {
+		t.Fatal("Open accepted an epoch regression")
+	}
 }
