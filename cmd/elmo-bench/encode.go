@@ -240,5 +240,10 @@ func speedupNote() (reliable bool, note string) {
 			"GOMAXPROCS=%d: serial and parallel phases share one CPU; speedup figures measure pipeline overhead, not parallel scaling",
 			p)
 	}
+	if n := runtime.NumCPU(); n < 2 {
+		return false, fmt.Sprintf(
+			"NumCPU=%d: GOMAXPROCS allows parallelism but the host has one CPU; speedup figures measure time-slicing, not parallel scaling",
+			n)
+	}
 	return true, ""
 }

@@ -18,6 +18,8 @@ import (
 	"os"
 	"reflect"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"elmo/internal/churn"
@@ -46,12 +48,32 @@ type Report struct {
 	ChurnParallelEventsPerSec float64 `json:"churn_parallel_events_per_sec"`
 	ChurnSpeedup              float64 `json:"churn_speedup"`
 
-	// SpeedupReliable is false when GOMAXPROCS < 2: the serial and
+	// SpeedupReliable is false when fewer than two CPUs are actually
+	// available (GOMAXPROCS < 2 or NumCPU < 2): the serial and
 	// parallel phases then share one CPU and the speedup figures
 	// measure pipeline overhead, not parallel scaling. SpeedupNote
 	// carries the explanation into the record.
 	SpeedupReliable bool   `json:"speedup_reliable"`
 	SpeedupNote     string `json:"speedup_note,omitempty"`
+
+	// Scaling is the per-core scaling curve: install and churn
+	// throughput re-measured at each requested GOMAXPROCS (points
+	// above NumCPU are skipped — they would time-slice, not scale).
+	// Speedups are relative to this run's serial phases.
+	Scaling []ScalingPoint `json:"scaling,omitempty"`
+}
+
+// ScalingPoint is one GOMAXPROCS setting on the scaling curve.
+type ScalingPoint struct {
+	GoMaxProcs          int     `json:"go_maxprocs"`
+	Workers             int     `json:"workers"`
+	InstallGroupsPerSec float64 `json:"install_groups_per_sec"`
+	InstallSpeedup      float64 `json:"install_speedup"`
+	ChurnEventsPerSec   float64 `json:"churn_events_per_sec"`
+	ChurnSpeedup        float64 `json:"churn_speedup"`
+	// Reliable marks points where the measured speedup reflects real
+	// parallel hardware (at least GoMaxProcs CPUs present).
+	Reliable bool `json:"reliable"`
 }
 
 func main() {
@@ -75,6 +97,9 @@ func main() {
 		commitOps        = flag.Int("commit-ops", 20000, "durable ops for the group-commit throughput measurement")
 		commitWriters    = flag.Int("commit-writers", 4, "concurrent writers for the group-commit measurement")
 		failoverGroups   = flag.Int("failover-groups", 20000, "groups replicated to the warm follower in the failover measurement")
+
+		scaling     = flag.String("scaling", "1,2,4,8", "comma-separated GOMAXPROCS points for the scaling curve (points above NumCPU are skipped; empty = no curve)")
+		gateSpeedup = flag.Float64("gate-speedup", -1, "fail unless install and churn speedups reach this value (<0 = no gate; skipped with a notice when NumCPU < 2)")
 	)
 	flag.Parse()
 
@@ -162,6 +187,14 @@ func main() {
 		fmt.Printf("WARNING: %s\n", note)
 	}
 
+	// Untimed warmup: the first full install grows the GC heap target
+	// from its process-start value, which otherwise taxes whichever
+	// timed phase happens to run first (measured ~2x on the serial
+	// install). All timed phases below run against a warmed heap.
+	fmt.Printf("warmup: installing %d groups (untimed)...\n", len(specs))
+	install(topo, specs, w, nil)
+	runtime.GC()
+
 	fmt.Printf("installing %d groups serially...\n", len(specs))
 	serialCtrl, _, secs := install(topo, specs, 1, reg)
 	rep.InstallSerialGroupsPerSec = float64(len(specs)) / secs
@@ -190,6 +223,10 @@ func main() {
 	rep.ChurnParallelEventsPerSec = churnRate(topo, dep, gs, *events, w, reg)
 	rep.ChurnSpeedup = rep.ChurnParallelEventsPerSec / rep.ChurnSerialEventsPerSec
 
+	if *scaling != "" {
+		rep.Scaling = scalingCurve(topo, dep, gs, specs, *events, *scaling, rep, reg)
+	}
+
 	buf, err := json.MarshalIndent(rep, "", " ")
 	if err != nil {
 		log.Fatal(err)
@@ -207,10 +244,104 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if err := gateSpeedups(rep, *gateSpeedup); err != nil {
+		log.Fatal(err)
+	}
 
 	if *encodeOut != "" {
 		encodeStage(topo, encSpecs, w, *encodeOut, *maxAllocs)
 	}
+}
+
+// scalingCurve re-measures install and churn throughput at each
+// requested GOMAXPROCS point (workers = GOMAXPROCS), restoring the
+// process setting afterwards. Points above NumCPU are skipped and
+// logged — on fewer cores they would measure time-slicing, not
+// scaling — so the recorded curve never silently overstates coverage.
+func scalingCurve(topo *topology.Topology, dep *placement.Deployment, gs []groupgen.Group,
+	specs []controller.BatchSpec, events int, spec string, rep *Report, reg *telemetry.Registry) []ScalingPoint {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var points []ScalingPoint
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		p, err := strconv.Atoi(tok)
+		if err != nil || p < 1 {
+			log.Fatalf("bad -scaling point %q", tok)
+		}
+		if p > runtime.NumCPU() {
+			fmt.Printf("scaling: skipping GOMAXPROCS=%d (only %d CPUs)\n", p, runtime.NumCPU())
+			continue
+		}
+		runtime.GOMAXPROCS(p)
+		fmt.Printf("scaling: GOMAXPROCS=%d install...\n", p)
+		ctrl, _, secs := install(topo, specs, p, reg)
+		_ = ctrl
+		runtime.GC()
+		fmt.Printf("scaling: GOMAXPROCS=%d churn...\n", p)
+		crate := churnRate(topo, dep, gs, events, p, reg)
+		pt := ScalingPoint{
+			GoMaxProcs:          p,
+			Workers:             p,
+			InstallGroupsPerSec: float64(len(specs)) / secs,
+			ChurnEventsPerSec:   crate,
+			Reliable:            p >= 2 && runtime.NumCPU() >= p,
+		}
+		if rep.InstallSerialGroupsPerSec > 0 {
+			pt.InstallSpeedup = pt.InstallGroupsPerSec / rep.InstallSerialGroupsPerSec
+		}
+		if rep.ChurnSerialEventsPerSec > 0 {
+			pt.ChurnSpeedup = pt.ChurnEventsPerSec / rep.ChurnSerialEventsPerSec
+		}
+		points = append(points, pt)
+	}
+	return points
+}
+
+// gateSpeedups enforces a minimum parallel speedup. On hosts without
+// real parallelism (NumCPU < 2) the gate is skipped with a notice —
+// failing there would punish the environment, not the code; CI runs
+// the gate on multi-core runners where the figures are meaningful.
+func gateSpeedups(rep *Report, gate float64) error {
+	if gate < 0 {
+		return nil
+	}
+	if runtime.NumCPU() < 2 {
+		fmt.Printf("speedup gate skipped: only %d CPU available, speedup figures are not meaningful here\n", runtime.NumCPU())
+		return nil
+	}
+	type check struct {
+		name    string
+		speedup float64
+	}
+	checks := []check{
+		{"install_speedup", rep.InstallSpeedup},
+		{"churn_speedup", rep.ChurnSpeedup},
+	}
+	for _, pt := range rep.Scaling {
+		if !pt.Reliable {
+			continue
+		}
+		checks = append(checks,
+			check{fmt.Sprintf("scaling[gomaxprocs=%d].install_speedup", pt.GoMaxProcs), pt.InstallSpeedup},
+			check{fmt.Sprintf("scaling[gomaxprocs=%d].churn_speedup", pt.GoMaxProcs), pt.ChurnSpeedup})
+	}
+	var failed []string
+	for _, c := range checks {
+		status := "ok"
+		if c.speedup < gate {
+			status = "BELOW GATE"
+			failed = append(failed, c.name)
+		}
+		fmt.Printf("%-44s %6.2fx (gate %.2fx) %s\n", c.name, c.speedup, gate, status)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("parallel speedup below %.2fx gate: %s", gate, strings.Join(failed, ", "))
+	}
+	return nil
 }
 
 func buildSpecs(gs []groupgen.Group, seed int64) []controller.BatchSpec {
@@ -319,6 +450,13 @@ func checkBaseline(rep *Report, path string, tolerance float64) error {
 	var base Report
 	if err := json.Unmarshal(buf, &base); err != nil {
 		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	if base.GoMaxProcs != rep.GoMaxProcs {
+		return fmt.Errorf(
+			"baseline %s was recorded at GOMAXPROCS=%d but this run used GOMAXPROCS=%d; "+
+				"throughput is not comparable across core counts — regenerate the baseline on this host "+
+				"or rerun with GOMAXPROCS=%d",
+			path, base.GoMaxProcs, rep.GoMaxProcs, base.GoMaxProcs)
 	}
 	type metric struct {
 		name       string

@@ -13,7 +13,6 @@ package churn
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sort"
 	"sync"
 
@@ -199,10 +198,7 @@ func Run(ctrl *controller.Controller, dep *placement.Deployment, groups []groupg
 	}
 	fw := newFenwick(weights)
 
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := controller.ResolveWorkers(cfg.Workers)
 	res := &Result{
 		Duration: float64(cfg.Events) / cfg.EventsPerSecond,
 		Workers:  workers,

@@ -13,15 +13,24 @@ import (
 )
 
 // This file implements the parallel bulk-install pipeline (§5.1.3
-// controller scale): group encodings are independent except for the
-// shared s-rule capacity counters, so the cluster/encoder phase shards
-// across workers while a single committer admits s-rules in
-// deterministic input order. Workers encode speculatively against
-// point-in-time occupancy reads (capRecorder); the committer validates
-// each recorded capacity answer against the live counters and recomputes
-// serially on a mismatch, so the committed encodings and the final
-// LeafSRuleCount/SpineSRuleCount are byte-identical for any worker
-// count.
+// controller scale). Group encodings are independent except for the
+// shared s-rule capacity counters, so the expensive work shards across
+// goroutines at both ends of the pipeline:
+//
+//   - Encode: workers claim chunks and encode speculatively against
+//     point-in-time occupancy reads (capRecorder).
+//   - Admit: one sequencer validates each recorded capacity answer
+//     against the live counters in strict input order (recomputing
+//     serially on a mismatch) and charges occupancy — a short critical
+//     section under the Occupancy admission mutex.
+//   - Apply: per-shard committer goroutines insert the prepared group
+//     state and charge update stats under their own shard lock, so the
+//     map/stats work no longer serializes behind admission.
+//
+// Because admission order is exactly input order and occupancy answers
+// are revalidated at the admit point, the committed encodings and the
+// final LeafSRuleCount/SpineSRuleCount are byte-identical to a serial
+// loop for any worker count and any shard count.
 
 // BatchError wraps an error raised while encoding or committing one
 // batch element, preserving the input index (all elements before Index
@@ -42,15 +51,32 @@ func (e *BatchError) Unwrap() error { return e.Err }
 // behind the workers.
 const batchChunkSize = 64
 
+// ResolveWorkers resolves a requested worker count: values <= 0 mean
+// one worker per available CPU (GOMAXPROCS). Every path that sizes a
+// worker pool (EncodeBatch, InstallBatch, churn) resolves through this
+// one helper so pool sizing can never diverge between them.
+func ResolveWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
 // EncodeBatch computes the encodings for n receiver sets using the
 // given number of workers (<=0 means GOMAXPROCS) against shared s-rule
 // occupancy, invoking commit(i, enc) sequentially in strict input
-// order. The occupancy counters are charged after commit returns nil;
-// a non-nil commit error (or an encoding error) aborts the batch with a
-// *BatchError, leaving all earlier elements committed.
+// order. Validation, commit, and the occupancy charge for one element
+// form a single admission transaction under occ's admission mutex, so
+// EncodeBatch runs correctly alongside other admitters (concurrent
+// membership retrees, other batches) — though byte-identical results
+// are only guaranteed against a quiescent occupancy. The occupancy
+// counters are charged after commit returns nil; a non-nil commit
+// error (or an encoding error) aborts the batch with a *BatchError,
+// leaving all earlier elements committed.
 //
-// receivers(i) must be pure: it may be called concurrently and more
-// than once per index. The result is byte-identical to the serial loop
+// receivers(i) must be idempotent: it may be called concurrently and
+// more than once per index. The result is byte-identical to the serial
+// loop
 //
 //	for i := range n { enc := ComputeEncoding(..., occ.CapacityFunc(), receivers(i)); commit(i, enc); occ.Commit(enc) }
 //
@@ -64,25 +90,36 @@ func EncodeBatch(topo *topology.Topology, cfg Config, occ *Occupancy, n, workers
 	if n == 0 {
 		return 0, nil
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = ResolveWorkers(workers)
 	if workers > n {
 		workers = n
 	}
 	if workers == 1 {
+		// Serial path: same speculate→validate shape as the parallel
+		// committer so the admission mutex is never held during
+		// encoding. With no concurrent admitter the recorded answers
+		// always revalidate, so nothing is recomputed.
 		var s EncodeScratch
 		for i := 0; i < n; i++ {
-			enc, cerr := ComputeEncodingInto(topo, cfg, occ.CapacityFunc(), receivers(i), &s)
-			if cerr != nil {
-				return recomputed, &BatchError{Index: i, Err: cerr}
+			rec := newCapRecorder(occ, nil)
+			enc, cerr := ComputeEncodingInto(topo, cfg, rec.capacity(), receivers(i), &s)
+			occ.admit.Lock()
+			if cerr != nil || !rec.valid() {
+				recomputed++
+				enc, cerr = ComputeEncodingInto(topo, cfg, occ.CapacityFunc(), receivers(i), &s)
+				if cerr != nil {
+					occ.admit.Unlock()
+					return recomputed, &BatchError{Index: i, Err: cerr}
+				}
 			}
 			if cerr := commit(i, enc); cerr != nil {
+				occ.admit.Unlock()
 				return recomputed, &BatchError{Index: i, Err: cerr}
 			}
 			occ.Commit(enc)
+			occ.admit.Unlock()
 		}
-		return 0, nil
+		return recomputed, nil
 	}
 
 	type result struct {
@@ -130,9 +167,9 @@ func EncodeBatch(topo *topology.Topology, cfg Config, occ *Occupancy, n, workers
 		wg.Wait()
 	}()
 
-	// Deterministic commit order: admit element i only after 0..i-1,
-	// validating the speculative capacity answers against the live
-	// counters (which only this goroutine mutates during the batch).
+	// Deterministic admission order: admit element i only after 0..i-1,
+	// revalidating the speculative capacity answers against the live
+	// counters inside the admission transaction.
 	var commitScratch EncodeScratch
 	for ci := 0; ci < chunks; ci++ {
 		<-ready[ci]
@@ -144,6 +181,7 @@ func EncodeBatch(topo *topology.Topology, cfg Config, occ *Occupancy, n, workers
 		for i := lo; i < hi; i++ {
 			r := results[i]
 			enc := r.enc
+			occ.admit.Lock()
 			if r.err != nil || !r.rec.valid() {
 				// The speculative run raced a capacity boundary (or
 				// errored under a stale view): redo it serially at the
@@ -152,13 +190,16 @@ func EncodeBatch(topo *topology.Topology, cfg Config, occ *Occupancy, n, workers
 				var cerr error
 				enc, cerr = ComputeEncodingInto(topo, cfg, occ.CapacityFunc(), receivers(i), &commitScratch)
 				if cerr != nil {
+					occ.admit.Unlock()
 					return recomputed, &BatchError{Index: i, Err: cerr}
 				}
 			}
 			if cerr := commit(i, enc); cerr != nil {
+				occ.admit.Unlock()
 				return recomputed, &BatchError{Index: i, Err: cerr}
 			}
 			occ.Commit(enc)
+			occ.admit.Unlock()
 			results[i] = result{} // release speculative memory early
 		}
 	}
@@ -189,53 +230,166 @@ type BatchResult struct {
 	Workers int
 }
 
-// InstallBatch creates all the given groups, sharding the encoder phase
-// across opts.Workers goroutines while admitting s-rules in input
-// order, so the installed state — encodings, occupancy counters, update
-// stats, trace events — is byte-identical to calling CreateGroup for
-// each spec in slice order. On error (duplicate or empty key roles,
-// legacy table overflow) the batch stops with a *BatchError; specs
-// before the failing index remain installed, exactly like the serial
-// loop.
+// applyItem is one admitted group handed to a shard committer.
+type applyItem struct {
+	idx int
+	g   *GroupState
+}
+
+// applyFlushSize batches admitted groups per shard before handing them
+// to the shard's committer: one channel transfer and one shard-lock
+// acquisition then cover the whole slice, keeping the sequencer's
+// per-element cost to an append.
+const applyFlushSize = 32
+
+// applyQueueDepth bounds the per-shard apply queue (in slices). A full
+// queue blocks the sequencer (which holds the admission mutex), but
+// committers drain using only their shard lock, so progress is
+// guaranteed.
+const applyQueueDepth = 64
+
+// InstallBatch creates all the given groups through the three-stage
+// pipeline described at the top of this file: parallel speculative
+// encoding, strict input-order s-rule admission, and per-shard parallel
+// application of the group map and update-stat writes. The installed
+// state — encodings, occupancy counters, update stats, trace events —
+// is byte-identical to calling CreateGroup for each spec in slice
+// order, for any worker count and any shard count. On error (duplicate
+// or empty key roles, legacy table overflow) the batch stops with a
+// *BatchError; specs before the failing index remain installed, exactly
+// like the serial loop.
 //
 // InstallBatch is safe to run concurrently with other controller
 // operations, but the byte-identical-to-serial guarantee holds only for
 // a quiescent controller (no concurrent mutations admitting s-rules).
 func (c *Controller) InstallBatch(specs []BatchSpec, opts BatchOptions) (*BatchResult, error) {
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := ResolveWorkers(opts.Workers)
 	res := &BatchResult{Workers: workers}
+	n := len(specs)
 	m := c.getMetrics()
-	// The committer runs on this goroutine only, so a plain local carries
-	// the inter-commit latency baseline race-free.
+	// The sequencer runs on this goroutine only, so a plain local
+	// carries the inter-commit latency baseline race-free.
 	last := m.now()
+
+	// The encode workers prepare each group's state alongside its
+	// receiver list: prep[i] and prepErr[i] are written before the
+	// element's ready signal (or, on the serial/recompute paths, by the
+	// sequencer itself just before use), so the sequencer always reads
+	// them after a happens-before edge. Rebuilding on a recompute is
+	// idempotent.
+	prep := make([]*GroupState, n)
+	prepErr := make([]error, n)
 	receivers := func(i int) []topology.HostID {
-		return receiversOf(specs[i].Members)
-	}
-	commit := func(i int, enc *Encoding) error {
 		spec := specs[i]
-		c.mu.Lock()
-		defer c.mu.Unlock()
-		if _, ok := c.groups[spec.Key]; ok {
-			return fmt.Errorf("controller: group %v already exists", spec.Key)
-		}
 		g := &GroupState{Key: spec.Key, Members: make(map[topology.HostID]Role, len(spec.Members))}
+		prepErr[i] = nil
 		for h, r := range spec.Members {
 			if r == 0 {
-				return fmt.Errorf("controller: host %d has empty role", h)
+				prepErr[i] = fmt.Errorf("controller: host %d has empty role", h)
 			}
 			g.Members[h] = r
 		}
-		g.Enc = enc
-		c.groups[spec.Key] = g
-		for h := range g.Members {
-			c.stats.Hypervisor[h]++
+		prep[i] = g
+		return receiversOf(spec.Members)
+	}
+
+	// Per-shard apply committers (parallel path only): the sequencer
+	// stays light and map/stat writes spread across shard locks.
+	async := workers > 1 && n > 1
+	var (
+		queues    []chan []applyItem
+		pending   [][]applyItem
+		applyWG   sync.WaitGroup
+		installed atomic.Int64
+		applyErr  atomic.Pointer[BatchError]
+	)
+	applySlice := func(sh *ctrlShard, its []applyItem) {
+		ok := 0
+		sh.mu.Lock()
+		for _, it := range its {
+			if _, dup := sh.groups[it.g.Key]; dup {
+				// Only reachable when an external create raced this
+				// batch (in-batch duplicates are caught by the
+				// sequencer): undo the admission charge and surface
+				// the first conflict.
+				c.occ.Release(it.g.Enc)
+				be := &BatchError{Index: it.idx, Err: fmt.Errorf("controller: group %v already exists", it.g.Key)}
+				applyErr.CompareAndSwap(nil, be)
+				continue
+			}
+			sh.groups[it.g.Key] = it.g
+			for h := range it.g.Members {
+				sh.stats.Hypervisor[h]++
+			}
+			ok++
 		}
-		c.traceEncode(spec.Key, enc)
-		c.traceControl(trace.KindCreateGroup, spec.Key, int64(len(g.Members)), "")
-		res.Installed++
+		sh.mu.Unlock()
+		installed.Add(int64(ok))
+	}
+	if async {
+		queues = make([]chan []applyItem, len(c.shards))
+		pending = make([][]applyItem, len(c.shards))
+		for si := range queues {
+			q := make(chan []applyItem, applyQueueDepth)
+			queues[si] = q
+			sh := c.shards[si]
+			applyWG.Add(1)
+			go func() {
+				defer applyWG.Done()
+				for its := range q {
+					applySlice(sh, its)
+				}
+			}()
+		}
+	}
+	drain := func() {
+		if async {
+			for si, q := range queues {
+				if len(pending[si]) > 0 {
+					q <- pending[si]
+					pending[si] = nil
+				}
+				close(q)
+			}
+			applyWG.Wait()
+		}
+	}
+
+	// seen tracks keys admitted by this batch (their inserts may still
+	// be in flight on a shard queue); the shard map read covers groups
+	// that existed before the batch.
+	seen := make(map[GroupKey]struct{}, n)
+	commit := func(i int, enc *Encoding) error {
+		if err := prepErr[i]; err != nil {
+			return err
+		}
+		key := specs[i].Key
+		if _, dup := seen[key]; dup {
+			return fmt.Errorf("controller: group %v already exists", key)
+		}
+		si := c.shardIndex(key)
+		sh := c.shards[si]
+		sh.mu.RLock()
+		_, exists := sh.groups[key]
+		sh.mu.RUnlock()
+		if exists {
+			return fmt.Errorf("controller: group %v already exists", key)
+		}
+		seen[key] = struct{}{}
+		g := prep[i]
+		g.Enc = enc
+		it := applyItem{idx: i, g: g}
+		if async {
+			pending[si] = append(pending[si], it)
+			if len(pending[si]) >= applyFlushSize {
+				queues[si] <- pending[si]
+				pending[si] = nil
+			}
+		} else {
+			applySlice(sh, []applyItem{it})
+		}
+		c.traceEncode(key, enc)
+		c.traceControl(trace.KindCreateGroup, key, int64(len(g.Members)), "")
 		if m != nil {
 			m.batchInstalled.Inc()
 			now := time.Now()
@@ -244,10 +398,18 @@ func (c *Controller) InstallBatch(specs []BatchSpec, opts BatchOptions) (*BatchR
 		}
 		return nil
 	}
-	recomputed, err := EncodeBatch(c.topo, c.cfg, c.occ, len(specs), workers, receivers, commit)
+
+	recomputed, err := EncodeBatch(c.topo, c.cfg, c.occ, n, workers, receivers, commit)
+	drain()
 	res.Recomputed = recomputed
+	res.Installed = int(installed.Load())
 	if m != nil && recomputed > 0 {
 		m.batchRecompute.Add(int64(recomputed))
+	}
+	if err == nil {
+		if be := applyErr.Load(); be != nil {
+			err = be
+		}
 	}
 	if err != nil {
 		return res, fmt.Errorf("controller: install %w", err)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"elmo/internal/bitmap"
 	"elmo/internal/dataplane"
@@ -46,19 +47,19 @@ func (r Role) CanReceive() bool { return r&RoleReceiver != 0 }
 // GroupState is the controller's record of one group.
 //
 // Concurrency: fields are written only while holding BOTH the group's
-// own mutex and the controller mutex in write mode, so a reader holding
-// either lock sees consistent state (see the locking notes on
-// Controller).
+// own mutex and the owning shard's mutex in write mode, so a reader
+// holding either lock sees consistent state (see the locking notes on
+// Controller and shard.go).
 type GroupState struct {
 	Key     GroupKey
 	Members map[topology.HostID]Role
 	Enc     *Encoding
 
 	// mu serializes membership operations on this group; it is acquired
-	// before (never after) the controller mutex.
+	// before (never after) the admission mutex and the shard mutex.
 	mu sync.Mutex
-	// removed marks a group deleted from the controller map while a
-	// racing membership operation was waiting on mu.
+	// removed marks a group deleted from its shard map while a racing
+	// membership operation was waiting on mu.
 	removed bool
 }
 
@@ -102,6 +103,20 @@ func newUpdateStats() UpdateStats {
 	}
 }
 
+// addInto accumulates u's counters into dst.
+func (u *UpdateStats) addInto(dst *UpdateStats) {
+	for h, v := range u.Hypervisor {
+		dst.Hypervisor[h] += v
+	}
+	for l, v := range u.Leaf {
+		dst.Leaf[l] += v
+	}
+	for s, v := range u.Spine {
+		dst.Spine[s] += v
+	}
+	dst.Core += u.Core
+}
+
 // Total returns the sum of all update counts.
 func (u *UpdateStats) Total() int {
 	n := u.Core
@@ -118,40 +133,53 @@ func (u *UpdateStats) Total() int {
 }
 
 // Controller is the logically-centralized Elmo controller. It is safe
-// for concurrent use: the encoder phase of every membership operation
-// runs outside the controller lock (speculatively, against atomic
-// occupancy reads), and only admission — s-rule occupancy, update
-// stats, the group map — is serialized.
+// for concurrent use and sharded for multi-core scale: the encoder
+// phase of every membership operation runs outside all locks
+// (speculatively, against atomic occupancy reads); admission — the
+// s-rule capacity transaction — serializes only on the small
+// Occupancy.admit mutex; and the group map and update stats are
+// hash-partitioned across shards so publishes on different groups
+// rarely contend.
 //
-// Locking model (see DESIGN.md, "Controller concurrency model"):
+// Locking model (see DESIGN.md, "Controller concurrency model", and
+// shard.go):
 //
-//   - c.mu guards the group map, update stats, failure set and s-rule
-//     admission; GroupState fields are written only under BOTH g.mu and
-//     c.mu, so holders of either lock read them safely.
+//   - Each shard's RWMutex guards that shard's slice of the group map
+//     and update stats; GroupState fields are written only under BOTH
+//     g.mu and the owning shard's mutex, so holders of either read
+//     them safely.
 //   - g.mu serializes membership operations per group and is always
-//     acquired before c.mu.
+//     acquired before the admission mutex and shard mutexes.
 //   - s-rule occupancy lives in atomically-readable counters
 //     (Occupancy) so concurrent encoder runs consult capacity without
-//     blocking each other.
+//     blocking each other; the validate→commit transaction holds
+//     Occupancy.admit.
+//   - The failure set is read under any shard read lock and mutated
+//     only under all shard write locks (failure events are rare;
+//     header assembly is not).
 type Controller struct {
 	topo     *topology.Topology
 	cfg      Config
 	layout   header.Layout
 	failures *topology.FailureSet
 
-	mu     sync.RWMutex
-	groups map[GroupKey]*GroupState
-	occ    *Occupancy
-	stats  UpdateStats
+	occ *Occupancy
+
+	shards    []*ctrlShard
+	shardMask uint32
 
 	// scratch pools encoder working memory across membership
 	// operations: Join/Leave may run concurrently (per-group locking),
 	// so a pool rather than a single per-controller scratch.
 	scratch sync.Pool
 
-	tracer  trace.Recorder
-	metrics *Metrics
+	tracer  atomic.Pointer[tracerBox]
+	metrics atomic.Pointer[Metrics]
 }
+
+// tracerBox wraps the recorder interface so it can live in an atomic
+// pointer (hot paths read it without any lock).
+type tracerBox struct{ r trace.Recorder }
 
 func (c *Controller) getScratch() *EncodeScratch {
 	if s, ok := c.scratch.Get().(*EncodeScratch); ok {
@@ -167,14 +195,19 @@ func New(topo *topology.Topology, cfg Config) (*Controller, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = defaultShardCount()
+	}
+	shards := newShards(n)
 	return &Controller{
-		topo:     topo,
-		cfg:      cfg,
-		layout:   header.LayoutFor(topo),
-		failures: topology.NewFailureSet(),
-		groups:   make(map[GroupKey]*GroupState),
-		occ:      NewOccupancy(topo, cfg.SRuleCapacity),
-		stats:    newUpdateStats(),
+		topo:      topo,
+		cfg:       cfg,
+		layout:    header.LayoutFor(topo),
+		failures:  topology.NewFailureSet(),
+		occ:       NewOccupancy(topo, cfg.SRuleCapacity),
+		shards:    shards,
+		shardMask: uint32(len(shards) - 1),
 	}, nil
 }
 
@@ -192,18 +225,25 @@ func (c *Controller) Failures() *topology.FailureSet { return c.failures }
 // the control category, encoding runs under the encoder category. Nil
 // or disabled recorders cost one check per control-plane operation.
 func (c *Controller) SetTracer(r trace.Recorder) {
-	c.mu.Lock()
-	c.tracer = r
-	c.mu.Unlock()
+	c.tracer.Store(&tracerBox{r: r})
 }
 
-// traceControl records a control-plane event for a group. Callers hold
-// c.mu (read or write).
+// getTracer loads the recorder without locks (recorders are
+// internally synchronized).
+func (c *Controller) getTracer() trace.Recorder {
+	if b := c.tracer.Load(); b != nil {
+		return b.r
+	}
+	return nil
+}
+
+// traceControl records a control-plane event for a group.
 func (c *Controller) traceControl(kind trace.Kind, key GroupKey, arg int64, note string) {
-	if !trace.On(c.tracer, trace.CatControl) {
+	t := c.getTracer()
+	if !trace.On(t, trace.CatControl) {
 		return
 	}
-	c.tracer.Record(trace.Event{
+	t.Record(trace.Event{
 		Cat: trace.CatControl, Kind: kind, Tier: trace.TierController,
 		VNI: key.Tenant, Group: key.Group, Arg: arg, Note: note,
 	})
@@ -211,57 +251,69 @@ func (c *Controller) traceControl(kind trace.Kind, key GroupKey, arg int64, note
 
 // traceFailure records a failure/repair event for a switch.
 func (c *Controller) traceFailure(kind trace.Kind, sw int32, impacted int) {
-	if !trace.On(c.tracer, trace.CatControl) {
+	t := c.getTracer()
+	if !trace.On(t, trace.CatControl) {
 		return
 	}
-	c.tracer.Record(trace.Event{
+	t.Record(trace.Event{
 		Cat: trace.CatControl, Kind: kind, Tier: trace.TierController,
 		Switch: sw, Arg: int64(impacted),
 	})
 }
 
-// Stats returns the accumulated update counters. The returned pointer
-// aliases live state: read it only while no concurrent mutations run
-// (between experiment phases), like every other aggregate accessor.
+// Stats returns a deep copy of the accumulated update counters, merged
+// across shards under a consistent read cut. The snapshot is the
+// caller's to keep: concurrent mutators can never race with it (the
+// old contract returned a pointer aliasing live state).
 func (c *Controller) Stats() *UpdateStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.stats.Hypervisor == nil {
-		c.stats = newUpdateStats()
+	out := newUpdateStats()
+	c.rlockAllShards()
+	for _, sh := range c.shards {
+		sh.stats.addInto(&out)
 	}
-	return &c.stats
+	c.runlockAllShards()
+	return &out
 }
 
 // ResetStats clears the update counters (between experiment phases).
 func (c *Controller) ResetStats() {
-	c.mu.Lock()
-	c.stats = newUpdateStats()
-	c.mu.Unlock()
+	c.lockAllShards()
+	for _, sh := range c.shards {
+		sh.stats = newUpdateStats()
+	}
+	c.unlockAllShards()
 }
 
 // Group returns the state for a key, or nil.
 func (c *Controller) Group(key GroupKey) *GroupState {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.groups[key]
+	sh := c.shardOf(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.groups[key]
 }
 
 // NumGroups returns the number of live groups.
 func (c *Controller) NumGroups() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.groups)
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		n += len(sh.groups)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // GroupKeys returns the keys of all live groups in ascending
 // (tenant, group) order.
 func (c *Controller) GroupKeys() []GroupKey {
-	c.mu.RLock()
-	keys := make([]GroupKey, 0, len(c.groups))
-	for k := range c.groups {
-		keys = append(keys, k)
+	var keys []GroupKey
+	c.rlockAllShards()
+	for _, sh := range c.shards {
+		for k := range sh.groups {
+			keys = append(keys, k)
+		}
 	}
-	c.mu.RUnlock()
+	c.runlockAllShards()
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i].Tenant != keys[j].Tenant {
 			return keys[i].Tenant < keys[j].Tenant
@@ -282,10 +334,7 @@ func (c *Controller) SpineSRuleCount(s topology.SpineID) int { return c.occ.Spin
 
 // lookup fetches a group without holding any lock afterwards.
 func (c *Controller) lookup(key GroupKey) *GroupState {
-	c.mu.RLock()
-	g := c.groups[key]
-	c.mu.RUnlock()
-	return g
+	return c.Group(key)
 }
 
 // CreateGroup registers a group with the given members and computes
@@ -305,15 +354,18 @@ func (c *Controller) CreateGroup(key GroupKey, members map[topology.HostID]Role)
 		g.Members[h] = r
 	}
 
-	// Speculative encode outside the lock; validated at admission.
+	// Speculative encode outside all locks; validated at admission.
 	receivers := g.Receivers()
 	rec := newCapRecorder(c.occ, nil)
 	s := c.getScratch()
 	enc, cerr := ComputeEncodingInto(c.topo, c.cfg, rec.capacity(), receivers, s)
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.groups[key]; ok {
+	sh := c.shardOf(key)
+	c.occ.admit.Lock()
+	defer c.occ.admit.Unlock()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.groups[key]; ok {
 		c.putScratch(s)
 		return nil, fmt.Errorf("controller: group %v already exists", key)
 	}
@@ -330,12 +382,12 @@ func (c *Controller) CreateGroup(key GroupKey, members map[topology.HostID]Role)
 	c.putScratch(s)
 	g.Enc = enc
 	c.occ.Commit(enc)
-	c.groups[key] = g
+	sh.groups[key] = g
 	c.traceEncode(key, enc)
 	// Every member hypervisor receives flow state (senders: encap
 	// rules + headers; receivers: group delivery rules).
 	for h := range g.Members {
-		c.stats.Hypervisor[h]++
+		sh.stats.Hypervisor[h]++
 	}
 	c.traceControl(trace.KindCreateGroup, key, int64(len(g.Members)), "")
 	if m != nil {
@@ -353,20 +405,23 @@ func (c *Controller) RemoveGroup(key GroupKey) error {
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if g.removed || c.groups[key] != g {
+	sh := c.shardOf(key)
+	c.occ.admit.Lock()
+	defer c.occ.admit.Unlock()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if g.removed || sh.groups[key] != g {
 		return fmt.Errorf("controller: group %v not found", key)
 	}
 	g.removed = true
-	delete(c.groups, key)
-	c.releaseSRulesCharged(g.Enc)
+	delete(sh.groups, key)
+	c.releaseSRulesCharged(sh, g.Enc)
 	for h := range g.Members {
-		c.stats.Hypervisor[h]++
+		sh.stats.Hypervisor[h]++
 	}
 	c.traceControl(trace.KindRemoveGroup, key, int64(len(g.Members)), "")
-	if c.metrics != nil {
-		c.metrics.ops.remove.Inc()
+	if m := c.getMetrics(); m != nil {
+		m.ops.remove.Inc()
 	}
 	return nil
 }
@@ -387,6 +442,7 @@ func (c *Controller) Join(key GroupKey, host topology.HostID, role Role) error {
 	if g == nil {
 		return fmt.Errorf("controller: group %v not found", key)
 	}
+	sh := c.shardOf(key)
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.removed {
@@ -396,33 +452,33 @@ func (c *Controller) Join(key GroupKey, host topology.HostID, role Role) error {
 	if present && old|role == old {
 		return nil // no change
 	}
-	c.mu.Lock()
+	sh.mu.Lock()
 	g.Members[host] = old | role
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	// A sender-only join leaves the tree untouched: only the source
 	// hypervisor is updated (§5.1.3a).
 	receiverChanged := role.CanReceive() && (!present || !old.CanReceive())
 	if receiverChanged {
-		if err := c.retree(g, host, true); err != nil {
+		if err := c.retree(g, sh, host, true); err != nil {
 			// Revert the membership so state matches the (rolled back)
 			// encoding; the hypervisor counter was never charged and
 			// no Join event was emitted.
-			c.mu.Lock()
+			sh.mu.Lock()
 			if present {
 				g.Members[host] = old
 			} else {
 				delete(g.Members, host)
 			}
+			sh.mu.Unlock()
 			c.traceControl(trace.KindRollback, key, int64(host), err.Error())
-			c.mu.Unlock()
 			m.countRollback()
 			return err
 		}
 	}
-	c.mu.Lock()
-	c.stats.Hypervisor[host]++ // the member's own hypervisor always updates
+	sh.mu.Lock()
+	sh.stats.Hypervisor[host]++ // the member's own hypervisor always updates
+	sh.mu.Unlock()
 	c.traceControl(trace.KindJoin, key, int64(host), "")
-	c.mu.Unlock()
 	if m != nil {
 		m.ops.join.Inc()
 		m.observe(m.opLatency.join, start)
@@ -440,6 +496,7 @@ func (c *Controller) Leave(key GroupKey, host topology.HostID, role Role) error 
 	if g == nil {
 		return fmt.Errorf("controller: group %v not found", key)
 	}
+	sh := c.shardOf(key)
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.removed {
@@ -450,28 +507,28 @@ func (c *Controller) Leave(key GroupKey, host topology.HostID, role Role) error 
 		return fmt.Errorf("controller: host %d does not hold role in %v", host, key)
 	}
 	remaining := old &^ role
-	c.mu.Lock()
+	sh.mu.Lock()
 	if remaining == 0 {
 		delete(g.Members, host)
 	} else {
 		g.Members[host] = remaining
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	receiverChanged := role.CanReceive() && old.CanReceive()
 	if receiverChanged {
-		if err := c.retree(g, host, false); err != nil {
-			c.mu.Lock()
+		if err := c.retree(g, sh, host, false); err != nil {
+			sh.mu.Lock()
 			g.Members[host] = old
+			sh.mu.Unlock()
 			c.traceControl(trace.KindRollback, key, int64(host), err.Error())
-			c.mu.Unlock()
 			m.countRollback()
 			return err
 		}
 	}
-	c.mu.Lock()
-	c.stats.Hypervisor[host]++
+	sh.mu.Lock()
+	sh.stats.Hypervisor[host]++
+	sh.mu.Unlock()
 	c.traceControl(trace.KindLeave, key, int64(host), "")
-	c.mu.Unlock()
 	if m != nil {
 		m.ops.leave.Inc()
 		m.observe(m.opLatency.leave, start)
@@ -485,14 +542,16 @@ func (c *Controller) Leave(key GroupKey, host topology.HostID, role Role) error 
 // to every sender hypervisor when the shared downstream sections
 // changed.
 //
-// The encoder phase runs outside the controller lock against a
-// speculative capacity view (the old encoding's s-rules count as
-// released) and is incremental: it delta-patches the old encoding's
-// cached tree and re-runs clustering only for layers whose membership
-// changed (see incremental.go). Admission re-validates the capacity
-// view and falls back to a full serial recompute under the lock when a
-// capacity answer changed. Callers hold g.mu.
-func (c *Controller) retree(g *GroupState, changed topology.HostID, joined bool) error {
+// The encoder phase runs outside all locks against a speculative
+// capacity view (the old encoding's s-rules count as released) and is
+// incremental: it delta-patches the old encoding's cached tree and
+// re-runs clustering only for layers whose membership changed (see
+// incremental.go). Admission holds the occupancy admit mutex for the
+// release→validate→commit transaction (falling back to a full serial
+// recompute when a capacity answer changed), then publishes the new
+// encoding and its stats charges under the owning shard's lock —
+// other shards never block. Callers hold g.mu.
+func (c *Controller) retree(g *GroupState, sh *ctrlShard, changed topology.HostID, joined bool) error {
 	oldEnc := g.Enc
 	rec := newCapRecorder(c.occ, oldEnc)
 	s := c.getScratch()
@@ -504,8 +563,8 @@ func (c *Controller) retree(g *GroupState, changed topology.HostID, joined bool)
 		enc, cerr = ComputeEncodingInto(c.topo, c.cfg, rec.capacity(), g.Receivers(), s)
 	}
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.occ.admit.Lock()
+	defer c.occ.admit.Unlock()
 	c.occ.Release(oldEnc)
 	if cerr != nil || !rec.valid() {
 		var err error
@@ -522,50 +581,54 @@ func (c *Controller) retree(g *GroupState, changed topology.HostID, joined bool)
 	if s != nil {
 		c.putScratch(s)
 	}
-	g.Enc = enc
 	c.occ.Commit(enc)
-	c.traceEncode(g.Key, enc)
-	c.traceControl(trace.KindRecompute, g.Key, int64(changed), "")
-	if c.metrics != nil {
-		c.metrics.recomputes.Inc()
-	}
+
+	sh.mu.Lock()
+	g.Enc = enc
 	// Leaf s-rule diffs.
 	for l, bm := range encLeafSRules(oldEnc) {
-		nbm, ok := g.Enc.LeafSRules[l]
+		nbm, ok := enc.LeafSRules[l]
 		if !ok || !nbm.Equal(bm) {
-			c.stats.Leaf[l]++
+			sh.stats.Leaf[l]++
 		}
 	}
-	for l := range g.Enc.LeafSRules {
+	for l := range enc.LeafSRules {
 		if _, ok := encLeafSRules(oldEnc)[l]; !ok {
-			c.stats.Leaf[l]++
+			sh.stats.Leaf[l]++
 		}
 	}
 	// Spine s-rule diffs (replicated per physical spine of the pod).
 	chargePod := func(p topology.PodID) {
 		for plane := 0; plane < c.topo.Config().SpinesPerPod; plane++ {
-			c.stats.Spine[c.topo.SpineAt(p, plane)]++
+			sh.stats.Spine[c.topo.SpineAt(p, plane)]++
 		}
 	}
 	for p, bm := range encSpineSRules(oldEnc) {
-		nbm, ok := g.Enc.SpineSRules[p]
+		nbm, ok := enc.SpineSRules[p]
 		if !ok || !nbm.Equal(bm) {
 			chargePod(p)
 		}
 	}
-	for p := range g.Enc.SpineSRules {
+	for p := range enc.SpineSRules {
 		if _, ok := encSpineSRules(oldEnc)[p]; !ok {
 			chargePod(p)
 		}
 	}
 	// Shared downstream change → all sender hypervisors re-encode
 	// their headers.
-	if !sharedEqual(c.layout, oldEnc, g.Enc) {
+	if !sharedEqual(c.layout, oldEnc, enc) {
 		for h, r := range g.Members {
 			if r.CanSend() && h != changed {
-				c.stats.Hypervisor[h]++
+				sh.stats.Hypervisor[h]++
 			}
 		}
+	}
+	sh.mu.Unlock()
+
+	c.traceEncode(g.Key, enc)
+	c.traceControl(trace.KindRecompute, g.Key, int64(changed), "")
+	if m := c.getMetrics(); m != nil {
+		m.recomputes.Inc()
 	}
 	return nil
 }
@@ -584,9 +647,9 @@ func encSpineSRules(e *Encoding) map[topology.PodID]bitmap.Bitmap {
 	return e.SpineSRules
 }
 
-// installLocked computes and commits an encoding for a group under
-// c.mu (serial path: Restore).
-func (c *Controller) installLocked(g *GroupState) error {
+// installBarrierLocked computes and commits an encoding for a group
+// while the caller holds the full barrier (serial path: Restore).
+func (c *Controller) installBarrierLocked(g *GroupState) error {
 	s := c.getScratch()
 	enc, err := ComputeEncodingInto(c.topo, c.cfg, c.occ.CapacityFunc(), g.Receivers(), s)
 	c.putScratch(s)
@@ -605,7 +668,8 @@ func (c *Controller) installLocked(g *GroupState) error {
 // per layer, s-rule installations, default fallback, and the redundancy
 // the sharing introduced.
 func (c *Controller) traceEncode(key GroupKey, enc *Encoding) {
-	if !trace.On(c.tracer, trace.CatEncoder) {
+	t := c.getTracer()
+	if !trace.On(t, trace.CatEncoder) {
 		return
 	}
 	note := fmt.Sprintf(
@@ -614,7 +678,7 @@ func (c *Controller) traceEncode(key GroupKey, enc *Encoding) {
 		c.cfg.R, c.cfg.SRuleCapacity,
 		len(enc.DLeaf), len(enc.DSpine), len(enc.LeafSRules), len(enc.SpineSRules),
 		!enc.Exact(), enc.Redundancy)
-	c.tracer.Record(trace.Event{
+	t.Record(trace.Event{
 		Cat: trace.CatEncoder, Kind: trace.KindEncode, Tier: trace.TierController,
 		VNI: key.Tenant, Group: key.Group,
 		Arg:  int64(enc.Redundancy),
@@ -623,18 +687,19 @@ func (c *Controller) traceEncode(key GroupKey, enc *Encoding) {
 }
 
 // releaseSRulesCharged releases an encoding's occupancy and counts the
-// removals as switch updates (group teardown). Callers hold c.mu.
-func (c *Controller) releaseSRulesCharged(e *Encoding) {
+// removals as switch updates (group teardown). Callers hold the
+// admission mutex and the shard's write lock.
+func (c *Controller) releaseSRulesCharged(sh *ctrlShard, e *Encoding) {
 	if e == nil {
 		return
 	}
 	c.occ.Release(e)
 	for l := range e.LeafSRules {
-		c.stats.Leaf[l]++
+		sh.stats.Leaf[l]++
 	}
 	for p := range e.SpineSRules {
 		for plane := 0; plane < c.topo.Config().SpinesPerPod; plane++ {
-			c.stats.Spine[c.topo.SpineAt(p, plane)]++
+			sh.stats.Spine[c.topo.SpineAt(p, plane)]++
 		}
 	}
 }
@@ -664,11 +729,13 @@ func sharedEqual(l header.Layout, a, b *Encoding) bool {
 
 // HeaderFor assembles the header for a sender in a group. The sender
 // must hold a sending role. Safe to call concurrently with membership
-// operations on other groups (and with reads anywhere).
+// operations on other groups (and with reads anywhere); only the
+// owning shard's read lock is taken.
 func (c *Controller) HeaderFor(key GroupKey, sender topology.HostID) (*header.Header, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	g, ok := c.groups[key]
+	sh := c.shardOf(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	g, ok := sh.groups[key]
 	if !ok {
 		return nil, fmt.Errorf("controller: group %v not found", key)
 	}
@@ -688,8 +755,8 @@ func (c *Controller) HeaderFor(key GroupKey, sender topology.HostID) (*header.He
 // traffic rides other planes keep multipathing untouched — this is
 // what keeps the §5.1.3b impact fractions low.
 func (c *Controller) FailSpine(s topology.SpineID) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAllShards()
+	defer c.unlockAllShards()
 	c.failures.FailSpine(s)
 	pod, plane := c.topo.SpinePod(s), c.topo.SpinePlane(s)
 	n := c.chargeFailure(func(g *GroupState) bool {
@@ -743,8 +810,8 @@ func (c *Controller) groupTransitsSpine(g *GroupState, pod topology.PodID, plane
 // rules, returning the number of groups impacted (groups with a sender
 // flow hashed through that core while crossing pods).
 func (c *Controller) FailCore(co topology.CoreID) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAllShards()
+	defer c.unlockAllShards()
 	c.failures.FailCore(co)
 	n := c.chargeFailure(func(g *GroupState) bool {
 		if g.Enc.Pods.PopCount() <= 1 {
@@ -767,18 +834,22 @@ func (c *Controller) FailCore(co topology.CoreID) int {
 	return n
 }
 
-// chargeFailure runs with c.mu held: group state reads are safe because
-// writers hold c.mu too.
+// chargeFailure runs with every shard lock held (stop-the-shards
+// barrier): group state reads are safe because writers hold their
+// shard lock too. Each impacted group's hypervisor charges land in
+// its owning shard's stats.
 func (c *Controller) chargeFailure(affected func(*GroupState) bool) int {
 	n := 0
-	for _, g := range c.groups {
-		if g.Enc == nil || !affected(g) {
-			continue
-		}
-		n++
-		for h, r := range g.Members {
-			if r.CanSend() {
-				c.stats.Hypervisor[h]++
+	for _, sh := range c.shards {
+		for _, g := range sh.groups {
+			if g.Enc == nil || !affected(g) {
+				continue
+			}
+			n++
+			for h, r := range g.Members {
+				if r.CanSend() {
+					sh.stats.Hypervisor[h]++
+				}
 			}
 		}
 	}
@@ -789,8 +860,8 @@ func (c *Controller) chargeFailure(affected func(*GroupState) bool) int {
 // the hypervisors refreshed are those of the groups the failure had
 // impacted).
 func (c *Controller) RepairSpine(s topology.SpineID) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAllShards()
+	defer c.unlockAllShards()
 	c.failures.RepairSpine(s)
 	pod, plane := c.topo.SpinePod(s), c.topo.SpinePlane(s)
 	n := c.chargeFailure(func(g *GroupState) bool {
@@ -803,8 +874,8 @@ func (c *Controller) RepairSpine(s topology.SpineID) int {
 
 // RepairCore clears a core failure.
 func (c *Controller) RepairCore(co topology.CoreID) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAllShards()
+	defer c.unlockAllShards()
 	c.failures.RepairCore(co)
 	n := c.chargeFailure(func(g *GroupState) bool {
 		if g.Enc.Pods.PopCount() <= 1 {

@@ -93,9 +93,7 @@ func (m *Metrics) countRollback() {
 // sequential experiment phases can share one registry.
 func (c *Controller) EnableMetrics(reg *telemetry.Registry) {
 	m := newControllerMetrics(reg)
-	c.mu.Lock()
-	c.metrics = m
-	c.mu.Unlock()
+	c.metrics.Store(m)
 
 	reg.GaugeFunc("elmo_controller_groups",
 		"Live multicast groups.", func() float64 { return float64(c.NumGroups()) })
@@ -120,22 +118,20 @@ func (c *Controller) EnableMetrics(reg *telemetry.Registry) {
 }
 
 // countFailure charges one failure/repair event and its impacted-group
-// total. Callers hold c.mu, so the handle is read directly.
+// total.
 func (c *Controller) countFailure(kind string, impacted int) {
-	if c.metrics == nil {
+	m := c.getMetrics()
+	if m == nil {
 		return
 	}
-	c.metrics.failureEvents.With(kind).Inc()
-	c.metrics.impactedGroups.Add(int64(impacted))
+	m.failureEvents.With(kind).Inc()
+	m.impactedGroups.Add(int64(impacted))
 }
 
-// getMetrics reads the metrics handle under the read lock (operations
-// grab it once at entry, alongside their group lookup).
+// getMetrics loads the metrics handle; an atomic pointer keeps this
+// lock-free on the membership hot paths.
 func (c *Controller) getMetrics() *Metrics {
-	c.mu.RLock()
-	m := c.metrics
-	c.mu.RUnlock()
-	return m
+	return c.metrics.Load()
 }
 
 // leafOccupancy sums and maxes the live leaf s-rule counters.
@@ -163,18 +159,21 @@ func (c *Controller) spineOccupancy() (total, max float64) {
 }
 
 // updateTotals sums the cumulative update charges per switch class
-// under the read lock (scrape-time only).
+// across all shards under a consistent read cut (scrape-time only).
 func (c *Controller) updateTotals() (hyp, leaf, spine, core float64) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	for _, v := range c.stats.Hypervisor {
-		hyp += float64(v)
+	c.rlockAllShards()
+	defer c.runlockAllShards()
+	for _, sh := range c.shards {
+		for _, v := range sh.stats.Hypervisor {
+			hyp += float64(v)
+		}
+		for _, v := range sh.stats.Leaf {
+			leaf += float64(v)
+		}
+		for _, v := range sh.stats.Spine {
+			spine += float64(v)
+		}
+		core += float64(sh.stats.Core)
 	}
-	for _, v := range c.stats.Leaf {
-		leaf += float64(v)
-	}
-	for _, v := range c.stats.Spine {
-		spine += float64(v)
-	}
-	return hyp, leaf, spine, float64(c.stats.Core)
+	return hyp, leaf, spine, core
 }

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"elmo/internal/topology"
@@ -21,8 +22,18 @@ import (
 type Occupancy struct {
 	topo     *topology.Topology
 	capacity int
-	leaf     []int64
-	spine    []int64
+
+	// admit serializes admission transactions — validate (or
+	// release→validate) followed by Commit — so capacity answers stay
+	// exact when multiple committers run concurrently (per-shard batch
+	// committers, churn retrees). It is held only around those few
+	// atomic reads/writes and the rare serial recompute fallback,
+	// never during speculative encoding, and it is the first lock of
+	// the controller's stop-the-shards barrier (see shard.go).
+	admit sync.Mutex
+
+	leaf  []int64
+	spine []int64
 }
 
 // NewOccupancy creates zeroed occupancy counters for a topology with

@@ -1,0 +1,139 @@
+package controller
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file implements the hash-sharded controller state. The group
+// map and the update-stats counters are partitioned into N independent
+// shards, each with its own RWMutex, so membership operations on
+// different groups no longer serialize on one controller-wide lock.
+// What remains global is deliberately lock-free or tiny:
+//
+//   - S-rule occupancy counters stay global atomics (a physical
+//     switch's table is shared by groups in every shard, so the
+//     counters cannot be partitioned by group hash) guarded by the
+//     Occupancy admission mutex for the short validate→commit
+//     transaction only — never during encoding.
+//   - Tracer and metrics handles are atomic pointers.
+//
+// Lock order (acyclic, deadlock-free):
+//
+//	GroupState.mu  →  Occupancy.admit  →  shard.mu (ascending index)
+//
+// A later lock is never held while acquiring an earlier one.
+// Cross-shard operations (Snapshot, WriteState, Fingerprint, failure
+// charging, Restore) take a brief stop-the-shards barrier: the
+// admission mutex when they touch occupancy, then every shard lock in
+// index order.
+
+// ctrlShard is one partition of the controller's mutable state.
+type ctrlShard struct {
+	mu     sync.RWMutex
+	groups map[GroupKey]*GroupState
+	stats  UpdateStats
+}
+
+// maxShards bounds the shard count; beyond this the per-shard maps are
+// too sparse to matter and barrier cost dominates.
+const maxShards = 256
+
+// defaultShardCount picks the shard count when Config.Shards is zero:
+// the next power of two at or above GOMAXPROCS, so independent worker
+// goroutines rarely contend on the same shard lock.
+func defaultShardCount() int {
+	return ceilPow2(runtime.GOMAXPROCS(0))
+}
+
+// ceilPow2 rounds n up to a power of two, clamped to [1, maxShards].
+func ceilPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	if n > maxShards {
+		return maxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// newShards allocates n (rounded up to a power of two) shards.
+func newShards(n int) []*ctrlShard {
+	n = ceilPow2(n)
+	shards := make([]*ctrlShard, n)
+	for i := range shards {
+		shards[i] = &ctrlShard{
+			groups: make(map[GroupKey]*GroupState),
+			stats:  newUpdateStats(),
+		}
+	}
+	return shards
+}
+
+// NumShards reports the controller's shard count (a power of two).
+// The committed state is byte-identical for every value; the count
+// only determines how finely lock contention is spread.
+func (c *Controller) NumShards() int { return len(c.shards) }
+
+// shardIndex routes a group key to its shard with a 64-bit finalizer
+// (splitmix64) over the packed key, so tenants with sequential group
+// indices spread evenly.
+func (c *Controller) shardIndex(key GroupKey) uint32 {
+	x := uint64(key.Tenant)<<32 | uint64(key.Group)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return uint32(x) & c.shardMask
+}
+
+func (c *Controller) shardOf(key GroupKey) *ctrlShard { return c.shards[c.shardIndex(key)] }
+
+// lockAllShards write-locks every shard in index order — the
+// stop-the-shards barrier for operations that need a consistent
+// cross-shard view without touching occupancy (failure charging,
+// stats reset).
+func (c *Controller) lockAllShards() {
+	for _, s := range c.shards {
+		s.mu.Lock()
+	}
+}
+
+func (c *Controller) unlockAllShards() {
+	for i := len(c.shards) - 1; i >= 0; i-- {
+		c.shards[i].mu.Unlock()
+	}
+}
+
+// rlockAllShards read-locks every shard in index order, yielding a
+// consistent read cut: publishes happen under a shard write lock, so
+// no group can change while the cut is held.
+func (c *Controller) rlockAllShards() {
+	for _, s := range c.shards {
+		s.mu.RLock()
+	}
+}
+
+func (c *Controller) runlockAllShards() {
+	for i := len(c.shards) - 1; i >= 0; i-- {
+		c.shards[i].mu.RUnlock()
+	}
+}
+
+// lockAll is the full barrier: admission mutex plus every shard lock.
+// Used by operations that must see occupancy consistent with the
+// published encodings (Restore, ReadState).
+func (c *Controller) lockAll() {
+	c.occ.admit.Lock()
+	c.lockAllShards()
+}
+
+func (c *Controller) unlockAll() {
+	c.unlockAllShards()
+	c.occ.admit.Unlock()
+}

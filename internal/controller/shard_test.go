@@ -1,0 +1,328 @@
+package controller
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"elmo/internal/topology"
+)
+
+func TestCeilPow2(t *testing.T) {
+	cases := map[int]int{-3: 1, 0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 8: 8, 9: 16, 200: 256, 1000: 256}
+	for in, want := range cases {
+		if got := ceilPow2(in); got != want {
+			t.Errorf("ceilPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestConfigShardsValidate(t *testing.T) {
+	cfg := testConfig(0)
+	cfg.Shards = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative Shards accepted")
+	}
+	cfg.Shards = 5
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(paperTopo(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.NumShards(); got != 8 {
+		t.Fatalf("NumShards() = %d, want 8 (5 rounded up)", got)
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if got := ResolveWorkers(3); got != 3 {
+		t.Fatalf("ResolveWorkers(3) = %d", got)
+	}
+	if got := ResolveWorkers(0); got < 1 {
+		t.Fatalf("ResolveWorkers(0) = %d, want >= 1", got)
+	}
+	if ResolveWorkers(0) != ResolveWorkers(-1) {
+		t.Fatal("ResolveWorkers(0) != ResolveWorkers(-1)")
+	}
+}
+
+// TestShardRoutingCoversAllShards checks the key hash actually spreads
+// sequential group indices (the common allocation pattern) across every
+// shard rather than clumping.
+func TestShardRoutingCoversAllShards(t *testing.T) {
+	cfg := testConfig(0)
+	cfg.Shards = 8
+	c, err := New(paperTopo(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := make(map[uint32]int)
+	for g := uint32(1); g <= 256; g++ {
+		hit[c.shardIndex(GroupKey{Tenant: 7, Group: g})]++
+	}
+	if len(hit) != 8 {
+		t.Fatalf("256 sequential keys hit %d/8 shards: %v", len(hit), hit)
+	}
+	for si, n := range hit {
+		if n < 8 {
+			t.Fatalf("shard %d got only %d/256 keys: %v", si, n, hit)
+		}
+	}
+}
+
+// TestInstallBatchParityAcrossShards is the tentpole parity matrix: the
+// committed state must be byte-identical (fingerprint-equal) to the
+// serial single-shard run for every worker count in 1..8 crossed with
+// every shard count in {1,2,4,8}, under a deliberately tight s-rule
+// capacity so speculative encodings race capacity boundaries.
+func TestInstallBatchParityAcrossShards(t *testing.T) {
+	topo := paperTopo()
+	base := testConfig(1)
+	base.SRuleCapacity = 2
+	specs := randSpecs(7, 120, 42, topo.NumHosts())
+
+	ref, err := New(topo, func() Config { c := base; c.Shards = 1; return c }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.InstallBatch(specs, BatchOptions{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Fingerprint()
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		for workers := 1; workers <= 8; workers++ {
+			cfg := base
+			cfg.Shards = shards
+			c, err := New(topo, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := c.InstallBatch(specs, BatchOptions{Workers: workers})
+			if err != nil {
+				t.Fatalf("shards=%d workers=%d: %v", shards, workers, err)
+			}
+			if res.Installed != len(specs) {
+				t.Fatalf("shards=%d workers=%d: installed %d, want %d", shards, workers, res.Installed, len(specs))
+			}
+			label := fmt.Sprintf("shards=%d workers=%d", shards, workers)
+			if got := c.Fingerprint(); got != want {
+				t.Errorf("%s: fingerprint %s, want %s", label, got, want)
+			}
+			requireSameState(t, label, ref, c)
+		}
+	}
+}
+
+// TestStatsDeepCopy is the regression test for the Stats() aliasing
+// bug: the returned snapshot must be fully detached from live state, so
+// mutating the controller afterwards (or concurrently — run under
+// -race) never changes or races with an already-taken snapshot.
+func TestStatsDeepCopy(t *testing.T) {
+	topo := paperTopo()
+	c, err := New(topo, testConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := GroupKey{Tenant: 1, Group: 1}
+	if _, err := c.CreateGroup(key, map[topology.HostID]Role{0: RoleBoth, 8: RoleReceiver}); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Stats()
+	before := snap.Hypervisor[0]
+
+	// Writers mutate stats while readers hold and re-read old snapshots:
+	// -race proves the snapshot shares no memory with live state.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			h := topology.HostID(16 + i%8)
+			c.Join(key, h, RoleReceiver)
+			c.Leave(key, h, RoleReceiver)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			s := c.Stats()
+			s.Hypervisor[0]++ // scribbling on a snapshot must be harmless
+			s.Core++
+			snap.Total()
+		}
+	}()
+	wg.Wait()
+
+	// The snapshot predates all churn: under the old aliasing contract
+	// the retrees above would have mutated it in place (host 0 is a
+	// sender, so every retree recharges its hypervisor).
+	if snap.Hypervisor[0] != before {
+		t.Fatalf("snapshot mutated through live state: %d, want %d", snap.Hypervisor[0], before)
+	}
+	// And writes to a snapshot never reach live state.
+	s1 := c.Stats()
+	s1.Hypervisor[0] += 1000
+	s1.Core += 7
+	s2 := c.Stats()
+	if s2.Hypervisor[0] == s1.Hypervisor[0] || s2.Core != 0 {
+		t.Fatalf("snapshot writes visible in live stats: %+v", s2)
+	}
+}
+
+// TestCrossShardConsistencySoak (satellite: run under -race via `make
+// race`) hammers a 4-shard controller with concurrent InstallBatch,
+// scripted Join/Leave churn, and cross-shard readers (Stats,
+// Fingerprint, Snapshot, GroupKeys), then asserts the final fingerprint
+// equals a serial replay. Capacity is ample so encodings are
+// independent of admission interleaving and the serial replay is the
+// unique correct outcome.
+func TestCrossShardConsistencySoak(t *testing.T) {
+	topo := paperTopo()
+	cfg := testConfig(1)
+	cfg.SRuleCapacity = 10000
+	cfg.Shards = 4
+	numHosts := topo.NumHosts()
+
+	baseSpecs := randSpecs(1, 32, 21, numHosts)
+	batchA := randSpecs(10, 80, 22, numHosts)
+	batchB := randSpecs(11, 80, 23, numHosts)
+
+	// Scripted per-group op sequences: joins followed by leaves of a
+	// subset of those joins, so every Leave targets a held role and the
+	// per-group trajectory is deterministic under partitioned replay.
+	type churnOp struct {
+		join bool
+		host topology.HostID
+	}
+	ops := make([][]churnOp, len(baseSpecs))
+	rng := rand.New(rand.NewSource(24))
+	for i, s := range baseSpecs {
+		joined := make(map[topology.HostID]bool)
+		for j := 0; j < 10; j++ {
+			h := topology.HostID(rng.Intn(numHosts))
+			if _, already := s.Members[h]; already || joined[h] {
+				continue
+			}
+			joined[h] = true
+			ops[i] = append(ops[i], churnOp{join: true, host: h})
+			if j%3 == 0 {
+				ops[i] = append(ops[i], churnOp{join: false, host: h})
+				delete(joined, h)
+			}
+		}
+	}
+
+	run := func(c *Controller, concurrent bool) {
+		t.Helper()
+		for _, s := range baseSpecs {
+			if _, err := c.CreateGroup(s.Key, s.Members); err != nil {
+				t.Fatal(err)
+			}
+		}
+		applyChurn := func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				for _, op := range ops[i] {
+					var err error
+					if op.join {
+						err = c.Join(baseSpecs[i].Key, op.host, RoleReceiver)
+					} else {
+						err = c.Leave(baseSpecs[i].Key, op.host, RoleReceiver)
+					}
+					if err != nil {
+						return fmt.Errorf("churn group %d host %d join=%t: %w", i, op.host, op.join, err)
+					}
+				}
+			}
+			return nil
+		}
+		if !concurrent {
+			if err := applyChurn(0, len(ops)); err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range [][]BatchSpec{batchA, batchB} {
+				if _, err := c.InstallBatch(b, BatchOptions{Workers: 1}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, 4)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.InstallBatch(batchA, BatchOptions{Workers: 4})
+			errs <- err
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.InstallBatch(batchB, BatchOptions{Workers: 2})
+			errs <- err
+		}()
+		mid := len(ops) / 2
+		wg.Add(2)
+		go func() { defer wg.Done(); errs <- applyChurn(0, mid) }()
+		go func() { defer wg.Done(); errs <- applyChurn(mid, len(ops)) }()
+
+		// Cross-shard readers race everything: consistent-cut operations
+		// (Stats, Fingerprint, Snapshot) interleave with per-shard reads.
+		stopReaders := make(chan struct{})
+		var readers sync.WaitGroup
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				c.Stats()
+				c.Fingerprint()
+				c.Snapshot()
+				c.GroupKeys()
+				c.NumGroups()
+				for _, s := range baseSpecs[:4] {
+					for h, r := range s.Members {
+						if r.CanSend() {
+							c.HeaderFor(s.Key, h)
+						}
+					}
+				}
+			}
+		}()
+		wg.Wait()
+		close(stopReaders)
+		readers.Wait()
+		for i := 0; i < 4; i++ {
+			if err := <-errs; err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	serial, err := New(topo, func() Config { c := cfg; c.Shards = 1; return c }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(serial, false)
+	soak, err := New(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(soak, true)
+
+	if sf, cf := serial.Fingerprint(), soak.Fingerprint(); sf != cf {
+		t.Fatalf("soak fingerprint %s, want serial %s", cf, sf)
+	}
+	if !reflect.DeepEqual(serial.Stats(), soak.Stats()) {
+		t.Fatal("soak stats differ from serial replay")
+	}
+	requireSameState(t, "soak vs serial", serial, soak)
+}

@@ -43,10 +43,16 @@ type MemberSnapshot struct {
 // deterministic (groups and members sorted).
 func (c *Controller) Snapshot() *Snapshot {
 	s := &Snapshot{Version: snapshotVersion}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	keys := make([]GroupKey, 0, len(c.groups))
-	for k := range c.groups {
+	c.rlockAllShards()
+	defer c.runlockAllShards()
+	groups := make(map[GroupKey]*GroupState)
+	for _, sh := range c.shards {
+		for k, g := range sh.groups {
+			groups[k] = g
+		}
+	}
+	keys := make([]GroupKey, 0, len(groups))
+	for k := range groups {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -56,7 +62,7 @@ func (c *Controller) Snapshot() *Snapshot {
 		return keys[i].Group < keys[j].Group
 	})
 	for _, key := range keys {
-		g := c.groups[key]
+		g := groups[key]
 		gs := GroupSnapshot{Tenant: key.Tenant, Group: key.Group}
 		for h, r := range g.Members {
 			gs.Members = append(gs.Members, MemberSnapshot{Host: h, Role: r})
@@ -114,25 +120,40 @@ func (c *Controller) Restore(s *Snapshot) error {
 		}
 		built = append(built, g)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if len(c.groups) != 0 {
-		return fmt.Errorf("controller: restore into non-empty controller (%d groups)", len(c.groups))
+	c.lockAll()
+	defer c.unlockAll()
+	for _, sh := range c.shards {
+		if len(sh.groups) != 0 {
+			return fmt.Errorf("controller: restore into non-empty controller (%d groups)", c.numGroupsLocked())
+		}
 	}
 	for i, g := range built {
-		if err := c.installLocked(g); err != nil {
+		if err := c.installBarrierLocked(g); err != nil {
 			// Unwind: release everything already committed so the
 			// controller is exactly as empty as it started.
 			for _, done := range built[:i] {
 				c.occ.Release(done.Enc)
 			}
-			c.groups = make(map[GroupKey]*GroupState)
+			for _, sh := range c.shards {
+				sh.groups = make(map[GroupKey]*GroupState)
+			}
 			return fmt.Errorf("controller: restoring %v: %w", g.Key, err)
 		}
-		c.groups[g.Key] = g
+		c.shardOf(g.Key).groups[g.Key] = g
 	}
-	c.stats = newUpdateStats()
+	for _, sh := range c.shards {
+		sh.stats = newUpdateStats()
+	}
 	return nil
+}
+
+// numGroupsLocked counts groups with all shard locks already held.
+func (c *Controller) numGroupsLocked() int {
+	n := 0
+	for _, sh := range c.shards {
+		n += len(sh.groups)
+	}
+	return n
 }
 
 // ReadSnapshot parses a snapshot written by WriteSnapshot. Truncated
@@ -157,14 +178,16 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 // CreateGroup with an explicit key coexists, and indices are scoped
 // per tenant — address-space isolation).
 func (c *Controller) AllocateGroup(tenant uint32, members map[topology.HostID]Role) (GroupKey, error) {
-	c.mu.RLock()
+	c.rlockAllShards()
 	next := uint32(1)
-	for key := range c.groups {
-		if key.Tenant == tenant && key.Group >= next {
-			next = key.Group + 1
+	for _, sh := range c.shards {
+		for key := range sh.groups {
+			if key.Tenant == tenant && key.Group >= next {
+				next = key.Group + 1
+			}
 		}
 	}
-	c.mu.RUnlock()
+	c.runlockAllShards()
 	if next >= 1<<24 {
 		return GroupKey{}, fmt.Errorf("controller: tenant %d exhausted its group address space", tenant)
 	}

@@ -38,8 +38,8 @@ const stateVersion = 1
 
 // WriteState serializes the full controller state deterministically.
 func (c *Controller) WriteState(w io.Writer) error {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.rlockAllShards()
+	defer c.runlockAllShards()
 	bw := bufio.NewWriterSize(w, 1<<20)
 	var scratch []byte
 	putUvarint := func(v uint64) {
@@ -52,8 +52,14 @@ func (c *Controller) WriteState(w io.Writer) error {
 	}
 
 	putUvarint(stateVersion)
-	keys := make([]GroupKey, 0, len(c.groups))
-	for k := range c.groups {
+	groups := make(map[GroupKey]*GroupState, c.numGroupsLocked())
+	for _, sh := range c.shards {
+		for k, g := range sh.groups {
+			groups[k] = g
+		}
+	}
+	keys := make([]GroupKey, 0, len(groups))
+	for k := range groups {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -64,7 +70,7 @@ func (c *Controller) WriteState(w io.Writer) error {
 	})
 	putUvarint(uint64(len(keys)))
 	for _, key := range keys {
-		g := c.groups[key]
+		g := groups[key]
 		putUvarint(uint64(key.Tenant))
 		putUvarint(uint64(key.Group))
 		hosts := make([]topology.HostID, 0, len(g.Members))
@@ -290,16 +296,18 @@ func (c *Controller) ReadState(r io.Reader) error {
 	}
 
 	// Decode finished without error: commit atomically.
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if len(c.groups) != 0 {
-		return fmt.Errorf("controller: state restore into non-empty controller (%d groups)", len(c.groups))
+	c.lockAll()
+	defer c.unlockAll()
+	if n := c.numGroupsLocked(); n != 0 {
+		return fmt.Errorf("controller: state restore into non-empty controller (%d groups)", n)
 	}
 	for _, lg := range groups {
-		c.groups[lg.key] = lg.g
+		c.shardOf(lg.key).groups[lg.key] = lg.g
 		c.occ.Commit(lg.g.Enc)
 	}
-	c.stats = newUpdateStats()
+	for _, sh := range c.shards {
+		sh.stats = newUpdateStats()
+	}
 	return nil
 }
 

@@ -50,9 +50,10 @@ type ScalabilityConfig struct {
 	// Seed drives sender selection.
 	Seed int64
 	// Workers shards the per-group encoding phase across that many
-	// goroutines (<=0 uses GOMAXPROCS); measurement and admission stay
-	// serialized in group order, so results are identical for every
-	// worker count.
+	// goroutines (resolved by controller.ResolveWorkers: <=0 uses
+	// GOMAXPROCS); measurement and admission stay serialized in group
+	// order under the occupancy admission mutex, so results are
+	// identical for every worker count.
 	Workers int
 	// Metrics, when non-nil, attaches dataplane/fabric telemetry to the
 	// measurement fabric and publishes live run progress, so a /metrics
