@@ -53,12 +53,16 @@ bench:
 # bench-gate is the fast performance gate: the encode-hot-path
 # allocation budget (clustering-kernel alloc-parity tests plus the
 # elmo-bench encode stage, failing when warm-scratch AssignInto
-# allocates more per op than ENCODE_ALLOC_BUDGET), then the multi-core
-# speedup gate (bench-multicore). It does not overwrite the checked-in
-# BENCH files.
+# allocates more per op than ENCODE_ALLOC_BUDGET), the ops-plane
+# alloc-parity gate (a fabric with a disabled observer attached must
+# allocate exactly as much per send as a bare fabric — 0 bytes added —
+# with the enabled-path budget logged), then the multi-core speedup
+# gate (bench-multicore). It does not overwrite the checked-in BENCH
+# files.
 bench-gate:
 	$(GO) test -run 'TestAssignIntoWarmScratchZeroAlloc' -count=1 ./internal/cluster/
 	$(GO) test -bench 'BenchmarkAssignIntoWarmScratch$$' -benchmem -run '^$$' ./internal/cluster/
+	$(GO) test -run 'TestObserverDisabledAddsNoAllocations' -count=1 -v ./internal/obs/
 	$(GO) run ./cmd/elmo-bench -encode-only -encode-sets 500 -encode-out '' -max-allocs $(ENCODE_ALLOC_BUDGET)
 	$(MAKE) bench-multicore
 

@@ -7,8 +7,12 @@
 //
 // Usage:
 //
-//	elmo-ctl                 # read commands from stdin
-//	elmo-ctl -listen :7070   # serve the same protocol over TCP
+//	elmo-ctl                          # read commands from stdin
+//	elmo-ctl -listen :7070            # serve the same protocol over TCP
+//	elmo-ctl -metrics :9090           # also serve the ops plane (JSON
+//	                                  # introspection, /metrics, health)
+//	elmo-ctl introspect [-addr ...] groups|group|links|controller|slo
+//	                                  # query a running ops plane
 //
 // Protocol (one command per line, responses end with "ok" or "err:"):
 //
@@ -42,17 +46,29 @@ import (
 	"elmo"
 	"elmo/internal/controller"
 	"elmo/internal/header"
+	"elmo/internal/obs"
+	"elmo/internal/telemetry"
 )
 
 func main() {
+	// `elmo-ctl introspect ...` is a client of an already-running ops
+	// plane; it has its own FlagSet, so dispatch before flag.Parse.
+	if len(os.Args) > 1 && os.Args[1] == "introspect" {
+		if err := runIntrospect(os.Args[2:], os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	var (
-		listen = flag.String("listen", "", "TCP address to serve (empty = stdin)")
-		pods   = flag.Int("pods", 4, "pods")
-		spines = flag.Int("spines", 2, "spines per pod")
-		leaves = flag.Int("leaves", 2, "leaves per pod")
-		hosts  = flag.Int("hosts", 8, "hosts per leaf")
-		cores  = flag.Int("cores", 2, "cores per plane")
-		r      = flag.Int("r", 2, "redundancy limit R")
+		listen  = flag.String("listen", "", "TCP address to serve (empty = stdin)")
+		metrics = flag.String("metrics", "", "ops-plane address (/metrics, /debug/elmo/*, health; empty = off)")
+		pods    = flag.Int("pods", 4, "pods")
+		spines  = flag.Int("spines", 2, "spines per pod")
+		leaves  = flag.Int("leaves", 2, "leaves per pod")
+		hosts   = flag.Int("hosts", 8, "hosts per leaf")
+		cores   = flag.Int("cores", 2, "cores per plane")
+		r       = flag.Int("r", 2, "redundancy limit R")
 	)
 	flag.Parse()
 
@@ -64,6 +80,27 @@ func main() {
 		log.Fatal(err)
 	}
 	srv := &server{cl: cl}
+
+	if *metrics != "" {
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterRuntime(reg)
+		plane := obs.New(obs.Options{
+			Topology:   cl.Topo,
+			Registry:   reg,
+			Controller: cl.Ctrl,
+		})
+		cl.Fab.SetObserver(plane)
+		plane.Enable()
+		defer plane.StartSampler()()
+		tsrv, err := telemetry.Serve(*metrics, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tsrv.Close()
+		plane.Mount(tsrv)
+		fmt.Printf("ops plane on http://%s (try `elmo-ctl introspect -addr %s groups`)\n",
+			tsrv.Addr(), tsrv.Addr())
+	}
 
 	if *listen == "" {
 		fmt.Printf("elmo-ctl on %s — type 'help'\n", cl.Topo)

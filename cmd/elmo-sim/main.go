@@ -31,6 +31,7 @@ import (
 	"elmo/internal/fabric"
 	"elmo/internal/groupgen"
 	"elmo/internal/metrics"
+	"elmo/internal/obs"
 	"elmo/internal/placement"
 	"elmo/internal/sim"
 	"elmo/internal/telemetry"
@@ -63,26 +64,41 @@ func main() {
 		workers     = flag.Int("workers", 0, "encoder/apply workers for the controller pipeline (0 = GOMAXPROCS; results are identical for every value)")
 		seed        = flag.Int64("seed", 1, "random seed")
 		metricsAddr = flag.String("metrics", "", "listen address for the /metrics + pprof endpoint (e.g. :9090; empty = no listener)")
+		watch       = flag.Duration("watch", 0, "print a periodic ops summary (SLO health, top links, heavy hitters) every interval (e.g. 2s; 0 = off)")
 	)
 	flag.Parse()
 
+	topoCfg := topology.Config{
+		Pods: *pods, SpinesPerPod: *spines, LeavesPerPod: *leaves,
+		HostsPerLeaf: *hosts, CoresPerPlane: *cores,
+	}
+
 	// One process-wide registry: the experiment phases below attach to
 	// it, and the run ends with a telemetry summary table whether or not
-	// a listener was requested.
+	// a listener was requested. -watch (or a listener) also attaches the
+	// ops plane, feeding link rates, heavy hitters, and SLO burn state
+	// from the measurement fabric.
 	reg := telemetry.NewRegistry()
 	telemetry.RegisterRuntime(reg)
+	var plane *obs.Plane
+	if *watch > 0 || *metricsAddr != "" {
+		plane = obs.New(obs.Options{Topology: topology.MustNew(topoCfg), Registry: reg})
+		plane.Enable()
+		defer plane.StartSampler()()
+	}
 	if *metricsAddr != "" {
 		srv, err := telemetry.Serve(*metricsAddr, reg)
 		if err != nil {
 			log.Fatalf("metrics listener: %v", err)
 		}
 		defer srv.Close()
-		fmt.Printf("serving /metrics and /debug/pprof on http://%s\n", srv.Addr())
+		plane.Mount(srv)
+		fmt.Printf("serving /metrics, /debug/pprof and /debug/elmo on http://%s\n", srv.Addr())
 	}
-
-	topoCfg := topology.Config{
-		Pods: *pods, SpinesPerPod: *spines, LeavesPerPod: *leaves,
-		HostsPerLeaf: *hosts, CoresPerPlane: *cores,
+	if *watch > 0 {
+		done := make(chan struct{})
+		defer close(done)
+		go watchOps(plane, *watch, done)
 	}
 	if *doTrace {
 		runTrace(topoCfg, *srules, *traceOut)
@@ -149,6 +165,9 @@ func main() {
 				Workers:             *workers,
 				Metrics:             reg,
 			}
+			if plane != nil {
+				cfg.Observer = plane
+			}
 			start := time.Now()
 			res, err := sim.RunScalability(cfg)
 			if err != nil {
@@ -195,6 +214,43 @@ func main() {
 		runControlPlane(topoCfg, *tenants, *groups, *srules, distribution, *events, *meanVMs, *seed, *workers, *doChurn, *doFail, reg)
 	}
 	printTelemetrySummary(reg)
+}
+
+// watchOps prints a compact ops summary every interval until done:
+// SLO health and good ratios, the hottest links by windowed rate, and
+// the heaviest groups from the space-saving sketch.
+func watchOps(p *obs.Plane, every time.Duration, done <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			printOpsSummary(p)
+		}
+	}
+}
+
+func printOpsSummary(p *obs.Plane) {
+	st := p.Status()
+	var sb strings.Builder
+	if st.Healthy {
+		sb.WriteString("[ops] healthy")
+	} else {
+		sb.WriteString("[ops] UNHEALTHY")
+	}
+	for _, o := range st.Objectives {
+		fmt.Fprintf(&sb, "  %s=%.6f", o.Name, o.GoodRatio)
+	}
+	sb.WriteByte('\n')
+	for _, l := range p.TopLinks(3, 0) {
+		fmt.Fprintf(&sb, "[ops]   link %-22s %12.0f B/s %14d B\n", l.Name, l.BytesSec, l.Bytes)
+	}
+	for _, h := range p.TopGroups(3) {
+		fmt.Fprintf(&sb, "[ops]   group vni=%d id=%d %d pkts %d B\n", h.VNI, h.Group, h.Count, h.Bytes)
+	}
+	fmt.Print(sb.String())
 }
 
 // printTelemetrySummary renders the run's accumulated elmo_* series as

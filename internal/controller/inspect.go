@@ -1,0 +1,229 @@
+package controller
+
+import (
+	"sort"
+
+	"elmo/internal/header"
+	"elmo/internal/topology"
+)
+
+// Live introspection: read-only snapshots of the controller's state
+// for the ops plane (internal/obs). Cross-shard views reuse the
+// stop-the-shards read barrier (rlockAllShards), so a snapshot is a
+// consistent cut — no group is half-installed or counted in two
+// shards, and per-shard group counts always sum to the reported
+// total. Single-group views take only the owning shard's read lock
+// (GroupState fields are written under the shard write lock, so the
+// read lock suffices).
+
+// GroupSummary is one group's topline for /debug/elmo/groups.
+type GroupSummary struct {
+	VNI        uint32 `json:"vni"`
+	Group      uint32 `json:"group"`
+	Members    int    `json:"members"`
+	Senders    int    `json:"senders"`
+	Receivers  int    `json:"receivers"`
+	Exact      bool   `json:"exact"`
+	UsesSRules bool   `json:"uses_srules"`
+	Redundancy int    `json:"redundancy"`
+}
+
+// MemberInfo is one member with its role, for the group detail view.
+type MemberInfo struct {
+	Host topology.HostID `json:"host"`
+	Role string          `json:"role"`
+}
+
+// TreeLeaf is one receiver leaf of the group's multicast tree.
+type TreeLeaf struct {
+	Leaf  topology.LeafID `json:"leaf"`
+	Pod   topology.PodID  `json:"pod"`
+	Ports []int           `json:"ports"`
+}
+
+// EncodingInfo breaks down how the group's tree is encoded: p-rules
+// carried in the packet header versus s-rules installed in switch
+// group tables, defaults, and the redundancy (spurious transmissions)
+// the sharing introduced.
+type EncodingInfo struct {
+	Pods            []int `json:"pods"`
+	SpinePRules     int   `json:"spine_prules"`
+	LeafPRules      int   `json:"leaf_prules"`
+	SpineDefault    bool  `json:"spine_default"`
+	LeafDefault     bool  `json:"leaf_default"`
+	SpineSRules     int   `json:"spine_srules"`
+	LeafSRules      int   `json:"leaf_srules"`
+	Redundancy      int   `json:"redundancy"`
+	LeafRedundancy  int   `json:"leaf_redundancy"`
+	SpineRedundancy int   `json:"spine_redundancy"`
+}
+
+// SenderHeaderInfo is the assembled header size for one sender.
+type SenderHeaderInfo struct {
+	Sender topology.HostID `json:"sender"`
+	Bytes  int             `json:"bytes"`
+	Err    string          `json:"err,omitempty"`
+}
+
+// GroupDetail is the full group view for /debug/elmo/group/{id}.
+type GroupDetail struct {
+	GroupSummary
+	MemberList []MemberInfo       `json:"member_list"`
+	Tree       []TreeLeaf         `json:"tree"`
+	Encoding   EncodingInfo       `json:"encoding"`
+	Headers    []SenderHeaderInfo `json:"headers"`
+}
+
+// ShardInfo is one shard's footprint for /debug/elmo/controller.
+type ShardInfo struct {
+	Index   int `json:"index"`
+	Groups  int `json:"groups"`
+	Updates int `json:"updates"`
+}
+
+// ControllerInfo is the controller-wide view: per-shard stats plus
+// aggregate rule-update counters, all from one consistent cut.
+type ControllerInfo struct {
+	Shards            []ShardInfo `json:"shards"`
+	TotalGroups       int         `json:"total_groups"`
+	HypervisorUpdates int         `json:"hypervisor_updates"`
+	LeafUpdates       int         `json:"leaf_updates"`
+	SpineUpdates      int         `json:"spine_updates"`
+	CoreUpdates       int         `json:"core_updates"`
+}
+
+func roleString(r Role) string {
+	switch {
+	case r.CanSend() && r.CanReceive():
+		return "both"
+	case r.CanSend():
+		return "sender"
+	case r.CanReceive():
+		return "receiver"
+	default:
+		return "none"
+	}
+}
+
+// summarize builds a GroupSummary from a group the caller has locked.
+func summarize(g *GroupState) GroupSummary {
+	s := GroupSummary{VNI: g.Key.Tenant, Group: g.Key.Group, Members: len(g.Members)}
+	for _, r := range g.Members {
+		if r.CanSend() {
+			s.Senders++
+		}
+		if r.CanReceive() {
+			s.Receivers++
+		}
+	}
+	if g.Enc != nil {
+		s.Exact = g.Enc.Exact()
+		s.UsesSRules = g.Enc.UsesSRules()
+		s.Redundancy = g.Enc.Redundancy
+	}
+	return s
+}
+
+// InspectGroups returns summaries for up to limit groups (0 = all) in
+// ascending (vni, group) order, plus the total live-group count, from
+// one consistent cross-shard cut.
+func (c *Controller) InspectGroups(limit int) (groups []GroupSummary, total int) {
+	c.rlockAllShards()
+	for _, sh := range c.shards {
+		total += len(sh.groups)
+		for _, g := range sh.groups {
+			groups = append(groups, summarize(g))
+		}
+	}
+	c.runlockAllShards()
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].VNI != groups[j].VNI {
+			return groups[i].VNI < groups[j].VNI
+		}
+		return groups[i].Group < groups[j].Group
+	})
+	if limit > 0 && len(groups) > limit {
+		groups = groups[:limit]
+	}
+	return groups, total
+}
+
+// InspectGroup returns the full detail for one group, or false if it
+// does not exist. Header sizes are assembled per sender with the live
+// failure set, exactly as HeaderFor would.
+func (c *Controller) InspectGroup(key GroupKey) (*GroupDetail, bool) {
+	sh := c.shardOf(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	g, ok := sh.groups[key]
+	if !ok {
+		return nil, false
+	}
+	d := &GroupDetail{GroupSummary: summarize(g)}
+	for h, r := range g.Members {
+		d.MemberList = append(d.MemberList, MemberInfo{Host: h, Role: roleString(r)})
+	}
+	sort.Slice(d.MemberList, func(i, j int) bool { return d.MemberList[i].Host < d.MemberList[j].Host })
+	e := g.Enc
+	if e != nil {
+		d.Encoding = EncodingInfo{
+			Pods:            e.Pods.Ports(),
+			SpinePRules:     len(e.DSpine),
+			LeafPRules:      len(e.DLeaf),
+			SpineDefault:    e.DSpineDefault != nil,
+			LeafDefault:     e.DLeafDefault != nil,
+			Redundancy:      e.Redundancy,
+			LeafRedundancy:  e.LeafRedundancy,
+			SpineRedundancy: e.SpineRedundancy,
+		}
+		for _, bm := range e.SpineSRules {
+			d.Encoding.SpineSRules += bm.PopCount()
+		}
+		for _, bm := range e.LeafSRules {
+			d.Encoding.LeafSRules += bm.PopCount()
+		}
+		for leaf, ports := range e.LeafPorts {
+			d.Tree = append(d.Tree, TreeLeaf{Leaf: leaf, Pod: c.topo.LeafPod(leaf), Ports: ports.Ports()})
+		}
+		sort.Slice(d.Tree, func(i, j int) bool { return d.Tree[i].Leaf < d.Tree[j].Leaf })
+		layout := header.LayoutFor(c.topo)
+		for _, h := range d.MemberList {
+			if h.Role != "sender" && h.Role != "both" {
+				continue
+			}
+			info := SenderHeaderInfo{Sender: h.Host}
+			hdr, err := SenderHeader(c.topo, c.cfg, e, h.Host, c.failures)
+			if err != nil {
+				info.Err = err.Error()
+			} else {
+				info.Bytes = header.EncodedSize(layout, hdr)
+			}
+			d.Headers = append(d.Headers, info)
+		}
+	}
+	return d, true
+}
+
+// InspectShards returns the per-shard group and update counts plus the
+// aggregate update totals, from one consistent cross-shard cut.
+func (c *Controller) InspectShards() ControllerInfo {
+	info := ControllerInfo{}
+	c.rlockAllShards()
+	for i, sh := range c.shards {
+		si := ShardInfo{Index: i, Groups: len(sh.groups), Updates: sh.stats.Total()}
+		info.Shards = append(info.Shards, si)
+		info.TotalGroups += si.Groups
+		for _, v := range sh.stats.Hypervisor {
+			info.HypervisorUpdates += v
+		}
+		for _, v := range sh.stats.Leaf {
+			info.LeafUpdates += v
+		}
+		for _, v := range sh.stats.Spine {
+			info.SpineUpdates += v
+		}
+		info.CoreUpdates += sh.stats.Core
+	}
+	c.runlockAllShards()
+	return info
+}

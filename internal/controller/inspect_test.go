@@ -1,0 +1,97 @@
+package controller
+
+import (
+	"testing"
+
+	"elmo/internal/topology"
+)
+
+func TestInspectGroupsAndShards(t *testing.T) {
+	topo := topology.MustNew(topology.PaperExample())
+	c, err := New(topo, PaperConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(g uint32, hosts ...topology.HostID) GroupKey {
+		key := GroupKey{Tenant: 1, Group: g}
+		members := make(map[topology.HostID]Role, len(hosts))
+		for _, h := range hosts {
+			members[h] = RoleBoth
+		}
+		if _, err := c.CreateGroup(key, members); err != nil {
+			t.Fatal(err)
+		}
+		return key
+	}
+	mk(1, 0, 1, 40)
+	mk(2, 2, 3)
+	mk(3, 0, 63)
+
+	groups, total := c.InspectGroups(0)
+	if total != 3 || len(groups) != 3 {
+		t.Fatalf("InspectGroups: total=%d len=%d", total, len(groups))
+	}
+	// Sorted by (vni, group), summaries coherent with membership.
+	for i, g := range groups {
+		if g.Group != uint32(i+1) {
+			t.Fatalf("order wrong at %d: %+v", i, g)
+		}
+		if g.Senders != g.Members || g.Receivers != g.Members {
+			t.Fatalf("RoleBoth group has sender/receiver mismatch: %+v", g)
+		}
+	}
+	if groups[0].Members != 3 || groups[1].Members != 2 {
+		t.Fatalf("member counts wrong: %+v", groups[:2])
+	}
+	// Limit truncates after sorting.
+	if limited, total := c.InspectGroups(2); total != 3 || len(limited) != 2 || limited[1].Group != 2 {
+		t.Fatalf("limited inspect wrong: total=%d %+v", total, limited)
+	}
+
+	d, ok := c.InspectGroup(GroupKey{Tenant: 1, Group: 1})
+	if !ok {
+		t.Fatal("group 1 not found")
+	}
+	if len(d.MemberList) != 3 || d.MemberList[0].Host != 0 || d.MemberList[0].Role != "both" {
+		t.Fatalf("member list wrong: %+v", d.MemberList)
+	}
+	if len(d.Tree) == 0 || len(d.Encoding.Pods) == 0 {
+		t.Fatalf("tree/encoding empty: %+v", d)
+	}
+	// All three members can send; each gets a positive header size.
+	if len(d.Headers) != 3 {
+		t.Fatalf("headers: %+v", d.Headers)
+	}
+	for _, h := range d.Headers {
+		if h.Bytes <= 0 || h.Err != "" {
+			t.Fatalf("header for sender %d: %+v", h.Sender, h)
+		}
+	}
+	// Receiver ports in the tree cover exactly the member hosts.
+	ports := 0
+	for _, tl := range d.Tree {
+		ports += len(tl.Ports)
+	}
+	if ports != 3 {
+		t.Fatalf("tree covers %d ports, want 3", ports)
+	}
+
+	if _, ok := c.InspectGroup(GroupKey{Tenant: 9, Group: 9}); ok {
+		t.Fatal("phantom group found")
+	}
+
+	info := c.InspectShards()
+	if len(info.Shards) != c.NumShards() || info.TotalGroups != 3 {
+		t.Fatalf("shard info wrong: %+v", info)
+	}
+	sum := 0
+	for _, sh := range info.Shards {
+		sum += sh.Groups
+	}
+	if sum != info.TotalGroups {
+		t.Fatalf("shard sum %d != total %d", sum, info.TotalGroups)
+	}
+	if info.HypervisorUpdates == 0 {
+		t.Fatalf("no hypervisor updates recorded: %+v", info)
+	}
+}

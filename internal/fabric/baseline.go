@@ -98,8 +98,20 @@ func (f *Fabric) routeUnicast(src, dst topology.HostID, inner []byte) (*Delivery
 	srcLeaf, dstLeaf := f.topo.HostLeaf(src), f.topo.HostLeaf(dst)
 	srcPod, dstPod := f.topo.LeafPod(srcLeaf), f.topo.LeafPod(dstLeaf)
 
+	// The baseline walk does its own byte accounting instead of going
+	// through admit, so it reports each crossing to the observer
+	// directly — the per-link timeseries sees baseline traffic on the
+	// same links the Elmo path uses.
+	obsOn := dataplane.ObsOn(f.observer)
+	observe := func(ft dataplane.LinkTier, from int32, tt dataplane.LinkTier, to int32) {
+		if obsOn {
+			f.observer.ObserveLink(dataplane.Link{FromTier: ft, From: from, ToTier: tt, To: to}, size)
+		}
+	}
+
 	d.LinkBytes += size // host -> leaf
 	d.Hops++
+	observe(dataplane.LinkHost, int32(src), dataplane.LinkLeaf, int32(srcLeaf))
 	if srcLeaf != dstLeaf {
 		// Pick a healthy spine plane by flow hash.
 		plane, ok := f.pickPlane(outer, srcPod, dstPod)
@@ -107,24 +119,30 @@ func (f *Fabric) routeUnicast(src, dst topology.HostID, inner []byte) (*Delivery
 			d.Lost++
 			return d, nil
 		}
+		spine := f.topo.SpineAt(srcPod, plane)
 		d.LinkBytes += size // leaf -> spine
 		d.Hops++
+		observe(dataplane.LinkLeaf, int32(srcLeaf), dataplane.LinkSpine, int32(spine))
 		if srcPod != dstPod {
 			core, ok := f.pickCore(outer, plane)
 			if !ok {
 				d.Lost++
 				return d, nil
 			}
-			_ = core
 			d.LinkBytes += size // spine -> core
 			d.Hops++
+			observe(dataplane.LinkSpine, int32(spine), dataplane.LinkCore, int32(core))
 			d.LinkBytes += size // core -> dst spine
 			d.Hops++
+			spine = f.topo.SpineAt(dstPod, plane)
+			observe(dataplane.LinkCore, int32(core), dataplane.LinkSpine, int32(spine))
 		}
 		d.LinkBytes += size // spine -> dst leaf
 		d.Hops++
+		observe(dataplane.LinkSpine, int32(spine), dataplane.LinkLeaf, int32(dstLeaf))
 	}
 	d.LinkBytes += size // leaf -> host
+	observe(dataplane.LinkLeaf, int32(dstLeaf), dataplane.LinkHost, int32(dst))
 	d.Received[dst] = inner
 	return d, nil
 }

@@ -9,6 +9,7 @@ package fabric
 
 import (
 	"fmt"
+	"time"
 
 	"elmo/internal/controller"
 	"elmo/internal/dataplane"
@@ -33,6 +34,7 @@ type Fabric struct {
 	tracer   trace.Recorder
 	injector dataplane.FaultInjector
 	metrics  *Metrics
+	observer dataplane.FlowObserver
 }
 
 // New builds the fabric with the given per-switch s-rule capacity.
@@ -112,6 +114,13 @@ func (f *Fabric) SetTracer(r trace.Recorder) {
 // it. Call while the fabric is quiet. A nil or inactive injector adds
 // one nil check plus one atomic load per crossing and no allocation.
 func (f *Fabric) SetInjector(inj dataplane.FaultInjector) { f.injector = inj }
+
+// SetObserver attaches a flow observer (the ops plane); every link
+// crossing and completed send reports to it. Call while the fabric is
+// quiet (same contract as SetTracer); nil detaches. A nil or disabled
+// observer adds one nil check plus one atomic load per site and no
+// allocation.
+func (f *Fabric) SetObserver(o dataplane.FlowObserver) { f.observer = o }
 
 // traceLost records a copy dropped at a failed switch.
 func (f *Fabric) traceLost(tier trace.Tier, id int, pkt dataplane.Packet) {
@@ -227,6 +236,14 @@ type fwd struct {
 // enqueues the surviving copies. With no active injector it is a plain
 // enqueue.
 func (f *Fabric) admit(st *fwd, l dataplane.Link, ev event) {
+	// Every directed crossing of the multicast path funnels through
+	// admit, so this is the single per-link observation site. The
+	// emitting tier has already counted the copy's LinkBytes, so the
+	// observer sees exactly the bytes the Delivery accounting sees
+	// (chaos drops included: the copy crossed the wire before dying).
+	if dataplane.ObsOn(f.observer) {
+		f.observer.ObserveLink(l, ev.pkt.WireSize())
+	}
 	if !dataplane.FaultsOn(f.injector) {
 		st.queue = append(st.queue, ev)
 		return
@@ -253,6 +270,9 @@ func (f *Fabric) admit(st *fwd, l dataplane.Link, ev event) {
 		// The extra copy crosses this link too.
 		st.d.LinkBytes += ev.pkt.WireSize()
 		st.d.Links++
+		if dataplane.ObsOn(f.observer) {
+			f.observer.ObserveLink(l, ev.pkt.WireSize())
+		}
 	}
 	if v.DelaySteps > 0 {
 		st.d.FaultDelays++
@@ -287,6 +307,11 @@ func (f *Fabric) forward(src topology.HostID, pkt dataplane.Packet) (*Delivery, 
 	d := st.d
 	if a, ok := dataplane.GroupAddrFromOuter(pkt.Outer); ok {
 		st.vni, st.group = a.VNI, a.Group
+	}
+	observed := dataplane.ObsOn(f.observer)
+	var start time.Time
+	if observed {
+		start = time.Now()
 	}
 	probe := st.vni == dataplane.ProbeVNI
 	chaos := dataplane.FaultsOn(f.injector)
@@ -424,6 +449,16 @@ func (f *Fabric) forward(src topology.HostID, pkt dataplane.Packet) (*Delivery, 
 		}
 	}
 	f.metrics.observeDelivery(d)
+	if observed {
+		f.observer.ObserveSend(dataplane.SendSample{
+			VNI: st.vni, Group: st.group,
+			Delivered: len(d.Received),
+			Lost:      d.Lost + d.Malformed + d.FaultDrops,
+			Bytes:     int64(d.LinkBytes),
+			Hops:      d.Hops,
+			Nanos:     time.Since(start).Nanoseconds(),
+		})
+	}
 	return d, nil
 }
 

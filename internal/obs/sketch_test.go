@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestSketchAccuracy drives the Space-Saving summary with a seeded
+// zipf-ish workload and checks every classic guarantee against exact
+// counts: no undercounting, bounded overcounting, and every true
+// heavy hitter (count > total/K) resident in the summary.
+func TestSketchAccuracy(t *testing.T) {
+	const (
+		keys  = 400
+		draws = 50000
+		k     = 32
+	)
+	rng := rand.New(rand.NewSource(42))
+	// Zipf-ish weights: key i drawn with probability ~ 1/(i+1).
+	weights := make([]float64, keys)
+	sum := 0.0
+	for i := range weights {
+		weights[i] = 1 / float64(i+1)
+		sum += weights[i]
+	}
+	draw := func() uint64 {
+		x := rng.Float64() * sum
+		for i, w := range weights {
+			x -= w
+			if x <= 0 {
+				return uint64(i)
+			}
+		}
+		return uint64(keys - 1)
+	}
+
+	s := NewSketch(k)
+	exact := make(map[uint64]int64, keys)
+	for i := 0; i < draws; i++ {
+		key := draw()
+		exact[key]++
+		s.Update(key, 1, 100)
+	}
+
+	if got := s.Total(); got != draws {
+		t.Fatalf("Total() = %d, want %d", got, draws)
+	}
+	top := s.Top(0)
+	if len(top) != k {
+		t.Fatalf("summary holds %d keys, want %d", len(top), k)
+	}
+	resident := make(map[uint64]HeavyHitter, len(top))
+	for _, h := range top {
+		key := uint64(h.VNI)<<32 | uint64(h.Group)
+		resident[key] = h
+		truth := exact[key]
+		if h.Count < truth {
+			t.Errorf("key %d: estimate %d undercounts true %d", key, h.Count, truth)
+		}
+		if h.Count-h.Err > truth {
+			t.Errorf("key %d: estimate %d - err %d exceeds true %d", key, h.Count, h.Err, truth)
+		}
+	}
+	// Any key with true count > total/K must be resident.
+	for key, n := range exact {
+		if n > draws/k {
+			if _, ok := resident[key]; !ok {
+				t.Errorf("true heavy hitter key %d (count %d > %d) evicted", key, n, draws/k)
+			}
+		}
+	}
+	// The top of the estimate matches the true top for the keys that
+	// dominate the zipf head.
+	type kv struct {
+		key uint64
+		n   int64
+	}
+	truth := make([]kv, 0, len(exact))
+	for key, n := range exact {
+		truth = append(truth, kv{key, n})
+	}
+	sort.Slice(truth, func(a, b int) bool { return truth[a].n > truth[b].n })
+	for i := 0; i < 3; i++ {
+		found := false
+		for _, h := range top[:10] {
+			if uint64(h.VNI)<<32|uint64(h.Group) == truth[i].key {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("true top-%d key %d missing from estimated top-10", i+1, truth[i].key)
+		}
+	}
+	// Top must be sorted descending.
+	for i := 1; i < len(top); i++ {
+		if top[i].Count > top[i-1].Count {
+			t.Fatalf("Top not sorted at %d: %d > %d", i, top[i].Count, top[i-1].Count)
+		}
+	}
+}
+
+// TestSketchSmall checks under-capacity behavior: exact counts, zero
+// error, byte ride-along.
+func TestSketchSmall(t *testing.T) {
+	s := NewSketch(8)
+	s.Update(groupKey(1, 7), 3, 300)
+	s.Update(groupKey(1, 9), 1, 100)
+	s.Update(groupKey(1, 7), 2, 200)
+	top := s.Top(0)
+	if len(top) != 2 {
+		t.Fatalf("got %d entries, want 2", len(top))
+	}
+	if top[0].VNI != 1 || top[0].Group != 7 || top[0].Count != 5 || top[0].Err != 0 || top[0].Bytes != 500 {
+		t.Fatalf("hot entry wrong: %+v", top[0])
+	}
+	if top[1].Count != 1 || top[1].Err != 0 {
+		t.Fatalf("cold entry wrong: %+v", top[1])
+	}
+}

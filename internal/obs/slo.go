@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SLO burn-rate evaluation, following the multi-window multi-burn-rate
+// discipline from the Google SRE workbook: an objective is a target
+// good-ratio (e.g. 99.9% of sends deliver); the burn rate over a
+// window is the observed bad-ratio divided by the budgeted bad-ratio
+// (1 - target), so burn 1.0 consumes the error budget exactly at the
+// sustainable pace. A rule pages only when BOTH its long and short
+// windows exceed the threshold — the long window proves the burn is
+// sustained, the short window proves it is still happening.
+
+// Objective is one service level objective fed by cumulative good and
+// total counters (monotone, read via the supplied funcs).
+type Objective struct {
+	Name   string
+	Target float64 // good-ratio target in (0, 1)
+	Good   func() int64
+	Total  func() int64
+}
+
+// BurnRule is one multi-window burn-rate alerting rule.
+type BurnRule struct {
+	Short     time.Duration
+	Long      time.Duration
+	Threshold float64
+	Severity  string // "page" or "ticket"
+}
+
+// DefaultBurnRules are the SRE-workbook pairings for a 30-day budget:
+// fast burns page, slow burns ticket.
+func DefaultBurnRules() []BurnRule {
+	return []BurnRule{
+		{Short: 5 * time.Minute, Long: time.Hour, Threshold: 14.4, Severity: "page"},
+		{Short: 30 * time.Minute, Long: 6 * time.Hour, Threshold: 6, Severity: "page"},
+		{Short: 2 * time.Hour, Long: 24 * time.Hour, Threshold: 3, Severity: "ticket"},
+		{Short: 6 * time.Hour, Long: 3 * 24 * time.Hour, Threshold: 1, Severity: "ticket"},
+	}
+}
+
+// sloSample is one cumulative (good, total) reading.
+type sloSample struct {
+	at          time.Time
+	good, total int64
+}
+
+// sloSeries is the sample ring for one objective.
+type sloSeries struct {
+	obj     Objective
+	samples []sloSample // ring
+	next    int
+	filled  int
+}
+
+// burnOver computes the burn rate for the window ending at the newest
+// sample. With fewer than two samples, or a window reaching past the
+// oldest sample with zero traffic in between, it returns 0 (no
+// evidence of burn).
+func (ss *sloSeries) burnOver(window time.Duration) float64 {
+	if ss.filled < 2 {
+		return 0
+	}
+	newest := ss.at(1)
+	// Walk newest to oldest until a sample at or beyond the window
+	// start: the burn covers at least `window` when the ring reaches
+	// that far, else the whole retained history.
+	base := ss.at(2)
+	for i := 2; i <= ss.filled; i++ {
+		base = ss.at(i)
+		if newest.at.Sub(base.at) >= window {
+			break
+		}
+	}
+	dTotal := newest.total - base.total
+	if dTotal <= 0 {
+		return 0
+	}
+	dBad := dTotal - (newest.good - base.good)
+	badRatio := float64(dBad) / float64(dTotal)
+	budget := 1 - ss.obj.Target
+	if budget <= 0 {
+		budget = 1e-9
+	}
+	return badRatio / budget
+}
+
+// at returns the i-th newest sample (1 = newest).
+func (ss *sloSeries) at(i int) sloSample {
+	n := len(ss.samples)
+	return ss.samples[((ss.next-i)%n+n)%n]
+}
+
+// goodRatio is the all-time good ratio of the newest sample.
+func (ss *sloSeries) goodRatio() float64 {
+	if ss.filled == 0 {
+		return 1
+	}
+	s := ss.at(1)
+	if s.total == 0 {
+		return 1
+	}
+	return float64(s.good) / float64(s.total)
+}
+
+// RuleState is one evaluated burn rule for one objective.
+type RuleState struct {
+	Objective string  `json:"objective"`
+	Severity  string  `json:"severity"`
+	Short     string  `json:"short_window"`
+	Long      string  `json:"long_window"`
+	Threshold float64 `json:"threshold"`
+	ShortBurn float64 `json:"short_burn"`
+	LongBurn  float64 `json:"long_burn"`
+	Firing    bool    `json:"firing"`
+}
+
+// SLOStatus is the full health report.
+type SLOStatus struct {
+	Healthy    bool              `json:"healthy"`
+	Objectives []ObjectiveStatus `json:"objectives"`
+	Rules      []RuleState       `json:"rules"`
+}
+
+// ObjectiveStatus is one objective's topline.
+type ObjectiveStatus struct {
+	Name      string  `json:"name"`
+	Target    float64 `json:"target"`
+	GoodRatio float64 `json:"good_ratio"`
+	Good      int64   `json:"good"`
+	Total     int64   `json:"total"`
+}
+
+// SLOEngine samples objectives and evaluates burn rules. Tick drives
+// it with explicit times so tests (and the Plane's sampler) control
+// the clock.
+type SLOEngine struct {
+	mu     sync.Mutex
+	series []*sloSeries
+	rules  []BurnRule
+}
+
+// NewSLOEngine builds an engine over the objectives with the given
+// rules (nil = DefaultBurnRules) retaining `depth` samples per
+// objective (depth <= 0 defaults to 512 — at one sample per second
+// that spans the 5m/30m fast windows; slow windows degrade gracefully
+// to the oldest retained sample).
+func NewSLOEngine(objectives []Objective, rules []BurnRule, depth int) *SLOEngine {
+	if rules == nil {
+		rules = DefaultBurnRules()
+	}
+	if depth <= 0 {
+		depth = 512
+	}
+	e := &SLOEngine{rules: rules}
+	for _, o := range objectives {
+		e.series = append(e.series, &sloSeries{obj: o, samples: make([]sloSample, depth)})
+	}
+	return e
+}
+
+// Tick reads every objective's cumulative counters at time now.
+func (e *SLOEngine) Tick(now time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, ss := range e.series {
+		ss.samples[ss.next] = sloSample{at: now, good: ss.obj.Good(), total: ss.obj.Total()}
+		ss.next = (ss.next + 1) % len(ss.samples)
+		if ss.filled < len(ss.samples) {
+			ss.filled++
+		}
+	}
+}
+
+// Status evaluates every rule against the sampled series. Healthy
+// means no page-severity rule is firing.
+func (e *SLOEngine) Status() SLOStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := SLOStatus{Healthy: true}
+	for _, ss := range e.series {
+		obj := ObjectiveStatus{Name: ss.obj.Name, Target: ss.obj.Target, GoodRatio: ss.goodRatio()}
+		if ss.filled > 0 {
+			s := ss.at(1)
+			obj.Good, obj.Total = s.good, s.total
+		}
+		st.Objectives = append(st.Objectives, obj)
+		for _, r := range e.rules {
+			rs := RuleState{
+				Objective: ss.obj.Name,
+				Severity:  r.Severity,
+				Short:     r.Short.String(),
+				Long:      r.Long.String(),
+				Threshold: r.Threshold,
+				ShortBurn: ss.burnOver(r.Short),
+				LongBurn:  ss.burnOver(r.Long),
+			}
+			rs.Firing = rs.ShortBurn >= r.Threshold && rs.LongBurn >= r.Threshold
+			if rs.Firing && r.Severity == "page" {
+				st.Healthy = false
+			}
+			st.Rules = append(st.Rules, rs)
+		}
+	}
+	return st
+}
+
+// BurnRate reports one objective's burn over a window (for gauges).
+func (e *SLOEngine) BurnRate(objective string, window time.Duration) (float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, ss := range e.series {
+		if ss.obj.Name == objective {
+			return ss.burnOver(window), nil
+		}
+	}
+	return 0, fmt.Errorf("obs: unknown objective %q", objective)
+}

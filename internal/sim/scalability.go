@@ -59,6 +59,10 @@ type ScalabilityConfig struct {
 	// measurement fabric and publishes live run progress, so a /metrics
 	// scrape mid-run sees the experiment move.
 	Metrics *telemetry.Registry
+	// Observer, when non-nil, receives per-link byte accounting and
+	// per-send samples from the measurement fabric (the ops plane's
+	// feed: link utilization, heavy hitters, SLO counters).
+	Observer dataplane.FlowObserver
 }
 
 // PaperScalability returns the full paper-scale configuration for a
@@ -154,6 +158,9 @@ func RunScalability(cfg ScalabilityConfig) (*ScalabilityResult, error) {
 		fab.SetMetrics(fabric.NewMetrics(cfg.Metrics))
 		progress = cfg.Metrics.Gauge("elmo_sim_groups_measured",
 			"Groups measured so far in the scalability run.")
+	}
+	if cfg.Observer != nil {
+		fab.SetObserver(cfg.Observer)
 	}
 
 	elmoBytes := make(map[int]float64, len(cfg.PacketSizes))

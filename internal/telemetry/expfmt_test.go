@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExpositionConformance pins the Prometheus text-format (0.0.4)
+// guarantees WriteText makes: label-value escaping, metric-name
+// validation, and stable ordering (families by name, series in
+// creation order).
+func TestExpositionConformance(t *testing.T) {
+	t.Run("label value escaping", func(t *testing.T) {
+		cases := []struct {
+			name  string
+			value string
+			want  string // escaped form inside the quotes
+		}{
+			{"plain", "plain", "plain"},
+			{"backslash", `back\slash`, `back\\slash`},
+			{"quote", `say "hi"`, `say \"hi\"`},
+			{"newline", "line1\nline2", `line1\nline2`},
+			{"all three", "\\\"\n", `\\\"\n`},
+			{"unicode passthrough", "pod→leaf", "pod→leaf"},
+			{"empty", "", ""},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				reg := NewRegistry()
+				reg.CounterVec("m_total", "", "l").With(tc.value).Add(1)
+				var sb strings.Builder
+				if err := reg.WriteText(&sb); err != nil {
+					t.Fatal(err)
+				}
+				want := `m_total{l="` + tc.want + `"} 1` + "\n"
+				if !strings.Contains(sb.String(), want) {
+					t.Errorf("exposition missing %q:\n%s", want, sb.String())
+				}
+			})
+		}
+	})
+
+	t.Run("metric name validity", func(t *testing.T) {
+		valid := []string{"a", "elmo_groups_total", "ns:sub_sys", "_lead", "A9"}
+		for _, name := range valid {
+			reg := NewRegistry()
+			reg.Counter(name, "") // must not panic
+		}
+		invalid := []string{"", "9lead", "has-dash", "has space", "dotted.name", "né"}
+		for _, name := range invalid {
+			name := name
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("registering %q did not panic", name)
+					}
+				}()
+				NewRegistry().Counter(name, "")
+			}()
+		}
+		// Label names follow the same rule, and "le" is reserved.
+		for _, label := range []string{"bad-label", "le"} {
+			label := label
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("label %q did not panic", label)
+					}
+				}()
+				NewRegistry().CounterVec("ok_total", "", label)
+			}()
+		}
+	})
+
+	t.Run("stable ordering", func(t *testing.T) {
+		reg := NewRegistry()
+		// Register families out of name order and series out of
+		// lexicographic order.
+		bv := reg.CounterVec("zebra_total", "last family", "shard")
+		bv.With("9").Add(9)
+		bv.With("1").Add(1)
+		reg.Gauge("alpha_level", "first family").Set(2)
+		reg.Counter("mid_total", "").Add(3)
+
+		var first strings.Builder
+		if err := reg.WriteText(&first); err != nil {
+			t.Fatal(err)
+		}
+		got := first.String()
+
+		// Families emit sorted by name; series keep creation order.
+		wantOrder := []string{
+			"# HELP alpha_level first family",
+			"# TYPE alpha_level gauge",
+			"alpha_level 2",
+			"# TYPE mid_total counter",
+			"mid_total 3",
+			"# HELP zebra_total last family",
+			"# TYPE zebra_total counter",
+			`zebra_total{shard="9"} 9`,
+			`zebra_total{shard="1"} 1`,
+		}
+		pos := -1
+		for _, want := range wantOrder {
+			i := strings.Index(got, want)
+			if i < 0 {
+				t.Fatalf("exposition missing %q:\n%s", want, got)
+			}
+			if i <= pos {
+				t.Fatalf("line %q out of order:\n%s", want, got)
+			}
+			pos = i
+		}
+
+		// Byte-for-byte stable scrape to scrape.
+		var second strings.Builder
+		if err := reg.WriteText(&second); err != nil {
+			t.Fatal(err)
+		}
+		if got != second.String() {
+			t.Fatalf("exposition not stable across scrapes:\n--- first\n%s--- second\n%s", got, second.String())
+		}
+	})
+
+	t.Run("histogram le label", func(t *testing.T) {
+		reg := NewRegistry()
+		h := reg.Histogram("lat_seconds", "", []float64{0.5, 1})
+		h.Observe(0.2)
+		h.Observe(2)
+		var sb strings.Builder
+		if err := reg.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		got := sb.String()
+		for _, want := range []string{
+			`lat_seconds_bucket{le="0.5"} 1`,
+			`lat_seconds_bucket{le="1"} 1`,
+			`lat_seconds_bucket{le="+Inf"} 2`,
+			"lat_seconds_count 2",
+		} {
+			if !strings.Contains(got, want) {
+				t.Errorf("exposition missing %q:\n%s", want, got)
+			}
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge-case coverage for Histogram.Quantile, pinning the conventions
+// documented on the method: empty histograms, all-mass-in-overflow,
+// and the q=0 / q=1 endpoints.
+func TestQuantileEdgeCases(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+
+	t.Run("empty histogram", func(t *testing.T) {
+		h := NewRegistry().Histogram("h", "", bounds)
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); !math.IsNaN(got) {
+				t.Errorf("Quantile(%v) on empty histogram = %v, want NaN", q, got)
+			}
+		}
+	})
+
+	t.Run("q outside [0,1]", func(t *testing.T) {
+		h := NewRegistry().Histogram("h", "", bounds)
+		h.Observe(1.5)
+		for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+			if got := h.Quantile(q); !math.IsNaN(got) {
+				t.Errorf("Quantile(%v) = %v, want NaN", q, got)
+			}
+		}
+	})
+
+	t.Run("all mass in overflow bucket", func(t *testing.T) {
+		h := NewRegistry().Histogram("h", "", bounds)
+		for i := 0; i < 10; i++ {
+			h.Observe(100) // far above the largest finite bound (4)
+		}
+		// No upper edge to interpolate toward: every quantile in (0,1]
+		// clamps to the largest finite bound.
+		for _, q := range []float64{0.1, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got != 4 {
+				t.Errorf("Quantile(%v) all-overflow = %v, want 4", q, got)
+			}
+		}
+	})
+
+	t.Run("q=0 and q=1", func(t *testing.T) {
+		h := NewRegistry().Histogram("h", "", bounds)
+		h.Observe(0.5) // first bucket
+		h.Observe(3)   // third bucket
+		if got := h.Quantile(0); got != 0 {
+			t.Errorf("Quantile(0) = %v, want 0 (lower edge of occupied first bucket)", got)
+		}
+		if got := h.Quantile(1); got != 4 {
+			t.Errorf("Quantile(1) = %v, want 4 (upper bound of highest occupied bucket)", got)
+		}
+	})
+
+	t.Run("q=0 with empty first bucket", func(t *testing.T) {
+		h := NewRegistry().Histogram("h", "", bounds)
+		h.Observe(3)
+		if got := h.Quantile(0); got != 1 {
+			t.Errorf("Quantile(0) = %v, want 1 (empty first bucket snaps to its upper bound)", got)
+		}
+	})
+
+	t.Run("interpolation inside a bucket", func(t *testing.T) {
+		h := NewRegistry().Histogram("h", "", bounds)
+		// 4 observations in (1,2]: median rank 2 of 4 lands halfway up
+		// the bucket.
+		for i := 0; i < 4; i++ {
+			h.Observe(1.5)
+		}
+		if got := h.Quantile(0.5); got != 1.5 {
+			t.Errorf("Quantile(0.5) = %v, want 1.5", got)
+		}
+	})
+
+	t.Run("no finite buckets", func(t *testing.T) {
+		h := NewRegistry().Histogram("h", "", nil)
+		h.Observe(1)
+		if got := h.Quantile(0.5); !math.IsNaN(got) {
+			t.Errorf("Quantile with no finite buckets = %v, want NaN", got)
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 )
@@ -20,11 +21,16 @@ func (r *Registry) Handler() http.Handler {
 }
 
 // Server is a live observability endpoint: /metrics (Prometheus text),
-// /debug/pprof/* (CPU, heap, goroutine, trace), and a plain index at /.
+// /debug/pprof/* (CPU, heap, goroutine, trace), an index of every
+// mounted endpoint at /, and whatever the ops plane mounts via Handle.
 type Server struct {
 	reg *Registry
 	ln  net.Listener
 	srv *http.Server
+	mux *http.ServeMux
+
+	mu        sync.Mutex
+	endpoints []string
 }
 
 // Serve starts the observability listener on addr (e.g. ":9090" or
@@ -36,22 +42,52 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
+	s := &Server{
+		reg: reg, ln: ln, mux: mux,
+		srv:       &http.Server{Handler: mux},
+		endpoints: []string{"/metrics", "/debug/pprof/"},
+	}
 	mux.Handle("/metrics", reg.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
-		if req.URL.Path != "/" {
-			http.NotFound(w, req)
-			return
-		}
-		fmt.Fprint(w, "elmo telemetry\n\n/metrics\n/debug/pprof/\n")
-	})
-	s := &Server{reg: reg, ln: ln, srv: &http.Server{Handler: mux}}
+	mux.HandleFunc("/", s.index)
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
+}
+
+// Handle mounts h at pattern and lists the pattern on the index page.
+// http.ServeMux registration is safe while the server runs, so the ops
+// plane can mount its endpoints after Serve.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mu.Lock()
+	s.endpoints = append(s.endpoints, pattern)
+	s.mu.Unlock()
+	s.mux.Handle(pattern, h)
+}
+
+// Endpoints returns the mounted patterns, sorted.
+func (s *Server) Endpoints() []string {
+	s.mu.Lock()
+	out := append([]string(nil), s.endpoints...)
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// index serves the endpoint directory at exactly "/".
+func (s *Server) index(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Path != "/" {
+		http.NotFound(w, req)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, "elmo telemetry\n\n")
+	for _, e := range s.Endpoints() {
+		fmt.Fprintln(w, e)
+	}
 }
 
 // Addr returns the bound listen address (useful with port 0).

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestServerIndex covers the endpoint directory at "/": it lists the
+// built-in mounts plus anything registered later via Handle, and
+// unknown paths 404 instead of silently serving the index.
+func TestServerIndex(t *testing.T) {
+	srv, err := Serve("localhost:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Handle("/debug/elmo/demo", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "demo")
+	}))
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, index := get("/")
+	if code != http.StatusOK {
+		t.Fatalf("index status %d, want 200", code)
+	}
+	for _, want := range []string{"/metrics", "/debug/pprof/", "/debug/elmo/demo"} {
+		if !strings.Contains(index, want) {
+			t.Errorf("index missing %s:\n%s", want, index)
+		}
+	}
+
+	// Handle-mounted endpoints actually serve.
+	if code, body := get("/debug/elmo/demo"); code != http.StatusOK || body != "demo" {
+		t.Fatalf("mounted endpoint: status=%d body=%q", code, body)
+	}
+
+	// The catch-all index does not swallow unknown paths.
+	if code, _ := get("/no/such/endpoint"); code != http.StatusNotFound {
+		t.Fatalf("unknown path status %d, want 404", code)
+	}
+
+	// Endpoints() reports a sorted snapshot including late mounts.
+	eps := srv.Endpoints()
+	if !sort.StringsAreSorted(eps) {
+		t.Fatalf("Endpoints not sorted: %v", eps)
+	}
+	found := false
+	for _, e := range eps {
+		if e == "/debug/elmo/demo" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Endpoints missing late mount: %v", eps)
+	}
+}

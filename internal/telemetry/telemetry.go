@@ -139,10 +139,25 @@ func (h *Histogram) Bounds() []float64 { return h.bounds }
 
 // Quantile estimates the q-quantile (0 <= q <= 1) from the bucket
 // counts, interpolating linearly inside the target bucket the way
-// Prometheus' histogram_quantile does. With no observations, or q
-// landing in the +Inf bucket, it returns the largest finite bound (the
-// estimate is a floor, not an exact order statistic). Returns NaN for
-// q outside [0, 1].
+// Prometheus' histogram_quantile does. Conventions:
+//
+//   - The target bucket is the first whose cumulative count reaches
+//     rank = q * Count(). Within it the estimate interpolates linearly
+//     between the bucket's bounds; the implicit first bucket spans
+//     [0, bounds[0]), so estimates never go below zero.
+//   - q = 0 snaps to the first bucket: 0 when it holds observations,
+//     else its upper bound (an empty bucket has no width to
+//     interpolate across). q = 1 returns the upper bound of the
+//     highest occupied finite bucket.
+//   - Overflow: observations above the largest finite bound land in
+//     the implicit +Inf bucket, which has no upper edge to
+//     interpolate toward, so any rank landing there clamps to the
+//     largest finite bound — the estimate is a floor, not an exact
+//     order statistic. A histogram with all mass in overflow therefore
+//     reports its largest finite bound for every q in (0, 1].
+//   - Returns NaN for q outside [0, 1], for NaN q, for a histogram
+//     with no observations, and for a histogram with no finite
+//     buckets.
 func (h *Histogram) Quantile(q float64) float64 {
 	if q < 0 || q > 1 || math.IsNaN(q) {
 		return math.NaN()
