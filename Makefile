@@ -4,13 +4,20 @@
 
 GO ?= go
 
-.PHONY: all build test verify race lint bench bench-gate bench-all bench-multicore bench-durability fuzz trace chaos durable partition
+.PHONY: all build test verify race lint bench bench-gate bench-all bench-multicore bench-durability bench-dataplane fuzz trace chaos durable partition
 
 # Allocation budget for the warm-scratch clustering kernel
 # (cluster.AssignInto with a reused Scratch). The hot path is designed
 # to be allocation-free; the budget is 0 and any regression fails
 # `make bench-gate`.
 ENCODE_ALLOC_BUDGET ?= 0
+
+# Allocation budget for the warm-scratch forwarding fast path
+# (dataplane.ProcessInto with a reused SwitchScratch), enforced per
+# packet across all three switch tiers by the elmo-bench dataplane
+# stage. The fast path is allocation-free by design; any regression
+# fails `make bench-gate`.
+DATAPLANE_ALLOC_BUDGET ?= 0
 
 all: verify
 
@@ -56,7 +63,10 @@ bench:
 # allocates more per op than ENCODE_ALLOC_BUDGET), the ops-plane
 # alloc-parity gate (a fabric with a disabled observer attached must
 # allocate exactly as much per send as a bare fabric — 0 bytes added —
-# with the enabled-path budget logged), then the multi-core speedup
+# with the enabled-path budget logged), the data-plane forwarding
+# budget (zero-alloc/equivalence tests plus the elmo-bench dataplane
+# stage, failing when warm-scratch ProcessInto allocates more per
+# packet than DATAPLANE_ALLOC_BUDGET), then the multi-core speedup
 # gate (bench-multicore). It does not overwrite the checked-in BENCH
 # files.
 bench-gate:
@@ -64,7 +74,17 @@ bench-gate:
 	$(GO) test -bench 'BenchmarkAssignIntoWarmScratch$$' -benchmem -run '^$$' ./internal/cluster/
 	$(GO) test -run 'TestObserverDisabledAddsNoAllocations' -count=1 -v ./internal/obs/
 	$(GO) run ./cmd/elmo-bench -encode-only -encode-sets 500 -encode-out '' -max-allocs $(ENCODE_ALLOC_BUDGET)
+	$(GO) test -run 'TestProcessIntoZeroAllocs|TestProcessIntoEquivalence' -count=1 ./internal/dataplane/
+	$(GO) run ./cmd/elmo-bench -dataplane-only -dataplane-sends 4000 -dataplane-udp-sends 0 \
+		-dataplane-out '' -dataplane-max-allocs $(DATAPLANE_ALLOC_BUDGET)
 	$(MAKE) bench-multicore
+
+# bench-dataplane refreshes the checked-in forwarding fast-path figures
+# (packets/sec per tier, sync + UDP end-to-end, allocs/packet, p99 hop
+# latency) in BENCH_dataplane.json.
+bench-dataplane:
+	$(GO) run ./cmd/elmo-bench -dataplane-only -dataplane-out BENCH_dataplane.json \
+		-dataplane-max-allocs $(DATAPLANE_ALLOC_BUDGET)
 
 # bench-all runs the full figure/table benchmark suite.
 bench-all:

@@ -91,6 +91,12 @@ func main() {
 		encodeSets  = flag.Int("encode-sets", 2000, "receiver sets the encode stage benchmarks over")
 		maxAllocs   = flag.Int64("max-allocs", -1, "fail if warm-scratch AssignInto exceeds this allocs/op (<0 = no gate)")
 
+		dataplaneOut       = flag.String("dataplane-out", "BENCH_dataplane.json", "dataplane-stage output JSON file (empty = skip the stage)")
+		dataplaneOnly      = flag.Bool("dataplane-only", false, "run only the data-plane forwarding benchmark stage")
+		dataplaneSends     = flag.Int("dataplane-sends", 20000, "sends per sync fan-out phase in the dataplane stage")
+		dataplaneUDPSends  = flag.Int("dataplane-udp-sends", 400, "sends for the UDP end-to-end measurement")
+		dataplaneMaxAllocs = flag.Int64("dataplane-max-allocs", -1, "fail if warm-scratch ProcessInto exceeds this allocs/packet on any tier (<0 = no gate)")
+
 		durabilityOut    = flag.String("durability-out", "", "durability-stage output JSON file (empty = skip the stage; see -durability-only)")
 		durabilityOnly   = flag.Bool("durability-only", false, "run only the durability stage (default output BENCH_durability.json)")
 		durabilityGroups = flag.Int("durability-groups", 1000000, "groups for the recovery measurement")
@@ -127,6 +133,11 @@ func main() {
 		if w < 2 {
 			w = 2
 		}
+	}
+
+	if *dataplaneOnly {
+		dataplaneStage(*dataplaneSends, *dataplaneUDPSends, *dataplaneOut, *dataplaneMaxAllocs)
+		return
 	}
 
 	topo := topology.MustNew(topology.Config{
@@ -250,6 +261,9 @@ func main() {
 
 	if *encodeOut != "" {
 		encodeStage(topo, encSpecs, w, *encodeOut, *maxAllocs)
+	}
+	if *dataplaneOut != "" {
+		dataplaneStage(*dataplaneSends, *dataplaneUDPSends, *dataplaneOut, *dataplaneMaxAllocs)
 	}
 }
 

@@ -299,11 +299,24 @@ func (b Bitmap) AppendWire(dst []byte) []byte {
 // error if data is too short or if padding bits beyond width are set
 // (a malformed encoding).
 func FromWire(width int, data []byte) (Bitmap, int, error) {
+	var b Bitmap
+	n, err := FromWireInto(width, data, &b)
+	if err != nil {
+		return Bitmap{}, 0, err
+	}
+	return b, n, nil
+}
+
+// FromWireInto is FromWire decoding into b, reusing its word storage
+// when wide enough — the data-plane parse path calls it per packet and
+// must not allocate once its scratch bitmaps are warm. On error b is
+// left empty at the requested width.
+func FromWireInto(width int, data []byte, b *Bitmap) (int, error) {
 	n := ByteLen(width)
 	if len(data) < n {
-		return Bitmap{}, 0, fmt.Errorf("bitmap: need %d bytes for width %d, have %d", n, width, len(data))
+		return 0, fmt.Errorf("bitmap: need %d bytes for width %d, have %d", n, width, len(data))
 	}
-	b := New(width)
+	b.Reset(width)
 	for i := 0; i < n; i++ {
 		by := data[i]
 		base := i * 8
@@ -313,12 +326,13 @@ func FromWire(width int, data []byte) (Bitmap, int, error) {
 			}
 			bit := base + j
 			if bit >= width {
-				return Bitmap{}, 0, fmt.Errorf("bitmap: padding bit %d set beyond width %d", bit, width)
+				b.Reset(width)
+				return 0, fmt.Errorf("bitmap: padding bit %d set beyond width %d", bit, width)
 			}
 			b.words[bit/64] |= 1 << (uint(bit) % 64)
 		}
 	}
-	return b, n, nil
+	return n, nil
 }
 
 // String renders the bitmap as a binary string, bit 0 first, matching

@@ -25,6 +25,7 @@ type SenderFlow struct {
 	addr   GroupAddr
 	outer  header.OuterFields
 	stream []byte
+	noINT  bool
 }
 
 // StreamLen returns the Elmo header bytes this flow adds per packet.
@@ -93,6 +94,7 @@ func (hv *Hypervisor) InstallSenderFlow(addr GroupAddr, h *header.Header) error 
 		addr:   addr,
 		outer:  SenderOuter(hv.topo, hv.host, addr),
 		stream: stream,
+		noINT:  !h.INTEnabled,
 	}
 	hv.mu.Unlock()
 	return nil
@@ -136,7 +138,7 @@ func (hv *Hypervisor) Encap(addr GroupAddr, inner []byte) (Packet, error) {
 			Arg: int64(len(f.stream)),
 		})
 	}
-	return Packet{Outer: f.outer, Elmo: f.stream, Inner: inner}, nil
+	return Packet{Outer: f.outer, Elmo: f.stream, Inner: inner, NoINT: f.noINT}, nil
 }
 
 // Deliver is the receive path: it accepts the packet if a local VM

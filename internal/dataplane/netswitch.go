@@ -2,6 +2,7 @@ package dataplane
 
 import (
 	"fmt"
+	"math/bits"
 
 	"elmo/internal/bitmap"
 	"elmo/internal/header"
@@ -118,6 +119,11 @@ type NetworkSwitch struct {
 	fence EpochFence
 
 	stats Stats
+
+	// procScratch backs the Process convenience wrapper so occasional
+	// callers get the fast path without owning a scratch. Bulk callers
+	// (the fabrics) hold their own per-worker SwitchScratch instead.
+	procScratch SwitchScratch
 }
 
 // NewLeaf creates the leaf switch for the given ID.
@@ -174,7 +180,44 @@ func (sw *NetworkSwitch) SRuleCount() int { return len(sw.groupTable) }
 // Process runs the switch pipeline on one packet and returns the
 // emitted copies. A nil error with no emissions means the packet was
 // dropped (see Stats().Drops).
+//
+// Process is a cloning wrapper over ProcessInto: it runs the fast path
+// against a per-switch scratch and returns emissions whose memory is
+// independent of the scratch, so callers may hold them indefinitely.
+// Bulk callers (the fabric event loops) should call ProcessInto with
+// their own scratch instead and skip the copies.
 func (sw *NetworkSwitch) Process(p Packet) ([]Emission, error) {
+	sw.procScratch.Reset()
+	out, err := sw.ProcessInto(p, &sw.procScratch)
+	if err != nil || len(out) == 0 {
+		return nil, err
+	}
+	res := make([]Emission, len(out))
+	copy(res, out)
+	if sw.procScratch.stamped {
+		// Stamped streams alias the scratch arena; detach them. Unstamped
+		// streams alias the input packet, exactly as the reference
+		// pipeline's emissions did.
+		for i := range res {
+			res[i].Packet.Elmo = append([]byte(nil), res[i].Packet.Elmo...)
+		}
+	}
+	return res, nil
+}
+
+// ProcessInto runs the switch pipeline on one packet using the
+// caller-owned scratch and returns the emitted copies. It is
+// emission-identical to Process and ReferenceProcess (asserted by
+// randomized tests) and performs no heap allocation once the scratch
+// is warm.
+//
+// The returned slice aliases s and is valid only until the next
+// ProcessInto call with the same scratch. INT-stamped streams alias
+// s's arena and stay valid across calls until s.Reset(); see
+// SwitchScratch for the lifetime contract.
+func (sw *NetworkSwitch) ProcessInto(p Packet, s *SwitchScratch) ([]Emission, error) {
+	s.emissions = s.emissions[:0]
+	s.stamped = false
 	st := sw.Stats()
 	st.Packets++
 	sw.Counters.packet()
@@ -185,17 +228,16 @@ func (sw *NetworkSwitch) Process(p Packet) ([]Emission, error) {
 		return nil, nil
 	}
 	p.Outer.TTL--
-	var out []Emission
 	var err error
 	switch {
 	case sw.Legacy:
-		out, err = sw.processLegacy(p)
+		err = sw.legacyInto(p, s)
 	case sw.kind == KindLeaf:
-		out, err = sw.processLeaf(p)
+		err = sw.leafInto(p, s)
 	case sw.kind == KindSpine:
-		out, err = sw.processSpine(p)
+		err = sw.spineInto(p, s)
 	case sw.kind == KindCore:
-		out, err = sw.processCore(p)
+		err = sw.coreInto(p, s)
 	}
 	if err != nil {
 		st.Drops[DropMalformed]++
@@ -203,204 +245,214 @@ func (sw *NetworkSwitch) Process(p Packet) ([]Emission, error) {
 		sw.traceDrop(p, DropMalformed)
 		return nil, err
 	}
-	st.Copies += len(out)
-	sw.Counters.emitted(len(out))
-	return out, nil
+	st.Copies += len(s.emissions)
+	sw.Counters.emitted(len(s.emissions))
+	if len(s.emissions) == 0 {
+		return nil, nil
+	}
+	return s.emissions, nil
 }
 
-// processLegacy forwards an Elmo packet from the group table alone —
-// the paper's tested legacy-switch behavior: the switch was configured
-// to consult its multicast group table when it sees an Elmo packet,
+// appendPortEmissions fans pkt out to every set bit of bm in ascending
+// port order. It iterates words directly instead of using ForEach: the
+// closure there captures the growing emission slice and escapes,
+// costing an allocation per packet.
+func appendPortEmissions(s *SwitchScratch, bm bitmap.Bitmap, up bool, pkt Packet) {
+	for wi, w := range bm.Words() {
+		base := wi * 64
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			s.emissions = append(s.emissions, Emission{Port: base + tz, Up: up, Packet: pkt})
+			w &^= 1 << uint(tz)
+		}
+	}
+}
+
+// legacyInto forwards an Elmo packet from the group table alone — the
+// paper's tested legacy-switch behavior: the switch was configured to
+// consult its multicast group table when it sees an Elmo packet,
 // treating the section stream as opaque payload (never popped).
-func (sw *NetworkSwitch) processLegacy(p Packet) ([]Emission, error) {
+func (sw *NetworkSwitch) legacyInto(p Packet, s *SwitchScratch) error {
 	if sw.kind == KindCore {
-		return nil, fmt.Errorf("dataplane: legacy cores are not modeled")
+		return fmt.Errorf("dataplane: legacy cores are not modeled")
 	}
 	addr, ok := GroupAddrFromOuter(p.Outer)
 	if !ok {
 		sw.Stats().Drops[DropNoRule]++
 		sw.Counters.drop(DropNoRule)
 		sw.traceDrop(p, DropNoRule)
-		return nil, nil
+		return nil
 	}
 	ports, ok := sw.groupTable[addr]
 	if !ok {
 		sw.Stats().Drops[DropNoRule]++
 		sw.Counters.drop(DropNoRule)
 		sw.traceDrop(p, DropNoRule)
-		return nil, nil
+		return nil
 	}
 	sw.Stats().SRuleHits++
 	sw.Counters.hit(trace.RuleSRule)
-	var out []Emission
-	ports.ForEach(func(port int) {
-		out = append(out, Emission{Port: port, Packet: p})
-	})
-	sw.traceHop(p, trace.RuleSRule, out)
-	return out, nil
+	appendPortEmissions(s, ports, false, p)
+	sw.traceHop(p, trace.RuleSRule, s.emissions)
+	return nil
 }
 
-// processLeaf handles both directions: packets from hosts carry a
-// u-leaf section; packets from spines carry (at most) a d-leaf section.
-func (sw *NetworkSwitch) processLeaf(p Packet) ([]Emission, error) {
+// leafInto handles both directions: packets from hosts carry a u-leaf
+// section; packets from spines carry (at most) a d-leaf section.
+func (sw *NetworkSwitch) leafInto(p Packet, s *SwitchScratch) error {
 	tag, err := header.PeekTag(p.Elmo)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if tag == header.TagULeaf {
-		rule, rest, err := header.ConsumeUpstream(sw.layout, header.TagULeaf, p.Elmo)
+		rest, err := header.ConsumeUpstreamInto(sw.layout, header.TagULeaf, p.Elmo, &s.uRule)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rest = sw.stamp(rest, p.Outer.TTL)
-		var out []Emission
+		if !p.NoINT {
+			rest = sw.stampInto(rest, p.Outer.TTL, s)
+		}
 		// Host deliveries: strip the remaining p-rules — the egress
-		// invalidates all p-rules toward hosts (§4.1).
-		rule.Down.ForEach(func(port int) {
-			out = append(out, Emission{Port: port, Packet: sw.hostCopy(p, rest)})
-		})
-		out = append(out, sw.upstreamCopies(p, rest, rule, sw.topo.LeafUpWidth())...)
+		// invalidates all p-rules toward hosts (§4.1). The stripped
+		// packet is identical for every port, so build it once.
+		appendPortEmissions(s, s.uRule.Down, false, sw.hostCopy(p, rest))
+		sw.upstreamCopiesInto(p, rest, s.uRule, sw.topo.LeafUpWidth(), s)
 		sw.Stats().PRuleHits++
 		sw.Counters.hit(trace.RulePRule)
-		sw.traceHop(p, trace.RulePRule, out)
-		return out, nil
+		sw.traceHop(p, trace.RulePRule, s.emissions)
+		return nil
 	}
 	// Downstream: skip any stale earlier sections (a legacy hop pops
 	// nothing), then match our own leaf ID if a d-leaf section is
 	// present; otherwise consult the group table directly.
 	stream, err := streamFrom(sw.layout, p.Elmo, header.TagDLeaf)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	tag, err = header.PeekTag(stream)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	m, _, err := sw.downstreamMatch(header.TagDLeaf, uint16(sw.leaf), stream, tag)
-	if err != nil {
-		return nil, err
+	if _, err := sw.downstreamMatchInto(header.TagDLeaf, uint16(sw.leaf), stream, tag, &s.match); err != nil {
+		return err
 	}
-	ports, rule, ok := sw.resolve(m, p.Outer)
+	ports, rule, ok := sw.resolve(s.match, p.Outer)
 	if !ok {
 		sw.Stats().Drops[DropNoRule]++
 		sw.Counters.drop(DropNoRule)
 		sw.traceDrop(p, DropNoRule)
-		return nil, nil
+		return nil
 	}
-	stamped := sw.stamp(stream, p.Outer.TTL)
-	var out []Emission
-	ports.ForEach(func(port int) {
-		out = append(out, Emission{Port: port, Packet: sw.hostCopy(p, stamped)})
-	})
-	sw.traceHop(p, rule, out)
-	return out, nil
+	stamped := stream
+	if !p.NoINT {
+		stamped = sw.stampInto(stream, p.Outer.TTL, s)
+	}
+	appendPortEmissions(s, ports, false, sw.hostCopy(p, stamped))
+	sw.traceHop(p, rule, s.emissions)
+	return nil
 }
 
-// processSpine handles the upstream turn (u-spine section) and the
+// spineInto handles the upstream turn (u-spine section) and the
 // downstream fan-out (d-spine section keyed by pod).
-func (sw *NetworkSwitch) processSpine(p Packet) ([]Emission, error) {
+func (sw *NetworkSwitch) spineInto(p Packet, s *SwitchScratch) error {
 	tag, err := header.PeekTag(p.Elmo)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if tag == header.TagUSpine {
-		rule, rest, err := header.ConsumeUpstream(sw.layout, header.TagUSpine, p.Elmo)
+		rest, err := header.ConsumeUpstreamInto(sw.layout, header.TagUSpine, p.Elmo, &s.uRule)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rest = sw.stamp(rest, p.Outer.TTL)
-		var out []Emission
-		if !rule.Down.IsEmpty() {
+		if !p.NoINT {
+			rest = sw.stampInto(rest, p.Outer.TTL, s)
+		}
+		if !s.uRule.Down.IsEmpty() {
 			// Down-copies into our own pod skip ahead to the d-leaf
 			// section: the core and d-spine sections are not for them.
 			downStream, err := streamFrom(sw.layout, rest, header.TagDLeaf)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			rule.Down.ForEach(func(port int) {
-				out = append(out, Emission{Port: port, Packet: Packet{Outer: p.Outer, Elmo: downStream, Inner: p.Inner}})
-			})
+			appendPortEmissions(s, s.uRule.Down, false, Packet{Outer: p.Outer, Elmo: downStream, Inner: p.Inner, NoINT: p.NoINT})
 		}
-		out = append(out, sw.upstreamCopies(p, rest, rule, sw.topo.SpineUpWidth())...)
+		sw.upstreamCopiesInto(p, rest, s.uRule, sw.topo.SpineUpWidth(), s)
 		sw.Stats().PRuleHits++
 		sw.Counters.hit(trace.RulePRule)
-		sw.traceHop(p, trace.RulePRule, out)
-		return out, nil
+		sw.traceHop(p, trace.RulePRule, s.emissions)
+		return nil
 	}
 	// Downstream from core: skip stale sections, then match our pod in
 	// the d-spine section.
 	stream, err := streamFrom(sw.layout, p.Elmo, header.TagDSpine)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	tag, err = header.PeekTag(stream)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	pod := sw.topo.SpinePod(sw.spine)
-	m, rest, err := sw.downstreamMatch(header.TagDSpine, uint16(pod), stream, tag)
+	rest, err := sw.downstreamMatchInto(header.TagDSpine, uint16(pod), stream, tag, &s.match)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	ports, rule, ok := sw.resolve(m, p.Outer)
+	ports, rule, ok := sw.resolve(s.match, p.Outer)
 	if !ok {
 		sw.Stats().Drops[DropNoRule]++
 		sw.Counters.drop(DropNoRule)
 		sw.traceDrop(p, DropNoRule)
-		return nil, nil
+		return nil
 	}
-	rest = sw.stamp(rest, p.Outer.TTL)
-	var out []Emission
-	ports.ForEach(func(port int) {
-		out = append(out, Emission{Port: port, Packet: Packet{Outer: p.Outer, Elmo: rest, Inner: p.Inner}})
-	})
-	sw.traceHop(p, rule, out)
-	return out, nil
+	if !p.NoINT {
+		rest = sw.stampInto(rest, p.Outer.TTL, s)
+	}
+	appendPortEmissions(s, ports, false, Packet{Outer: p.Outer, Elmo: rest, Inner: p.Inner, NoINT: p.NoINT})
+	sw.traceHop(p, rule, s.emissions)
+	return nil
 }
 
-// processCore forwards one copy to each pod named in the core bitmap,
+// coreInto forwards one copy to each pod named in the core bitmap,
 // popping the core section.
-func (sw *NetworkSwitch) processCore(p Packet) ([]Emission, error) {
-	pods, rest, err := header.ConsumeCore(sw.layout, p.Elmo)
+func (sw *NetworkSwitch) coreInto(p Packet, s *SwitchScratch) error {
+	rest, err := header.ConsumeCoreInto(sw.layout, p.Elmo, &s.pods)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	rest = sw.stamp(rest, p.Outer.TTL)
-	var out []Emission
-	pods.ForEach(func(pod int) {
-		out = append(out, Emission{Port: pod, Packet: Packet{Outer: p.Outer, Elmo: rest, Inner: p.Inner}})
-	})
+	if !p.NoINT {
+		rest = sw.stampInto(rest, p.Outer.TTL, s)
+	}
+	appendPortEmissions(s, s.pods, false, Packet{Outer: p.Outer, Elmo: rest, Inner: p.Inner, NoINT: p.NoINT})
 	sw.Stats().PRuleHits++
 	sw.Counters.hit(trace.RulePRule)
-	sw.traceHop(p, trace.RulePRule, out)
-	return out, nil
+	sw.traceHop(p, trace.RulePRule, s.emissions)
+	return nil
 }
 
-// upstreamCopies emits the upward copies of an upstream rule: one
+// upstreamCopiesInto emits the upward copies of an upstream rule: one
 // ECMP-chosen port under multipathing, or every explicit Up port.
-func (sw *NetworkSwitch) upstreamCopies(p Packet, rest []byte, rule header.UpstreamRule, upWidth int) []Emission {
-	var out []Emission
-	next := Packet{Outer: p.Outer, Elmo: rest, Inner: p.Inner}
+func (sw *NetworkSwitch) upstreamCopiesInto(p Packet, rest []byte, rule header.UpstreamRule, upWidth int, s *SwitchScratch) {
+	next := Packet{Outer: p.Outer, Elmo: rest, Inner: p.Inner, NoINT: p.NoINT}
 	if rule.Multipath {
-		if port, ok := sw.pickUpstream(p.Outer, upWidth); ok {
-			out = append(out, Emission{Port: port, Up: true, Packet: next})
+		if port, ok := sw.pickUpstreamInto(p.Outer, upWidth, s); ok {
+			s.emissions = append(s.emissions, Emission{Port: port, Up: true, Packet: next})
 		}
-		return out
+		return
 	}
-	rule.Up.ForEach(func(port int) {
-		out = append(out, Emission{Port: port, Up: true, Packet: next})
-	})
-	return out
+	appendPortEmissions(s, rule.Up, true, next)
 }
 
-// pickUpstream hashes the flow over the alive upstream ports.
-func (sw *NetworkSwitch) pickUpstream(f header.OuterFields, width int) (int, bool) {
-	alive := make([]int, 0, width)
+// pickUpstreamInto hashes the flow over the alive upstream ports,
+// collected into the scratch alive slice. An UpstreamPicker override
+// receives that scratch slice and must not retain it past the call.
+func (sw *NetworkSwitch) pickUpstreamInto(f header.OuterFields, width int, s *SwitchScratch) (int, bool) {
+	alive := s.alive[:0]
 	for i := 0; i < width; i++ {
 		if sw.UpstreamAlive == nil || sw.UpstreamAlive(i) {
 			alive = append(alive, i)
 		}
 	}
+	s.alive = alive
 	if len(alive) == 0 {
 		return 0, false
 	}
@@ -416,24 +468,21 @@ func (sw *NetworkSwitch) pickUpstream(f header.OuterFields, width int) (int, boo
 	return alive[ECMPHash(f, salt)%uint32(len(alive))], true
 }
 
-// downstreamMatch consumes the section with wantTag if present; when
-// the front tag is beyond it (already popped or never encoded), it
-// returns an empty match so the caller falls through to the s-rule
-// table, leaving the stream untouched for the next tier.
-func (sw *NetworkSwitch) downstreamMatch(wantTag byte, id uint16, stream []byte, frontTag byte) (header.DownstreamMatch, []byte, error) {
+// downstreamMatchInto consumes the section with wantTag if present,
+// decoding into m; when the front tag is beyond it (already popped or
+// never encoded), it leaves m empty so the caller falls through to the
+// s-rule table, leaving the stream untouched for the next tier.
+func (sw *NetworkSwitch) downstreamMatchInto(wantTag byte, id uint16, stream []byte, frontTag byte, m *header.DownstreamMatch) ([]byte, error) {
 	if frontTag == wantTag {
-		return consumeDownstreamAt(sw.layout, wantTag, id, stream)
+		return header.ConsumeDownstreamInto(sw.layout, wantTag, id, stream, m)
 	}
 	// The section may legitimately be absent (all switches covered by
 	// s-rules): the stream then starts at a later valid tag or TagEnd.
 	if frontTag == header.TagEnd || (frontTag > wantTag && frontTag <= header.TagDLeaf) {
-		return header.DownstreamMatch{}, stream, nil
+		m.Matched, m.HasDefault = false, false
+		return stream, nil
 	}
-	return header.DownstreamMatch{}, nil, fmt.Errorf("dataplane: %s switch saw unexpected tag %#x", sw.kind, frontTag)
-}
-
-func consumeDownstreamAt(l header.Layout, tag byte, id uint16, stream []byte) (header.DownstreamMatch, []byte, error) {
-	return header.ConsumeDownstream(l, tag, id, stream)
+	return nil, fmt.Errorf("dataplane: %s switch saw unexpected tag %#x", sw.kind, frontTag)
 }
 
 // resolve implements the §4.1 ingress control flow: matched p-rule
@@ -461,35 +510,51 @@ func (sw *NetworkSwitch) resolve(m header.DownstreamMatch, outer header.OuterFie
 	return bitmap.Bitmap{}, trace.RuleNone, false
 }
 
-// stamp appends this switch's INT record when the stream carries a
-// telemetry section (§7 Monitoring); the remaining TTL serves as the
-// per-hop metadata. Streams without an INT section pass through
-// untouched and unallocated.
-func (sw *NetworkSwitch) stamp(stream []byte, ttl byte) []byte {
-	var rec header.INTRecord
+// intRecord builds this switch's INT record; the remaining TTL serves
+// as the per-hop metadata (§7 Monitoring).
+func (sw *NetworkSwitch) intRecord(ttl byte) header.INTRecord {
 	switch sw.kind {
 	case KindLeaf:
-		rec = header.INTRecord{Tier: header.INTTierLeaf, ID: uint16(sw.leaf), Meta: ttl}
+		return header.INTRecord{Tier: header.INTTierLeaf, ID: uint16(sw.leaf), Meta: ttl}
 	case KindSpine:
-		rec = header.INTRecord{Tier: header.INTTierSpine, ID: uint16(sw.spine), Meta: ttl}
+		return header.INTRecord{Tier: header.INTTierSpine, ID: uint16(sw.spine), Meta: ttl}
 	default:
-		rec = header.INTRecord{Tier: header.INTTierCore, ID: uint16(sw.core), Meta: ttl}
+		return header.INTRecord{Tier: header.INTTierCore, ID: uint16(sw.core), Meta: ttl}
 	}
-	out, err := header.AppendINTRecord(sw.layout, stream, rec)
-	if err != nil {
+}
+
+// stampInto appends this switch's INT record when the stream carries a
+// telemetry section, writing the rewritten stream into the scratch
+// arena (append-only, so streams stamped for earlier packets in the
+// batch stay valid). Streams without an INT section pass through
+// untouched and unallocated; malformed streams are returned unchanged
+// for the downstream parser to reject.
+func (sw *NetworkSwitch) stampInto(stream []byte, ttl byte, s *SwitchScratch) []byte {
+	start := len(s.arena)
+	arena, ok, err := header.AppendINTRecordTo(sw.layout, s.arena, stream, sw.intRecord(ttl))
+	if err != nil || !ok {
 		return stream
 	}
-	return out
+	s.arena = arena
+	s.stamped = true
+	// Full slice expression: an append to the returned stream must
+	// reallocate rather than grow into later arena bytes.
+	return s.arena[start:len(s.arena):len(s.arena)]
 }
 
 // hostCopy strips the p-rule sections for host delivery, preserving a
 // telemetry section if present (the host's hypervisor is the INT sink).
 func (sw *NetworkSwitch) hostCopy(p Packet, stream []byte) Packet {
+	if p.NoINT {
+		// No INT section can exist, so the scan below would always land
+		// on TagEnd; emptyStream is that same single-byte stream.
+		return Packet{Outer: p.Outer, Elmo: emptyStream, Inner: p.Inner, NoINT: true}
+	}
 	rest, err := streamFrom(sw.layout, stream, header.TagINT)
 	if err != nil || len(rest) == 0 {
 		rest = emptyStream
 	}
-	return Packet{Outer: p.Outer, Elmo: rest, Inner: p.Inner}
+	return Packet{Outer: p.Outer, Elmo: rest, Inner: p.Inner, NoINT: p.NoINT}
 }
 
 // streamFrom advances the stream to the section with the given tag (or

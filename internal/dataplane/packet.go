@@ -14,7 +14,6 @@ package dataplane
 
 import (
 	"fmt"
-	"hash/fnv"
 
 	"elmo/internal/header"
 	"elmo/internal/topology"
@@ -47,6 +46,14 @@ type Packet struct {
 	// one-byte stream means no source routing remains.
 	Elmo  []byte
 	Inner []byte
+	// NoINT is a provenance hint: true only when the stream is known
+	// to carry no INT section. Encap and Unmarshal set it (both walk
+	// the stream anyway), and emissions inherit it, so the forwarding
+	// fast path can skip the per-hop structural scan that stamping
+	// and host-copy stripping otherwise need. The zero value means
+	// "unknown" and always falls back to scanning, so hand-built
+	// packets stay correct.
+	NoINT bool
 }
 
 // WireSize returns the bytes this packet occupies on a link — the
@@ -79,17 +86,19 @@ func Unmarshal(l header.Layout, data []byte) (Packet, error) {
 	p.Outer = outer
 	if outer.ElmoVersion == 0 {
 		p.Inner = payload
+		p.NoINT = true
 		return p, nil
 	}
 	if outer.ElmoVersion != header.Version {
 		return p, fmt.Errorf("dataplane: unsupported Elmo version %d", outer.ElmoVersion)
 	}
-	n, err := header.StreamLen(l, payload)
+	n, hasINT, err := header.StreamInfo(l, payload)
 	if err != nil {
 		return p, err
 	}
 	p.Elmo = payload[:n]
 	p.Inner = payload[n:]
+	p.NoINT = !hasINT
 	return p, nil
 }
 
@@ -131,12 +140,24 @@ func PredictPath(topo *topology.Topology, outer header.OuterFields, sender topol
 	return plane, topology.CoreID(plane*cfg.CoresPerPlane + corePort)
 }
 
+// FNV-1a constants (hash/fnv's 32-bit parameters, inlined below).
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
 // ECMPHash computes the multipath hash a switch uses to pick one
 // upstream port, salted by the switch identity so consecutive tiers
 // don't correlate. It hashes the outer flow 5-tuple surrogate
 // (IPs, source port, VNI).
+//
+// The FNV-1a loop is inlined so the buffer stays on the stack: the
+// hash/fnv digest is an interface value and heap-escapes per call,
+// which the forwarding fast path cannot afford. The byte layout —
+// including the trailing zero pad at b[17], which the original
+// implementation hashed — is frozen; a golden test pins the values so
+// no multipath decision (or PredictPath result) ever moves.
 func ECMPHash(f header.OuterFields, salt uint32) uint32 {
-	h := fnv.New32a()
 	var b [18]byte
 	copy(b[0:4], f.SrcIP[:])
 	copy(b[4:8], f.DstIP[:])
@@ -149,6 +170,10 @@ func ECMPHash(f header.OuterFields, salt uint32) uint32 {
 	b[14] = byte(salt >> 16)
 	b[15] = byte(salt >> 8)
 	b[16] = byte(salt)
-	h.Write(b[:])
-	return h.Sum32()
+	h := uint32(fnvOffset32)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= fnvPrime32
+	}
+	return h
 }

@@ -1,0 +1,299 @@
+package dataplane
+
+import (
+	"fmt"
+
+	"elmo/internal/header"
+	"elmo/internal/trace"
+)
+
+// This file freezes the original allocating Process implementation as
+// ReferenceProcess. It is the equivalence oracle for the scratch-based
+// fast path (ProcessInto) and the baseline the dataplane benchmark
+// stage compares against — the same role cluster.ReferenceAssign plays
+// for the encode path. Do not optimize it.
+
+// ReferenceProcess runs the original (allocating) switch pipeline on
+// one packet. It is emission-identical to Process/ProcessInto; tests
+// assert this on randomized traffic.
+func (sw *NetworkSwitch) ReferenceProcess(p Packet) ([]Emission, error) {
+	st := sw.Stats()
+	st.Packets++
+	sw.Counters.packet()
+	if p.Outer.TTL <= 1 {
+		st.Drops[DropTTL]++
+		sw.Counters.drop(DropTTL)
+		sw.traceDrop(p, DropTTL)
+		return nil, nil
+	}
+	p.Outer.TTL--
+	var out []Emission
+	var err error
+	switch {
+	case sw.Legacy:
+		out, err = sw.refProcessLegacy(p)
+	case sw.kind == KindLeaf:
+		out, err = sw.refProcessLeaf(p)
+	case sw.kind == KindSpine:
+		out, err = sw.refProcessSpine(p)
+	case sw.kind == KindCore:
+		out, err = sw.refProcessCore(p)
+	}
+	if err != nil {
+		st.Drops[DropMalformed]++
+		sw.Counters.drop(DropMalformed)
+		sw.traceDrop(p, DropMalformed)
+		return nil, err
+	}
+	st.Copies += len(out)
+	sw.Counters.emitted(len(out))
+	return out, nil
+}
+
+// refProcessLegacy forwards an Elmo packet from the group table alone —
+// the paper's tested legacy-switch behavior: the switch was configured
+// to consult its multicast group table when it sees an Elmo packet,
+// treating the section stream as opaque payload (never popped).
+func (sw *NetworkSwitch) refProcessLegacy(p Packet) ([]Emission, error) {
+	if sw.kind == KindCore {
+		return nil, fmt.Errorf("dataplane: legacy cores are not modeled")
+	}
+	addr, ok := GroupAddrFromOuter(p.Outer)
+	if !ok {
+		sw.Stats().Drops[DropNoRule]++
+		sw.Counters.drop(DropNoRule)
+		sw.traceDrop(p, DropNoRule)
+		return nil, nil
+	}
+	ports, ok := sw.groupTable[addr]
+	if !ok {
+		sw.Stats().Drops[DropNoRule]++
+		sw.Counters.drop(DropNoRule)
+		sw.traceDrop(p, DropNoRule)
+		return nil, nil
+	}
+	sw.Stats().SRuleHits++
+	sw.Counters.hit(trace.RuleSRule)
+	var out []Emission
+	ports.ForEach(func(port int) {
+		out = append(out, Emission{Port: port, Packet: p})
+	})
+	sw.traceHop(p, trace.RuleSRule, out)
+	return out, nil
+}
+
+// refProcessLeaf handles both directions: packets from hosts carry a
+// u-leaf section; packets from spines carry (at most) a d-leaf section.
+func (sw *NetworkSwitch) refProcessLeaf(p Packet) ([]Emission, error) {
+	tag, err := header.PeekTag(p.Elmo)
+	if err != nil {
+		return nil, err
+	}
+	if tag == header.TagULeaf {
+		rule, rest, err := header.ConsumeUpstream(sw.layout, header.TagULeaf, p.Elmo)
+		if err != nil {
+			return nil, err
+		}
+		rest = sw.refStamp(rest, p.Outer.TTL)
+		var out []Emission
+		// Host deliveries: strip the remaining p-rules — the egress
+		// invalidates all p-rules toward hosts (§4.1).
+		rule.Down.ForEach(func(port int) {
+			out = append(out, Emission{Port: port, Packet: sw.refHostCopy(p, rest)})
+		})
+		out = append(out, sw.refUpstreamCopies(p, rest, rule, sw.topo.LeafUpWidth())...)
+		sw.Stats().PRuleHits++
+		sw.Counters.hit(trace.RulePRule)
+		sw.traceHop(p, trace.RulePRule, out)
+		return out, nil
+	}
+	// Downstream: skip any stale earlier sections (a legacy hop pops
+	// nothing), then match our own leaf ID if a d-leaf section is
+	// present; otherwise consult the group table directly.
+	stream, err := streamFrom(sw.layout, p.Elmo, header.TagDLeaf)
+	if err != nil {
+		return nil, err
+	}
+	tag, err = header.PeekTag(stream)
+	if err != nil {
+		return nil, err
+	}
+	m, _, err := sw.refDownstreamMatch(header.TagDLeaf, uint16(sw.leaf), stream, tag)
+	if err != nil {
+		return nil, err
+	}
+	ports, rule, ok := sw.resolve(m, p.Outer)
+	if !ok {
+		sw.Stats().Drops[DropNoRule]++
+		sw.Counters.drop(DropNoRule)
+		sw.traceDrop(p, DropNoRule)
+		return nil, nil
+	}
+	stamped := sw.refStamp(stream, p.Outer.TTL)
+	var out []Emission
+	ports.ForEach(func(port int) {
+		out = append(out, Emission{Port: port, Packet: sw.refHostCopy(p, stamped)})
+	})
+	sw.traceHop(p, rule, out)
+	return out, nil
+}
+
+// refProcessSpine handles the upstream turn (u-spine section) and the
+// downstream fan-out (d-spine section keyed by pod).
+func (sw *NetworkSwitch) refProcessSpine(p Packet) ([]Emission, error) {
+	tag, err := header.PeekTag(p.Elmo)
+	if err != nil {
+		return nil, err
+	}
+	if tag == header.TagUSpine {
+		rule, rest, err := header.ConsumeUpstream(sw.layout, header.TagUSpine, p.Elmo)
+		if err != nil {
+			return nil, err
+		}
+		rest = sw.refStamp(rest, p.Outer.TTL)
+		var out []Emission
+		if !rule.Down.IsEmpty() {
+			// Down-copies into our own pod skip ahead to the d-leaf
+			// section: the core and d-spine sections are not for them.
+			downStream, err := streamFrom(sw.layout, rest, header.TagDLeaf)
+			if err != nil {
+				return nil, err
+			}
+			rule.Down.ForEach(func(port int) {
+				out = append(out, Emission{Port: port, Packet: Packet{Outer: p.Outer, Elmo: downStream, Inner: p.Inner}})
+			})
+		}
+		out = append(out, sw.refUpstreamCopies(p, rest, rule, sw.topo.SpineUpWidth())...)
+		sw.Stats().PRuleHits++
+		sw.Counters.hit(trace.RulePRule)
+		sw.traceHop(p, trace.RulePRule, out)
+		return out, nil
+	}
+	// Downstream from core: skip stale sections, then match our pod in
+	// the d-spine section.
+	stream, err := streamFrom(sw.layout, p.Elmo, header.TagDSpine)
+	if err != nil {
+		return nil, err
+	}
+	tag, err = header.PeekTag(stream)
+	if err != nil {
+		return nil, err
+	}
+	pod := sw.topo.SpinePod(sw.spine)
+	m, rest, err := sw.refDownstreamMatch(header.TagDSpine, uint16(pod), stream, tag)
+	if err != nil {
+		return nil, err
+	}
+	ports, rule, ok := sw.resolve(m, p.Outer)
+	if !ok {
+		sw.Stats().Drops[DropNoRule]++
+		sw.Counters.drop(DropNoRule)
+		sw.traceDrop(p, DropNoRule)
+		return nil, nil
+	}
+	rest = sw.refStamp(rest, p.Outer.TTL)
+	var out []Emission
+	ports.ForEach(func(port int) {
+		out = append(out, Emission{Port: port, Packet: Packet{Outer: p.Outer, Elmo: rest, Inner: p.Inner}})
+	})
+	sw.traceHop(p, rule, out)
+	return out, nil
+}
+
+// refProcessCore forwards one copy to each pod named in the core
+// bitmap, popping the core section.
+func (sw *NetworkSwitch) refProcessCore(p Packet) ([]Emission, error) {
+	pods, rest, err := header.ConsumeCore(sw.layout, p.Elmo)
+	if err != nil {
+		return nil, err
+	}
+	rest = sw.refStamp(rest, p.Outer.TTL)
+	var out []Emission
+	pods.ForEach(func(pod int) {
+		out = append(out, Emission{Port: pod, Packet: Packet{Outer: p.Outer, Elmo: rest, Inner: p.Inner}})
+	})
+	sw.Stats().PRuleHits++
+	sw.Counters.hit(trace.RulePRule)
+	sw.traceHop(p, trace.RulePRule, out)
+	return out, nil
+}
+
+// refUpstreamCopies emits the upward copies of an upstream rule: one
+// ECMP-chosen port under multipathing, or every explicit Up port.
+func (sw *NetworkSwitch) refUpstreamCopies(p Packet, rest []byte, rule header.UpstreamRule, upWidth int) []Emission {
+	var out []Emission
+	next := Packet{Outer: p.Outer, Elmo: rest, Inner: p.Inner}
+	if rule.Multipath {
+		if port, ok := sw.refPickUpstream(p.Outer, upWidth); ok {
+			out = append(out, Emission{Port: port, Up: true, Packet: next})
+		}
+		return out
+	}
+	rule.Up.ForEach(func(port int) {
+		out = append(out, Emission{Port: port, Up: true, Packet: next})
+	})
+	return out
+}
+
+// refPickUpstream hashes the flow over the alive upstream ports.
+func (sw *NetworkSwitch) refPickUpstream(f header.OuterFields, width int) (int, bool) {
+	alive := make([]int, 0, width)
+	for i := 0; i < width; i++ {
+		if sw.UpstreamAlive == nil || sw.UpstreamAlive(i) {
+			alive = append(alive, i)
+		}
+	}
+	if len(alive) == 0 {
+		return 0, false
+	}
+	if sw.UpstreamPicker != nil {
+		return sw.UpstreamPicker(f, alive), true
+	}
+	var salt uint32
+	if sw.kind == KindLeaf {
+		salt = leafSalt(sw.leaf)
+	} else {
+		salt = spineSalt(sw.spine)
+	}
+	return alive[ECMPHash(f, salt)%uint32(len(alive))], true
+}
+
+// refDownstreamMatch consumes the section with wantTag if present; when
+// the front tag is beyond it (already popped or never encoded), it
+// returns an empty match so the caller falls through to the s-rule
+// table, leaving the stream untouched for the next tier.
+func (sw *NetworkSwitch) refDownstreamMatch(wantTag byte, id uint16, stream []byte, frontTag byte) (header.DownstreamMatch, []byte, error) {
+	if frontTag == wantTag {
+		return header.ConsumeDownstream(sw.layout, wantTag, id, stream)
+	}
+	// The section may legitimately be absent (all switches covered by
+	// s-rules): the stream then starts at a later valid tag or TagEnd.
+	if frontTag == header.TagEnd || (frontTag > wantTag && frontTag <= header.TagDLeaf) {
+		return header.DownstreamMatch{}, stream, nil
+	}
+	return header.DownstreamMatch{}, nil, fmt.Errorf("dataplane: %s switch saw unexpected tag %#x", sw.kind, frontTag)
+}
+
+// refHostCopy strips the p-rule sections for host delivery, preserving
+// a telemetry section if present. It is the original hostCopy, kept
+// scanning unconditionally: the fast-path hostCopy now shortcuts on the
+// NoINT hint, and the frozen baseline must not inherit that speedup.
+func (sw *NetworkSwitch) refHostCopy(p Packet, stream []byte) Packet {
+	rest, err := streamFrom(sw.layout, stream, header.TagINT)
+	if err != nil || len(rest) == 0 {
+		rest = emptyStream
+	}
+	return Packet{Outer: p.Outer, Elmo: rest, Inner: p.Inner}
+}
+
+// refStamp appends this switch's INT record when the stream carries a
+// telemetry section (§7 Monitoring); the remaining TTL serves as the
+// per-hop metadata. Streams without an INT section pass through
+// untouched and unallocated.
+func (sw *NetworkSwitch) refStamp(stream []byte, ttl byte) []byte {
+	out, err := header.AppendINTRecord(sw.layout, stream, sw.intRecord(ttl))
+	if err != nil {
+		return stream
+	}
+	return out
+}

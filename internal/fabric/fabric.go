@@ -9,6 +9,7 @@ package fabric
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"elmo/internal/controller"
@@ -35,6 +36,11 @@ type Fabric struct {
 	injector dataplane.FaultInjector
 	metrics  *Metrics
 	observer dataplane.FlowObserver
+
+	// refProcess routes forwarding through the frozen allocating
+	// pipeline (ReferenceProcess) instead of the scratch fast path —
+	// the benchmark baseline. See SetReferenceProcessing.
+	refProcess bool
 }
 
 // New builds the fabric with the given per-switch s-rule capacity.
@@ -223,19 +229,59 @@ type heldEvent struct {
 	due int
 }
 
+// procState is the reusable per-send working memory: the switch
+// scratch plus the event queue and delay buffer. Pooled so repeated
+// sends allocate nothing for forwarding state. A single scratch serves
+// all switches of a send — forward is synchronous, and the scratch
+// arena is append-only until the send completes, so stamped streams
+// queued behind other events stay valid.
+type procState struct {
+	scratch dataplane.SwitchScratch
+	queue   []event
+	// head indexes the next event to pop; draining by index (instead
+	// of re-slicing queue[1:]) keeps the backing array reusable.
+	head int
+	held []heldEvent
+}
+
+var fwdPool = sync.Pool{New: func() any { return new(procState) }}
+
+func (ps *procState) reset() {
+	ps.scratch.Reset()
+	ps.queue = ps.queue[:0]
+	ps.head = 0
+	ps.held = ps.held[:0]
+}
+
 // fwd is the per-send forwarding state shared with admit.
 type fwd struct {
 	d          *Delivery
-	queue      []event
-	held       []heldEvent
+	ps         *procState
 	n          int
 	vni, group uint32
 }
 
+// SetReferenceProcessing switches forwarding to the frozen allocating
+// pipeline (dataplane.ReferenceProcess) when on is true — the pre-PR
+// baseline the dataplane benchmark stage compares the fast path
+// against. Call while the fabric is quiet.
+func (f *Fabric) SetReferenceProcessing(on bool) { f.refProcess = on }
+
+// process runs one switch over one packet through the configured
+// pipeline (scratch fast path by default).
+func (f *Fabric) process(sw *dataplane.NetworkSwitch, pkt *dataplane.Packet, ps *procState) ([]dataplane.Emission, error) {
+	if f.refProcess {
+		return sw.ReferenceProcess(*pkt)
+	}
+	return sw.ProcessInto(*pkt, &ps.scratch)
+}
+
 // admit applies the fault injector's verdict for one link crossing and
 // enqueues the surviving copies. With no active injector it is a plain
-// enqueue.
-func (f *Fabric) admit(st *fwd, l dataplane.Link, ev event) {
+// enqueue. ev is passed by pointer to spare a struct copy per crossing
+// (it embeds a full Packet); admit copies it into the queue and never
+// retains the pointer.
+func (f *Fabric) admit(st *fwd, l dataplane.Link, ev *event) {
 	// Every directed crossing of the multicast path funnels through
 	// admit, so this is the single per-link observation site. The
 	// emitting tier has already counted the copy's LinkBytes, so the
@@ -245,7 +291,7 @@ func (f *Fabric) admit(st *fwd, l dataplane.Link, ev event) {
 		f.observer.ObserveLink(l, ev.pkt.WireSize())
 	}
 	if !dataplane.FaultsOn(f.injector) {
-		st.queue = append(st.queue, ev)
+		st.ps.queue = append(st.ps.queue, *ev)
 		return
 	}
 	v := f.injector.Cross(l, st.vni, st.group)
@@ -279,9 +325,9 @@ func (f *Fabric) admit(st *fwd, l dataplane.Link, ev event) {
 	}
 	for i := 0; i < copies; i++ {
 		if v.DelaySteps > 0 {
-			st.held = append(st.held, heldEvent{ev: ev, due: st.n + int(v.DelaySteps)})
+			st.ps.held = append(st.ps.held, heldEvent{ev: *ev, due: st.n + int(v.DelaySteps)})
 		} else {
-			st.queue = append(st.queue, ev)
+			st.ps.queue = append(st.ps.queue, *ev)
 		}
 	}
 }
@@ -303,7 +349,18 @@ func (f *Fabric) Send(sender topology.HostID, a dataplane.GroupAddr, inner []byt
 // so the chaos monitor can observe a physically repaired switch that
 // the controller still believes failed.
 func (f *Fabric) forward(src topology.HostID, pkt dataplane.Packet) (*Delivery, error) {
-	st := fwd{d: &Delivery{Received: make(map[topology.HostID][]byte)}}
+	var ps *procState
+	if f.refProcess {
+		// Reference mode reproduces the pre-fast-path forwarding cost
+		// faithfully: the queue state was allocated per send then, so
+		// the baseline must not borrow the pool either.
+		ps = new(procState)
+	} else {
+		ps = fwdPool.Get().(*procState)
+		ps.reset()
+		defer fwdPool.Put(ps)
+	}
+	st := fwd{d: &Delivery{Received: make(map[topology.HostID][]byte, 16)}, ps: ps}
 	d := st.d
 	if a, ok := dataplane.GroupAddrFromOuter(pkt.Outer); ok {
 		st.vni, st.group = a.VNI, a.Group
@@ -321,44 +378,51 @@ func (f *Fabric) forward(src topology.HostID, pkt dataplane.Packet) (*Delivery, 
 		// inflate the event count of a legitimate send.
 		maxEvents *= 8
 	}
-	st.queue = make([]event, 0, 16)
 	// Host NIC -> leaf link.
 	d.LinkBytes += pkt.WireSize()
 	d.Links++
 	srcLeaf := f.topo.HostLeaf(src)
+	// aev is the admit staging slot, reused for every crossing so no
+	// event literal is copied through the call (admit copies it into the
+	// queue itself).
+	var aev event
+	aev = event{kind: dataplane.KindLeaf, id: int(srcLeaf), pkt: pkt}
 	f.admit(&st, dataplane.Link{
 		FromTier: dataplane.LinkHost, From: int32(src),
 		ToTier: dataplane.LinkLeaf, To: int32(srcLeaf),
-	}, event{kind: dataplane.KindLeaf, id: int(srcLeaf), pkt: pkt})
-	for st.n = 0; len(st.queue) > 0 || len(st.held) > 0; st.n++ {
+	}, &aev)
+	for st.n = 0; ps.head < len(ps.queue) || len(ps.held) > 0; st.n++ {
 		if st.n >= maxEvents {
 			return nil, fmt.Errorf("fabric: forwarding loop detected after %d events", st.n)
 		}
-		if len(st.held) > 0 {
-			kept := st.held[:0]
-			for _, h := range st.held {
+		if len(ps.held) > 0 {
+			kept := ps.held[:0]
+			for _, h := range ps.held {
 				if h.due <= st.n {
-					st.queue = append(st.queue, h.ev)
+					ps.queue = append(ps.queue, h.ev)
 				} else {
 					kept = append(kept, h)
 				}
 			}
-			st.held = kept
-			if len(st.queue) == 0 {
+			ps.held = kept
+			if ps.head >= len(ps.queue) {
 				continue // idle tick: everything in flight is delayed
 			}
 		}
-		ev := st.queue[0]
-		st.queue = st.queue[1:]
+		// Pointer into the queue's backing array: enqueued events are
+		// never mutated, and admit's appends may move the array but the
+		// old one stays valid for the duration of this iteration.
+		ev := &ps.queue[ps.head]
+		ps.head++
 		if ev.kind == kindHost {
-			f.deliverHost(d, topology.HostID(ev.id), ev.pkt)
+			f.deliverHost(d, topology.HostID(ev.id), &ev.pkt)
 			continue
 		}
 		d.Hops++
 		switch ev.kind {
 		case dataplane.KindLeaf:
 			leaf := topology.LeafID(ev.id)
-			ems, err := f.Leaves[ev.id].Process(ev.pkt)
+			ems, err := f.process(f.Leaves[ev.id], &ev.pkt, ps)
 			if err != nil {
 				if chaos {
 					// A corrupted header is dropped where parsing fails,
@@ -368,7 +432,8 @@ func (f *Fabric) forward(src topology.HostID, pkt dataplane.Packet) (*Delivery, 
 				}
 				return nil, err
 			}
-			for _, em := range ems {
+			for i := range ems {
+				em := &ems[i]
 				d.LinkBytes += em.Packet.WireSize()
 				d.Links++
 				if em.Up {
@@ -378,21 +443,23 @@ func (f *Fabric) forward(src topology.HostID, pkt dataplane.Packet) (*Delivery, 
 						f.traceLost(trace.TierSpine, int(spine), em.Packet)
 						continue
 					}
+					aev = event{kind: dataplane.KindSpine, id: int(spine), pkt: em.Packet}
 					f.admit(&st, dataplane.Link{
 						FromTier: dataplane.LinkLeaf, From: int32(leaf),
 						ToTier: dataplane.LinkSpine, To: int32(spine),
-					}, event{kind: dataplane.KindSpine, id: int(spine), pkt: em.Packet})
+					}, &aev)
 				} else {
 					host := f.topo.HostAt(leaf, em.Port)
+					aev = event{kind: kindHost, id: int(host), pkt: em.Packet}
 					f.admit(&st, dataplane.Link{
 						FromTier: dataplane.LinkLeaf, From: int32(leaf),
 						ToTier: dataplane.LinkHost, To: int32(host),
-					}, event{kind: kindHost, id: int(host), pkt: em.Packet})
+					}, &aev)
 				}
 			}
 		case dataplane.KindSpine:
 			spine := topology.SpineID(ev.id)
-			ems, err := f.Spines[ev.id].Process(ev.pkt)
+			ems, err := f.process(f.Spines[ev.id], &ev.pkt, ps)
 			if err != nil {
 				if chaos {
 					d.Malformed++
@@ -400,7 +467,8 @@ func (f *Fabric) forward(src topology.HostID, pkt dataplane.Packet) (*Delivery, 
 				}
 				return nil, err
 			}
-			for _, em := range ems {
+			for i := range ems {
+				em := &ems[i]
 				d.LinkBytes += em.Packet.WireSize()
 				d.Links++
 				if em.Up {
@@ -410,21 +478,23 @@ func (f *Fabric) forward(src topology.HostID, pkt dataplane.Packet) (*Delivery, 
 						f.traceLost(trace.TierCore, int(core), em.Packet)
 						continue
 					}
+					aev = event{kind: dataplane.KindCore, id: int(core), pkt: em.Packet}
 					f.admit(&st, dataplane.Link{
 						FromTier: dataplane.LinkSpine, From: int32(spine),
 						ToTier: dataplane.LinkCore, To: int32(core),
-					}, event{kind: dataplane.KindCore, id: int(core), pkt: em.Packet})
+					}, &aev)
 				} else {
 					leaf := f.topo.SpineDownstream(spine, em.Port)
+					aev = event{kind: dataplane.KindLeaf, id: int(leaf), pkt: em.Packet}
 					f.admit(&st, dataplane.Link{
 						FromTier: dataplane.LinkSpine, From: int32(spine),
 						ToTier: dataplane.LinkLeaf, To: int32(leaf),
-					}, event{kind: dataplane.KindLeaf, id: int(leaf), pkt: em.Packet})
+					}, &aev)
 				}
 			}
 		case dataplane.KindCore:
 			core := topology.CoreID(ev.id)
-			ems, err := f.Cores[ev.id].Process(ev.pkt)
+			ems, err := f.process(f.Cores[ev.id], &ev.pkt, ps)
 			if err != nil {
 				if chaos {
 					d.Malformed++
@@ -432,7 +502,8 @@ func (f *Fabric) forward(src topology.HostID, pkt dataplane.Packet) (*Delivery, 
 				}
 				return nil, err
 			}
-			for _, em := range ems {
+			for i := range ems {
+				em := &ems[i]
 				d.LinkBytes += em.Packet.WireSize()
 				d.Links++
 				spine := f.topo.CoreDownstream(core, topology.PodID(em.Port))
@@ -441,10 +512,11 @@ func (f *Fabric) forward(src topology.HostID, pkt dataplane.Packet) (*Delivery, 
 					f.traceLost(trace.TierSpine, int(spine), em.Packet)
 					continue
 				}
+				aev = event{kind: dataplane.KindSpine, id: int(spine), pkt: em.Packet}
 				f.admit(&st, dataplane.Link{
 					FromTier: dataplane.LinkCore, From: int32(core),
 					ToTier: dataplane.LinkSpine, To: int32(spine),
-				}, event{kind: dataplane.KindSpine, id: int(spine), pkt: em.Packet})
+				}, &aev)
 			}
 		}
 	}
@@ -462,8 +534,8 @@ func (f *Fabric) forward(src topology.HostID, pkt dataplane.Packet) (*Delivery, 
 	return d, nil
 }
 
-func (f *Fabric) deliverHost(d *Delivery, h topology.HostID, pkt dataplane.Packet) {
-	inner, tel, ok := f.Hypervisors[h].DeliverFull(pkt)
+func (f *Fabric) deliverHost(d *Delivery, h topology.HostID, pkt *dataplane.Packet) {
+	inner, tel, ok := f.Hypervisors[h].DeliverFull(*pkt)
 	if !ok {
 		d.Spurious++
 		return

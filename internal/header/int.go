@@ -90,42 +90,58 @@ func intSectionLen(data []byte) (int, error) {
 // copies). If the stream carries no INT section the input is returned
 // unchanged, so switches can call it unconditionally.
 func AppendINTRecord(l Layout, stream []byte, rec INTRecord) ([]byte, error) {
+	dst, ok, err := AppendINTRecordTo(l, make([]byte, 0, len(stream)+intRecordSize), stream, rec)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return stream, nil // no INT section (or full): nothing to do
+	}
+	return dst, nil
+}
+
+// AppendINTRecordTo is the scratch-buffer form of AppendINTRecord: it
+// appends the rewritten stream (stream + one record) to dst and
+// returns the extended slice with ok=true. When the stream carries no
+// INT section, or the section is already full, it returns (dst, false,
+// nil) with dst unchanged — the caller should keep forwarding the
+// original stream. The input stream is never modified.
+func AppendINTRecordTo(l Layout, dst, stream []byte, rec INTRecord) ([]byte, bool, error) {
 	// Locate the INT section by structural skipping.
 	off := 0
 	rest := stream
 	for {
 		tag, err := PeekTag(rest)
 		if err != nil {
-			return nil, err
+			return dst, false, err
 		}
 		if tag == TagEnd {
-			return stream, nil // no INT section: nothing to do
+			return dst, false, nil // no INT section: nothing to do
 		}
 		if tag == TagINT {
 			break
 		}
 		next, err2 := skipOne(l, rest)
 		if err2 != nil {
-			return nil, err2
+			return dst, false, err2
 		}
 		off += len(rest) - len(next)
 		rest = next
 	}
 	secLen, err := intSectionLen(rest)
 	if err != nil {
-		return nil, err
+		return dst, false, err
 	}
 	count := int(rest[1])
 	if count >= 255 {
-		return stream, nil // section full: drop the record, keep forwarding
+		return dst, false, nil // section full: drop the record, keep forwarding
 	}
-	out := make([]byte, 0, len(stream)+intRecordSize)
-	out = append(out, stream[:off]...)
-	out = append(out, TagINT, byte(count+1))
-	out = append(out, rest[2:secLen]...)
-	out = append(out, rec.Tier, byte(rec.ID>>8), byte(rec.ID), rec.Meta)
-	out = append(out, rest[secLen:]...)
-	return out, nil
+	dst = append(dst, stream[:off]...)
+	dst = append(dst, TagINT, byte(count+1))
+	dst = append(dst, rest[2:secLen]...)
+	dst = append(dst, rec.Tier, byte(rec.ID>>8), byte(rec.ID), rec.Meta)
+	dst = append(dst, rest[secLen:]...)
+	return dst, true, nil
 }
 
 // ExtractINT parses the INT section (if any) from a section stream.

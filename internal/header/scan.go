@@ -31,23 +31,48 @@ func upstreamSectionLen(downW, upW int) int {
 // (TagULeaf or TagUSpine) at the front of data and returns the rule
 // and the remaining stream (the popped header the switch forwards).
 func ConsumeUpstream(l Layout, tag byte, data []byte) (UpstreamRule, []byte, error) {
-	downW, upW, err := upstreamWidths(l, tag)
+	var r UpstreamRule
+	rest, err := ConsumeUpstreamInto(l, tag, data, &r)
 	if err != nil {
 		return UpstreamRule{}, nil, err
 	}
+	return r, rest, nil
+}
+
+// ConsumeUpstreamInto is ConsumeUpstream decoding into r, reusing its
+// bitmap storage — the allocation-free form the data-plane fast path
+// (dataplane.ProcessInto) calls per packet with a caller-owned scratch
+// rule. The decoded rule is valid until the next call with the same r.
+func ConsumeUpstreamInto(l Layout, tag byte, data []byte, r *UpstreamRule) ([]byte, error) {
+	downW, upW, err := upstreamWidths(l, tag)
+	if err != nil {
+		return nil, err
+	}
 	if len(data) == 0 || data[0] != tag {
-		return UpstreamRule{}, nil, fmt.Errorf("header: expected tag %#x at front", tag)
+		return nil, fmt.Errorf("header: expected tag %#x at front", tag)
 	}
 	body := data[1:]
 	need := upstreamSectionLen(downW, upW)
 	if len(body) < need {
-		return UpstreamRule{}, nil, fmt.Errorf("header: truncated upstream section")
+		return nil, fmt.Errorf("header: truncated upstream section")
 	}
-	r, off, err := decodeUpstream(data, 1, downW, upW)
+	flags := data[1]
+	if flags&^upMultipathBit != 0 {
+		return nil, fmt.Errorf("header: unknown upstream flags %#x", flags)
+	}
+	off := 2
+	n, err := bitmap.FromWireInto(downW, data[off:], &r.Down)
 	if err != nil {
-		return UpstreamRule{}, nil, err
+		return nil, fmt.Errorf("header: upstream down: %w", err)
 	}
-	return *r, data[off:], nil
+	off += n
+	n, err = bitmap.FromWireInto(upW, data[off:], &r.Up)
+	if err != nil {
+		return nil, fmt.Errorf("header: upstream up: %w", err)
+	}
+	off += n
+	r.Multipath = flags&upMultipathBit != 0
+	return data[off:], nil
 }
 
 func upstreamWidths(l Layout, tag byte) (downW, upW int, err error) {
@@ -64,14 +89,25 @@ func upstreamWidths(l Layout, tag byte) (downW, upW int, err error) {
 // ConsumeCore parses the core section at the front of data, returning
 // the pods bitmap and the remaining stream.
 func ConsumeCore(l Layout, data []byte) (bitmap.Bitmap, []byte, error) {
-	if len(data) == 0 || data[0] != TagCore {
-		return bitmap.Bitmap{}, nil, fmt.Errorf("header: expected core section at front")
-	}
-	bm, n, err := bitmap.FromWire(l.CoreDown, data[1:])
+	var bm bitmap.Bitmap
+	rest, err := ConsumeCoreInto(l, data, &bm)
 	if err != nil {
 		return bitmap.Bitmap{}, nil, err
 	}
-	return bm, data[1+n:], nil
+	return bm, rest, nil
+}
+
+// ConsumeCoreInto is ConsumeCore decoding the pods bitmap into bm,
+// reusing its word storage (allocation-free once warm).
+func ConsumeCoreInto(l Layout, data []byte, bm *bitmap.Bitmap) ([]byte, error) {
+	if len(data) == 0 || data[0] != TagCore {
+		return nil, fmt.Errorf("header: expected core section at front")
+	}
+	n, err := bitmap.FromWireInto(l.CoreDown, data[1:], bm)
+	if err != nil {
+		return nil, err
+	}
+	return data[1+n:], nil
 }
 
 // DownstreamMatch is the result of scanning a downstream section for a
@@ -100,6 +136,19 @@ type DownstreamMatch struct {
 // remaining rules are skipped structurally (length arithmetic only),
 // which is what keeps per-packet work bounded on a line-rate parser.
 func ConsumeDownstream(l Layout, tag byte, id uint16, data []byte) (DownstreamMatch, []byte, error) {
+	var m DownstreamMatch
+	rest, err := ConsumeDownstreamInto(l, tag, id, data, &m)
+	if err != nil {
+		return DownstreamMatch{}, nil, err
+	}
+	return m, rest, nil
+}
+
+// ConsumeDownstreamInto is ConsumeDownstream decoding into m, reusing
+// its matched/default bitmap storage — the allocation-free form the
+// data-plane fast path calls per packet. m is fully overwritten; the
+// decoded match is valid until the next call with the same m.
+func ConsumeDownstreamInto(l Layout, tag byte, id uint16, data []byte, m *DownstreamMatch) ([]byte, error) {
 	var width int
 	switch tag {
 	case TagDSpine:
@@ -107,38 +156,36 @@ func ConsumeDownstream(l Layout, tag byte, id uint16, data []byte) (DownstreamMa
 	case TagDLeaf:
 		width = l.LeafDown
 	default:
-		return DownstreamMatch{}, nil, fmt.Errorf("header: tag %#x is not a downstream section", tag)
+		return nil, fmt.Errorf("header: tag %#x is not a downstream section", tag)
 	}
 	if len(data) < 2 || data[0] != tag {
-		return DownstreamMatch{}, nil, fmt.Errorf("header: expected tag %#x at front", tag)
+		return nil, fmt.Errorf("header: expected tag %#x at front", tag)
 	}
 	bmLen := bitmap.ByteLen(width)
 	count := int(data[1])
 	off := 2
-	var m DownstreamMatch
+	m.Matched, m.HasDefault = false, false
 	for i := 0; i < count; i++ {
 		if off >= len(data) {
-			return DownstreamMatch{}, nil, fmt.Errorf("header: truncated rule %d", i)
+			return nil, fmt.Errorf("header: truncated rule %d", i)
 		}
 		nIDs := int(data[off])
 		off++
 		if nIDs == 0 {
-			return DownstreamMatch{}, nil, fmt.Errorf("header: rule %d has zero identifiers", i)
+			return nil, fmt.Errorf("header: rule %d has zero identifiers", i)
 		}
 		idsEnd := off + 2*nIDs
 		ruleEnd := idsEnd + bmLen
 		if ruleEnd > len(data) {
-			return DownstreamMatch{}, nil, fmt.Errorf("header: truncated rule %d", i)
+			return nil, fmt.Errorf("header: truncated rule %d", i)
 		}
 		if !m.Matched {
 			for j := off; j < idsEnd; j += 2 {
 				if binary.BigEndian.Uint16(data[j:]) == id {
-					bm, _, err := bitmap.FromWire(width, data[idsEnd:ruleEnd])
-					if err != nil {
-						return DownstreamMatch{}, nil, fmt.Errorf("header: rule %d bitmap: %w", i, err)
+					if _, err := bitmap.FromWireInto(width, data[idsEnd:ruleEnd], &m.Bitmap); err != nil {
+						return nil, fmt.Errorf("header: rule %d bitmap: %w", i, err)
 					}
 					m.Matched = true
-					m.Bitmap = bm
 					break
 				}
 			}
@@ -146,23 +193,22 @@ func ConsumeDownstream(l Layout, tag byte, id uint16, data []byte) (DownstreamMa
 		off = ruleEnd
 	}
 	if off >= len(data) {
-		return DownstreamMatch{}, nil, fmt.Errorf("header: truncated default-presence byte")
+		return nil, fmt.Errorf("header: truncated default-presence byte")
 	}
 	hasDef := data[off]
 	off++
 	if hasDef > 1 {
-		return DownstreamMatch{}, nil, fmt.Errorf("header: bad default-presence byte %#x", hasDef)
+		return nil, fmt.Errorf("header: bad default-presence byte %#x", hasDef)
 	}
 	if hasDef == 1 {
-		def, n, err := bitmap.FromWire(width, data[off:])
+		n, err := bitmap.FromWireInto(width, data[off:], &m.Default)
 		if err != nil {
-			return DownstreamMatch{}, nil, fmt.Errorf("header: default bitmap: %w", err)
+			return nil, fmt.Errorf("header: default bitmap: %w", err)
 		}
 		off += n
 		m.HasDefault = true
-		m.Default = def
 	}
-	return m, data[off:], nil
+	return data[off:], nil
 }
 
 // SkipSection pops the section at the front of data without
@@ -252,15 +298,27 @@ func skipDownstream(width int, data []byte) ([]byte, error) {
 // StreamLen returns the total byte length of the section stream
 // (through TagEnd), validating framing structurally.
 func StreamLen(l Layout, data []byte) (int, error) {
+	n, _, err := StreamInfo(l, data)
+	return n, err
+}
+
+// StreamInfo is StreamLen plus a free byproduct of the same single
+// structural walk: whether the stream carries an INT section. Decoders
+// that walk the stream anyway (dataplane.Unmarshal) use it to record
+// INT presence without a second pass.
+func StreamInfo(l Layout, data []byte) (n int, hasINT bool, err error) {
 	rest := data
 	for {
 		tag, next, err := SkipSection(l, rest)
 		if err != nil {
-			return 0, err
+			return 0, false, err
+		}
+		if tag == TagINT {
+			hasINT = true
 		}
 		rest = next
 		if tag == TagEnd {
-			return len(data) - len(rest), nil
+			return len(data) - len(rest), hasINT, nil
 		}
 	}
 }

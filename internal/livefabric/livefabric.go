@@ -225,12 +225,13 @@ func (lf *LiveFabric) Send(sender topology.HostID, addr dataplane.GroupAddr, inn
 func (lf *LiveFabric) runLeaf(id topology.LeafID) {
 	defer lf.wg.Done()
 	sw := lf.base.Leaves[id]
+	var sc dataplane.SwitchScratch
 	for {
 		select {
 		case <-lf.stop:
 			return
 		case wire := <-lf.leafIn[id]:
-			ems, ok := lf.process(sw, wire)
+			ems, ok := lf.process(sw, wire, &sc)
 			if !ok {
 				continue
 			}
@@ -252,12 +253,13 @@ func (lf *LiveFabric) runLeaf(id topology.LeafID) {
 func (lf *LiveFabric) runSpine(id topology.SpineID) {
 	defer lf.wg.Done()
 	sw := lf.base.Spines[id]
+	var sc dataplane.SwitchScratch
 	for {
 		select {
 		case <-lf.stop:
 			return
 		case wire := <-lf.spineIn[id]:
-			ems, ok := lf.process(sw, wire)
+			ems, ok := lf.process(sw, wire, &sc)
 			if !ok {
 				continue
 			}
@@ -283,12 +285,13 @@ func (lf *LiveFabric) runSpine(id topology.SpineID) {
 func (lf *LiveFabric) runCore(id topology.CoreID) {
 	defer lf.wg.Done()
 	sw := lf.base.Cores[id]
+	var sc dataplane.SwitchScratch
 	for {
 		select {
 		case <-lf.stop:
 			return
 		case wire := <-lf.coreIn[id]:
-			ems, ok := lf.process(sw, wire)
+			ems, ok := lf.process(sw, wire, &sc)
 			if !ok {
 				continue
 			}
@@ -303,15 +306,19 @@ func (lf *LiveFabric) runCore(id topology.CoreID) {
 	}
 }
 
-// process unmarshals and runs the switch pipeline, counting malformed
-// frames.
-func (lf *LiveFabric) process(sw *dataplane.NetworkSwitch, wire []byte) ([]dataplane.Emission, bool) {
+// process unmarshals and runs the switch pipeline through the
+// goroutine's scratch, counting malformed frames. The scratch is reset
+// per frame: every emission is fully consumed (re-marshaled onward or
+// delivered to a host) before the goroutine picks up its next frame,
+// so no arena bytes outlive the call.
+func (lf *LiveFabric) process(sw *dataplane.NetworkSwitch, wire []byte, sc *dataplane.SwitchScratch) ([]dataplane.Emission, bool) {
 	pkt, err := dataplane.Unmarshal(lf.layout, wire)
 	if err != nil {
 		lf.countMalformed()
 		return nil, false
 	}
-	ems, err := sw.Process(pkt)
+	sc.Reset()
+	ems, err := sw.ProcessInto(pkt, sc)
 	if err != nil {
 		lf.countMalformed()
 		return nil, false

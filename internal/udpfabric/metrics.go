@@ -11,11 +11,12 @@ import (
 type Metrics struct {
 	Fabric *fabric.Metrics
 
-	sent      *telemetry.Counter
-	recv      *telemetry.Counter
-	retries   *telemetry.Counter
-	malformed *telemetry.Counter
-	hostDrops *telemetry.Counter
+	sent       *telemetry.Counter
+	sendErrors *telemetry.Counter
+	recv       *telemetry.Counter
+	retries    *telemetry.Counter
+	malformed  *telemetry.Counter
+	hostDrops  *telemetry.Counter
 }
 
 // NewMetrics registers the udpfabric metric families in reg (and the
@@ -24,7 +25,9 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 	return &Metrics{
 		Fabric: fabric.NewMetrics(reg),
 		sent: reg.Counter("elmo_udp_datagrams_sent_total",
-			"Datagrams written to fabric UDP sockets."),
+			"Datagrams successfully written to fabric UDP sockets."),
+		sendErrors: reg.Counter("elmo_udpfabric_send_errors_total",
+			"Datagram writes that failed at the socket."),
 		recv: reg.Counter("elmo_udp_datagrams_received_total",
 			"Datagrams read from fabric UDP sockets."),
 		retries: reg.Counter("elmo_udp_read_retries_total",
@@ -39,6 +42,12 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 func (m *Metrics) onSent() {
 	if m != nil {
 		m.sent.Inc()
+	}
+}
+
+func (m *Metrics) onSendError() {
+	if m != nil {
+		m.sendErrors.Inc()
 	}
 }
 

@@ -48,21 +48,30 @@ type UDPFabric struct {
 	coreConn  []*net.UDPConn
 	hostConn  []*net.UDPConn
 
+	// Destination addresses resolved once at bind time, so the hot
+	// forwarding path never repeats the LocalAddr type assertion per
+	// datagram.
+	leafAddr  []*net.UDPAddr
+	spineAddr []*net.UDPAddr
+	coreAddr  []*net.UDPAddr
+	hostAddr  []*net.UDPAddr
+
 	hostRx []chan HostPacket
 
-	stopOnce sync.Once
-	stopped  chan struct{}
-	wg       sync.WaitGroup
-	started  bool
-	tracer   trace.Recorder
-	injector dataplane.FaultInjector
-	metrics  *Metrics
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stopped   chan struct{}
+	wg        sync.WaitGroup
+	tracer    trace.Recorder
+	injector  dataplane.FaultInjector
+	metrics   *Metrics
 
 	mu sync.Mutex
 	// Malformed counts undecodable datagrams; Dropped counts frames
 	// discarded at full host queues; ReadErrors counts transient socket
-	// read errors the readers retried past.
-	Malformed, Dropped, ReadErrors int
+	// read errors the readers retried past; SendErrors counts datagram
+	// writes the socket rejected.
+	Malformed, Dropped, ReadErrors, SendErrors int
 }
 
 // New binds one ephemeral localhost UDP socket per switch and host of
@@ -93,6 +102,10 @@ func New(base *fabric.Fabric) (*UDPFabric, error) {
 		u.Close()
 		return nil, err
 	}
+	u.leafAddr = addrsOf(u.leafConn)
+	u.spineAddr = addrsOf(u.spineConn)
+	u.coreAddr = addrsOf(u.coreConn)
+	u.hostAddr = addrsOf(u.hostConn)
 	u.hostRx = make([]chan HostPacket, topo.NumHosts())
 	for i := range u.hostRx {
 		u.hostRx[i] = make(chan HostPacket, 1024)
@@ -100,28 +113,36 @@ func New(base *fabric.Fabric) (*UDPFabric, error) {
 	return u, nil
 }
 
-// Start spawns the per-switch and per-host reader goroutines.
+// Start spawns the per-switch and per-host reader goroutines. It is
+// idempotent and safe to call from multiple goroutines; only the first
+// call spawns readers.
 func (u *UDPFabric) Start() {
-	if u.started {
-		return
+	u.startOnce.Do(func() {
+		for i := range u.leafConn {
+			u.wg.Add(1)
+			go u.runLeaf(topology.LeafID(i))
+		}
+		for i := range u.spineConn {
+			u.wg.Add(1)
+			go u.runSpine(topology.SpineID(i))
+		}
+		for i := range u.coreConn {
+			u.wg.Add(1)
+			go u.runCore(topology.CoreID(i))
+		}
+		for i := range u.hostConn {
+			u.wg.Add(1)
+			go u.runHost(topology.HostID(i))
+		}
+	})
+}
+
+func addrsOf(conns []*net.UDPConn) []*net.UDPAddr {
+	addrs := make([]*net.UDPAddr, len(conns))
+	for i, c := range conns {
+		addrs[i] = c.LocalAddr().(*net.UDPAddr)
 	}
-	u.started = true
-	for i := range u.leafConn {
-		u.wg.Add(1)
-		go u.runLeaf(topology.LeafID(i))
-	}
-	for i := range u.spineConn {
-		u.wg.Add(1)
-		go u.runSpine(topology.SpineID(i))
-	}
-	for i := range u.coreConn {
-		u.wg.Add(1)
-		go u.runCore(topology.CoreID(i))
-	}
-	for i := range u.hostConn {
-		u.wg.Add(1)
-		go u.runHost(topology.HostID(i))
-	}
+	return addrs
 }
 
 func listenN(n int) ([]*net.UDPConn, error) {
@@ -158,7 +179,22 @@ func (u *UDPFabric) HostRx(h topology.HostID) <-chan HostPacket { return u.hostR
 // HostAddr returns the UDP address a host endpoint listens on (the
 // "NIC" applications would send through).
 func (u *UDPFabric) HostAddr(h topology.HostID) *net.UDPAddr {
-	return u.hostConn[h].LocalAddr().(*net.UDPAddr)
+	return u.hostAddr[h]
+}
+
+// writeTo transmits one datagram and keeps the send accounting honest:
+// only a successful write counts toward the sent totals; failures are
+// tallied separately as SendErrors.
+func (u *UDPFabric) writeTo(from *net.UDPConn, wire []byte, dst *net.UDPAddr) error {
+	if _, err := from.WriteToUDP(wire, dst); err != nil {
+		u.mu.Lock()
+		u.SendErrors++
+		u.mu.Unlock()
+		u.metrics.onSendError()
+		return err
+	}
+	u.metrics.onSent()
+	return nil
 }
 
 // Send encapsulates at the sender's hypervisor and transmits the frame
@@ -177,14 +213,10 @@ func (u *UDPFabric) Send(sender topology.HostID, addr dataplane.GroupAddr, inner
 		u.admitWire(dataplane.Link{
 			FromTier: dataplane.LinkHost, From: int32(sender),
 			ToTier: dataplane.LinkLeaf, To: int32(leaf),
-		}, addr.VNI, addr.Group, u.hostConn[sender], u.leafConn[leaf], wire)
+		}, addr.VNI, addr.Group, u.hostConn[sender], u.leafAddr[leaf], wire)
 		return nil
 	}
-	_, err = u.hostConn[sender].WriteToUDP(wire, u.leafConn[leaf].LocalAddr().(*net.UDPAddr))
-	if err == nil {
-		u.metrics.onSent()
-	}
-	return err
+	return u.writeTo(u.hostConn[sender], wire, u.leafAddr[leaf])
 }
 
 // InstallGroup proxies to the base fabric.
@@ -222,18 +254,46 @@ func (u *UDPFabric) countMalformed() {
 // transient socket read errors.
 const readErrBackoffCap = 100 * time.Millisecond
 
+// readBatch caps how many queued datagrams one reader wakeup drains
+// before processing them, emulating recvmmsg-style batching with the
+// stdlib: one blocking read, then non-blocking polls until the socket
+// queue is empty or the batch is full.
+const readBatch = 32
+
+// pastDeadline is any instant in the past; setting it as a read
+// deadline turns ReadFromUDP into a non-blocking poll.
+var pastDeadline = time.Unix(1, 0)
+
 // readLoop drains one socket, handing each datagram to fn until close.
-// Transient read errors (e.g. ECONNREFUSED bounced back on localhost,
-// buffer pressure) are counted and retried with exponential backoff
-// capped at readErrBackoffCap; only a closed socket or fabric stop
-// ends the loop.
+// Frames are drawn from a per-reader freelist and recycled after fn
+// returns, so fn must not retain wire (or any slice aliasing it)
+// beyond its call. Each wakeup coalesces up to readBatch datagrams:
+// the first read blocks, the rest poll with an already-expired
+// deadline and stop at the first timeout. Transient read errors on the
+// blocking read (e.g. ECONNREFUSED bounced back on localhost, buffer
+// pressure) are counted and retried with exponential backoff capped at
+// readErrBackoffCap; poll timeouts are the normal empty-queue signal
+// and are never counted. Only a closed socket or fabric stop ends the
+// loop.
 func (u *UDPFabric) readLoop(conn *net.UDPConn, fn func(wire []byte)) {
 	defer u.wg.Done()
-	buf := make([]byte, maxFrame)
+	var free [][]byte
+	batch := make([][]byte, 0, readBatch)
+	getFrame := func() []byte {
+		if n := len(free); n > 0 {
+			f := free[n-1]
+			free = free[:n-1]
+			return f
+		}
+		return make([]byte, maxFrame)
+	}
 	backoff := time.Duration(0)
 	for {
-		n, _, err := conn.ReadFromUDP(buf)
+		conn.SetReadDeadline(time.Time{})
+		frame := getFrame()
+		n, _, err := conn.ReadFromUDP(frame)
 		if err != nil {
+			free = append(free, frame)
 			if errors.Is(err, net.ErrClosed) {
 				return
 			}
@@ -255,19 +315,37 @@ func (u *UDPFabric) readLoop(conn *net.UDPConn, fn func(wire []byte)) {
 		}
 		backoff = 0
 		u.metrics.onRecv()
-		wire := make([]byte, n)
-		copy(wire, buf[:n])
-		fn(wire)
+		batch = append(batch, frame[:n])
+		conn.SetReadDeadline(pastDeadline)
+		for len(batch) < readBatch {
+			frame := getFrame()
+			n, _, err := conn.ReadFromUDP(frame)
+			if err != nil {
+				// Timeout means the queue is drained; a real error
+				// (including close) recurs on the next blocking read,
+				// where it is counted or ends the loop.
+				free = append(free, frame)
+				break
+			}
+			u.metrics.onRecv()
+			batch = append(batch, frame[:n])
+		}
+		for _, wire := range batch {
+			fn(wire)
+			free = append(free, wire[:maxFrame])
+		}
+		batch = batch[:0]
 	}
 }
 
-func (u *UDPFabric) process(sw *dataplane.NetworkSwitch, wire []byte) []dataplane.Emission {
+func (u *UDPFabric) process(sw *dataplane.NetworkSwitch, wire []byte, sc *dataplane.SwitchScratch) []dataplane.Emission {
 	pkt, err := dataplane.Unmarshal(u.layout, wire)
 	if err != nil {
 		u.countMalformed()
 		return nil
 	}
-	ems, err := sw.Process(pkt)
+	sc.Reset()
+	ems, err := sw.ProcessInto(pkt, sc)
 	if err != nil {
 		u.countMalformed()
 		return nil
@@ -275,24 +353,30 @@ func (u *UDPFabric) process(sw *dataplane.NetworkSwitch, wire []byte) []dataplan
 	return ems
 }
 
-func (u *UDPFabric) forward(l dataplane.Link, from *net.UDPConn, to *net.UDPConn, pkt dataplane.Packet) {
-	wire, err := pkt.Marshal(nil)
+// forward marshals one emission into the caller's reusable scratch
+// buffer and transmits it. WriteToUDP copies the payload into the
+// kernel before returning (and admitWire's delayed path copies for
+// itself), so the scratch — returned with any capacity growth — is
+// free for the next emission as soon as forward returns.
+func (u *UDPFabric) forward(l dataplane.Link, from *net.UDPConn, dst *net.UDPAddr, pkt dataplane.Packet, mbuf []byte) []byte {
+	wire, err := pkt.Marshal(mbuf[:0])
 	if err != nil {
 		u.countMalformed()
-		return
+		return mbuf
 	}
 	if dataplane.FaultsOn(u.injector) {
 		a, _ := dataplane.GroupAddrFromOuter(pkt.Outer)
-		u.admitWire(l, a.VNI, a.Group, from, to, wire)
-		return
+		u.admitWire(l, a.VNI, a.Group, from, dst, wire)
+		return wire
 	}
-	from.WriteToUDP(wire, to.LocalAddr().(*net.UDPAddr))
-	u.metrics.onSent()
+	u.writeTo(from, wire, dst)
+	return wire
 }
 
 // admitWire applies the injector verdict to a marshaled datagram and
-// transmits the surviving copies.
-func (u *UDPFabric) admitWire(l dataplane.Link, vni, group uint32, from, to *net.UDPConn, wire []byte) {
+// transmits the surviving copies. wire may be a reusable scratch; the
+// delayed path copies it before the goroutine escapes the call.
+func (u *UDPFabric) admitWire(l dataplane.Link, vni, group uint32, from *net.UDPConn, dst *net.UDPAddr, wire []byte) {
 	v := u.injector.Cross(l, vni, group)
 	if v.Drop {
 		return
@@ -300,10 +384,8 @@ func (u *UDPFabric) admitWire(l dataplane.Link, vni, group uint32, from, to *net
 	if v.Corrupt {
 		u.injector.CorruptWire(wire)
 	}
-	dst := to.LocalAddr().(*net.UDPAddr)
 	if v.Duplicate {
-		from.WriteToUDP(wire, dst)
-		u.metrics.onSent()
+		u.writeTo(from, wire, dst)
 	}
 	if v.DelaySteps > 0 {
 		delayed := append([]byte(nil), wire...)
@@ -315,32 +397,35 @@ func (u *UDPFabric) admitWire(l dataplane.Link, vni, group uint32, from, to *net
 			case <-u.stopped:
 				return
 			}
-			from.WriteToUDP(delayed, dst)
-			u.metrics.onSent()
+			u.writeTo(from, delayed, dst)
 		}()
 		return
 	}
-	from.WriteToUDP(wire, dst)
-	u.metrics.onSent()
+	u.writeTo(from, wire, dst)
 }
 
+// Each switch reader owns one SwitchScratch (reset per datagram; all
+// emissions are re-marshaled before the next frame) and one marshal
+// scratch buffer reused across emissions.
 func (u *UDPFabric) runLeaf(id topology.LeafID) {
 	conn := u.leafConn[id]
 	sw := u.base.Leaves[id]
+	var sc dataplane.SwitchScratch
+	var mbuf []byte
 	u.readLoop(conn, func(wire []byte) {
-		for _, em := range u.process(sw, wire) {
+		for _, em := range u.process(sw, wire, &sc) {
 			if em.Up {
 				spine := u.topo.LeafUpstream(id, em.Port)
-				u.forward(dataplane.Link{
+				mbuf = u.forward(dataplane.Link{
 					FromTier: dataplane.LinkLeaf, From: int32(id),
 					ToTier: dataplane.LinkSpine, To: int32(spine),
-				}, conn, u.spineConn[spine], em.Packet)
+				}, conn, u.spineAddr[spine], em.Packet, mbuf)
 			} else {
 				host := u.topo.HostAt(id, em.Port)
-				u.forward(dataplane.Link{
+				mbuf = u.forward(dataplane.Link{
 					FromTier: dataplane.LinkLeaf, From: int32(id),
 					ToTier: dataplane.LinkHost, To: int32(host),
-				}, conn, u.hostConn[host], em.Packet)
+				}, conn, u.hostAddr[host], em.Packet, mbuf)
 			}
 		}
 	})
@@ -349,20 +434,22 @@ func (u *UDPFabric) runLeaf(id topology.LeafID) {
 func (u *UDPFabric) runSpine(id topology.SpineID) {
 	conn := u.spineConn[id]
 	sw := u.base.Spines[id]
+	var sc dataplane.SwitchScratch
+	var mbuf []byte
 	u.readLoop(conn, func(wire []byte) {
-		for _, em := range u.process(sw, wire) {
+		for _, em := range u.process(sw, wire, &sc) {
 			if em.Up {
 				core := u.topo.SpineUpstream(id, em.Port)
-				u.forward(dataplane.Link{
+				mbuf = u.forward(dataplane.Link{
 					FromTier: dataplane.LinkSpine, From: int32(id),
 					ToTier: dataplane.LinkCore, To: int32(core),
-				}, conn, u.coreConn[core], em.Packet)
+				}, conn, u.coreAddr[core], em.Packet, mbuf)
 			} else {
 				leaf := u.topo.SpineDownstream(id, em.Port)
-				u.forward(dataplane.Link{
+				mbuf = u.forward(dataplane.Link{
 					FromTier: dataplane.LinkSpine, From: int32(id),
 					ToTier: dataplane.LinkLeaf, To: int32(leaf),
-				}, conn, u.leafConn[leaf], em.Packet)
+				}, conn, u.leafAddr[leaf], em.Packet, mbuf)
 			}
 		}
 	})
@@ -371,13 +458,15 @@ func (u *UDPFabric) runSpine(id topology.SpineID) {
 func (u *UDPFabric) runCore(id topology.CoreID) {
 	conn := u.coreConn[id]
 	sw := u.base.Cores[id]
+	var sc dataplane.SwitchScratch
+	var mbuf []byte
 	u.readLoop(conn, func(wire []byte) {
-		for _, em := range u.process(sw, wire) {
+		for _, em := range u.process(sw, wire, &sc) {
 			spine := u.topo.CoreDownstream(id, topology.PodID(em.Port))
-			u.forward(dataplane.Link{
+			mbuf = u.forward(dataplane.Link{
 				FromTier: dataplane.LinkCore, From: int32(id),
 				ToTier: dataplane.LinkSpine, To: int32(spine),
-			}, conn, u.spineConn[spine], em.Packet)
+			}, conn, u.spineAddr[spine], em.Packet, mbuf)
 		}
 	})
 }
@@ -395,6 +484,9 @@ func (u *UDPFabric) runHost(h topology.HostID) {
 		if !ok {
 			return
 		}
+		// inner aliases the reader's recycled frame buffer; the queued
+		// HostPacket outlives this call, so it gets its own copy.
+		inner = append([]byte(nil), inner...)
 		addr, _ := dataplane.GroupAddrFromOuter(pkt.Outer)
 		select {
 		case u.hostRx[h] <- HostPacket{Addr: addr, Inner: inner, Telemetry: tel}:

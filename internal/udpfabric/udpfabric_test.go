@@ -3,6 +3,7 @@ package udpfabric
 import (
 	"fmt"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"elmo/internal/dataplane"
 	"elmo/internal/fabric"
 	"elmo/internal/header"
+	"elmo/internal/telemetry"
 	"elmo/internal/topology"
 )
 
@@ -125,5 +127,125 @@ func TestGarbageDatagramCounted(t *testing.T) {
 			t.Fatal("malformed datagram not counted")
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSendAccountingCountsSuccessesOnly(t *testing.T) {
+	topo := topology.MustNew(topology.PaperExample())
+	cfg := controller.PaperConfig(0)
+	ctrl, err := controller.New(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := fabric.New(topo, cfg.SRuleCapacity)
+	key := controller.GroupKey{Tenant: 7, Group: 2}
+	if _, err := ctrl.CreateGroup(key, map[topology.HostID]controller.Role{
+		0: controller.RoleBoth, 1: controller.RoleBoth,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	u, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(u.Close)
+	if _, err := u.InstallGroup(ctrl, key); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	u.SetMetrics(NewMetrics(reg))
+	// No Start: nothing else writes, so counters are fully deterministic.
+	addr := dataplane.GroupAddr{VNI: key.Tenant, Group: key.Group}
+
+	if err := u.Send(0, addr, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if got := u.metrics.sent.Value(); got != 1 {
+		t.Fatalf("sent after success = %d, want 1", got)
+	}
+	if got := u.metrics.sendErrors.Value(); got != 0 {
+		t.Fatalf("sendErrors after success = %d, want 0", got)
+	}
+
+	// Closing the sender's socket makes the next write fail; the failure
+	// must land in SendErrors, never in the sent totals.
+	u.hostConn[0].Close()
+	if err := u.Send(0, addr, []byte("broken")); err == nil {
+		t.Fatal("Send on closed socket did not error")
+	}
+	if got := u.metrics.sent.Value(); got != 1 {
+		t.Fatalf("sent after failure = %d, want 1 (failure must not count)", got)
+	}
+	if got := u.metrics.sendErrors.Value(); got != 1 {
+		t.Fatalf("sendErrors after failure = %d, want 1", got)
+	}
+	u.mu.Lock()
+	se := u.SendErrors
+	u.mu.Unlock()
+	if se != 1 {
+		t.Fatalf("SendErrors field = %d, want 1", se)
+	}
+}
+
+func TestStartIsIdempotentAndConcurrencySafe(t *testing.T) {
+	u, key, hosts := udpFixture(t, false) // fixture already called Start once
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			u.Start()
+		}()
+	}
+	wg.Wait()
+	u.Start()
+	// The fabric must still work normally: one reader set, every member
+	// sees each frame exactly once.
+	addr := dataplane.GroupAddr{VNI: key.Tenant, Group: key.Group}
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := u.Send(0, addr, []byte(fmt.Sprintf("idem %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, h := range hosts[1:] {
+		got, err := u.WaitForDeliveries(h, n, 10*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for _, p := range got {
+			seen[string(p.Inner)] = true
+		}
+		if len(seen) != n {
+			t.Fatalf("host %d: %d distinct of %d", h, len(seen), n)
+		}
+	}
+}
+
+func TestBatchedReaderHandlesBursts(t *testing.T) {
+	// Fire well over readBatch datagrams at once so the drain loop
+	// exercises both the batch-full and queue-empty exits, and verify
+	// nothing is lost or corrupted by frame recycling.
+	u, key, hosts := udpFixture(t, false)
+	addr := dataplane.GroupAddr{VNI: key.Tenant, Group: key.Group}
+	const n = 4 * readBatch
+	for i := 0; i < n; i++ {
+		if err := u.Send(0, addr, []byte(fmt.Sprintf("burst %04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, h := range hosts[1:] {
+		got, err := u.WaitForDeliveries(h, n, 15*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for _, p := range got {
+			seen[string(p.Inner)] = true
+		}
+		if len(seen) != n {
+			t.Fatalf("host %d: %d distinct of %d (recycled frame corruption?)", h, len(seen), n)
+		}
 	}
 }
